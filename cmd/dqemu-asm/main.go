@@ -1,0 +1,78 @@
+// Command dqemu-asm assembles and disassembles GA64 guest code.
+//
+//	dqemu-asm prog.s                 # write prog.img (with the guest runtime)
+//	dqemu-asm -bare prog.s           # assemble without the runtime
+//	dqemu-asm -d prog.img            # disassemble an image's text segment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dqemu"
+	"dqemu/internal/image"
+	"dqemu/internal/isa"
+)
+
+func main() {
+	bare := flag.Bool("bare", false, "assemble without linking the guest runtime")
+	disasm := flag.Bool("d", false, "disassemble an image instead of assembling")
+	out := flag.String("o", "", "output path (default: input with .img suffix)")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: dqemu-asm [-bare] [-o out] prog.s...  |  dqemu-asm -d prog.img")
+		os.Exit(2)
+	}
+
+	if *disasm {
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		im, err := image.Decode(data)
+		if err != nil {
+			fatal(err)
+		}
+		seg, ok := im.Text()
+		if !ok {
+			fatal(fmt.Errorf("image has no text segment"))
+		}
+		fmt.Printf("entry: %#x\n", im.Entry)
+		fmt.Print(isa.DisasmCode(seg.Addr, seg.Data))
+		return
+	}
+
+	var sources []dqemu.Source
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		sources = append(sources, dqemu.Source{Name: path, Text: string(src)})
+	}
+	var im *dqemu.Image
+	var err error
+	if *bare {
+		im, err = dqemu.AssembleBare(sources...)
+	} else {
+		im, err = dqemu.Assemble(sources...)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	target := *out
+	if target == "" {
+		target = strings.TrimSuffix(flag.Arg(0), ".s") + ".img"
+	}
+	if err := os.WriteFile(target, im.Encode(), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "dqemu-asm: wrote %s (entry %#x, %d segments)\n", target, im.Entry, len(im.Segments))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dqemu-asm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// Command dqemu-bench regenerates the tables and figures of the DQEMU paper
+// (ICPP '20) on the simulated cluster. Results are deterministic virtual
+// time; see EXPERIMENTS.md for the mapping to the paper's numbers.
+//
+// Usage:
+//
+//	dqemu-bench [-exp fig5|fig6|table1|fig7|fig8|all] [-full] [-slaves N] [-q]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"dqemu/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: fig5, fig6, table1, fig7, fig8, or all")
+	full := flag.Bool("full", false, "use inputs close to the paper's sizes (slow)")
+	slaves := flag.Int("slaves", 6, "maximum number of slave nodes to sweep")
+	quiet := flag.Bool("q", false, "suppress per-run progress")
+	flag.Parse()
+
+	opts := experiments.Options{MaxSlaves: *slaves}
+	if *full {
+		opts.Scale = experiments.Full
+	}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+
+	selected := strings.Split(*exp, ",")
+	want := func(name string) bool {
+		for _, s := range selected {
+			if s == name || s == "all" {
+				return true
+			}
+		}
+		return false
+	}
+
+	runOne := func(name string, f func() (printer, error)) {
+		if !want(name) {
+			return
+		}
+		start := time.Now()
+		p, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dqemu-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		p.Print(os.Stdout)
+		fmt.Fprintf(os.Stderr, "[%s took %.1fs host time]\n\n", name, time.Since(start).Seconds())
+	}
+
+	runOne("fig5", func() (printer, error) { return experiments.RunFig5(opts) })
+	runOne("fig6", func() (printer, error) { return experiments.RunFig6(opts) })
+	runOne("table1", func() (printer, error) { return experiments.RunTable1(opts) })
+	runOne("fig7", func() (printer, error) { return experiments.RunFig7(opts) })
+	runOne("fig8", func() (printer, error) { return experiments.RunFig8(opts) })
+}
+
+type printer interface {
+	Print(w io.Writer)
+}

@@ -1,0 +1,123 @@
+// Command dqemu-live runs a DQEMU cluster over real TCP, one OS process per
+// node — the same protocol the simulation drives, under true concurrency.
+//
+// Start the master (it waits for the slaves, then runs the guest):
+//
+//	dqemu-live -listen :9000 -slaves 2 prog.mc
+//
+// Start each slave (any machine that can reach the master):
+//
+//	dqemu-live -connect master:9000
+//
+// The master ships the guest image to the slaves during the handshake, so
+// only the master needs the program.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"dqemu"
+	"dqemu/internal/image"
+	"dqemu/internal/live"
+)
+
+func main() {
+	listen := flag.String("listen", "", "master: address to listen on (e.g. :9000)")
+	connect := flag.String("connect", "", "slave: master address to connect to")
+	slaves := flag.Int("slaves", 1, "master: number of slaves to wait for")
+	forward := flag.Bool("forward", false, "enable data forwarding")
+	split := flag.Bool("split", false, "enable page splitting")
+	hints := flag.Bool("hints", false, "enable hint-based locality scheduling")
+	timeout := flag.Duration("timeout", 2*time.Minute, "master: abort a wedged run")
+	var files fileFlags
+	flag.Var(&files, "file", "guest VFS file as guestpath=hostpath (repeatable)")
+	flag.Parse()
+
+	switch {
+	case *connect != "":
+		if err := live.RunSlave(*connect); err != nil {
+			fatal(err)
+		}
+	case *listen != "":
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: dqemu-live -listen ADDR -slaves N prog.mc|prog.s|prog.img")
+			os.Exit(2)
+		}
+		im, err := loadProgram(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fatal(err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "dqemu-live: waiting for %d slave(s) on %s\n", *slaves, ln.Addr())
+		cfg := live.Config{
+			Slaves:     *slaves,
+			Forwarding: *forward,
+			Splitting:  *split,
+			HintSched:  *hints,
+			Timeout:    *timeout,
+			Stdout:     os.Stdout,
+			Files:      map[string][]byte{},
+		}
+		for _, f := range files {
+			data, err := os.ReadFile(f.host)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Files[f.guest] = data
+		}
+		res, err := live.RunMaster(ln, im, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dqemu-live: guest exited %d after %v\n", res.ExitCode, res.Wall)
+		os.Exit(int(res.ExitCode))
+	default:
+		fmt.Fprintln(os.Stderr, "dqemu-live: need -listen (master) or -connect (slave)")
+		os.Exit(2)
+	}
+}
+
+func loadProgram(path string) (*dqemu.Image, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case strings.HasSuffix(path, ".mc"):
+		return dqemu.Compile(path, string(data))
+	case strings.HasSuffix(path, ".s"):
+		return dqemu.Assemble(dqemu.Source{Name: path, Text: string(data)})
+	case strings.HasSuffix(path, ".img"):
+		return image.Decode(data)
+	}
+	return nil, fmt.Errorf("unknown program type %q", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dqemu-live:", err)
+	os.Exit(1)
+}
+
+type fileMapping struct{ guest, host string }
+
+type fileFlags []fileMapping
+
+func (f *fileFlags) String() string { return fmt.Sprint(*f) }
+
+func (f *fileFlags) Set(v string) error {
+	parts := strings.SplitN(v, "=", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("want guestpath=hostpath, got %q", v)
+	}
+	*f = append(*f, fileMapping{guest: parts[0], host: parts[1]})
+	return nil
+}

@@ -1,0 +1,108 @@
+// Package dqemu is a Go reproduction of DQEMU, the distributed dynamic
+// binary translator of Zhao et al., "DQEMU: A Scalable Emulator with
+// Retargetable DBT on Distributed Platforms" (ICPP 2020).
+//
+// DQEMU runs the threads of one guest binary across a cluster of emulator
+// nodes: a master owning a page-level directory-based MSI coherence
+// protocol, delegated syscalls and thread placement, plus any number of
+// slaves. The paper's optimizations — page splitting against false sharing,
+// data forwarding (read-ahead pushes), and hint-based locality-aware
+// scheduling — are all implemented and individually switchable.
+//
+// The cluster executes inside a deterministic discrete-event simulation
+// calibrated to the paper's testbed (quad-core nodes, 1 Gb/s Ethernet,
+// ~55 µs RTT); results are reported in virtual time. Guest programs target
+// the GA64 ISA and are produced either with the built-in assembler or the
+// mini-C compiler:
+//
+//	im, err := dqemu.Compile("hello.mc", `
+//	long main() {
+//		print_str("hello from the cluster\n");
+//		return 0;
+//	}`)
+//	if err != nil { ... }
+//	cfg := dqemu.DefaultConfig()
+//	cfg.Slaves = 4
+//	res, err := dqemu.Run(im, cfg)
+//	fmt.Print(res.Console)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of the paper's tables and figures (also runnable through
+// cmd/dqemu-bench).
+package dqemu
+
+import (
+	"dqemu/internal/asm"
+	"dqemu/internal/core"
+	"dqemu/internal/grt"
+	"dqemu/internal/image"
+	"dqemu/internal/minicc"
+)
+
+// Config describes a cluster: node and core counts, network and DBT cost
+// models, and the optimization switches (Forwarding, Splitting, HintSched).
+type Config = core.Config
+
+// Result reports a finished run: exit code, virtual wall time, console
+// output, and per-thread/per-node/protocol statistics.
+type Result = core.Result
+
+// Cluster is a loaded guest program plus its simulated cluster. Use it
+// instead of Run when the guest needs VFS input files.
+type Cluster = core.Cluster
+
+// Image is a loadable guest binary.
+type Image = image.Image
+
+// ThreadStats is the per-thread execution/page-fault/syscall breakdown.
+type ThreadStats = core.ThreadStats
+
+// NodeStats is the per-node activity summary.
+type NodeStats = core.NodeStats
+
+// Source is one assembly input file.
+type Source = asm.Source
+
+// DefaultConfig mirrors the paper's testbed: a single node (the QEMU
+// baseline) with four cores on gigabit Ethernet; set Slaves and the
+// optimization flags to scale out.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Compile builds a guest image from mini-C source linked against the guest
+// runtime (threads, mutexes, barriers, malloc, console I/O — see
+// internal/grt.Prelude for the API available to guest code).
+func Compile(name, src string) (*Image, error) {
+	return grt.BuildProgram(name, src)
+}
+
+// CompileToAsm translates mini-C to GA64 assembly text without assembling,
+// for inspection or further processing.
+func CompileToAsm(name, src string) (string, error) {
+	return minicc.Compile(name, grt.Prelude+src)
+}
+
+// Assemble builds a guest image from raw GA64 assembly sources linked
+// against the guest runtime.
+func Assemble(sources ...Source) (*Image, error) {
+	return grt.BuildAsmProgram(sources...)
+}
+
+// AssembleBare assembles sources without the guest runtime (the program
+// must provide its own _start).
+func AssembleBare(sources ...Source) (*Image, error) {
+	return asm.Assemble(sources...)
+}
+
+// NewCluster loads an image into a fresh simulated cluster.
+func NewCluster(im *Image, cfg Config) (*Cluster, error) {
+	return core.NewCluster(im, cfg)
+}
+
+// Run loads and executes a guest image to completion.
+func Run(im *Image, cfg Config) (*Result, error) {
+	return core.Run(im, cfg)
+}
+
+// GuestAPI is the mini-C declaration block of every runtime function
+// available to guest programs (it is prepended automatically by Compile).
+const GuestAPI = grt.Prelude

@@ -1,0 +1,156 @@
+package dqemu_test
+
+import (
+	"strings"
+	"testing"
+
+	"dqemu"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	im, err := dqemu.Compile("hello.mc", `
+long main() {
+	print_str("hello from ");
+	print_long(num_nodes());
+	print_str(" nodes\n");
+	return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dqemu.DefaultConfig()
+	cfg.Slaves = 2
+	res, err := dqemu.Run(im, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Console != "hello from 3 nodes\n" {
+		t.Errorf("console = %q", res.Console)
+	}
+	if res.ExitCode != 0 || res.TimeNs <= 0 {
+		t.Errorf("exit=%d time=%d", res.ExitCode, res.TimeNs)
+	}
+}
+
+func TestPublicAPIAssembly(t *testing.T) {
+	im, err := dqemu.Assemble(dqemu.Source{Name: "main.s", Text: `
+	.global main
+main:
+	li  a0, 21
+	add a0, a0, a0
+	ret
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dqemu.Run(im, dqemu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 42 {
+		t.Errorf("exit = %d", res.ExitCode)
+	}
+}
+
+func TestPublicAPIBareAssembly(t *testing.T) {
+	im, err := dqemu.AssembleBare(dqemu.Source{Name: "s.s", Text: `
+_start:
+	li  a7, 94       ; exit_group
+	li  a0, 7
+	svc 0
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dqemu.Run(im, dqemu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 7 {
+		t.Errorf("exit = %d", res.ExitCode)
+	}
+}
+
+func TestPublicAPIClusterVFS(t *testing.T) {
+	im, err := dqemu.Compile("cat.mc", `
+long main() {
+	long fd = open_file("/in.txt", 0);
+	if (fd < 0) return 1;
+	char buf[128];
+	long n = sys_read(fd, buf, 128);
+	sys_write(1, buf, n);
+	return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := dqemu.NewCluster(im, dqemu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.VFS().AddFile("/in.txt", []byte("through the VFS"))
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Console != "through the VFS" {
+		t.Errorf("console = %q", res.Console)
+	}
+}
+
+func TestCompileToAsm(t *testing.T) {
+	out, err := dqemu.CompileToAsm("t.mc", "long main() { return 1 + 2; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "main:") {
+		t.Errorf("no main label in output:\n%s", out)
+	}
+}
+
+func TestCompileErrorsSurface(t *testing.T) {
+	if _, err := dqemu.Compile("bad.mc", "long main() { return undefined_thing; }"); err == nil {
+		t.Error("expected compile error")
+	}
+}
+
+func TestOptimizationToggles(t *testing.T) {
+	im, err := dqemu.Compile("walk.mc", `
+long data[20480];
+long out;
+long worker(long a) {
+	long s = 0;
+	for (long i = 0; i < 20480; i++) s += data[i];
+	out = s;
+	return 0;
+}
+long main() {
+	for (long i = 0; i < 20480; i++) data[i] = 1;
+	thread_join(thread_create((long)worker, 0));
+	print_long(out);
+	return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := dqemu.DefaultConfig()
+	cfg.Slaves = 1
+	plain, err := dqemu.Run(im, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Forwarding = true
+	fwd, err := dqemu.Run(im, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Console != "20480" || fwd.Console != "20480" {
+		t.Fatalf("results: %q %q", plain.Console, fwd.Console)
+	}
+	if fwd.TimeNs >= plain.TimeNs {
+		t.Errorf("forwarding should help a sequential walk: %d vs %d", fwd.TimeNs, plain.TimeNs)
+	}
+	if fwd.Dir.Pushes == 0 {
+		t.Error("no pushes recorded")
+	}
+}

@@ -1,0 +1,52 @@
+// blackscholes runs the PARSEC-like option-pricing kernel on a 2-slave
+// cluster, comparing the paper's optimizations (Figure 7): baseline DSM,
+// +data forwarding, +page splitting.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dqemu"
+	"dqemu/internal/workloads"
+)
+
+func main() {
+	// 16 threads pricing 32768 options for 8 rounds, partitioned for 2 nodes.
+	im, err := workloads.Blackscholes(16, 32768, 8, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("blackscholes, 16 threads on 2 slave nodes")
+	fmt.Printf("%-28s %-12s %-10s %s\n", "configuration", "time", "faults", "pushes")
+
+	var baseline int64
+	for _, c := range []struct {
+		name       string
+		fwd, split bool
+	}{
+		{"origin (plain DSM)", false, false},
+		{"+ data forwarding", true, false},
+		{"+ forwarding + splitting", true, true},
+	} {
+		cfg := dqemu.DefaultConfig()
+		cfg.Slaves = 2
+		cfg.Forwarding = c.fwd
+		cfg.Splitting = c.split
+		res, err := dqemu.Run(im, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if baseline == 0 {
+			baseline = res.TimeNs
+		}
+		var faults uint64
+		for _, n := range res.Nodes {
+			faults += n.PageFaults
+		}
+		fmt.Printf("%-28s %8.3f ms %8d %8d   (%.1f%% vs origin)\n",
+			c.name, float64(res.TimeNs)/1e6, faults, res.Dir.Pushes,
+			(1-float64(res.TimeNs)/float64(baseline))*100)
+	}
+}

@@ -1,0 +1,41 @@
+// pi-cluster reproduces the shape of the paper's Figure 5 interactively:
+// an embarrassingly parallel π computation with 48 threads is swept over
+// cluster sizes, showing near-linear speedup as slave nodes are added —
+// while the single-node QEMU baseline is stuck with its four cores.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dqemu"
+	"dqemu/internal/workloads"
+)
+
+func main() {
+	// 48 threads, each computing a 500-term Taylor series 400 times.
+	im, err := workloads.Pi(48, 400, 500)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("pi scalability sweep (48 threads, 4 cores/node)")
+	fmt.Printf("%-22s %-12s %s\n", "cluster", "time", "speedup")
+
+	base := int64(0)
+	for slaves := 0; slaves <= 4; slaves++ {
+		cfg := dqemu.DefaultConfig()
+		cfg.Slaves = slaves
+		res, err := dqemu.Run(im, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := fmt.Sprintf("%d slave node(s)", slaves)
+		if slaves == 0 {
+			label = "qemu (single node)"
+			base = res.TimeNs
+		}
+		fmt.Printf("%-22s %8.3f ms  %6.2fx\n", label,
+			float64(res.TimeNs)/1e6, float64(base)/float64(res.TimeNs))
+	}
+}

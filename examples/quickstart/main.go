@@ -1,0 +1,62 @@
+// Quickstart: compile a multi-threaded mini-C guest program and run it on a
+// simulated DQEMU cluster (1 master + 2 slaves), then look at where the
+// threads ran and what the distributed shared memory did.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dqemu"
+)
+
+const guestSrc = `
+long counter;
+long lock;
+
+long worker(long id) {
+	for (long i = 0; i < 1000; i++) {
+		mutex_lock(&lock);
+		counter += 1;
+		mutex_unlock(&lock);
+	}
+	return 0;
+}
+
+long main() {
+	print_str("spawning 8 workers across ");
+	print_long(num_nodes());
+	print_str(" nodes\n");
+	long tids[8];
+	for (long i = 0; i < 8; i++) tids[i] = thread_create((long)worker, i);
+	for (long i = 0; i < 8; i++) thread_join(tids[i]);
+	print_str("counter = ");
+	print_long(counter);
+	print_char('\n');
+	return 0;
+}`
+
+func main() {
+	im, err := dqemu.Compile("quickstart.mc", guestSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := dqemu.DefaultConfig()
+	cfg.Slaves = 2 // 1 master + 2 slaves, 4 cores each
+
+	res, err := dqemu.Run(im, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(res.Console)
+	fmt.Printf("\nguest finished in %.3f ms of virtual time (exit %d)\n",
+		float64(res.TimeNs)/1e6, res.ExitCode)
+	for _, n := range res.Nodes {
+		fmt.Printf("node %d ran %d thread(s), executed %d guest instructions, %d page faults\n",
+			n.Node, n.Threads, n.Engine.ExecInsns, n.PageFaults)
+	}
+	fmt.Printf("coherence: %d page fetches, %d invalidations; %d delegated syscalls\n",
+		res.Dir.Fetches, res.Dir.Invalidates, res.OS.Global)
+}

@@ -1,0 +1,3 @@
+module dqemu
+
+go 1.22

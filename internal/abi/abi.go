@@ -1,0 +1,83 @@
+// Package abi pins down the guest syscall ABI shared by the guest runtime
+// (internal/grt), the syscall emulation layer (internal/guestos) and the
+// cluster (internal/core).
+//
+// Numbers follow the Linux generic (riscv64/aarch64) table for the standard
+// calls the paper's workloads need; DQEMU-specific extensions live above
+// 1000. The syscall number is passed in A7, arguments in A0..A5, the result
+// in A0 (negative errno on failure), exactly like Linux.
+package abi
+
+// Standard syscalls (Linux generic numbers).
+const (
+	SysGetcwd       = 17
+	SysOpenAt       = 56
+	SysClose        = 57
+	SysLSeek        = 62
+	SysRead         = 63
+	SysWrite        = 64
+	SysFstat        = 80
+	SysExit         = 93
+	SysExitGroup    = 94
+	SysFutex        = 98
+	SysNanosleep    = 101
+	SysClockGettime = 113
+	SysSchedYield   = 124
+	SysUname        = 160
+	SysGetPID       = 172
+	SysGetTID       = 178
+	SysBrk          = 214
+	SysMunmap       = 215
+	SysClone        = 220
+	SysMmap         = 222
+)
+
+// DQEMU extensions. ThreadCreate replaces raw clone(2): the kernel builds
+// the child's CPU context directly (PC = __thread_start trampoline, A0 = fn,
+// A1 = arg, SP = stack top), which is what the paper's instrumented
+// fork/clone/vfork path constructs before shipping it to a remote node
+// (§4.1).
+const (
+	SysThreadCreate = 1001 // (fn, arg, stackTop) -> tid
+	SysThreadJoin   = 1002 // (tid) -> 0; blocks until the thread exits
+	SysHint         = 1003 // (group) -> 0; dynamic locality hint (§5.3)
+	SysNodeID       = 1004 // () -> node the calling thread runs on
+	SysTimeNs       = 1005 // () -> virtual nanoseconds since boot
+	SysNumNodes     = 1006 // () -> cluster size (master + slaves)
+)
+
+// Futex operations (subset of Linux FUTEX_*).
+const (
+	FutexWait = 0
+	FutexWake = 1
+)
+
+// Errno values returned as -errno in A0.
+const (
+	EPERM  = 1
+	ENOENT = 2
+	EBADF  = 9
+	EAGAIN = 11
+	ENOMEM = 12
+	EFAULT = 14
+	EINVAL = 22
+	ENOSYS = 38
+	ESRCH  = 3
+)
+
+// Open flags (subset).
+const (
+	ORdOnly = 0
+	OWrOnly = 1
+	ORdWr   = 2
+	OCreate = 0x40
+	OTrunc  = 0x200
+	OAppend = 0x400
+)
+
+// Lseek whence.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)

@@ -1,0 +1,367 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"dqemu/internal/image"
+	"dqemu/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *image.Image {
+	t.Helper()
+	im, err := Assemble(Source{Name: "test.s", Text: src})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return im
+}
+
+// decodeText decodes the text segment into instructions.
+func decodeText(t *testing.T, im *image.Image) []isa.Instruction {
+	t.Helper()
+	seg, ok := im.Text()
+	if !ok {
+		t.Fatal("no text segment")
+	}
+	var out []isa.Instruction
+	for off := 0; off < len(seg.Data); {
+		ins, n, err := isa.Decode(seg.Data[off:])
+		if err != nil {
+			t.Fatalf("decode at %#x: %v", seg.Addr+uint64(off), err)
+		}
+		out = append(out, ins)
+		off += n
+	}
+	return out
+}
+
+func TestBasicProgram(t *testing.T) {
+	im := mustAssemble(t, `
+	.global _start
+_start:
+	li   a0, 42
+	li   a1, 100000
+	add  a2, a0, a1
+	halt
+`)
+	ins := decodeText(t, im)
+	want := []isa.Instruction{
+		{Op: isa.OpADDI, Rd: isa.RegA0, Rs1: isa.RegZero, Imm: 42},
+		{Op: isa.OpMOVIW, Rd: isa.RegA1, Imm: 100000},
+		{Op: isa.OpADD, Rd: isa.RegA2, Rs1: isa.RegA0, Rs2: isa.RegA1},
+		{Op: isa.OpHALT},
+	}
+	if len(ins) != len(want) {
+		t.Fatalf("got %d instructions, want %d: %v", len(ins), len(want), ins)
+	}
+	for i := range want {
+		if ins[i] != want[i] {
+			t.Errorf("ins[%d] = %+v, want %+v", i, ins[i], want[i])
+		}
+	}
+	if im.Entry != image.DefaultTextBase {
+		t.Errorf("entry %#x", im.Entry)
+	}
+}
+
+func TestBranchesAndLabels(t *testing.T) {
+	im := mustAssemble(t, `
+_start:
+	li   t0, 10
+	li   t1, 0
+loop:
+	add  t1, t1, t0
+	addi t0, t0, -1
+	bnez t0, loop
+	beqz t1, loop
+	j    done
+	nop
+done:
+	halt
+`)
+	ins := decodeText(t, im)
+	// bnez t0, loop: distance from bnez back to "add" is -8 bytes = -2 words.
+	var bnez, beqz, j isa.Instruction
+	for _, in := range ins {
+		switch in.Op {
+		case isa.OpBNE:
+			bnez = in
+		case isa.OpBEQ:
+			beqz = in
+		case isa.OpJAL:
+			j = in
+		}
+	}
+	if bnez.Imm != -2 || bnez.Rs1 != isa.RegT0 || bnez.Rs2 != isa.RegZero {
+		t.Errorf("bnez = %+v", bnez)
+	}
+	if beqz.Imm != -3 {
+		t.Errorf("beqz = %+v", beqz)
+	}
+	if j.Rd != isa.RegZero || j.Imm != 2 {
+		t.Errorf("j = %+v", j)
+	}
+}
+
+func TestNumericLabels(t *testing.T) {
+	im := mustAssemble(t, `
+_start:
+1:	addi t0, t0, 1
+	bnez t0, 1b
+	beqz t0, 1f
+	nop
+1:	halt
+`)
+	ins := decodeText(t, im)
+	if ins[1].Imm != -1 {
+		t.Errorf("1b branch imm = %d, want -1", ins[1].Imm)
+	}
+	if ins[2].Imm != 2 {
+		t.Errorf("1f branch imm = %d, want 2", ins[2].Imm)
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	im := mustAssemble(t, `
+	.data
+vals:
+	.byte 1, 2, 0xff
+	.align 4
+	.word 0x12345678
+	.quad msg
+	.double 1.5
+	.equ K, 3*7
+	.word K
+msg:
+	.asciz "hi\n"
+	.bss
+buf:
+	.space 64
+`)
+	var data *image.Segment
+	for i := range im.Segments {
+		if im.Segments[i].Name == "data" {
+			data = &im.Segments[i]
+		}
+	}
+	if data == nil {
+		t.Fatal("no data segment")
+	}
+	b := data.Data
+	if b[0] != 1 || b[1] != 2 || b[2] != 0xff {
+		t.Errorf("bytes: %v", b[:3])
+	}
+	if b[3] != 0 {
+		t.Error("alignment padding missing")
+	}
+	word := uint32(b[4]) | uint32(b[5])<<8 | uint32(b[6])<<16 | uint32(b[7])<<24
+	if word != 0x12345678 {
+		t.Errorf("word = %#x", word)
+	}
+	msgAddr, ok := im.Symbol("msg")
+	if !ok {
+		t.Fatal("msg symbol missing")
+	}
+	var quad uint64
+	for i := 0; i < 8; i++ {
+		quad |= uint64(b[8+i]) << (8 * i)
+	}
+	if quad != msgAddr {
+		t.Errorf(".quad msg = %#x, want %#x", quad, msgAddr)
+	}
+	// K = 21 at offset 24 (after 8-byte double at 16).
+	k := uint32(b[24]) | uint32(b[25])<<8 | uint32(b[26])<<16 | uint32(b[27])<<24
+	if k != 21 {
+		t.Errorf(".word K = %d", k)
+	}
+	if got := string(b[28:31]); got != "hi\n" {
+		t.Errorf("asciz = %q", got)
+	}
+	if b[31] != 0 {
+		t.Error("asciz not NUL-terminated")
+	}
+	// bss segment present with MemSize but no data.
+	var bss *image.Segment
+	for i := range im.Segments {
+		if im.Segments[i].Name == "bss" {
+			bss = &im.Segments[i]
+		}
+	}
+	if bss == nil || bss.MemSize != 64 || len(bss.Data) != 0 {
+		t.Errorf("bss = %+v", bss)
+	}
+}
+
+func TestLoadsStoresAndAtomics(t *testing.T) {
+	im := mustAssemble(t, `
+_start:
+	ld   a0, 8(sp)
+	sd   a0, -16(sp)
+	lw   a1, (a0)
+	ll   a2, (a3)
+	sc   a4, a2, (a3)
+	cas  a5, a6, (a7)
+	amoadd t0, t1, (t2)
+	fld  f1, 8(a0)
+	fsd  f1, 16(a0)
+`)
+	ins := decodeText(t, im)
+	checks := []isa.Instruction{
+		{Op: isa.OpLD, Rd: isa.RegA0, Rs1: isa.RegSP, Imm: 8},
+		{Op: isa.OpSD, Rs2: isa.RegA0, Rs1: isa.RegSP, Imm: -16},
+		{Op: isa.OpLW, Rd: isa.RegA1, Rs1: isa.RegA0},
+		{Op: isa.OpLL, Rd: isa.RegA2, Rs1: isa.RegA3},
+		{Op: isa.OpSC, Rd: isa.RegA4, Rs2: isa.RegA2, Rs1: isa.RegA3},
+		{Op: isa.OpCAS, Rd: isa.RegA5, Rs2: isa.RegA6, Rs1: isa.RegA7},
+		{Op: isa.OpAMOADD, Rd: isa.RegT0, Rs2: 6, Rs1: 7},
+		{Op: isa.OpFLD, Rd: 1, Rs1: isa.RegA0, Imm: 8},
+		{Op: isa.OpFSD, Rs2: 1, Rs1: isa.RegA0, Imm: 16},
+	}
+	for i, want := range checks {
+		if ins[i] != want {
+			t.Errorf("ins[%d] = %+v, want %+v", i, ins[i], want)
+		}
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	im := mustAssemble(t, `
+_start:
+	mv   a0, a1
+	not  a0, a1
+	neg  a0, a1
+	snez a0, a1
+	seqz a0, a1
+	call f
+	ret
+	jr   a0
+f:	halt
+	lid  t0, 0x123456789abcdef0
+	fli  f0, 2.5
+`)
+	ins := decodeText(t, im)
+	if ins[0] != (isa.Instruction{Op: isa.OpADDI, Rd: isa.RegA0, Rs1: isa.RegA1}) {
+		t.Errorf("mv: %+v", ins[0])
+	}
+	if ins[1] != (isa.Instruction{Op: isa.OpXORI, Rd: isa.RegA0, Rs1: isa.RegA1, Imm: -1}) {
+		t.Errorf("not: %+v", ins[1])
+	}
+	if ins[2] != (isa.Instruction{Op: isa.OpSUB, Rd: isa.RegA0, Rs1: isa.RegZero, Rs2: isa.RegA1}) {
+		t.Errorf("neg: %+v", ins[2])
+	}
+	// seqz = sltu; xori
+	if ins[4].Op != isa.OpSLTU || ins[5].Op != isa.OpXORI || ins[5].Imm != 1 {
+		t.Errorf("seqz: %+v %+v", ins[4], ins[5])
+	}
+	var foundLid, foundFli bool
+	for _, in := range ins {
+		if in.Op == isa.OpMOVID && uint64(in.Imm) == 0x123456789abcdef0 {
+			foundLid = true
+		}
+		if in.Op == isa.OpFMOVD {
+			foundFli = true
+		}
+	}
+	if !foundLid || !foundFli {
+		t.Errorf("lid/fli missing: %v %v", foundLid, foundFli)
+	}
+}
+
+func TestLaResolvesForward(t *testing.T) {
+	im := mustAssemble(t, `
+_start:
+	la  a0, buffer
+	halt
+	.data
+buffer: .space 16
+`)
+	ins := decodeText(t, im)
+	addr, _ := im.Symbol("buffer")
+	if ins[0].Op != isa.OpMOVIW || uint64(ins[0].Imm) != addr {
+		t.Errorf("la = %+v, buffer at %#x", ins[0], addr)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]string{
+		"undefined symbol":  "_start:\n\tbeq a0, a1, nowhere\n",
+		"bad register":      "_start:\n\tadd q0, a1, a2\n",
+		"unknown mnemonic":  "_start:\n\tfrobnicate a0\n",
+		"imm range":         "_start:\n\taddi a0, a0, 100000\n",
+		"dup label":         "x:\nx:\n",
+		"bss with data":     ".bss\n\t.word 5\n",
+		"unknown directive": ".frob 1\n",
+		"bad mem operand":   "_start:\n\tld a0, a1\n",
+		"atomic offset":     "_start:\n\tsc a0, a1, 8(a2)\n",
+	}
+	for name, src := range cases {
+		if _, err := Assemble(Source{Name: name, Text: src}); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestMultipleSources(t *testing.T) {
+	im, err := Assemble(
+		Source{Name: "a.s", Text: "_start:\n\tcall helper\n\thalt\n"},
+		Source{Name: "b.s", Text: "helper:\n\tret\n"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := im.Symbol("helper"); !ok {
+		t.Error("helper symbol missing")
+	}
+	ins := decodeText(t, im)
+	if ins[0].Op != isa.OpJAL {
+		t.Errorf("call: %+v", ins[0])
+	}
+}
+
+func TestCommentsEverywhere(t *testing.T) {
+	im := mustAssemble(t, `
+# full line comment
+_start:          ; trailing
+	li a0, 1     // c++ style
+	halt         # hash
+	.data
+s:	.asciz "a;b#c//d"  ; string with comment chars
+`)
+	addr, _ := im.Symbol("s")
+	var data image.Segment
+	for _, seg := range im.Segments {
+		if seg.Name == "data" {
+			data = seg
+		}
+	}
+	got := string(data.Data[addr-data.Addr : addr-data.Addr+7])
+	if got != "a;b#c//" {
+		t.Errorf("string = %q", got)
+	}
+}
+
+func TestEntryDefaultsToStart(t *testing.T) {
+	im := mustAssemble(t, "\tnop\n_start:\n\thalt\n")
+	want, _ := im.Symbol("_start")
+	if im.Entry != want {
+		t.Errorf("entry = %#x, want %#x", im.Entry, want)
+	}
+}
+
+func TestDisasmRoundtrip(t *testing.T) {
+	src := `
+_start:
+	li   a0, 7
+	add  a1, a0, a0
+	halt
+`
+	im := mustAssemble(t, src)
+	seg, _ := im.Text()
+	out := isa.DisasmCode(seg.Addr, seg.Data)
+	for _, want := range []string{"addi a0, zero, 7", "add a1, a0, a0", "halt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disasm missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package asm
+
+import "testing"
+
+func TestEvalExpr(t *testing.T) {
+	syms := func(name string) (int64, bool) {
+		switch name {
+		case "base":
+			return 0x1000, true
+		case "K":
+			return 10, true
+		}
+		return 0, false
+	}
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"42", 42},
+		{"0x10", 16},
+		{"0b101", 5},
+		{"-7", -7},
+		{"~0", -1},
+		{"1+2*3", 7},
+		{"(1+2)*3", 9},
+		{"10/3", 3},
+		{"10%3", 1},
+		{"1<<12", 4096},
+		{"256>>4", 16},
+		{"0xf0|0x0f", 255},
+		{"0xff&0x0f", 15},
+		{"0xff^0x0f", 0xf0},
+		{"base+8", 0x1008},
+		{"K*K", 100},
+		{"'A'", 65},
+		{"'\\n'", 10},
+		{" 1 + 2 ", 3},
+		{"0xffffffffffffffff", -1},
+		{"-(3+4)", -7},
+	}
+	for _, c := range cases {
+		got, err := evalExpr(c.src, syms)
+		if err != nil {
+			t.Errorf("eval(%q): %v", c.src, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("eval(%q) = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalExprErrors(t *testing.T) {
+	for _, src := range []string{"", "1+", "missing", "(1", "1/0", "5%0", "1 2", "'ab'", "'", "@"} {
+		if _, err := evalExpr(src, nil); err == nil {
+			t.Errorf("eval(%q): expected error", src)
+		}
+	}
+}
+
+func TestUnescape(t *testing.T) {
+	got, err := unescape(`a\n\t\0\\\"\x41`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "a\n\t\x00\\\"A" {
+		t.Errorf("unescape = %q", got)
+	}
+	for _, bad := range []string{`\q`, `\x`, `\x4`, `\`} {
+		if _, err := unescape(bad); err == nil {
+			t.Errorf("unescape(%q): expected error", bad)
+		}
+	}
+}

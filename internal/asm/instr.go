@@ -1,0 +1,658 @@
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"dqemu/internal/isa"
+)
+
+// instruction parses and emits one instruction (or pseudo-instruction).
+func (a *assembler) instruction(line string) {
+	mnemonic, rest := splitWord(line)
+	mnemonic = strings.ToLower(mnemonic)
+	ops := splitOperands(rest)
+	if err := a.dispatch(mnemonic, ops); err != nil {
+		a.errorf("%s: %v", mnemonic, err)
+	}
+}
+
+var rType = map[string]isa.Op{
+	"add": isa.OpADD, "sub": isa.OpSUB, "mul": isa.OpMUL,
+	"div": isa.OpDIV, "divu": isa.OpDIVU, "rem": isa.OpREM, "remu": isa.OpREMU,
+	"and": isa.OpAND, "or": isa.OpOR, "xor": isa.OpXOR,
+	"sll": isa.OpSLL, "srl": isa.OpSRL, "sra": isa.OpSRA,
+	"slt": isa.OpSLT, "sltu": isa.OpSLTU,
+}
+
+var iType = map[string]isa.Op{
+	"addi": isa.OpADDI, "andi": isa.OpANDI, "ori": isa.OpORI, "xori": isa.OpXORI,
+	"slli": isa.OpSLLI, "srli": isa.OpSRLI, "srai": isa.OpSRAI, "slti": isa.OpSLTI,
+}
+
+var loadOps = map[string]isa.Op{
+	"lb": isa.OpLB, "lbu": isa.OpLBU, "lh": isa.OpLH, "lhu": isa.OpLHU,
+	"lw": isa.OpLW, "lwu": isa.OpLWU, "ld": isa.OpLD, "fld": isa.OpFLD, "ll": isa.OpLL,
+}
+
+var storeOps = map[string]isa.Op{
+	"sb": isa.OpSB, "sh": isa.OpSH, "sw": isa.OpSW, "sd": isa.OpSD, "fsd": isa.OpFSD,
+}
+
+var branchOps = map[string]isa.Op{
+	"beq": isa.OpBEQ, "bne": isa.OpBNE, "blt": isa.OpBLT,
+	"bge": isa.OpBGE, "bltu": isa.OpBLTU, "bgeu": isa.OpBGEU,
+}
+
+// branchSwap maps aliases that reverse the operand order.
+var branchSwap = map[string]isa.Op{
+	"bgt": isa.OpBLT, "ble": isa.OpBGE, "bgtu": isa.OpBLTU, "bleu": isa.OpBGEU,
+}
+
+// branchZero maps aliases comparing against zero: mnemonic -> op and whether
+// the register is rs1 (true) or rs2.
+var branchZero = map[string]struct {
+	op    isa.Op
+	first bool
+}{
+	"beqz": {isa.OpBEQ, true}, "bnez": {isa.OpBNE, true},
+	"bltz": {isa.OpBLT, true}, "bgez": {isa.OpBGE, true},
+	"bgtz": {isa.OpBLT, false}, "blez": {isa.OpBGE, false},
+}
+
+var fpBinary = map[string]isa.Op{
+	"fadd": isa.OpFADD, "fsub": isa.OpFSUB, "fmul": isa.OpFMUL, "fdiv": isa.OpFDIV,
+	"fmin": isa.OpFMIN, "fmax": isa.OpFMAX,
+}
+
+var fpUnary = map[string]isa.Op{
+	"fsqrt": isa.OpFSQRT, "fneg": isa.OpFNEG, "fabs": isa.OpFABS,
+	"fexp": isa.OpFEXP, "fln": isa.OpFLN, "fmv": isa.OpFMV,
+}
+
+var fpCompare = map[string]isa.Op{
+	"feq": isa.OpFEQ, "flt": isa.OpFLT, "fle": isa.OpFLE,
+}
+
+var amoOps = map[string]isa.Op{
+	"sc": isa.OpSC, "cas": isa.OpCAS, "amoadd": isa.OpAMOADD, "amoswap": isa.OpAMOSWAP,
+}
+
+var bareOps = map[string]isa.Op{
+	"fence": isa.OpFENCE, "nop": isa.OpNOP, "halt": isa.OpHALT, "ebreak": isa.OpEBREAK,
+}
+
+func (a *assembler) dispatch(m string, ops []string) error {
+	if op, ok := rType[m]; ok {
+		return a.rInstr(op, ops)
+	}
+	if op, ok := iType[m]; ok {
+		return a.iInstr(op, ops)
+	}
+	if op, ok := loadOps[m]; ok {
+		return a.loadInstr(op, ops)
+	}
+	if op, ok := storeOps[m]; ok {
+		return a.storeInstr(op, ops)
+	}
+	if op, ok := branchOps[m]; ok {
+		return a.branchInstr(op, ops, false)
+	}
+	if op, ok := branchSwap[m]; ok {
+		return a.branchInstr(op, ops, true)
+	}
+	if bz, ok := branchZero[m]; ok {
+		return a.branchZeroInstr(bz.op, bz.first, ops)
+	}
+	if op, ok := fpBinary[m]; ok {
+		return a.fpInstr(op, ops, 3)
+	}
+	if op, ok := fpUnary[m]; ok {
+		return a.fpInstr(op, ops, 2)
+	}
+	if op, ok := fpCompare[m]; ok {
+		return a.fpCompareInstr(op, ops)
+	}
+	if op, ok := amoOps[m]; ok {
+		return a.amoInstr(op, ops)
+	}
+	if op, ok := bareOps[m]; ok {
+		if len(ops) != 0 {
+			return fmt.Errorf("takes no operands")
+		}
+		a.fixed(isa.Instruction{Op: op})
+		return nil
+	}
+	switch m {
+	case "jal":
+		return a.jalInstr(ops)
+	case "j":
+		if len(ops) != 1 {
+			return fmt.Errorf("needs a target")
+		}
+		return a.jalInstr([]string{"zero", ops[0]})
+	case "call":
+		if len(ops) != 1 {
+			return fmt.Errorf("needs a target")
+		}
+		return a.jalInstr([]string{"ra", ops[0]})
+	case "jalr":
+		return a.jalrInstr(ops)
+	case "jr":
+		if len(ops) != 1 {
+			return fmt.Errorf("needs a register")
+		}
+		return a.jalrInstr([]string{"zero", ops[0], "0"})
+	case "ret":
+		if len(ops) != 0 {
+			return fmt.Errorf("takes no operands")
+		}
+		return a.jalrInstr([]string{"zero", "ra", "0"})
+	case "li", "lid", "la":
+		return a.liInstr(m, ops)
+	case "mv":
+		if len(ops) != 2 {
+			return fmt.Errorf("needs rd, rs")
+		}
+		rd, rs, err := a.twoIntRegs(ops)
+		if err != nil {
+			return err
+		}
+		a.fixed(isa.Instruction{Op: isa.OpADDI, Rd: rd, Rs1: rs})
+		return nil
+	case "not":
+		rd, rs, err := a.twoIntRegs(ops)
+		if err != nil {
+			return err
+		}
+		a.fixed(isa.Instruction{Op: isa.OpXORI, Rd: rd, Rs1: rs, Imm: -1})
+		return nil
+	case "neg":
+		rd, rs, err := a.twoIntRegs(ops)
+		if err != nil {
+			return err
+		}
+		a.fixed(isa.Instruction{Op: isa.OpSUB, Rd: rd, Rs1: isa.RegZero, Rs2: rs})
+		return nil
+	case "snez":
+		rd, rs, err := a.twoIntRegs(ops)
+		if err != nil {
+			return err
+		}
+		a.fixed(isa.Instruction{Op: isa.OpSLTU, Rd: rd, Rs1: isa.RegZero, Rs2: rs})
+		return nil
+	case "seqz":
+		rd, rs, err := a.twoIntRegs(ops)
+		if err != nil {
+			return err
+		}
+		a.fixed(isa.Instruction{Op: isa.OpSLTU, Rd: rd, Rs1: isa.RegZero, Rs2: rs})
+		a.fixed(isa.Instruction{Op: isa.OpXORI, Rd: rd, Rs1: rd, Imm: 1})
+		return nil
+	case "svc", "hint":
+		op := isa.OpSVC
+		if m == "hint" {
+			op = isa.OpHINT
+		}
+		imm := int64(0)
+		if len(ops) == 1 {
+			v, err := a.constExpr(ops[0])
+			if err != nil {
+				return err
+			}
+			imm = v
+		} else if len(ops) > 1 {
+			return fmt.Errorf("needs at most one operand")
+		}
+		if imm < isa.ImmMin14 || imm > isa.ImmMax14 {
+			return fmt.Errorf("operand %d out of range", imm)
+		}
+		a.fixed(isa.Instruction{Op: op, Imm: imm})
+		return nil
+	case "moviw", "movid":
+		if len(ops) != 2 {
+			return fmt.Errorf("needs rd, literal")
+		}
+		rd, err := intReg(ops[0])
+		if err != nil {
+			return err
+		}
+		op := isa.OpMOVIW
+		size := uint64(8)
+		if m == "movid" {
+			op, size = isa.OpMOVID, 12
+		}
+		expr := ops[1]
+		it := a.addItem(size, nil)
+		it.encode = func(uint64) ([]byte, error) {
+			v, err := a.eval(expr, it)
+			if err != nil {
+				return nil, err
+			}
+			return isa.Instruction{Op: op, Rd: rd, Imm: v}.Encode(nil)
+		}
+		return nil
+	case "fmovd", "fli":
+		if len(ops) != 2 {
+			return fmt.Errorf("needs fd, float")
+		}
+		fd, err := fReg(ops[0])
+		if err != nil {
+			return err
+		}
+		f, err := strconv.ParseFloat(ops[1], 64)
+		if err != nil {
+			return fmt.Errorf("bad float literal %q: %v", ops[1], err)
+		}
+		a.fixed(isa.Instruction{Op: isa.OpFMOVD, Rd: fd, Imm: int64(math.Float64bits(f))})
+		return nil
+	case "fmv.x.d":
+		return a.fpMoveInstr(isa.OpFMVXD, ops, false, true)
+	case "fmv.d.x":
+		return a.fpMoveInstr(isa.OpFMVDX, ops, true, false)
+	case "fcvt.d.l":
+		return a.fpMoveInstr(isa.OpFCVTDL, ops, true, false)
+	case "fcvt.l.d":
+		return a.fpMoveInstr(isa.OpFCVTLD, ops, false, true)
+	}
+	return fmt.Errorf("unknown instruction")
+}
+
+// fixed emits an instruction with all fields already resolved.
+func (a *assembler) fixed(ins isa.Instruction) {
+	a.addItem(uint64(ins.Size()), func(uint64) ([]byte, error) { return ins.Encode(nil) })
+}
+
+// immInstr emits an instruction whose Imm field is an expression evaluated
+// in pass 2 as a plain value.
+func (a *assembler) immInstr(ins isa.Instruction, expr string) {
+	it := a.addItem(uint64(ins.Size()), nil)
+	it.encode = func(uint64) ([]byte, error) {
+		v, err := a.eval(expr, it)
+		if err != nil {
+			return nil, err
+		}
+		ins.Imm = v
+		return ins.Encode(nil)
+	}
+}
+
+func (a *assembler) rInstr(op isa.Op, ops []string) error {
+	if len(ops) != 3 {
+		return fmt.Errorf("needs rd, rs1, rs2")
+	}
+	rd, err := intReg(ops[0])
+	if err != nil {
+		return err
+	}
+	rs1, err := intReg(ops[1])
+	if err != nil {
+		return err
+	}
+	rs2, err := intReg(ops[2])
+	if err != nil {
+		return err
+	}
+	a.fixed(isa.Instruction{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+	return nil
+}
+
+func (a *assembler) iInstr(op isa.Op, ops []string) error {
+	if len(ops) != 3 {
+		return fmt.Errorf("needs rd, rs1, imm")
+	}
+	rd, err := intReg(ops[0])
+	if err != nil {
+		return err
+	}
+	rs1, err := intReg(ops[1])
+	if err != nil {
+		return err
+	}
+	a.immInstr(isa.Instruction{Op: op, Rd: rd, Rs1: rs1}, ops[2])
+	return nil
+}
+
+func (a *assembler) loadInstr(op isa.Op, ops []string) error {
+	if len(ops) != 2 {
+		return fmt.Errorf("needs rd, offset(base)")
+	}
+	var rd uint8
+	var err error
+	if op == isa.OpFLD {
+		rd, err = fReg(ops[0])
+	} else {
+		rd, err = intReg(ops[0])
+	}
+	if err != nil {
+		return err
+	}
+	offExpr, base, err := parseMem(ops[1])
+	if err != nil {
+		return err
+	}
+	a.immInstr(isa.Instruction{Op: op, Rd: rd, Rs1: base}, offExpr)
+	return nil
+}
+
+func (a *assembler) storeInstr(op isa.Op, ops []string) error {
+	if len(ops) != 2 {
+		return fmt.Errorf("needs rs, offset(base)")
+	}
+	var rs2 uint8
+	var err error
+	if op == isa.OpFSD {
+		rs2, err = fReg(ops[0])
+	} else {
+		rs2, err = intReg(ops[0])
+	}
+	if err != nil {
+		return err
+	}
+	offExpr, base, err := parseMem(ops[1])
+	if err != nil {
+		return err
+	}
+	a.immInstr(isa.Instruction{Op: op, Rs2: rs2, Rs1: base}, offExpr)
+	return nil
+}
+
+func (a *assembler) branchInstr(op isa.Op, ops []string, swap bool) error {
+	if len(ops) != 3 {
+		return fmt.Errorf("needs rs1, rs2, target")
+	}
+	rs1, err := intReg(ops[0])
+	if err != nil {
+		return err
+	}
+	rs2, err := intReg(ops[1])
+	if err != nil {
+		return err
+	}
+	if swap {
+		rs1, rs2 = rs2, rs1
+	}
+	a.branchTo(isa.Instruction{Op: op, Rs1: rs1, Rs2: rs2}, ops[2])
+	return nil
+}
+
+func (a *assembler) branchZeroInstr(op isa.Op, first bool, ops []string) error {
+	if len(ops) != 2 {
+		return fmt.Errorf("needs rs, target")
+	}
+	rs, err := intReg(ops[0])
+	if err != nil {
+		return err
+	}
+	ins := isa.Instruction{Op: op}
+	if first {
+		ins.Rs1 = rs
+	} else {
+		ins.Rs2 = rs
+	}
+	a.branchTo(ins, ops[1])
+	return nil
+}
+
+// branchTo emits a conditional branch whose target is resolved in pass 2.
+func (a *assembler) branchTo(ins isa.Instruction, target string) {
+	it := a.addItem(uint64(ins.Size()), nil)
+	it.encode = func(pc uint64) ([]byte, error) {
+		v, err := a.eval(target, it)
+		if err != nil {
+			return nil, err
+		}
+		off := v - int64(pc)
+		if off%4 != 0 {
+			return nil, fmt.Errorf("branch target %#x misaligned from pc %#x", v, pc)
+		}
+		ins.Imm = off / 4
+		return ins.Encode(nil)
+	}
+}
+
+func (a *assembler) jalInstr(ops []string) error {
+	var rd uint8 = isa.RegRA
+	var target string
+	switch len(ops) {
+	case 1:
+		target = ops[0]
+	case 2:
+		r, err := intReg(ops[0])
+		if err != nil {
+			return err
+		}
+		rd, target = r, ops[1]
+	default:
+		return fmt.Errorf("needs [rd,] target")
+	}
+	ins := isa.Instruction{Op: isa.OpJAL, Rd: rd}
+	it := a.addItem(uint64(ins.Size()), nil)
+	it.encode = func(pc uint64) ([]byte, error) {
+		v, err := a.eval(target, it)
+		if err != nil {
+			return nil, err
+		}
+		off := v - int64(pc)
+		if off%4 != 0 {
+			return nil, fmt.Errorf("jump target %#x misaligned from pc %#x", v, pc)
+		}
+		ins.Imm = off / 4
+		return ins.Encode(nil)
+	}
+	return nil
+}
+
+func (a *assembler) jalrInstr(ops []string) error {
+	if len(ops) == 1 {
+		ops = []string{"ra", ops[0], "0"}
+	}
+	if len(ops) == 2 {
+		ops = append(ops, "0")
+	}
+	if len(ops) != 3 {
+		return fmt.Errorf("needs rd, rs1, imm")
+	}
+	rd, err := intReg(ops[0])
+	if err != nil {
+		return err
+	}
+	rs1, err := intReg(ops[1])
+	if err != nil {
+		return err
+	}
+	a.immInstr(isa.Instruction{Op: isa.OpJALR, Rd: rd, Rs1: rs1}, ops[2])
+	return nil
+}
+
+// liInstr implements li/lid/la. li of a pass-1 constant picks the smallest
+// encoding; li of a label-relative expression assumes a 32-bit value (all
+// guest addresses fit); lid always uses the 64-bit form.
+func (a *assembler) liInstr(m string, ops []string) error {
+	if len(ops) != 2 {
+		return fmt.Errorf("needs rd, expr")
+	}
+	rd, err := intReg(ops[0])
+	if err != nil {
+		return err
+	}
+	expr := ops[1]
+	if m == "lid" {
+		it := a.addItem(12, nil)
+		it.encode = func(uint64) ([]byte, error) {
+			v, err := a.eval(expr, it)
+			if err != nil {
+				return nil, err
+			}
+			return isa.Instruction{Op: isa.OpMOVID, Rd: rd, Imm: v}.Encode(nil)
+		}
+		return nil
+	}
+	if m == "li" {
+		if v, err := a.constExpr(expr); err == nil {
+			switch {
+			case v >= isa.ImmMin14 && v <= isa.ImmMax14:
+				a.fixed(isa.Instruction{Op: isa.OpADDI, Rd: rd, Rs1: isa.RegZero, Imm: v})
+			case v >= math.MinInt32 && v <= math.MaxInt32:
+				a.fixed(isa.Instruction{Op: isa.OpMOVIW, Rd: rd, Imm: v})
+			default:
+				a.fixed(isa.Instruction{Op: isa.OpMOVID, Rd: rd, Imm: v})
+			}
+			return nil
+		}
+	}
+	// la, or li with a forward reference: one moviw, checked in pass 2.
+	it := a.addItem(8, nil)
+	it.encode = func(uint64) ([]byte, error) {
+		v, err := a.eval(expr, it)
+		if err != nil {
+			return nil, err
+		}
+		if v < math.MinInt32 || v > math.MaxInt32 {
+			return nil, fmt.Errorf("value %#x does not fit in 32 bits; use lid", v)
+		}
+		return isa.Instruction{Op: isa.OpMOVIW, Rd: rd, Imm: v}.Encode(nil)
+	}
+	return nil
+}
+
+func (a *assembler) fpInstr(op isa.Op, ops []string, nregs int) error {
+	if len(ops) != nregs {
+		return fmt.Errorf("needs %d operands", nregs)
+	}
+	regs := make([]uint8, nregs)
+	for i, s := range ops {
+		r, err := fReg(s)
+		if err != nil {
+			return err
+		}
+		regs[i] = r
+	}
+	ins := isa.Instruction{Op: op, Rd: regs[0], Rs1: regs[1]}
+	if nregs == 3 {
+		ins.Rs2 = regs[2]
+	}
+	a.fixed(ins)
+	return nil
+}
+
+func (a *assembler) fpCompareInstr(op isa.Op, ops []string) error {
+	if len(ops) != 3 {
+		return fmt.Errorf("needs rd, fs1, fs2")
+	}
+	rd, err := intReg(ops[0])
+	if err != nil {
+		return err
+	}
+	fs1, err := fReg(ops[1])
+	if err != nil {
+		return err
+	}
+	fs2, err := fReg(ops[2])
+	if err != nil {
+		return err
+	}
+	a.fixed(isa.Instruction{Op: op, Rd: rd, Rs1: fs1, Rs2: fs2})
+	return nil
+}
+
+// fpMoveInstr handles the int<->float move/convert family.
+func (a *assembler) fpMoveInstr(op isa.Op, ops []string, dstF, srcF bool) error {
+	if len(ops) != 2 {
+		return fmt.Errorf("needs rd, rs")
+	}
+	var rd, rs uint8
+	var err error
+	if dstF {
+		rd, err = fReg(ops[0])
+	} else {
+		rd, err = intReg(ops[0])
+	}
+	if err != nil {
+		return err
+	}
+	if srcF {
+		rs, err = fReg(ops[1])
+	} else {
+		rs, err = intReg(ops[1])
+	}
+	if err != nil {
+		return err
+	}
+	a.fixed(isa.Instruction{Op: op, Rd: rd, Rs1: rs})
+	return nil
+}
+
+func (a *assembler) amoInstr(op isa.Op, ops []string) error {
+	if len(ops) != 3 {
+		return fmt.Errorf("needs rd, rs2, (rs1)")
+	}
+	rd, err := intReg(ops[0])
+	if err != nil {
+		return err
+	}
+	rs2, err := intReg(ops[1])
+	if err != nil {
+		return err
+	}
+	offExpr, rs1, err := parseMem(ops[2])
+	if err != nil {
+		return err
+	}
+	if strings.TrimSpace(offExpr) != "0" {
+		return fmt.Errorf("atomic address must be (reg) with no offset")
+	}
+	a.fixed(isa.Instruction{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+	return nil
+}
+
+func (a *assembler) twoIntRegs(ops []string) (rd, rs uint8, err error) {
+	if len(ops) != 2 {
+		return 0, 0, fmt.Errorf("needs rd, rs")
+	}
+	if rd, err = intReg(ops[0]); err != nil {
+		return
+	}
+	rs, err = intReg(ops[1])
+	return
+}
+
+func intReg(s string) (uint8, error) {
+	n, ok := isa.IntRegNumber(strings.ToLower(strings.TrimSpace(s)))
+	if !ok {
+		return 0, fmt.Errorf("bad integer register %q", s)
+	}
+	return n, nil
+}
+
+func fReg(s string) (uint8, error) {
+	n, ok := isa.FRegNumber(strings.ToLower(strings.TrimSpace(s)))
+	if !ok {
+		return 0, fmt.Errorf("bad FP register %q", s)
+	}
+	return n, nil
+}
+
+// parseMem parses "offsetExpr(base)" or "(base)"; the offset defaults to 0.
+func parseMem(s string) (offExpr string, base uint8, err error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasSuffix(s, ")") {
+		return "", 0, fmt.Errorf("expected offset(base), got %q", s)
+	}
+	open := strings.LastIndexByte(s, '(')
+	if open < 0 {
+		return "", 0, fmt.Errorf("expected offset(base), got %q", s)
+	}
+	regName := s[open+1 : len(s)-1]
+	base, err = intReg(regName)
+	if err != nil {
+		return "", 0, err
+	}
+	offExpr = strings.TrimSpace(s[:open])
+	if offExpr == "" {
+		offExpr = "0"
+	}
+	return offExpr, base, nil
+}

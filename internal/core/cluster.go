@@ -1,0 +1,236 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"dqemu/internal/trace"
+
+	"dqemu/internal/dsm"
+	"dqemu/internal/guestos"
+	"dqemu/internal/image"
+	"dqemu/internal/mem"
+	"dqemu/internal/netsim"
+	"dqemu/internal/proto"
+	"dqemu/internal/sim"
+	"dqemu/internal/tcg"
+)
+
+const sysExitNum = 93 // abi.SysExit; local alias avoids an import knot in docs
+
+// mmapBase is where thread stacks and large allocations are handed out.
+const mmapBase = 0x4100_0000
+
+// Cluster is a running DQEMU deployment: one master plus cfg.Slaves slaves
+// executing a single guest image under one virtual clock.
+type Cluster struct {
+	cfg    Config
+	k      *sim.Kernel
+	net    *netsim.Network
+	nodes  []*node
+	master *master
+	os     *guestos.OS
+	im     *image.Image
+
+	trampoline uint64
+
+	done     bool
+	exitCode int64
+	err      error
+	console  bytes.Buffer
+}
+
+// Result reports a finished run.
+type Result struct {
+	ExitCode int64
+	// TimeNs is the guest's virtual wall-clock time at exit.
+	TimeNs  int64
+	Console string
+
+	Threads []ThreadStats
+	Nodes   []NodeStats
+	Dir     dsm.Stats
+	Net     netsim.Stats
+	OS      guestos.Stats
+	// Migrations counts dynamic thread migrations (Config.RebalanceNs).
+	Migrations uint64
+}
+
+// NewCluster loads the image into a fresh cluster. Text and read-only data
+// are replicated to every node; writable data starts at the master, whose
+// directory owns every page (§4.2).
+func NewCluster(im *image.Image, cfg Config) (*Cluster, error) {
+	cfg.normalize()
+	if cfg.Nodes() > 64 {
+		return nil, fmt.Errorf("core: at most 63 slaves supported")
+	}
+	c := &Cluster{cfg: cfg, k: sim.NewKernel(), im: im}
+	c.net = netsim.New(c.k, cfg.Net, cfg.Nodes())
+	if cfg.Tracer != nil {
+		c.net.Trace = func(now int64, m *proto.Msg) {
+			cfg.Tracer.Record(now, trace.EvMsg, int(m.From), m.TID,
+				"%v -> node%d page=%#x num=%d", m.Kind, m.To, m.Page, m.Num)
+		}
+	}
+
+	for id := 0; id < cfg.Nodes(); id++ {
+		n := newNode(id, c)
+		c.nodes = append(c.nodes, n)
+	}
+	c.master = newMaster(c.nodes[0])
+	c.net.Register(0, c.master.handle)
+	for id := 1; id < cfg.Nodes(); id++ {
+		c.net.Register(id, c.nodes[id].handle)
+	}
+
+	// Load segments: RO everywhere, RW on the master only.
+	var all dsm.NodeSet
+	for id := 0; id < cfg.Nodes(); id++ {
+		all = all.Add(id)
+	}
+	for id, n := range c.nodes {
+		if id == 0 {
+			mem.InstallImage(n.space, im, mem.PermRead, mem.PermReadWrite)
+		} else {
+			mem.InstallImage(n.space, im, mem.PermRead, mem.PermNone)
+		}
+	}
+	for _, seg := range im.Segments {
+		if seg.Writable {
+			continue
+		}
+		first := c.master.space.PageOf(seg.Addr)
+		last := c.master.space.PageOf(seg.Addr + seg.MemSize - 1)
+		for p := first; p <= last; p++ {
+			c.master.dir.SeedReplicated(p, all)
+		}
+	}
+
+	if tramp, ok := im.Symbol("__thread_start"); ok {
+		c.trampoline = tramp
+	}
+
+	brkStart := (im.End() + 0xffff) &^ 0xffff
+	c.os = guestos.New(c.master, guestos.NewVFS(), brkStart, mmapBase, image.ShadowBase)
+
+	// The main thread boots on the master.
+	cpu := &tcg.CPU{PC: im.Entry, TID: guestos.MainTID}
+	cpu.X[2] = image.StackTop
+	c.master.placement[guestos.MainTID] = 0
+	c.master.node.addThread(cpu)
+
+	if cfg.RebalanceNs > 0 {
+		c.k.Post(cfg.RebalanceNs, c.master.rebalance)
+	}
+	return c, nil
+}
+
+// VFS exposes the guest filesystem for pre-loading inputs and collecting
+// outputs.
+func (c *Cluster) VFS() *guestos.VFS { return c.os.VFS() }
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() int64 { return c.k.Now() }
+
+// fail aborts the run with an error.
+func (c *Cluster) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+	c.done = true
+	c.k.Stop()
+}
+
+// finish ends the run normally (exit_group).
+func (c *Cluster) finish(code int64) {
+	if c.done {
+		return
+	}
+	c.exitCode = code
+	c.done = true
+	for id := 1; id < c.cfg.Nodes(); id++ {
+		c.net.Send(&proto.Msg{Kind: proto.KShutdown, From: 0, To: int32(id)})
+	}
+	c.k.Stop()
+}
+
+// Run executes the guest to completion and returns the result.
+func (c *Cluster) Run() (*Result, error) {
+	for !c.done {
+		if !c.k.Step() {
+			if c.done {
+				break
+			}
+			return nil, fmt.Errorf("core: deadlock at t=%dns: %s", c.k.Now(), c.threadDump())
+		}
+		if c.k.Now() > c.cfg.MaxTimeNs {
+			return nil, fmt.Errorf("core: guest exceeded %d ns of virtual time: %s", c.cfg.MaxTimeNs, c.threadDump())
+		}
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+	return c.result(), nil
+}
+
+func (c *Cluster) result() *Result {
+	r := &Result{
+		ExitCode:   c.exitCode,
+		TimeNs:     c.k.Now(),
+		Console:    c.console.String(),
+		Dir:        c.master.dir.Stats,
+		Net:        c.net.Stats,
+		OS:         c.os.Stats,
+		Migrations: c.master.migrations,
+	}
+	var tids []int64
+	byTID := map[int64]*thread{}
+	for _, n := range c.nodes {
+		r.Nodes = append(r.Nodes, n.snapshotStats())
+		for tid, t := range n.threads {
+			tids = append(tids, tid)
+			byTID[tid] = t
+		}
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, tid := range tids {
+		t := byTID[tid]
+		r.Threads = append(r.Threads, ThreadStats{
+			TID: tid, Node: t.node.id,
+			ExecNs: t.execNs, FaultNs: t.faultNs, SyscallNs: t.syscallNs,
+		})
+	}
+	return r
+}
+
+// threadDump summarizes thread states for deadlock diagnostics.
+func (c *Cluster) threadDump() string {
+	var sb bytes.Buffer
+	for _, n := range c.nodes {
+		var tids []int64
+		for tid := range n.threads {
+			tids = append(tids, tid)
+		}
+		sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+		for _, tid := range tids {
+			t := n.threads[tid]
+			fmt.Fprintf(&sb, "[node %d tid %d %s pc=%#x", n.id, tid, t.state, t.cpu.PC)
+			if t.state == tBlockedPage {
+				fmt.Fprintf(&sb, " page=%#x w=%v", t.waitPage, t.needWrite)
+			}
+			sb.WriteString("] ")
+		}
+	}
+	fmt.Fprintf(&sb, "futex-waiting=%d", c.os.Futex().TotalWaiting())
+	return sb.String()
+}
+
+// Run is the one-call convenience: load, run, report.
+func Run(im *image.Image, cfg Config) (*Result, error) {
+	c, err := NewCluster(im, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run()
+}

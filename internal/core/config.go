@@ -1,0 +1,121 @@
+// Package core is DQEMU's distributed DBT itself: a cluster of emulator
+// instances — one master plus N slaves — that run the threads of a single
+// guest binary against a distributed shared memory (§4). Each node couples a
+// TCG engine (internal/tcg) to a software MMU (internal/mem); the master
+// additionally hosts the coherence directory (internal/dsm), the delegated
+// syscall engine (internal/guestos), and the thread placement policy,
+// including the hint-based locality-aware scheduler (§5.3).
+//
+// The whole cluster executes inside a deterministic discrete-event
+// simulation (internal/sim + internal/netsim): guest execution, translation,
+// page faults, network traffic and syscalls all advance one virtual clock,
+// so experiment results are reproducible and reported in virtual time.
+package core
+
+import (
+	"io"
+
+	"dqemu/internal/netsim"
+	"dqemu/internal/tcg"
+	"dqemu/internal/trace"
+)
+
+// Config describes a cluster.
+type Config struct {
+	// Slaves is the number of slave nodes. 0 emulates the single-node
+	// QEMU baseline: every thread runs on the master with no DSM traffic.
+	Slaves int
+	// Cores is the number of cores per node (the paper's testbed: 4).
+	Cores int
+	// QuantumNs is the node scheduler's time slice.
+	QuantumNs int64
+	// PageSize is the coherence granularity (default 4096).
+	PageSize int
+
+	Cost tcg.CostModel
+	Net  netsim.Config
+
+	// Forwarding enables data forwarding (§5.2).
+	Forwarding     bool
+	ForwardTrigger int
+	ForwardWindow  int
+
+	// Splitting enables page splitting for false sharing (§5.1).
+	Splitting      bool
+	SplitFactor    int
+	SplitThreshold int
+
+	// HintSched enables hint-based locality-aware placement (§5.3). When
+	// off, threads are placed round-robin.
+	HintSched bool
+
+	// PlaceOnMaster includes the master in worker-thread placement. The
+	// paper schedules guest threads "among the slave nodes and the master
+	// node"; the evaluation's scalability studies count slave nodes, so the
+	// default (false) places workers only on slaves when any exist.
+	PlaceOnMaster bool
+
+	// Stdout, if set, receives guest console output as it appears.
+	Stdout io.Writer
+
+	// MaxTimeNs aborts runs exceeding this much virtual time (default 1h).
+	MaxTimeNs int64
+
+	// Interp disables the translation cache (ablation).
+	Interp bool
+	// NoChain disables block chaining (ablation).
+	NoChain bool
+	// NoAtomicPreempt keeps running the quantum across write-atomics
+	// (ablation; default off = quanta end at atomics like QEMU translation
+	// blocks, so lock hand-offs interleave at instruction granularity).
+	NoAtomicPreempt bool
+
+	// RebalanceNs, when positive, enables dynamic thread migration (an
+	// extension of the paper's §4.1 context shipping): every RebalanceNs of
+	// virtual time the master moves one thread from the most- to the
+	// least-loaded node when the imbalance is at least two threads.
+	RebalanceNs int64
+
+	// Tracer, if set, records protocol messages, faults, syscalls and
+	// scheduling events for debugging (see internal/trace).
+	Tracer *trace.Tracer
+}
+
+// DefaultConfig mirrors the paper's testbed: quad-core nodes on gigabit
+// Ethernet, all optimizations off (they are evaluated separately).
+func DefaultConfig() Config {
+	return Config{
+		Slaves:    0,
+		Cores:     4,
+		QuantumNs: 100_000,
+		PageSize:  4096,
+		Cost:      tcg.DefaultCostModel(),
+		Net:       netsim.DefaultConfig(),
+		MaxTimeNs: int64(3600) * 1_000_000_000,
+	}
+}
+
+// Nodes returns the cluster size including the master.
+func (c *Config) Nodes() int { return c.Slaves + 1 }
+
+// normalize fills defaulted fields.
+func (c *Config) normalize() {
+	if c.Cores <= 0 {
+		c.Cores = 4
+	}
+	if c.QuantumNs <= 0 {
+		c.QuantumNs = 100_000
+	}
+	if c.PageSize == 0 {
+		c.PageSize = 4096
+	}
+	if c.Cost == (tcg.CostModel{}) {
+		c.Cost = tcg.DefaultCostModel()
+	}
+	if c.Net == (netsim.Config{}) {
+		c.Net = netsim.DefaultConfig()
+	}
+	if c.MaxTimeNs <= 0 {
+		c.MaxTimeNs = int64(3600) * 1_000_000_000
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+)
+
+// Minimal barrier stress: N workers + main meet a barrier repeatedly.
+// This distills the fluidanimate deadlock.
+const barrierStressSrc = `
+long bar[3];
+long THREADS = 8;
+long ITERS = 4;
+long worker(long idx) {
+	for (long it = 0; it < ITERS; it++) {
+		barrier_wait(bar);
+	}
+	return 0;
+}
+long main() {
+	barrier_init(bar, THREADS + 1);
+	long tids[8];
+	for (long i = 0; i < THREADS; i++) tids[i] = thread_create((long)worker, i);
+	for (long it = 0; it < ITERS; it++) barrier_wait(bar);
+	for (long i = 0; i < THREADS; i++) thread_join(tids[i]);
+	print_str("ok\n");
+	return 0;
+}`
+
+func TestBarrierStress(t *testing.T) {
+	for slaves := 0; slaves <= 3; slaves++ {
+		cfg := DefaultConfig()
+		cfg.Slaves = slaves
+		res := buildRun(t, barrierStressSrc, cfg)
+		if res.Console != "ok\n" {
+			t.Errorf("slaves=%d console=%q", slaves, res.Console)
+		}
+	}
+}
+
+// Determinism stress: concurrent disjoint writes to a shared page must give
+// identical results whatever the cluster size (distills the x264 mismatch).
+const disjointWriteSrc = `
+long raw[1024];
+char *pg;
+long bar[3];
+long sads[8];
+long worker(long idx) {
+	long mySad = 0;
+	for (long f = 1; f < 6; f++) {
+		for (long i = 0; i < 512; i++) {
+			long off = idx * 512 + i;
+			long p = pg[off];
+			long n = (p + i + f) & 255;
+			long d = n - p;
+			if (d < 0) d = -d;
+			mySad += d;
+			pg[off] = (char)n;
+		}
+		barrier_wait(bar);
+	}
+	sads[idx] = mySad;
+	return 0;
+}
+long main() {
+	pg = (char*)(((long)raw + 4095) & ~4095);
+	barrier_init(bar, 8);
+	long tids[8];
+	for (long i = 0; i < 8; i++) tids[i] = thread_create((long)worker, i);
+	for (long i = 0; i < 8; i++) thread_join(tids[i]);
+	long total = 0;
+	for (long i = 0; i < 8; i++) total += sads[i];
+	print_long(total);
+	print_char('\n');
+	return 0;
+}`
+
+func TestDisjointWritesDeterministic(t *testing.T) {
+	var first string
+	for _, slaves := range []int{0, 1, 2, 4} {
+		cfg := DefaultConfig()
+		cfg.Slaves = slaves
+		res := buildRun(t, disjointWriteSrc, cfg)
+		if first == "" {
+			first = res.Console
+			continue
+		}
+		if res.Console != first {
+			t.Errorf("slaves=%d: %q != %q", slaves, res.Console, first)
+		}
+	}
+}

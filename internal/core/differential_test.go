@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestDifferentialRandomPrograms generates random (but deterministic)
+// multi-threaded guest programs and checks that every cluster size and
+// optimization combination produces byte-identical console output. This is
+// the strongest end-to-end statement about the DSM: distribution must be
+// invisible to the guest.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	r := rand.New(rand.NewSource(987))
+	variants := []Config{}
+	for _, slaves := range []int{0, 1, 3} {
+		cfg := DefaultConfig()
+		cfg.Slaves = slaves
+		variants = append(variants, cfg)
+	}
+	{
+		cfg := DefaultConfig()
+		cfg.Slaves = 2
+		cfg.Forwarding = true
+		cfg.Splitting = true
+		variants = append(variants, cfg)
+	}
+	{
+		cfg := DefaultConfig()
+		cfg.Slaves = 4
+		cfg.HintSched = true
+		cfg.PageSize = 1024
+		variants = append(variants, cfg)
+	}
+	{
+		cfg := DefaultConfig()
+		cfg.Slaves = 2
+		cfg.QuantumNs = 5_000
+		cfg.Splitting = true
+		cfg.SplitFactor = 8
+		variants = append(variants, cfg)
+	}
+
+	const programs = 8
+	for p := 0; p < programs; p++ {
+		src := genProgram(r)
+		im := build(t, src)
+		var want string
+		for vi, cfg := range variants {
+			res, err := Run(im, cfg)
+			if err != nil {
+				t.Fatalf("program %d variant %d: %v\nsource:\n%s", p, vi, err, src)
+			}
+			if res.ExitCode != 0 {
+				t.Fatalf("program %d variant %d: exit %d, console %q\nsource:\n%s",
+					p, vi, res.ExitCode, res.Console, src)
+			}
+			if vi == 0 {
+				want = res.Console
+				continue
+			}
+			if res.Console != want {
+				t.Fatalf("program %d variant %d diverged:\n got %q\nwant %q\nsource:\n%s",
+					p, vi, res.Console, want, src)
+			}
+		}
+	}
+}
+
+// genProgram builds a random guest program whose output is schedule
+// independent: workers combine results only through per-thread slots,
+// commutative atomic adds/xors, and barrier-separated phases.
+func genProgram(r *rand.Rand) string {
+	threads := 2 + r.Intn(7)    // 2..8
+	loops := 20 + r.Intn(200)   // per-thread work
+	arrLen := 64 + r.Intn(1024) // shared array
+	useBarrier := r.Intn(2) == 0
+	useMutex := r.Intn(2) == 0
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "long THREADS = %d;\n", threads)
+	fmt.Fprintf(&sb, "long LOOPS = %d;\n", loops)
+	fmt.Fprintf(&sb, "long arr[%d];\n", arrLen)
+	sb.WriteString("long slots[16];\nlong acc;\nlong lock;\nlong bar[3];\n")
+
+	// Random per-thread function of (idx, i).
+	expr := genExpr(r, 3)
+	fmt.Fprintf(&sb, `
+long f(long idx, long i) {
+	long x = %s;
+	return x;
+}
+
+long worker(long idx) {
+	long mine = 0;
+	long chunk = %d / THREADS;
+	for (long i = 0; i < LOOPS; i++) {
+		long v = f(idx, i);
+		mine = mine ^ v + i;
+		arr[idx * chunk + (i %% chunk)] += v & 1023;
+	}
+`, expr, arrLen)
+	if useMutex {
+		sb.WriteString("\tmutex_lock(&lock);\n\tacc += mine;\n\tmutex_unlock(&lock);\n")
+	} else {
+		sb.WriteString("\t__amoadd(&acc, mine);\n")
+	}
+	if useBarrier {
+		sb.WriteString("\tbarrier_wait(bar);\n")
+	}
+	sb.WriteString("\tslots[idx] = mine;\n\treturn 0;\n}\n")
+
+	fmt.Fprintf(&sb, `
+long main() {
+	barrier_init(bar, THREADS);
+	long tids[16];
+	for (long i = 0; i < THREADS; i++) tids[i] = thread_create((long)worker, i);
+	for (long i = 0; i < THREADS; i++) thread_join(tids[i]);
+	long sum = 0;
+	for (long i = 0; i < %d; i++) sum = sum * 31 + arr[i];
+	long ssum = 0;
+	for (long i = 0; i < THREADS; i++) ssum = ssum ^ slots[i];
+	print_long(sum);
+	print_char(' ');
+	print_long(ssum);
+	print_char(' ');
+	print_long(acc);
+	print_char('\n');
+	return 0;
+}
+`, arrLen)
+	return sb.String()
+}
+
+// genExpr builds a random arithmetic expression over idx and i.
+func genExpr(r *rand.Rand, depth int) string {
+	if depth == 0 || r.Intn(4) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return "idx"
+		case 1:
+			return "i"
+		default:
+			return fmt.Sprint(r.Intn(1000) + 1)
+		}
+	}
+	ops := []string{"+", "-", "*", "&", "|", "^"}
+	op := ops[r.Intn(len(ops))]
+	return fmt.Sprintf("(%s %s %s)", genExpr(r, depth-1), op, genExpr(r, depth-1))
+}

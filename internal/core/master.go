@@ -1,0 +1,434 @@
+package core
+
+import (
+	"fmt"
+
+	"dqemu/internal/dsm"
+	"dqemu/internal/mem"
+	"dqemu/internal/proto"
+	"dqemu/internal/tcg"
+	"dqemu/internal/trace"
+)
+
+// master wraps node 0 with the centralized services of §4: the coherence
+// directory, the manager threads executing delegated syscalls against the
+// guest OS, and thread placement (round-robin or hint-based, §5.3).
+type master struct {
+	*node
+	cl2 *Cluster // same as node.cl; kept for clarity in Env methods
+
+	dir *dsm.Directory
+
+	// helperWait parks manager-thread continuations needing a page at home.
+	helperWait map[uint64][]func()
+
+	// Hint-based placement state: locality group -> node.
+	groupNode map[int64]int
+	nextRR    int
+
+	// hintNotes counts received dynamic hint notifications.
+	hintNotes uint64
+
+	// Dynamic migration state (Config.RebalanceNs): where each live thread
+	// runs, and which migrations are in flight (tid -> target node).
+	placement  map[int64]int
+	migrating  map[int64]int
+	migrations uint64
+}
+
+func newMaster(n *node) *master {
+	m := &master{
+		node:       n,
+		cl2:        n.cl,
+		helperWait: map[uint64][]func(){},
+		groupNode:  map[int64]int{},
+		placement:  map[int64]int{},
+		migrating:  map[int64]int{},
+	}
+	cfg := n.cl.cfg
+	var fwd *dsm.Forwarder
+	if cfg.Forwarding {
+		fwd = dsm.NewForwarder(cfg.ForwardTrigger, cfg.ForwardWindow)
+	}
+	var split *dsm.Splitter
+	if cfg.Splitting {
+		split = dsm.NewSplitter(cfg.PageSize, cfg.SplitFactor, cfg.SplitThreshold)
+	}
+	m.dir = dsm.New(m, fwd, split)
+	return m
+}
+
+// handle dispatches master-bound messages: directory traffic and delegated
+// syscalls go to the manager threads; everything else is ordinary node
+// (communicator) work — the master is also a worker node.
+func (m *master) handle(msg *proto.Msg) {
+	if m.cl.done && msg.Kind != proto.KShutdown {
+		return
+	}
+	switch msg.Kind {
+	case proto.KPageReq:
+		m.dir.OnRequest(dsm.Request{
+			Node:  int(msg.From),
+			TID:   msg.TID,
+			Page:  msg.Page,
+			Addr:  msg.Addr,
+			Write: msg.Write,
+		})
+	case proto.KFetchReply:
+		if err := m.dir.OnFetchReply(int(msg.From), msg.Page, msg.Data, msg.Write); err != nil {
+			m.cl.fail(err)
+		}
+	case proto.KInvAck:
+		if err := m.dir.OnInvAck(int(msg.From), msg.Page); err != nil {
+			m.cl.fail(err)
+		}
+	case proto.KSyscallReq:
+		m.onSyscallReq(msg)
+	case proto.KHintNote:
+		m.hintNotes++
+	case proto.KMigrateCtx:
+		m.onMigrateCtx(msg)
+	default:
+		m.node.handle(msg)
+	}
+}
+
+// onMigrateCtx forwards a migrating thread's context to its new node.
+func (m *master) onMigrateCtx(msg *proto.Msg) {
+	target, ok := m.migrating[msg.TID]
+	if !ok {
+		m.cl.fail(fmt.Errorf("master: unexpected migration context for tid %d", msg.TID))
+		return
+	}
+	delete(m.migrating, msg.TID)
+	m.placement[msg.TID] = target
+	m.migrations++
+	if target == 0 {
+		cpu, err := proto.DecodeCPU(msg.CPU)
+		if err != nil {
+			m.cl.fail(err)
+			return
+		}
+		m.node.addThread(cpu)
+		return
+	}
+	m.cl.net.Send(&proto.Msg{
+		Kind: proto.KThreadStart, From: 0, To: int32(target),
+		TID: msg.TID, CPU: msg.CPU,
+	})
+}
+
+// rebalance moves one thread from the most- to the least-loaded node when
+// the imbalance is at least two threads, then re-arms its timer.
+func (m *master) rebalance() {
+	if m.cl.done {
+		return
+	}
+	defer m.cl.k.Post(m.cl.cfg.RebalanceNs, m.rebalance)
+	counts := map[int]int{}
+	for id := 1; id <= m.cl.cfg.Slaves; id++ {
+		counts[id] = 0
+	}
+	if m.cl.cfg.PlaceOnMaster || m.cl.cfg.Slaves == 0 {
+		counts[0] = 0
+	}
+	for tid, node := range m.placement {
+		if tid == 1 {
+			continue // the main thread stays on the master
+		}
+		if _, eligible := counts[node]; eligible {
+			counts[node]++
+		}
+	}
+	maxNode, minNode := -1, -1
+	for node, c := range counts {
+		if maxNode < 0 || c > counts[maxNode] {
+			maxNode = node
+		}
+		if minNode < 0 || c < counts[minNode] {
+			minNode = node
+		}
+	}
+	if maxNode < 0 || counts[maxNode]-counts[minNode] < 2 {
+		return
+	}
+	for tid, node := range m.placement {
+		if node != maxNode || tid == 1 {
+			continue
+		}
+		if _, inFlight := m.migrating[tid]; inFlight {
+			continue
+		}
+		m.migrating[tid] = minNode
+		m.cl.net.Send(&proto.Msg{Kind: proto.KMigrate, From: 0, To: int32(maxNode), TID: tid, Num: int64(minNode)})
+		return
+	}
+}
+
+// onSyscallReq runs a delegated syscall on the manager thread for msg.From.
+func (m *master) onSyscallReq(msg *proto.Msg) {
+	from := msg.From
+	tid := msg.TID
+	if msg.Num == sysExitNum {
+		delete(m.placement, tid)
+		delete(m.migrating, tid)
+	}
+	reply := func(ret uint64) {
+		if m.cl.done {
+			return
+		}
+		m.cl.net.Send(&proto.Msg{
+			Kind: proto.KSyscallReply, From: 0, To: from, TID: tid, Ret: ret,
+		})
+	}
+	m.cl.os.Global(tid, msg.Num, msg.Args, reply)
+}
+
+// osExit reaps a thread that died without going through the runtime.
+func (m *master) osExit(tid int64) {
+	m.cl.os.Global(tid, sysExitNum, [6]uint64{0}, func(uint64) {})
+}
+
+// ---- dsm.Env implementation (directory I/O) ----
+
+// SendContent ships the home copy. A grant to the master itself applies
+// synchronously: its effect must be ordered with the directory state change
+// (a delayed local grant could otherwise be overtaken by a later remote
+// write transaction that revokes the master's access, leaving two nodes in
+// M — the in-flight-grant race).
+func (m *master) SendContent(to int, page uint64, perm mem.Perm) {
+	if to == dsm.Master {
+		m.space.EnsurePage(page, perm)
+		m.space.SetPerm(page, perm)
+		m.node.contentArrived(page, perm)
+		return
+	}
+	data := m.space.EnsurePage(page, m.space.PermOf(page))
+	m.cl.net.Send(&proto.Msg{
+		Kind: proto.KPageContent, From: 0, To: int32(to),
+		Page: page, Perm: uint8(perm),
+		Data: append([]byte(nil), data...),
+	})
+}
+
+// SendReaffirm grants permission without data: the target already holds the
+// freshest copy (KPageContent with an empty payload keeps local content).
+func (m *master) SendReaffirm(to int, page uint64, perm mem.Perm) {
+	if to == dsm.Master {
+		m.space.EnsurePage(page, perm)
+		m.space.SetPerm(page, perm)
+		m.node.contentArrived(page, perm)
+		return
+	}
+	m.cl.net.Send(&proto.Msg{
+		Kind: proto.KPageContent, From: 0, To: int32(to),
+		Page: page, Perm: uint8(perm),
+	})
+}
+
+func (m *master) SendInvalidate(to int, page uint64) {
+	m.cl.net.Send(&proto.Msg{Kind: proto.KInvalidate, From: 0, To: int32(to), Page: page})
+}
+
+func (m *master) SendFetch(owner int, page uint64, invalidate bool) {
+	m.cl.net.Send(&proto.Msg{Kind: proto.KFetch, From: 0, To: int32(owner), Page: page, Write: invalidate})
+}
+
+func (m *master) SendRetry(to int, page uint64, tid int64) {
+	if to == dsm.Master {
+		// Synchronous for the same reason as SendContent.
+		m.node.retryArrived(page)
+		return
+	}
+	m.cl.net.Send(&proto.Msg{Kind: proto.KRetry, From: 0, To: int32(to), Page: page, TID: tid})
+}
+
+func (m *master) HomeWriteback(page uint64, data []byte) {
+	m.space.InstallPage(page, data, mem.PermNone)
+}
+
+func (m *master) HomeSetPerm(page uint64, perm mem.Perm) {
+	m.space.SetPerm(page, perm)
+	if perm == mem.PermNone {
+		m.llsc.InvalidatePage(page, m.space.PageSize())
+	}
+}
+
+func (m *master) BroadcastRemap(orig uint64, shadows []uint64) {
+	if err := m.space.AddRemap(orig, shadows); err != nil {
+		m.cl.fail(fmt.Errorf("master remap: %w", err))
+		return
+	}
+	m.llsc.InvalidatePage(orig, m.space.PageSize())
+	for id := 1; id < m.cl.cfg.Nodes(); id++ {
+		m.cl.net.Send(&proto.Msg{
+			Kind: proto.KRemap, From: 0, To: int32(id),
+			Page: orig, Shadows: shadows,
+		})
+	}
+}
+
+func (m *master) PushPage(to int, page uint64) {
+	data := m.space.EnsurePage(page, m.space.PermOf(page))
+	m.cl.net.Send(&proto.Msg{
+		Kind: proto.KPush, From: 0, To: int32(to),
+		Page: page, Data: append([]byte(nil), data...),
+	})
+}
+
+// SplitHome redistributes the (current) home copy of orig into shadows,
+// each holding one part at the original in-page offset (§5.1, Fig. 4).
+func (m *master) SplitHome(orig uint64, shadows []uint64) {
+	m.node.trace(trace.EvSplit, -1, "page %#x -> %d shadows at %#x", orig, len(shadows), shadows[0])
+	ps := m.space.PageSize()
+	src := append([]byte(nil), m.space.EnsurePage(orig, m.space.PermOf(orig))...)
+	part := ps / len(shadows)
+	for i, sh := range shadows {
+		buf := make([]byte, ps)
+		copy(buf[i*part:(i+1)*part], src[i*part:(i+1)*part])
+		m.space.InstallPage(sh, buf, mem.PermNone)
+	}
+}
+
+// ---- guestos.Host implementation (manager-thread services) ----
+
+// ReadGuest delivers fresh bytes, pulling pages home first (§4.3).
+func (m *master) ReadGuest(addr uint64, n int, cb func([]byte, error)) {
+	m.ensurePages(addr, n, false, func() {
+		buf := make([]byte, n)
+		if err := m.space.ReadBytes(addr, buf); err != nil {
+			cb(nil, err)
+			return
+		}
+		cb(buf, nil)
+	})
+}
+
+// WriteGuest updates the home copy with exclusive access, so remote copies
+// of the touched pages are invalidated first.
+func (m *master) WriteGuest(addr uint64, data []byte, cb func(error)) {
+	m.ensurePages(addr, len(data), true, func() {
+		cb(m.space.WriteBytes(addr, data))
+	})
+}
+
+// ensurePages acquires the needed access on every page overlapping
+// [addr, addr+n) through the normal coherence protocol, then calls done.
+// helperStep must be smaller than the smallest split part.
+const helperStep = 256
+
+func (m *master) ensurePages(addr uint64, n int, write bool, done func()) {
+	if n <= 0 {
+		done()
+		return
+	}
+	need := mem.PermRead
+	if write {
+		need = mem.PermReadWrite
+	}
+	var attempt func()
+	attempt = func() {
+		if m.cl.done {
+			return
+		}
+		for off := 0; off < n; off += helperStep {
+			ba := m.space.Translate(addr + uint64(off))
+			page := m.space.PageOf(ba)
+			if permSatisfies(m.space.PermOf(page), need) {
+				continue
+			}
+			m.helperWait[page] = append(m.helperWait[page], attempt)
+			m.node.requestPage(page, ba, write, -1)
+			return
+		}
+		// The tail byte may start a new page.
+		ba := m.space.Translate(addr + uint64(n-1))
+		page := m.space.PageOf(ba)
+		if !permSatisfies(m.space.PermOf(page), need) {
+			m.helperWait[page] = append(m.helperWait[page], attempt)
+			m.node.requestPage(page, ba, write, -1)
+			return
+		}
+		done()
+	}
+	attempt()
+}
+
+func permSatisfies(have, need mem.Perm) bool {
+	return have >= need
+}
+
+// wakeHelpers reruns manager-thread continuations parked on page.
+func (m *master) wakeHelpers(page uint64) {
+	waiters := m.helperWait[page]
+	if len(waiters) == 0 {
+		return
+	}
+	delete(m.helperWait, page)
+	for _, w := range waiters {
+		w()
+	}
+}
+
+// StartThread builds the child CPU context and places it (§4.1): PC at the
+// runtime trampoline, fn/arg in A0/A1, a fresh stack, then ships the context
+// to the chosen node.
+func (m *master) StartThread(tid int64, fn, arg, stackTop uint64, hint int64) {
+	cpu := &tcg.CPU{PC: m.cl.trampoline, TID: tid, HintGroup: hint}
+	cpu.X[10] = fn
+	cpu.X[11] = arg
+	cpu.X[2] = stackTop
+	target := m.placeThread(hint)
+	m.node.trace(trace.EvSched, tid, "placed on node %d (hint %d)", target, hint)
+	m.placement[tid] = target
+	if target == 0 {
+		m.node.addThread(cpu)
+		return
+	}
+	m.cl.net.Send(&proto.Msg{
+		Kind: proto.KThreadStart, From: 0, To: int32(target),
+		TID: tid, CPU: proto.EncodeCPU(cpu),
+	})
+}
+
+// placeThread picks the node for a new thread: same-group threads go
+// together when hint scheduling is on, otherwise round-robin (§5.3).
+func (m *master) placeThread(hint int64) int {
+	cfg := m.cl.cfg
+	if cfg.Slaves == 0 {
+		return 0
+	}
+	if cfg.HintSched && hint != 0 {
+		if nodeID, ok := m.groupNode[hint]; ok {
+			return nodeID
+		}
+		nodeID := m.rotate()
+		m.groupNode[hint] = nodeID
+		return nodeID
+	}
+	return m.rotate()
+}
+
+func (m *master) rotate() int {
+	cfg := m.cl.cfg
+	candidates := cfg.Slaves
+	first := 1
+	if cfg.PlaceOnMaster {
+		candidates++
+		first = 0
+	}
+	nodeID := first + m.nextRR%candidates
+	m.nextRR++
+	return nodeID
+}
+
+func (m *master) Shutdown(code int64) { m.cl.finish(code) }
+
+func (m *master) ConsoleWrite(fd int64, data []byte) {
+	m.cl.console.Write(data)
+	if m.cl.cfg.Stdout != nil {
+		m.cl.cfg.Stdout.Write(data)
+	}
+}
+
+func (m *master) NowNs() int64 { return m.cl.k.Now() }

@@ -1,0 +1,98 @@
+package core
+
+import "testing"
+
+// skewSrc hints every worker into the same locality group, so hint
+// scheduling piles all of them onto one node — the pathological placement
+// dynamic migration is meant to fix.
+const skewSrc = `
+long results[16];
+long worker(long idx) {
+	double acc = 0.0;
+	for (long i = 0; i < 60000; i++) acc += 1.0 / (double)(i + 1);
+	results[idx] = (long)acc;
+	return 0;
+}
+long main() {
+	long tids[12];
+	for (long i = 0; i < 12; i++) {
+		dq_hint(7);
+		tids[i] = thread_create((long)worker, i);
+	}
+	for (long i = 0; i < 12; i++) thread_join(tids[i]);
+	long s = 0;
+	for (long i = 0; i < 12; i++) s += results[i];
+	print_long(s);
+	print_char('\n');
+	return 0;
+}`
+
+func TestMigrationRebalancesSkewedPlacement(t *testing.T) {
+	base := DefaultConfig()
+	base.Slaves = 3
+	base.HintSched = true // all 12 workers land on one node
+	skewed := buildRun(t, skewSrc, base)
+
+	reb := base
+	reb.RebalanceNs = 2_000_000 // rebalance every 2 ms of virtual time
+	balanced := buildRun(t, skewSrc, reb)
+
+	if skewed.Console != balanced.Console {
+		t.Fatalf("results differ: %q vs %q", skewed.Console, balanced.Console)
+	}
+	if balanced.Migrations == 0 {
+		t.Fatal("no migrations happened")
+	}
+	if balanced.TimeNs >= skewed.TimeNs {
+		t.Errorf("rebalancing did not help: %d >= %d ns (migrations=%d)",
+			balanced.TimeNs, skewed.TimeNs, balanced.Migrations)
+	}
+	// Threads must have ended up on several nodes.
+	nodesUsed := 0
+	for _, ns := range balanced.Nodes {
+		if ns.Node != 0 && ns.Threads > 0 {
+			nodesUsed++
+		}
+	}
+	if nodesUsed < 2 {
+		t.Errorf("threads ended up on %d node(s)", nodesUsed)
+	}
+}
+
+func TestMigrationPreservesBlockedThreads(t *testing.T) {
+	// Threads that sleep and hold locks while the rebalancer runs must
+	// migrate without losing state.
+	src := `
+long lock;
+long counter;
+long worker(long idx) {
+	for (long r = 0; r < 5; r++) {
+		sleep_ns(500000);
+		mutex_lock(&lock);
+		counter += 1;
+		mutex_unlock(&lock);
+	}
+	return 0;
+}
+long main() {
+	long tids[8];
+	for (long i = 0; i < 8; i++) {
+		dq_hint(3);
+		tids[i] = thread_create((long)worker, i);
+	}
+	for (long i = 0; i < 8; i++) thread_join(tids[i]);
+	print_long(counter);
+	return 0;
+}`
+	cfg := DefaultConfig()
+	cfg.Slaves = 2
+	cfg.HintSched = true
+	cfg.RebalanceNs = 300_000
+	res := buildRun(t, src, cfg)
+	if res.Console != "40" {
+		t.Errorf("counter = %q, want 40", res.Console)
+	}
+	if res.Migrations == 0 {
+		t.Error("expected some migrations")
+	}
+}

@@ -1,0 +1,593 @@
+package core
+
+import (
+	"fmt"
+
+	"dqemu/internal/abi"
+	"dqemu/internal/guestos"
+	"dqemu/internal/mem"
+	"dqemu/internal/proto"
+	"dqemu/internal/tcg"
+	"dqemu/internal/trace"
+)
+
+// node is one DQEMU instance: a TCG engine over a local view of the guest
+// address space, an OS-style core scheduler, and a communicator that handles
+// protocol messages (§4). Node 0 is the master and carries extra state (see
+// master.go).
+type node struct {
+	id     int
+	cl     *Cluster
+	space  *mem.Space
+	engine *tcg.Engine
+	llsc   *tcg.LLSCTable
+
+	threads map[int64]*thread
+	runq    []*thread
+	busy    int // cores currently running a thread
+
+	// Page-fault bookkeeping: blocked threads per page and which requests
+	// are already outstanding (bit0 = read requested, bit1 = write).
+	waiting   map[uint64][]*thread
+	requested map[uint64]uint8
+
+	// Outstanding timer wakeups etc. keep the node referenced.
+	stats NodeStats
+}
+
+// NodeStats is the per-node activity summary.
+type NodeStats struct {
+	Node        int
+	Threads     int
+	Engine      tcg.Stats
+	PageFaults  uint64
+	PageWaitNs  int64
+	LocalSys    uint64
+	GlobalSys   uint64
+	LLSCFalse   uint64
+	SplitPages  int
+	Resident    int
+	MigratedOut uint64
+}
+
+const (
+	reqRead  uint8 = 1
+	reqWrite uint8 = 2
+)
+
+func newNode(id int, cl *Cluster) *node {
+	space := mem.NewSpace(cl.cfg.PageSize)
+	engine := tcg.NewEngine(space, cl.cfg.Cost)
+	llsc := tcg.NewLLSCTable()
+	engine.Mon = llsc
+	engine.NoCache = cl.cfg.Interp
+	engine.NoChain = cl.cfg.NoChain
+	engine.StopAtomic = !cl.cfg.NoAtomicPreempt
+	return &node{
+		id:        id,
+		cl:        cl,
+		space:     space,
+		engine:    engine,
+		llsc:      llsc,
+		threads:   map[int64]*thread{},
+		waiting:   map[uint64][]*thread{},
+		requested: map[uint64]uint8{},
+	}
+}
+
+// addThread registers and enqueues a new guest thread.
+func (n *node) addThread(cpu *tcg.CPU) *thread {
+	t := &thread{tid: cpu.TID, cpu: cpu, node: n, state: tRunnable}
+	n.threads[cpu.TID] = t
+	n.enqueue(t)
+	return t
+}
+
+// enqueue makes t runnable and kicks the scheduler. A thread marked for
+// migration ships its context instead: this is the "clean boundary" where
+// no node-local state (pending syscall, parked retry) is attached to it.
+func (n *node) enqueue(t *thread) {
+	if t.migrating {
+		n.shipContext(t)
+		return
+	}
+	t.state = tRunnable
+	n.runq = append(n.runq, t)
+	n.schedule()
+}
+
+// trace records an event when tracing is enabled.
+func (n *node) trace(kind trace.Kind, tid int64, format string, args ...interface{}) {
+	if tr := n.cl.cfg.Tracer; tr != nil {
+		tr.Record(n.cl.k.Now(), kind, n.id, tid, format, args...)
+	}
+}
+
+// shipContext hands t's CPU context back to the master for re-placement.
+func (n *node) shipContext(t *thread) {
+	n.trace(trace.EvSched, t.tid, "migrating away")
+	delete(n.threads, t.tid)
+	n.llsc.DropThread(t.tid)
+	t.state = tDead
+	n.stats.MigratedOut++
+	n.cl.net.Send(&proto.Msg{
+		Kind: proto.KMigrateCtx, From: int32(n.id), To: 0,
+		TID: t.tid, CPU: proto.EncodeCPU(t.cpu),
+	})
+}
+
+// onMigrate marks a thread for migration; if it is already runnable it
+// ships at once, otherwise it ships when it next unblocks.
+func (n *node) onMigrate(m *proto.Msg) {
+	t := n.threads[m.TID]
+	if t == nil || t.state == tDead {
+		return // already exited; the master prunes its records on exit
+	}
+	t.migrating = true
+	if t.state == tRunnable {
+		for i, q := range n.runq {
+			if q == t {
+				n.runq = append(n.runq[:i], n.runq[i+1:]...)
+				break
+			}
+		}
+		n.shipContext(t)
+	}
+}
+
+// schedule dispatches runnable threads onto free cores.
+func (n *node) schedule() {
+	for n.busy < n.cl.cfg.Cores && len(n.runq) > 0 && !n.cl.done {
+		t := n.runq[0]
+		n.runq = n.runq[1:]
+		n.busy++
+		n.dispatch(t)
+	}
+}
+
+// dispatch runs one scheduling quantum for t. Guest execution happens
+// eagerly; its virtual-time cost is charged by scheduling the completion
+// event res.TimeNs in the future (quantum-granularity conservative
+// simulation, see DESIGN.md).
+func (n *node) dispatch(t *thread) {
+	t.state = tRunning
+	res := n.engine.Exec(t.cpu, n.cl.cfg.QuantumNs)
+	t.execNs += res.TimeNs
+	n.cl.k.Post(res.TimeNs, func() { n.complete(t, res) })
+}
+
+// complete handles the end of a quantum.
+func (n *node) complete(t *thread, res tcg.Result) {
+	n.busy--
+	if n.cl.done {
+		return
+	}
+	switch res.Reason {
+	case tcg.StopBudget:
+		n.enqueue(t)
+	case tcg.StopPageFault:
+		n.stats.PageFaults++
+		n.trace(trace.EvFault, t.tid, "addr=%#x page=%#x write=%v", res.Fault.Addr, res.Fault.Page, res.Fault.Write)
+		n.blockOnPage(t, res.Fault.Page, res.Fault.Addr, res.Fault.Write)
+	case tcg.StopSyscall:
+		n.syscall(t)
+	case tcg.StopHalt:
+		// HALT outside the runtime: treat as thread exit 0.
+		t.state = tDead
+		n.cl.master.osExit(t.tid)
+	case tcg.StopEBreak:
+		n.cl.fail(fmt.Errorf("node %d: thread %d hit ebreak at pc %#x", n.id, t.tid, t.cpu.PC))
+	default:
+		n.cl.fail(fmt.Errorf("node %d: thread %d: %v", n.id, t.tid, res.Err))
+	}
+	n.schedule()
+}
+
+// blockOnPage parks t until the coherence protocol delivers the page. addr
+// is the exact faulting data address — the false-sharing detector needs it
+// to tell which part of the page each node touches (§5.1).
+func (n *node) blockOnPage(t *thread, page, addr uint64, write bool) {
+	if n.permOK(page, write) {
+		// Spurious fault: the page arrived (e.g. a forwarded push) between
+		// the access and this completion event. Retry immediately, like a
+		// SIGSEGV handler rechecking the mapping.
+		n.enqueue(t)
+		return
+	}
+	t.state = tBlockedPage
+	t.needWrite = write
+	t.waitPage = page
+	t.blockStart = n.cl.k.Now()
+	n.waiting[page] = append(n.waiting[page], t)
+	n.requestPage(page, addr, write, t.tid)
+}
+
+// requestPage sends a PageRequest unless an equivalent one is outstanding.
+func (n *node) requestPage(page uint64, addr uint64, write bool, tid int64) {
+	var bit uint8 = reqRead
+	if write {
+		bit = reqWrite
+	}
+	if n.requested[page]&bit != 0 {
+		return
+	}
+	n.requested[page] |= bit
+	n.cl.net.Send(&proto.Msg{
+		Kind:  proto.KPageReq,
+		From:  int32(n.id),
+		To:    0,
+		TID:   tid,
+		Page:  page,
+		Addr:  addr,
+		Write: write,
+	})
+}
+
+// wakePageWaiters releases threads whose page need is now satisfied.
+func (n *node) wakePageWaiters(page uint64, perm mem.Perm) {
+	waiters := n.waiting[page]
+	if len(waiters) == 0 {
+		return
+	}
+	var still []*thread
+	for _, t := range waiters {
+		if t.needWrite && perm != mem.PermReadWrite {
+			still = append(still, t)
+			continue
+		}
+		n.unblockPage(t)
+	}
+	if len(still) == 0 {
+		delete(n.waiting, page)
+		return
+	}
+	n.waiting[page] = still
+	// Readers were satisfied but writers remain: make sure a write request
+	// is outstanding.
+	n.requestPage(page, still[0].cpu.PC, true, still[0].tid)
+}
+
+// unblockPage finishes a page stall: account the wait, then either resume
+// guest execution or retry the parked local-syscall handler.
+func (n *node) unblockPage(t *thread) {
+	wait := n.cl.k.Now() - t.blockStart
+	t.faultNs += wait
+	n.stats.PageWaitNs += wait
+	if t.syscallRetry != nil {
+		retry := t.syscallRetry
+		t.syscallRetry = nil
+		t.state = tRunnable
+		retry(t)
+		return
+	}
+	n.enqueue(t)
+}
+
+// ---- Syscall dispatch (§4.3) ----
+
+// syscall routes the trapped syscall: local ones execute here; global ones
+// are delegated to the master through the communicator.
+func (n *node) syscall(t *thread) {
+	num := int64(t.cpu.X[17])
+	n.trace(trace.EvSyscall, t.tid, "num=%d a0=%#x", num, t.cpu.X[10])
+	if guestos.IsGlobal(num) {
+		n.stats.GlobalSys++
+		n.delegate(t, num)
+		return
+	}
+	n.stats.LocalSys++
+	n.localSyscall(t, num)
+}
+
+// delegate ships the syscall to the master and blocks the thread (except
+// exit, which also reaps the thread locally).
+func (n *node) delegate(t *thread, num int64) {
+	var args [6]uint64
+	copy(args[:], t.cpu.X[10:16])
+	if num == abi.SysThreadCreate {
+		// Carry the creator's locality hint for placement (§5.3).
+		args[3] = uint64(t.cpu.HintGroup)
+	}
+	switch num {
+	case abi.SysExit:
+		t.state = tDead
+	case abi.SysExitGroup:
+		t.state = tDead
+	default:
+		t.state = tBlockedSyscall
+		t.blockStart = n.cl.k.Now()
+	}
+	n.cl.net.Send(&proto.Msg{
+		Kind: proto.KSyscallReq,
+		From: int32(n.id),
+		To:   0,
+		TID:  t.tid,
+		Num:  num,
+		Args: args,
+	})
+}
+
+// localSyscall executes a node-local syscall. Handlers that touch guest
+// memory may fault; they park themselves via retryOnFault and re-run when
+// the page arrives.
+func (n *node) localSyscall(t *thread, num int64) {
+	switch num {
+	case abi.SysGetTID:
+		t.cpu.X[10] = uint64(t.tid)
+		n.enqueue(t)
+	case abi.SysNodeID:
+		t.cpu.X[10] = uint64(n.id)
+		n.enqueue(t)
+	case abi.SysNumNodes:
+		t.cpu.X[10] = uint64(n.cl.cfg.Nodes())
+		n.enqueue(t)
+	case abi.SysTimeNs:
+		t.cpu.X[10] = uint64(n.cl.k.Now())
+		n.enqueue(t)
+	case abi.SysSchedYield:
+		t.cpu.X[10] = 0
+		n.enqueue(t)
+	case abi.SysHint:
+		t.cpu.HintGroup = int64(t.cpu.X[10])
+		t.cpu.X[10] = 0
+		n.enqueue(t)
+	case abi.SysClockGettime:
+		n.clockGettime(t)
+	case abi.SysNanosleep:
+		n.nanosleep(t)
+	default:
+		n.cl.fail(fmt.Errorf("node %d: unclassified local syscall %d", n.id, num))
+	}
+}
+
+// clockGettime writes a timespec of the virtual clock to *args[1].
+func (n *node) clockGettime(t *thread) {
+	addr := t.cpu.X[11]
+	now := n.cl.k.Now()
+	var buf [16]byte
+	putU64(buf[0:], uint64(now/1_000_000_000))
+	putU64(buf[8:], uint64(now%1_000_000_000))
+	n.guestWriteOrRetry(t, addr, buf[:], (*node).clockGettime, func() {
+		t.cpu.X[10] = 0
+		n.enqueue(t)
+	})
+}
+
+// nanosleep reads a timespec from *args[0] and parks t on a timer.
+func (n *node) nanosleep(t *thread) {
+	addr := t.cpu.X[10]
+	buf := make([]byte, 16)
+	if err := n.space.ReadBytes(addr, buf); err != nil {
+		n.retryOnFault(t, addr, false, (*node).nanosleep)
+		return
+	}
+	ns := int64(getU64(buf[0:]))*1_000_000_000 + int64(getU64(buf[8:]))
+	if ns < 0 {
+		ns = 0
+	}
+	t.state = tBlockedTimer
+	t.blockStart = n.cl.k.Now()
+	n.cl.k.Post(ns, func() {
+		if n.cl.done || t.state != tBlockedTimer {
+			return
+		}
+		t.syscallNs += n.cl.k.Now() - t.blockStart
+		t.cpu.X[10] = 0
+		n.enqueue(t)
+	})
+}
+
+// guestWriteOrRetry performs a protocol-respecting write from a local
+// syscall handler: it requires local write permission on the touched pages
+// and otherwise faults like a guest store would.
+func (n *node) guestWriteOrRetry(t *thread, addr uint64, data []byte, retry func(*node, *thread), done func()) {
+	for i := range data {
+		ba := n.space.Translate(addr + uint64(i))
+		if n.space.PermOf(n.space.PageOf(ba)) != mem.PermReadWrite {
+			n.retryOnFault(t, ba, true, retry)
+			return
+		}
+	}
+	for i := range data {
+		n.space.Store(addr+uint64(i), uint64(data[i]), 1)
+	}
+	done()
+}
+
+// permOK reports whether the local page state satisfies the access.
+func (n *node) permOK(page uint64, write bool) bool {
+	perm := n.space.PermOf(page)
+	if write {
+		return perm == mem.PermReadWrite
+	}
+	return perm >= mem.PermRead
+}
+
+// retryOnFault parks t waiting for page access and re-runs handler after
+// the page arrives.
+func (n *node) retryOnFault(t *thread, addr uint64, write bool, handler func(*node, *thread)) {
+	page := n.space.PageOf(n.space.Translate(addr))
+	if n.permOK(page, write) {
+		handler(n, t)
+		return
+	}
+	t.syscallRetry = func(t *thread) { handler(n, t) }
+	t.state = tBlockedPage
+	t.needWrite = write
+	t.waitPage = page
+	t.blockStart = n.cl.k.Now()
+	n.waiting[page] = append(n.waiting[page], t)
+	n.requestPage(page, addr, write, t.tid)
+}
+
+// ---- Communicator: protocol message handling (helper thread, §4) ----
+
+func (n *node) handle(m *proto.Msg) {
+	if n.cl.done && m.Kind != proto.KShutdown {
+		return
+	}
+	switch m.Kind {
+	case proto.KPageContent:
+		n.onPageContent(m)
+	case proto.KInvalidate:
+		n.onInvalidate(m)
+	case proto.KFetch:
+		n.onFetch(m)
+	case proto.KRetry:
+		n.onRetry(m)
+	case proto.KRemap:
+		n.onRemap(m)
+	case proto.KPush:
+		n.onPush(m)
+	case proto.KSyscallReply:
+		n.onSyscallReply(m)
+	case proto.KThreadStart:
+		n.onThreadStart(m)
+	case proto.KMigrate:
+		n.onMigrate(m)
+	case proto.KShutdown:
+		// Nothing to do: the cluster flag is global in-process state.
+	default:
+		n.cl.fail(fmt.Errorf("node %d: unexpected message %v", n.id, m.Kind))
+	}
+}
+
+func (n *node) onPageContent(m *proto.Msg) {
+	perm := mem.Perm(m.Perm)
+	if m.Data == nil {
+		// Permission-only reaffirmation: keep the local (freshest) copy.
+		n.space.EnsurePage(m.Page, perm)
+		n.space.SetPerm(m.Page, perm)
+	} else {
+		n.space.InstallPage(m.Page, m.Data, perm)
+	}
+	n.contentArrived(m.Page, perm)
+}
+
+// contentArrived updates request bookkeeping and wakes whoever waited for
+// the page (guest threads, and on the master also manager-thread helpers).
+func (n *node) contentArrived(page uint64, perm mem.Perm) {
+	if perm == mem.PermReadWrite {
+		delete(n.requested, page)
+	} else {
+		n.requested[page] &^= reqRead
+		if n.requested[page] == 0 {
+			delete(n.requested, page)
+		}
+	}
+	n.wakePageWaiters(page, perm)
+	if n.id == 0 {
+		n.cl.master.wakeHelpers(page)
+	}
+}
+
+func (n *node) onInvalidate(m *proto.Msg) {
+	n.space.DropPage(m.Page)
+	n.llsc.InvalidatePage(m.Page, n.space.PageSize())
+	n.cl.net.Send(&proto.Msg{Kind: proto.KInvAck, From: int32(n.id), To: 0, Page: m.Page})
+}
+
+func (n *node) onFetch(m *proto.Msg) {
+	data := n.space.PageData(m.Page)
+	if data == nil {
+		n.cl.fail(fmt.Errorf("node %d: fetch for non-resident page %#x", n.id, m.Page))
+		return
+	}
+	copied := append([]byte(nil), data...)
+	if m.Write { // invalidate
+		n.space.DropPage(m.Page)
+		n.llsc.InvalidatePage(m.Page, n.space.PageSize())
+	} else { // downgrade to shared
+		n.space.SetPerm(m.Page, mem.PermRead)
+	}
+	n.cl.net.Send(&proto.Msg{
+		Kind: proto.KFetchReply, From: int32(n.id), To: 0,
+		Page: m.Page, Data: copied, Write: m.Write,
+	})
+}
+
+func (n *node) onRetry(m *proto.Msg) {
+	n.retryArrived(m.Page)
+}
+
+// retryArrived drops request state for a split page and re-runs everyone who
+// waited on it; their retried accesses go through the new remap.
+func (n *node) retryArrived(page uint64) {
+	delete(n.requested, page)
+	waiters := n.waiting[page]
+	delete(n.waiting, page)
+	for _, t := range waiters {
+		n.unblockPage(t)
+	}
+	if n.id == 0 {
+		n.cl.master.wakeHelpers(page)
+	}
+}
+
+func (n *node) onRemap(m *proto.Msg) {
+	if err := n.space.AddRemap(m.Page, m.Shadows); err != nil {
+		n.cl.fail(fmt.Errorf("node %d: remap: %w", n.id, err))
+		return
+	}
+	n.llsc.InvalidatePage(m.Page, n.space.PageSize())
+}
+
+func (n *node) onPush(m *proto.Msg) {
+	// Install a forwarded page in Shared state unless we already hold (or
+	// are upgrading) it.
+	if n.space.PermOf(m.Page) != mem.PermNone || n.requested[m.Page]&reqWrite != 0 {
+		return
+	}
+	n.space.InstallPage(m.Page, m.Data, mem.PermRead)
+	n.requested[m.Page] &^= reqRead
+	if n.requested[m.Page] == 0 {
+		delete(n.requested, m.Page)
+	}
+	n.wakePageWaiters(m.Page, mem.PermRead)
+}
+
+func (n *node) onSyscallReply(m *proto.Msg) {
+	t := n.threads[m.TID]
+	if t == nil || t.state != tBlockedSyscall {
+		n.cl.fail(fmt.Errorf("node %d: stray syscall reply for tid %d", n.id, m.TID))
+		return
+	}
+	t.syscallNs += n.cl.k.Now() - t.blockStart
+	t.cpu.X[10] = m.Ret
+	n.enqueue(t)
+}
+
+func (n *node) onThreadStart(m *proto.Msg) {
+	cpu, err := proto.DecodeCPU(m.CPU)
+	if err != nil {
+		n.cl.fail(fmt.Errorf("node %d: thread start: %w", n.id, err))
+		return
+	}
+	n.addThread(cpu)
+}
+
+// snapshotStats fills the exported per-node stats.
+func (n *node) snapshotStats() NodeStats {
+	s := n.stats
+	s.Node = n.id
+	s.Threads = len(n.threads)
+	s.Engine = n.engine.Stats
+	s.LLSCFalse = n.llsc.FalseFailures
+	s.SplitPages = n.space.RemapCount()
+	s.Resident = n.space.ResidentPages()
+	return s
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

@@ -1,0 +1,214 @@
+package core
+
+import "testing"
+
+// seqWalkSrc walks a master-resident array sequentially from one slave
+// thread — the data-forwarding micro-benchmark shape (§6.1, Table 1).
+const seqWalkSrc = `
+long data[40960];   // 320 KiB = 80 pages
+long result;
+long worker(long arg) {
+	long s = 0;
+	for (long i = 0; i < 40960; i++) s += data[i];
+	result = s;
+	return 0;
+}
+long main() {
+	for (long i = 0; i < 40960; i++) data[i] = 1;
+	long t1 = thread_create((long)worker, 0);
+	thread_join(t1);
+	print_long(result);
+	return 0;
+}`
+
+func TestForwardingSpeedsUpSequentialWalk(t *testing.T) {
+	base := DefaultConfig()
+	base.Slaves = 1
+	resOff := buildRun(t, seqWalkSrc, base)
+
+	fwd := base
+	fwd.Forwarding = true
+	resOn := buildRun(t, seqWalkSrc, fwd)
+
+	if resOff.Console != "40960" || resOn.Console != "40960" {
+		t.Fatalf("results: %q / %q", resOff.Console, resOn.Console)
+	}
+	if resOn.Dir.Pushes == 0 {
+		t.Error("no pages were forwarded")
+	}
+	if resOn.TimeNs >= resOff.TimeNs {
+		t.Errorf("forwarding did not help: %d >= %d ns", resOn.TimeNs, resOff.TimeNs)
+	}
+	// The walk is long enough that forwarding should win big (paper: 13.7x
+	// on raw bandwidth; end-to-end with startup it is still several x).
+	if resOff.TimeNs < 2*resOn.TimeNs {
+		t.Logf("forwarding speedup only %.2fx", float64(resOff.TimeNs)/float64(resOn.TimeNs))
+	}
+}
+
+// falseShareSrc has two slave threads writing to disjoint halves of one
+// page-aligned 4 KiB region — the page-splitting micro-benchmark shape
+// (§5.1).
+const falseShareSrc = `
+long raw[1024];     // 8 KiB arena; one aligned page is carved out of it
+long *pg;
+long worker(long arg) {
+	long base = arg * 256;
+	for (long r = 0; r < 200; r++) {
+		for (long i = 0; i < 256; i++) pg[base + i] += 1;
+	}
+	return 0;
+}
+long main() {
+	pg = (long*)(((long)raw + 4095) & ~4095);
+	long t1 = thread_create((long)worker, 0);
+	long t2 = thread_create((long)worker, 1);
+	thread_join(t1);
+	thread_join(t2);
+	long s = 0;
+	for (long i = 0; i < 512; i++) s += pg[i];
+	print_long(s);
+	return 0;
+}`
+
+func TestSplittingFixesFalseSharing(t *testing.T) {
+	base := DefaultConfig()
+	base.Slaves = 2
+	resOff := buildRun(t, falseShareSrc, base)
+
+	sp := base
+	sp.Splitting = true
+	resOn := buildRun(t, falseShareSrc, sp)
+
+	want := "102400" // 512 slots * 200 increments
+	if resOff.Console != want || resOn.Console != want {
+		t.Fatalf("results: %q / %q (want %s)", resOff.Console, resOn.Console, want)
+	}
+	if resOn.Dir.Splits == 0 {
+		t.Error("no page was split")
+	}
+	if resOn.TimeNs >= resOff.TimeNs {
+		t.Errorf("splitting did not help: %d >= %d ns", resOn.TimeNs, resOff.TimeNs)
+	}
+}
+
+// hintSrc creates two thread pairs; each pair hammers its own page-aligned
+// buffer and its own page-aligned lock. With hint scheduling both halves of
+// a pair land on one node, so the pair's pages stop bouncing.
+const hintSrc = `
+long raw[3072];     // arena: 4 aligned pages (2 bufs + 2 locks)
+long *area;
+long worker(long arg) {
+	long pair = arg / 2;
+	long *buf = area + pair * 512;
+	long *lock = area + (2 + pair) * 512;
+	for (long r = 0; r < 50; r++) {
+		mutex_lock(lock);
+		for (long i = 0; i < 256; i++) buf[i] += 1;
+		mutex_unlock(lock);
+	}
+	return 0;
+}
+long main() {
+	area = (long*)(((long)raw + 4095) & ~4095);
+	long tids[4];
+	for (long i = 0; i < 4; i++) {
+		dq_hint(1 + i / 2);            // pair id as locality group
+		tids[i] = thread_create((long)worker, i);
+	}
+	for (long i = 0; i < 4; i++) thread_join(tids[i]);
+	long s = 0;
+	for (long i = 0; i < 1024; i++) s += area[i];
+	print_long(s);
+	return 0;
+}`
+
+func TestHintSchedulingGroupsThreads(t *testing.T) {
+	base := DefaultConfig()
+	base.Slaves = 2
+	resRR := buildRun(t, hintSrc, base)
+
+	h := base
+	h.HintSched = true
+	resHint := buildRun(t, hintSrc, h)
+
+	want := "51200" // 2 pairs * 2 threads * 50 rounds * 256 slots
+	if resRR.Console != want || resHint.Console != want {
+		t.Fatalf("results: %q / %q", resRR.Console, resHint.Console)
+	}
+	// With hints, each pair shares a node: round-robin splits pairs apart
+	// (threads 0,2 -> node1; 1,3 -> node2), so hint scheduling must cut the
+	// page ping-pong and the total time.
+	if resHint.TimeNs >= resRR.TimeNs {
+		t.Errorf("hint scheduling did not help: %d >= %d ns", resHint.TimeNs, resRR.TimeNs)
+	}
+	if resHint.Dir.Fetches >= resRR.Dir.Fetches {
+		t.Errorf("hint scheduling should reduce fetches: %d >= %d", resHint.Dir.Fetches, resRR.Dir.Fetches)
+	}
+}
+
+func TestQEMUBaselineNoNetwork(t *testing.T) {
+	// Slaves=0 is the single-node QEMU baseline: no coherence traffic at all
+	// beyond master-local directory grants.
+	res := buildRun(t, `
+long data[4096];
+long worker(long arg) {
+	for (long i = 0; i < 4096; i++) data[i] += 1;
+	return 0;
+}
+long main() {
+	long tids[4];
+	for (long i = 0; i < 4; i++) tids[i] = thread_create((long)worker, i);
+	for (long i = 0; i < 4; i++) thread_join(tids[i]);
+	return 0;
+}`, DefaultConfig())
+	if res.Dir.Fetches != 0 || res.Dir.Invalidates != 0 {
+		t.Errorf("single node should not fetch/invalidate: %+v", res.Dir)
+	}
+	if res.ExitCode != 0 {
+		t.Errorf("exit = %d", res.ExitCode)
+	}
+}
+
+func TestPerThreadBreakdown(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Slaves = 2
+	res := buildRun(t, seqWalkSrc, cfg)
+	if len(res.Threads) != 2 {
+		t.Fatalf("threads = %d", len(res.Threads))
+	}
+	worker := res.Threads[1]
+	if worker.ExecNs <= 0 {
+		t.Error("worker has no exec time")
+	}
+	if worker.FaultNs <= 0 {
+		t.Error("worker has no page-fault stall time (it walks remote data)")
+	}
+}
+
+func TestLargeThreadCount(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Slaves = 4
+	res := buildRun(t, `
+long counter;
+long worker(long arg) {
+	__amoadd(&counter, 1);
+	return 0;
+}
+long main() {
+	long tids[64];
+	for (long i = 0; i < 64; i++) tids[i] = thread_create((long)worker, i);
+	for (long i = 0; i < 64; i++) thread_join(tids[i]);
+	print_long(counter);
+	return 0;
+}`, cfg)
+	if res.Console != "64" {
+		t.Errorf("console = %q", res.Console)
+	}
+	// Round-robin placement spreads threads across all 4 slaves.
+	for _, ns := range res.Nodes {
+		if ns.Node != 0 && ns.Threads != 16 {
+			t.Errorf("node %d has %d threads, want 16", ns.Node, ns.Threads)
+		}
+	}
+}

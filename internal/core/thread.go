@@ -1,0 +1,71 @@
+package core
+
+import "dqemu/internal/tcg"
+
+// threadState tracks where a guest thread is in its lifecycle.
+type threadState uint8
+
+const (
+	tRunnable threadState = iota
+	tRunning
+	tBlockedPage    // waiting for the coherence protocol
+	tBlockedSyscall // waiting for a delegated syscall reply (incl. futex)
+	tBlockedTimer   // nanosleep
+	tDead
+)
+
+func (s threadState) String() string {
+	switch s {
+	case tRunnable:
+		return "runnable"
+	case tRunning:
+		return "running"
+	case tBlockedPage:
+		return "page-wait"
+	case tBlockedSyscall:
+		return "syscall-wait"
+	case tBlockedTimer:
+		return "sleeping"
+	default:
+		return "dead"
+	}
+}
+
+// thread is one guest thread living on one node. Threads never migrate in
+// this implementation once placed (the paper migrates contexts at creation
+// time, §4.1).
+type thread struct {
+	tid  int64
+	cpu  *tcg.CPU
+	node *node
+
+	state      threadState
+	needWrite  bool   // for tBlockedPage: waiting for write access
+	waitPage   uint64 // for tBlockedPage
+	blockStart int64
+
+	// syscallRetry re-runs a node-local syscall whose guest-memory access
+	// faulted; the faulting page has been requested and the handler repeats
+	// once it arrives.
+	syscallRetry func(t *thread)
+
+	// migrating marks a thread the master has asked to move; its context
+	// ships to the master the next time it reaches a clean runnable
+	// boundary instead of being re-enqueued.
+	migrating bool
+
+	// Per-thread time breakdown (Fig. 8): execution, page-fault stall,
+	// syscall stall.
+	execNs    int64
+	faultNs   int64
+	syscallNs int64
+}
+
+// ThreadStats is the per-thread breakdown reported in results.
+type ThreadStats struct {
+	TID       int64
+	Node      int
+	ExecNs    int64
+	FaultNs   int64
+	SyscallNs int64
+}

@@ -1,0 +1,47 @@
+package dsm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeSet is a bitset of cluster nodes (at most 64, far beyond the paper's
+// 7-node testbed).
+type NodeSet uint64
+
+// Add returns s with node n included.
+func (s NodeSet) Add(n int) NodeSet { return s | 1<<uint(n) }
+
+// Remove returns s without node n.
+func (s NodeSet) Remove(n int) NodeSet { return s &^ (1 << uint(n)) }
+
+// Has reports whether node n is in the set.
+func (s NodeSet) Has(n int) bool { return s&(1<<uint(n)) != 0 }
+
+// Empty reports whether the set is empty.
+func (s NodeSet) Empty() bool { return s == 0 }
+
+// Count returns the number of nodes in the set.
+func (s NodeSet) Count() int {
+	c := 0
+	for v := s; v != 0; v &= v - 1 {
+		c++
+	}
+	return c
+}
+
+// ForEach calls fn for every node in ascending order.
+func (s NodeSet) ForEach(fn func(n int)) {
+	for n := 0; s != 0; n++ {
+		if s&1 != 0 {
+			fn(n)
+		}
+		s >>= 1
+	}
+}
+
+func (s NodeSet) String() string {
+	var parts []string
+	s.ForEach(func(n int) { parts = append(parts, fmt.Sprint(n)) })
+	return "{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,208 @@
+package dsm
+
+import (
+	"math/rand"
+	"testing"
+
+	"dqemu/internal/mem"
+)
+
+// TestDirectoryRandomizedInvariants drives the directory with thousands of
+// randomly interleaved page requests from several nodes, while the mock
+// environment below plays the nodes' side of the protocol (answering
+// fetches and invalidations in random order). After every event it checks
+// the MSI invariants: at most one Modified copy, never M plus Shared, and
+// the directory's owner/sharer view consistent with the nodes' copies when
+// the page is quiescent.
+func TestDirectoryRandomizedInvariants(t *testing.T) {
+	const nodes = 5
+	const pages = 6
+	r := rand.New(rand.NewSource(12345))
+
+	env := &envCheck{t: t, copies: map[uint64]map[int]int{}, requested: map[reqKey]bool{}}
+	d := New(env, nil, nil)
+	env.d = d
+
+	for step := 0; step < 20000; step++ {
+		// Deliver a pending fetch/invalidation with some probability so
+		// transactions interleave with new requests.
+		if len(env.queue) > 0 && r.Intn(2) == 0 {
+			i := r.Intn(len(env.queue))
+			fn := env.queue[i]
+			env.queue = append(env.queue[:i], env.queue[i+1:]...)
+			fn()
+		} else {
+			node := r.Intn(nodes)
+			page := uint64(r.Intn(pages))
+			write := r.Intn(2) == 0
+			// A node with a satisfying copy doesn't fault, and a node with
+			// this request outstanding waits, like a real node.
+			perm := env.permOf(page, node)
+			if write && perm == 2 || !write && perm >= 1 {
+				continue
+			}
+			if env.requested[reqKey{node, page, write}] {
+				continue
+			}
+			env.requested[reqKey{node, page, write}] = true
+			d.OnRequest(Request{Node: node, TID: int64(node*100000 + step), Page: page, Addr: page * 4096, Write: write})
+		}
+		env.checkInvariants()
+	}
+	// Drain and re-check until quiescent.
+	for len(env.queue) > 0 {
+		fn := env.queue[0]
+		env.queue = env.queue[1:]
+		fn()
+		env.checkInvariants()
+	}
+	if _, _, busy := d.State(0); busy {
+		t.Error("page 0 still busy after drain")
+	}
+}
+
+type reqKey struct {
+	node  int
+	page  uint64
+	write bool
+}
+
+// envCheck tracks each node's copy (0 none, 1 shared, 2 modified) and
+// checks invariants; fetches/invalidations are queued for reordering.
+type envCheck struct {
+	t *testing.T
+	d *Directory
+
+	copies    map[uint64]map[int]int
+	requested map[reqKey]bool
+	queue     []func()
+}
+
+func (e *envCheck) permOf(page uint64, node int) int {
+	if m := e.copies[page]; m != nil {
+		return m[node]
+	}
+	return 0
+}
+
+func (e *envCheck) setPerm(page uint64, node, perm int) {
+	m := e.copies[page]
+	if m == nil {
+		m = map[int]int{}
+		e.copies[page] = m
+	}
+	if perm == 0 {
+		delete(m, node)
+	} else {
+		m[node] = perm
+	}
+}
+
+func (e *envCheck) grant(to int, page uint64, write bool) {
+	if write {
+		for n, p := range e.copies[page] {
+			if n != to && p != 0 {
+				e.t.Fatalf("exclusive grant of page %d to node %d while node %d holds %d", page, to, n, p)
+			}
+		}
+		e.setPerm(page, to, 2)
+		// A write grant also satisfies a pending read request.
+		delete(e.requested, reqKey{to, page, false})
+	} else {
+		for n, p := range e.copies[page] {
+			if n != to && p == 2 {
+				e.t.Fatalf("shared grant of page %d to node %d while node %d holds M", page, to, n)
+			}
+		}
+		e.setPerm(page, to, 1)
+	}
+	delete(e.requested, reqKey{to, page, write})
+}
+
+// ---- dsm.Env implementation ----
+
+func (e *envCheck) SendContent(to int, page uint64, perm mem.Perm) {
+	e.grant(to, page, perm == mem.PermReadWrite)
+}
+
+func (e *envCheck) SendReaffirm(to int, page uint64, perm mem.Perm) {
+	if e.permOf(page, to) == 0 {
+		e.t.Fatalf("reaffirm of page %d to node %d which holds nothing", page, to)
+	}
+	e.grant(to, page, perm == mem.PermReadWrite)
+}
+
+func (e *envCheck) SendInvalidate(to int, page uint64) {
+	e.queue = append(e.queue, func() {
+		e.setPerm(page, to, 0)
+		if err := e.d.OnInvAck(to, page); err != nil {
+			e.t.Fatalf("inv-ack: %v", err)
+		}
+	})
+}
+
+func (e *envCheck) SendFetch(owner int, page uint64, invalidate bool) {
+	e.queue = append(e.queue, func() {
+		if e.permOf(page, owner) != 2 {
+			e.t.Fatalf("fetch from node %d for page %d which it does not own", owner, page)
+		}
+		if invalidate {
+			e.setPerm(page, owner, 0)
+		} else {
+			e.setPerm(page, owner, 1)
+		}
+		if err := e.d.OnFetchReply(owner, page, nil, invalidate); err != nil {
+			e.t.Fatalf("fetch reply: %v", err)
+		}
+	})
+}
+
+func (e *envCheck) SendRetry(to int, page uint64, tid int64) {
+	delete(e.requested, reqKey{to, page, false})
+	delete(e.requested, reqKey{to, page, true})
+}
+
+func (e *envCheck) HomeWriteback(page uint64, data []byte) {}
+
+// HomeSetPerm is how the directory manages the master's own copy (node 0);
+// mirror it so the invariant checker sees the master too.
+func (e *envCheck) HomeSetPerm(page uint64, perm mem.Perm) {
+	switch perm {
+	case mem.PermNone:
+		e.setPerm(page, 0, 0)
+	case mem.PermRead:
+		e.setPerm(page, 0, 1)
+	case mem.PermReadWrite:
+		e.setPerm(page, 0, 2)
+	}
+}
+func (e *envCheck) BroadcastRemap(orig uint64, shadows []uint64) {}
+func (e *envCheck) PushPage(to int, page uint64)                 {}
+func (e *envCheck) SplitHome(orig uint64, shadows []uint64)      {}
+
+func (e *envCheck) checkInvariants() {
+	for page, m := range e.copies {
+		mods, shared := 0, 0
+		for _, p := range m {
+			switch p {
+			case 2:
+				mods++
+			case 1:
+				shared++
+			}
+		}
+		if mods > 1 {
+			e.t.Fatalf("page %d has %d modified copies", page, mods)
+		}
+		if mods == 1 && shared > 0 {
+			e.t.Fatalf("page %d has M plus %d shared copies", page, shared)
+		}
+		owner, _, busy := e.d.State(page)
+		if busy || len(e.queue) > 0 {
+			continue // interim state while events are in flight
+		}
+		if owner > 0 && m[owner] != 2 {
+			e.t.Fatalf("directory says node %d owns page %d but it holds %d", owner, page, m[owner])
+		}
+	}
+}

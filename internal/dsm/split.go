@@ -1,0 +1,95 @@
+package dsm
+
+import "dqemu/internal/image"
+
+// Splitter detects false sharing and allocates shadow pages (§5.1). A page
+// is falsely shared when different nodes write to different parts of it; the
+// detector tracks, per page, the recent write-fault history as (node, part)
+// pairs and fires once the page has ping-ponged between at least two nodes
+// writing at least two distinct parts Threshold times.
+type Splitter struct {
+	// Factor is the number of shadow pages a page splits into (paper: 4).
+	Factor int
+	// Threshold is the number of cross-node write requests that triggers a
+	// split (paper: 10).
+	Threshold int
+
+	pageSize   int
+	nextShadow uint64
+	limit      uint64
+	hist       map[uint64]*faultHist
+}
+
+type faultHist struct {
+	count     int
+	nodes     NodeSet
+	parts     uint64 // bitset of touched parts
+	lastNode  int
+	crossNode int // write requests arriving from a different node than the last
+}
+
+// NewSplitter returns a splitter for the given coherence page size. factor
+// and threshold of zero select the paper's 4 and 10.
+func NewSplitter(pageSize, factor, threshold int) *Splitter {
+	if factor <= 0 {
+		factor = 4
+	}
+	if threshold <= 0 {
+		threshold = 10
+	}
+	return &Splitter{
+		Factor:     factor,
+		Threshold:  threshold,
+		pageSize:   pageSize,
+		nextShadow: image.ShadowBase / uint64(pageSize),
+		limit:      image.ShadowLimit / uint64(pageSize),
+		hist:       map[uint64]*faultHist{},
+	}
+}
+
+// Record notes a write request and reports whether the page should split.
+func (s *Splitter) Record(r Request) bool {
+	// Shadow pages never split again.
+	pageAddr := r.Page * uint64(s.pageSize)
+	if pageAddr >= image.ShadowBase && pageAddr < image.ShadowLimit {
+		return false
+	}
+	h := s.hist[r.Page]
+	if h == nil {
+		h = &faultHist{lastNode: -1}
+		s.hist[r.Page] = h
+	}
+	h.count++
+	h.nodes = h.nodes.Add(r.Node)
+	part := (r.Addr % uint64(s.pageSize)) / (uint64(s.pageSize) / uint64(s.Factor))
+	h.parts |= 1 << part
+	if h.lastNode >= 0 && h.lastNode != r.Node {
+		h.crossNode++
+	}
+	h.lastNode = r.Node
+	return h.crossNode >= s.Threshold && h.nodes.Count() >= 2 && popcount(h.parts) >= 2
+}
+
+// AllocShadows reserves Factor shadow pages for orig from the shadow region
+// of the guest address space ("the master node probes the guest space to
+// find available continuous space for shadow pages").
+func (s *Splitter) AllocShadows(orig uint64) []uint64 {
+	delete(s.hist, orig)
+	out := make([]uint64, s.Factor)
+	for i := range out {
+		if s.nextShadow >= s.limit {
+			panic("dsm: shadow page region exhausted")
+		}
+		out[i] = s.nextShadow
+		s.nextShadow++
+	}
+	return out
+}
+
+func popcount(v uint64) int {
+	c := 0
+	for ; v != 0; v &= v - 1 {
+		c++
+	}
+	return c
+}

@@ -1,0 +1,84 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6). Each experiment builds the matching guest workload
+// (internal/workloads), runs it on simulated clusters of increasing size,
+// and reports the same rows/series the paper plots. Results are virtual
+// time, so they are deterministic.
+//
+// Two input scales are provided: Quick (default; minutes of host time for
+// the full suite) and Full (closer to the paper's input sizes). The paper's
+// absolute magnitudes cannot be matched — its testbed ran real ARM binaries
+// for minutes — but the shapes (who wins, by what factor, where the curves
+// bend) are what the experiments reproduce; see EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dqemu/internal/core"
+	"dqemu/internal/image"
+)
+
+// Scale selects input sizes.
+type Scale int
+
+const (
+	// Quick runs scaled-down inputs (default).
+	Quick Scale = iota
+	// Full runs inputs close to the paper's.
+	Full
+	// Smoke runs tiny inputs for the test suite.
+	Smoke
+)
+
+// Options configure an experiment run.
+type Options struct {
+	Scale Scale
+	// MaxSlaves bounds the cluster sweep (paper: 6).
+	MaxSlaves int
+	// Progress, if non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+func (o *Options) normalize() {
+	if o.MaxSlaves <= 0 {
+		o.MaxSlaves = 6
+	}
+}
+
+func (o *Options) logf(format string, args ...interface{}) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format+"\n", args...)
+	}
+}
+
+// baseConfig is the common cluster configuration of the paper's testbed:
+// quad-core nodes, gigabit Ethernet.
+func baseConfig(slaves int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Slaves = slaves
+	return cfg
+}
+
+// run executes an image and fails loudly on guest errors.
+func run(im *image.Image, cfg core.Config) (*core.Result, error) {
+	res, err := core.Run(im, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if res.ExitCode != 0 {
+		return nil, fmt.Errorf("experiments: guest exited %d: %q", res.ExitCode, res.Console)
+	}
+	return res, nil
+}
+
+// seconds renders virtual nanoseconds as seconds.
+func seconds(ns int64) float64 { return float64(ns) / 1e9 }
+
+// mbps computes MB/s from bytes moved in ns.
+func mbps(bytes int, ns int64) float64 {
+	if ns <= 0 {
+		return 0
+	}
+	return float64(bytes) / 1e6 / (float64(ns) / 1e9)
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smoke runs every experiment at Smoke scale on a 2-slave sweep, checking
+// structure and printability rather than magnitudes.
+func smokeOpts() Options { return Options{Scale: Smoke, MaxSlaves: 2} }
+
+func TestFig5Smoke(t *testing.T) {
+	f, err := RunFig5(smokeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 2 || f.Rows[0].Speedup != 1.0 {
+		t.Fatalf("rows: %+v", f.Rows)
+	}
+	if f.QEMUNs <= 0 || f.QEMURatio <= 0 {
+		t.Errorf("qemu baseline: %d %f", f.QEMUNs, f.QEMURatio)
+	}
+	var buf bytes.Buffer
+	f.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 5") {
+		t.Error("print output missing header")
+	}
+}
+
+func TestFig6Smoke(t *testing.T) {
+	f, err := RunFig6(smokeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 2 {
+		t.Fatalf("rows: %+v", f.Rows)
+	}
+	for _, r := range f.Rows {
+		if r.WorstNs <= 0 || r.BestNs <= 0 {
+			t.Errorf("row %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	f.Print(&buf)
+	if !strings.Contains(buf.String(), "mutex") {
+		t.Error("print output missing header")
+	}
+}
+
+func TestTable1Smoke(t *testing.T) {
+	tb, err := RunTable1(smokeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows: %d", len(tb.Rows))
+	}
+	// The headline ordering must hold even at smoke scale.
+	byName := map[string]float64{}
+	for _, r := range tb.Rows {
+		if r.Throughput <= 0 {
+			t.Errorf("%s throughput %f", r.Name, r.Throughput)
+		}
+		byName[r.Name] = r.Throughput
+	}
+	if byName["Remote Sequential Access"] >= byName["QEMU Sequential Access"] {
+		t.Error("remote should be slower than local")
+	}
+	if byName["Page forwarding Enabled"] <= byName["Remote Sequential Access"] {
+		t.Error("forwarding should beat plain remote access")
+	}
+	var buf bytes.Buffer
+	tb.Print(&buf)
+	if !strings.Contains(buf.String(), "Table 1") {
+		t.Error("print output missing header")
+	}
+}
+
+func TestFig7Smoke(t *testing.T) {
+	f, err := RunFig7(smokeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("benchmarks: %d", len(f.Benchmarks))
+	}
+	for _, b := range f.Benchmarks {
+		if len(b.Rows) != 2 {
+			t.Errorf("%s rows: %d", b.Name, len(b.Rows))
+		}
+		if b.Rows[0].OriginSpeedup != 1.0 {
+			t.Errorf("%s not normalized", b.Name)
+		}
+	}
+	var buf bytes.Buffer
+	f.Print(&buf)
+	if !strings.Contains(buf.String(), "blackscholes") {
+		t.Error("print output missing benchmark")
+	}
+}
+
+func TestFig8Smoke(t *testing.T) {
+	f, err := RunFig8(smokeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("benchmarks: %d", len(f.Benchmarks))
+	}
+	for _, b := range f.Benchmarks {
+		for _, r := range b.Rows {
+			if r.Hint.Total() <= 0 || r.RR.Total() <= 0 {
+				t.Errorf("%s slaves=%d empty breakdown", b.Name, r.Slaves)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	f.Print(&buf)
+	if !strings.Contains(buf.String(), "fluidanimate") {
+		t.Error("print output missing benchmark")
+	}
+}

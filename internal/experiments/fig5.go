@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dqemu/internal/workloads"
+)
+
+// Fig5 reproduces Figure 5: π-by-Taylor with 120 threads and no sharing,
+// swept over 1..MaxSlaves slave nodes, normalized to one slave node. The
+// dashed line is single-node QEMU 4.2.0 (all threads on the master).
+type Fig5 struct {
+	Threads int
+	// QEMUNs is the single-node QEMU baseline time.
+	QEMUNs int64
+	// QEMURatio is QEMU's speedup relative to 1-slave DQEMU (paper: 1.04).
+	QEMURatio float64
+	Rows      []Fig5Row
+}
+
+// Fig5Row is one cluster size.
+type Fig5Row struct {
+	Slaves  int
+	TimeNs  int64
+	Speedup float64 // vs. 1 slave
+}
+
+// RunFig5 executes the scalability sweep.
+func RunFig5(o Options) (*Fig5, error) {
+	o.normalize()
+	threads, repeats, terms := 120, 1200, 100
+	switch o.Scale {
+	case Full:
+		repeats, terms = 4096, 200
+	case Smoke:
+		threads, repeats, terms = 16, 100, 50
+	}
+	im, err := workloads.Pi(threads, repeats, terms)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig5{Threads: threads}
+
+	qemu, err := run(im, baseConfig(0))
+	if err != nil {
+		return nil, fmt.Errorf("fig5 qemu baseline: %w", err)
+	}
+	out.QEMUNs = qemu.TimeNs
+	o.logf("fig5: qemu-4.2.0 single node: %.3fs", seconds(qemu.TimeNs))
+
+	for slaves := 1; slaves <= o.MaxSlaves; slaves++ {
+		res, err := run(im, baseConfig(slaves))
+		if err != nil {
+			return nil, fmt.Errorf("fig5 slaves=%d: %w", slaves, err)
+		}
+		out.Rows = append(out.Rows, Fig5Row{Slaves: slaves, TimeNs: res.TimeNs})
+		o.logf("fig5: %d slave(s): %.3fs", slaves, seconds(res.TimeNs))
+	}
+	base := out.Rows[0].TimeNs
+	for i := range out.Rows {
+		out.Rows[i].Speedup = float64(base) / float64(out.Rows[i].TimeNs)
+	}
+	out.QEMURatio = float64(base) / float64(out.QEMUNs)
+	return out, nil
+}
+
+// Print renders the figure as a table.
+func (f *Fig5) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 5: scalability, pi Taylor series, %d threads (speedup vs 1 slave)\n", f.Threads)
+	fmt.Fprintf(w, "%-12s %-12s %-10s\n", "slaves", "time(s)", "speedup")
+	for _, r := range f.Rows {
+		fmt.Fprintf(w, "%-12d %-12.3f %-10.2f\n", r.Slaves, seconds(r.TimeNs), r.Speedup)
+	}
+	fmt.Fprintf(w, "%-12s %-12.3f %-10.2f   (dashed line)\n", "qemu-4.2.0", seconds(f.QEMUNs), f.QEMURatio)
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dqemu/internal/core"
+	"dqemu/internal/workloads"
+)
+
+// Fig6 reproduces Figure 6: 32 threads acquire/release a mutex. Worst case:
+// one global lock (paper: 5 000 acquisitions each); best case: per-thread
+// private locks (paper: 500 000 each). Elapsed time vs slave count, plus
+// single-node QEMU baselines.
+type Fig6 struct {
+	Threads                 int
+	WorstAcq, BestAcq       int
+	QEMUWorstNs, QEMUBestNs int64
+	Rows                    []Fig6Row
+}
+
+// Fig6Row is one cluster size.
+type Fig6Row struct {
+	Slaves  int
+	WorstNs int64 // DQEMU-1 in the paper's legend
+	BestNs  int64 // DQEMU-2
+}
+
+// RunFig6 executes the mutex sweep.
+func RunFig6(o Options) (*Fig6, error) {
+	o.normalize()
+	threads := 32
+	// The worst case always uses the paper's 5000 acquisitions: shorter
+	// runs end before the threads overlap and the contention never builds.
+	worstAcq, bestAcq := 5_000, 50_000
+	switch o.Scale {
+	case Full:
+		bestAcq = 500_000
+	case Smoke:
+		worstAcq, bestAcq = 100, 500
+	}
+	worstIm, err := workloads.LockBench(threads, worstAcq, false)
+	if err != nil {
+		return nil, err
+	}
+	bestIm, err := workloads.LockBench(threads, bestAcq, true)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig6{Threads: threads, WorstAcq: worstAcq, BestAcq: bestAcq}
+
+	// Mutex hand-offs are sub-microsecond events; sample them with a fine
+	// scheduling quantum so lock migrations interleave as they would on
+	// real cores (see DESIGN.md on quantum granularity).
+	cfg := func(slaves int) core.Config {
+		c := baseConfig(slaves)
+		c.QuantumNs = 2_000
+		return c
+	}
+	qw, err := run(worstIm, cfg(0))
+	if err != nil {
+		return nil, fmt.Errorf("fig6 qemu worst: %w", err)
+	}
+	qb, err := run(bestIm, cfg(0))
+	if err != nil {
+		return nil, fmt.Errorf("fig6 qemu best: %w", err)
+	}
+	out.QEMUWorstNs, out.QEMUBestNs = qw.TimeNs, qb.TimeNs
+	o.logf("fig6: qemu baselines: worst %.3fs best %.3fs", seconds(qw.TimeNs), seconds(qb.TimeNs))
+
+	for slaves := 1; slaves <= o.MaxSlaves; slaves++ {
+		rw, err := run(worstIm, cfg(slaves))
+		if err != nil {
+			return nil, fmt.Errorf("fig6 worst slaves=%d: %w", slaves, err)
+		}
+		rb, err := run(bestIm, cfg(slaves))
+		if err != nil {
+			return nil, fmt.Errorf("fig6 best slaves=%d: %w", slaves, err)
+		}
+		out.Rows = append(out.Rows, Fig6Row{Slaves: slaves, WorstNs: rw.TimeNs, BestNs: rb.TimeNs})
+		o.logf("fig6: %d slave(s): worst %.3fs best %.3fs", slaves, seconds(rw.TimeNs), seconds(rb.TimeNs))
+	}
+	return out, nil
+}
+
+// Print renders the figure as a table.
+func (f *Fig6) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 6: mutex performance, %d threads (elapsed seconds)\n", f.Threads)
+	fmt.Fprintf(w, "%-12s %-22s %-22s\n", "slaves",
+		fmt.Sprintf("global lock x%d", f.WorstAcq),
+		fmt.Sprintf("private locks x%d", f.BestAcq))
+	for _, r := range f.Rows {
+		fmt.Fprintf(w, "%-12d %-22.3f %-22.3f\n", r.Slaves, seconds(r.WorstNs), seconds(r.BestNs))
+	}
+	fmt.Fprintf(w, "%-12s %-22.3f %-22.3f\n", "qemu-4.2.0", seconds(f.QEMUWorstNs), seconds(f.QEMUBestNs))
+}

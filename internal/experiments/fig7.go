@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dqemu/internal/core"
+	"dqemu/internal/image"
+	"dqemu/internal/workloads"
+)
+
+// Fig7 reproduces Figure 7: blackscholes and swaptions with 32 threads over
+// 1..MaxSlaves slave nodes, in three configurations — origin, +forwarding,
+// +forwarding+splitting — normalized to one slave node (origin), with the
+// single-node QEMU 4.2.0 ratio as the flat reference line.
+type Fig7 struct {
+	Benchmarks []Fig7Bench
+}
+
+// Fig7Bench is one benchmark's sweep.
+type Fig7Bench struct {
+	Name      string
+	QEMURatio float64 // QEMU time relative to 1-slave origin (speedup)
+	Rows      []Fig7Row
+	// Gains summarize the optimizations: average % improvement over origin.
+	ForwardingGainPct float64
+	FullGainPct       float64
+}
+
+// Fig7Row is one cluster size.
+type Fig7Row struct {
+	Slaves         int
+	OriginNs       int64
+	ForwardNs      int64
+	FullNs         int64 // forwarding + splitting
+	OriginSpeedup  float64
+	ForwardSpeedup float64
+	FullSpeedup    float64
+}
+
+// RunFig7 executes the PARSEC sweep.
+func RunFig7(o Options) (*Fig7, error) {
+	o.normalize()
+	threads := 32
+	options, rounds := 32768, 12
+	swapts, trials := 64, 600
+	switch o.Scale {
+	case Full:
+		options, rounds = 262144, 24
+		swapts, trials = 128, 20000
+	case Smoke:
+		options, rounds = 2048, 2
+		swapts, trials = 32, 40
+	}
+	out := &Fig7{}
+	// Both kernels partition their chunks for the cluster size (PARSEC's
+	// static partitioning), so the images are rebuilt per slave count.
+	bsBuilder := func(slaves int) (*image.Image, error) {
+		nodes := slaves
+		if nodes < 1 {
+			nodes = 1
+		}
+		return workloads.Blackscholes(threads, options, rounds, nodes)
+	}
+	swBuilder := func(slaves int) (*image.Image, error) {
+		nodes := slaves
+		if nodes < 1 {
+			nodes = 1
+		}
+		return workloads.Swaptions(threads, swapts, trials, nodes)
+	}
+	for _, b := range []struct {
+		name    string
+		builder func(int) (*image.Image, error)
+	}{{"blackscholes", bsBuilder}, {"swaptions", swBuilder}} {
+		bench, err := runFig7Bench(o, b.name, b.builder)
+		if err != nil {
+			return nil, err
+		}
+		out.Benchmarks = append(out.Benchmarks, *bench)
+	}
+	return out, nil
+}
+
+func runFig7Bench(o Options, name string, builder func(int) (*image.Image, error)) (*Fig7Bench, error) {
+	bench := &Fig7Bench{Name: name}
+	imQ, err := builder(0)
+	if err != nil {
+		return nil, err
+	}
+	qemu, err := run(imQ, baseConfig(0))
+	if err != nil {
+		return nil, fmt.Errorf("fig7 %s qemu: %w", name, err)
+	}
+	o.logf("fig7 %s: qemu %.3fs", name, seconds(qemu.TimeNs))
+
+	runCfg := func(im *image.Image, slaves int, fwd, split bool) (*core.Result, error) {
+		cfg := baseConfig(slaves)
+		cfg.Forwarding = fwd
+		cfg.Splitting = split
+		return run(im, cfg)
+	}
+	var fwdGain, fullGain float64
+	for slaves := 1; slaves <= o.MaxSlaves; slaves++ {
+		im, err := builder(slaves)
+		if err != nil {
+			return nil, err
+		}
+		origin, err := runCfg(im, slaves, false, false)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s origin slaves=%d: %w", name, slaves, err)
+		}
+		fwd, err := runCfg(im, slaves, true, false)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s fwd slaves=%d: %w", name, slaves, err)
+		}
+		full, err := runCfg(im, slaves, true, true)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s full slaves=%d: %w", name, slaves, err)
+		}
+		bench.Rows = append(bench.Rows, Fig7Row{
+			Slaves: slaves, OriginNs: origin.TimeNs, ForwardNs: fwd.TimeNs, FullNs: full.TimeNs,
+		})
+		fwdGain += pctGain(origin.TimeNs, fwd.TimeNs)
+		fullGain += pctGain(origin.TimeNs, full.TimeNs)
+		o.logf("fig7 %s: %d slave(s): origin %.3fs fwd %.3fs full %.3fs",
+			name, slaves, seconds(origin.TimeNs), seconds(fwd.TimeNs), seconds(full.TimeNs))
+	}
+	base := bench.Rows[0].OriginNs
+	for i := range bench.Rows {
+		r := &bench.Rows[i]
+		r.OriginSpeedup = float64(base) / float64(r.OriginNs)
+		r.ForwardSpeedup = float64(base) / float64(r.ForwardNs)
+		r.FullSpeedup = float64(base) / float64(r.FullNs)
+	}
+	bench.QEMURatio = float64(base) / float64(qemu.TimeNs)
+	bench.ForwardingGainPct = fwdGain / float64(len(bench.Rows))
+	bench.FullGainPct = fullGain / float64(len(bench.Rows))
+	return bench, nil
+}
+
+func pctGain(origin, improved int64) float64 {
+	return (float64(origin) - float64(improved)) / float64(origin) * 100
+}
+
+// Print renders the figure.
+func (f *Fig7) Print(w io.Writer) {
+	for _, b := range f.Benchmarks {
+		fmt.Fprintf(w, "Figure 7: %s, 32 threads (speedup vs 1 slave, origin)\n", b.Name)
+		fmt.Fprintf(w, "%-8s %-10s %-12s %-20s\n", "slaves", "origin", "forwarding", "forwarding+splitting")
+		for _, r := range b.Rows {
+			fmt.Fprintf(w, "%-8d %-10.2f %-12.2f %-20.2f\n",
+				r.Slaves, r.OriginSpeedup, r.ForwardSpeedup, r.FullSpeedup)
+		}
+		fmt.Fprintf(w, "qemu-4.2.0 ratio: %.2f   avg gain: forwarding %.1f%%, full %.1f%%\n\n",
+			b.QEMURatio, b.ForwardingGainPct, b.FullGainPct)
+	}
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dqemu/internal/core"
+	"dqemu/internal/image"
+	"dqemu/internal/workloads"
+)
+
+// Fig8 reproduces Figure 8: x264-like and fluidanimate-like with 128
+// threads. For each cluster size two schedulings are compared — hint-based
+// locality-aware placement vs round-robin — and the average per-thread time
+// is broken down into execution, page-fault stall and syscall stall, all
+// normalized to the single-node QEMU execution time.
+type Fig8 struct {
+	Benchmarks []Fig8Bench
+}
+
+// Fig8Bench is one benchmark's sweep.
+type Fig8Bench struct {
+	Name   string
+	QEMUNs int64 // single-node QEMU wall time (the normalization base)
+	Rows   []Fig8Row
+}
+
+// Fig8Row is one cluster size: left bar (hint) and right bar (round-robin),
+// each the wall-time ratio to single-node QEMU, decomposed by how the
+// worker threads spent their time (execution / page-fault stall / syscall
+// stall).
+type Fig8Row struct {
+	Slaves int
+	Hint   Breakdown
+	RR     Breakdown
+}
+
+// Breakdown is a normalized per-thread time split.
+type Breakdown struct {
+	Exec    float64
+	Fault   float64
+	Syscall float64
+}
+
+// Total is the bar height.
+func (b Breakdown) Total() float64 { return b.Exec + b.Fault + b.Syscall }
+
+// RunFig8 executes the locality-scheduling sweep.
+func RunFig8(o Options) (*Fig8, error) {
+	o.normalize()
+	threads := 128
+	frames := 6
+	grid, iters := 256, 4
+	switch o.Scale {
+	case Full:
+		frames, iters = 24, 16
+	case Smoke:
+		threads, frames, grid, iters = 16, 3, 64, 2
+	}
+	slaveCounts := []int{2, 4, 6}
+	if o.MaxSlaves < 6 {
+		slaveCounts = nil
+		for s := 2; s <= o.MaxSlaves; s += 2 {
+			slaveCounts = append(slaveCounts, s)
+		}
+		if len(slaveCounts) == 0 {
+			slaveCounts = []int{o.MaxSlaves}
+		}
+	}
+
+	out := &Fig8{}
+	x264Im, err := workloads.X264(threads, 4, frames)
+	if err != nil {
+		return nil, err
+	}
+	benches := []struct {
+		name    string
+		builder func(slaves int) (*image.Image, error)
+	}{
+		{"x264", func(int) (*image.Image, error) { return x264Im, nil }},
+		// fluidanimate picks its grouping strategy by cluster size (§6.1.2:
+		// "we embed several grouping strategies, and DQEMU selects the best
+		// strategies based on the number of nodes available").
+		{"fluidanimate", func(slaves int) (*image.Image, error) {
+			groups := slaves
+			if groups < 1 {
+				groups = 1
+			}
+			return workloads.Fluidanimate(threads, grid, iters, groups)
+		}},
+	}
+	for _, b := range benches {
+		bench := Fig8Bench{Name: b.name}
+		imQ, err := b.builder(1)
+		if err != nil {
+			return nil, err
+		}
+		qemu, err := run(imQ, baseConfig(0))
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s qemu: %w", b.name, err)
+		}
+		bench.QEMUNs = qemu.TimeNs
+		o.logf("fig8 %s: qemu wall %.3fs", b.name, seconds(qemu.TimeNs))
+
+		for _, slaves := range slaveCounts {
+			im, err := b.builder(slaves)
+			if err != nil {
+				return nil, err
+			}
+			row := Fig8Row{Slaves: slaves}
+			for _, hint := range []bool{true, false} {
+				cfg := baseConfig(slaves)
+				cfg.HintSched = hint
+				res, err := run(im, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("fig8 %s slaves=%d hint=%v: %w", b.name, slaves, hint, err)
+				}
+				e, f, s := avgBreakdownNs(res)
+				ratio := float64(res.TimeNs) / float64(bench.QEMUNs)
+				total := float64(e + f + s)
+				if total == 0 {
+					total = 1
+				}
+				bd := Breakdown{
+					Exec:    ratio * float64(e) / total,
+					Fault:   ratio * float64(f) / total,
+					Syscall: ratio * float64(s) / total,
+				}
+				if hint {
+					row.Hint = bd
+				} else {
+					row.RR = bd
+				}
+				o.logf("fig8 %s: slaves=%d hint=%v total %.2f (exec %.2f fault %.2f sys %.2f)",
+					b.name, slaves, hint, bd.Total(), bd.Exec, bd.Fault, bd.Syscall)
+			}
+			bench.Rows = append(bench.Rows, row)
+		}
+		out.Benchmarks = append(out.Benchmarks, bench)
+	}
+	return out, nil
+}
+
+// avgBreakdownNs averages the per-thread breakdown over worker threads
+// (all threads except the main thread, TID 1).
+func avgBreakdownNs(res *core.Result) (exec, fault, sys int64) {
+	var n int64
+	for _, t := range res.Threads {
+		if t.TID == 1 {
+			continue
+		}
+		exec += t.ExecNs
+		fault += t.FaultNs
+		sys += t.SyscallNs
+		n++
+	}
+	if n == 0 {
+		return 0, 0, 0
+	}
+	return exec / n, fault / n, sys / n
+}
+
+// Print renders the figure.
+func (f *Fig8) Print(w io.Writer) {
+	for _, b := range f.Benchmarks {
+		fmt.Fprintf(w, "Figure 8: %s, 128 threads (per-thread time normalized to QEMU; hint | round-robin)\n", b.Name)
+		fmt.Fprintf(w, "%-8s %-34s %-34s\n", "slaves", "hint: total (exec/fault/sys)", "rr: total (exec/fault/sys)")
+		for _, r := range b.Rows {
+			fmt.Fprintf(w, "%-8d %-34s %-34s\n", r.Slaves, fmtBreakdown(r.Hint), fmtBreakdown(r.RR))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func fmtBreakdown(b Breakdown) string {
+	return fmt.Sprintf("%.2f (%.2f/%.2f/%.2f)", b.Total(), b.Exec, b.Fault, b.Syscall)
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dqemu/internal/core"
+	"dqemu/internal/workloads"
+)
+
+// Table1 reproduces Table 1: memory performance of DQEMU. Throughput is the
+// average bandwidth of the measured access phase (guest-timed); latency is
+// the average time the page-fault handler needs to bring in a remote page.
+type Table1 struct {
+	Rows []Table1Row
+}
+
+// Table1Row is one access type.
+type Table1Row struct {
+	Name       string
+	Throughput float64 // MB/s
+	LatencyUs  float64 // 0 when not applicable
+}
+
+// RunTable1 executes the memory micro-benchmarks.
+func RunTable1(o Options) (*Table1, error) {
+	o.normalize()
+	walkBytes := 2 << 20
+	fsRounds, fsSplitRounds := 60, 1200
+	switch o.Scale {
+	case Full:
+		walkBytes = 64 << 20
+		fsRounds, fsSplitRounds = 600, 12000
+	case Smoke:
+		walkBytes = 256 << 10
+		fsRounds, fsSplitRounds = 20, 100
+	}
+	out := &Table1{}
+
+	// Row 1: QEMU sequential access (single node, local walk).
+	localIm, err := workloads.LocalWalk(walkBytes)
+	if err != nil {
+		return nil, err
+	}
+	resLocal, err := run(localIm, baseConfig(0))
+	if err != nil {
+		return nil, fmt.Errorf("table1 local walk: %w", err)
+	}
+	walkNs := int64(consoleInt(resLocal.Console, "walk_ns"))
+	out.Rows = append(out.Rows, Table1Row{
+		Name:       "QEMU Sequential Access",
+		Throughput: mbps(walkBytes, walkNs),
+	})
+	o.logf("table1: local walk %.2f MB/s", out.Rows[0].Throughput)
+
+	// Rows 2-3: remote sequential walk, without and with data forwarding.
+	remoteIm, err := workloads.MemWalk(walkBytes)
+	if err != nil {
+		return nil, err
+	}
+	for _, fwd := range []bool{false, true} {
+		cfg := baseConfig(1)
+		cfg.Forwarding = fwd
+		res, err := run(remoteIm, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("table1 remote walk fwd=%v: %w", fwd, err)
+		}
+		name := "Remote Sequential Access"
+		if fwd {
+			name = "Page forwarding Enabled"
+		}
+		out.Rows = append(out.Rows, Table1Row{
+			Name:       name,
+			Throughput: mbps(walkBytes, int64(consoleInt(res.Console, "walk_ns"))),
+			LatencyUs:  perPageStallUs(res, 1, walkBytes/4096),
+		})
+		o.logf("table1: %s %.2f MB/s (%.1f us/fault)", name,
+			out.Rows[len(out.Rows)-1].Throughput, out.Rows[len(out.Rows)-1].LatencyUs)
+	}
+
+	// Rows 4-6: 32 threads on their own 128-byte sections of one page:
+	// single-node QEMU, false sharing across 4 slave nodes, and splitting.
+	const fsThreads, fsNodes, fsSection = 32, 4, 128
+	fsBytes := func(rounds int) int { return fsThreads * fsSection * rounds }
+
+	type fsCase struct {
+		name   string
+		slaves int
+		split  bool
+		rounds int
+	}
+	for _, c := range []fsCase{
+		{"QEMU Access of 128 bytes", 0, false, fsSplitRounds},
+		{"False Sharing of 1 Page", fsNodes, false, fsRounds},
+		{"Page Splitting Enabled", fsNodes, true, fsSplitRounds},
+	} {
+		im, err := workloads.FalseShare(fsThreads, fsNodes, fsSection, c.rounds)
+		if err != nil {
+			return nil, err
+		}
+		cfg := baseConfig(c.slaves)
+		cfg.Splitting = c.split
+		res, err := run(im, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s: %w", c.name, err)
+		}
+		out.Rows = append(out.Rows, Table1Row{
+			Name:       c.name,
+			Throughput: mbps(fsBytes(c.rounds), int64(consoleInt(res.Console, "elapsed_ns"))),
+		})
+		o.logf("table1: %s %.2f MB/s", c.name, out.Rows[len(out.Rows)-1].Throughput)
+	}
+	return out, nil
+}
+
+// perPageStallUs is the page-fault stall on the given node amortized over
+// the pages transferred — the "time needed for the page fault handler to
+// transmit a remote page" of Table 1 (forwarded pages arrive without a
+// fault, pulling the average down, as in the paper's 410.5 -> 83.2 µs).
+func perPageStallUs(res *core.Result, node, pages int) float64 {
+	if pages == 0 {
+		return 0
+	}
+	for _, ns := range res.Nodes {
+		if ns.Node == node && ns.PageFaults > 0 {
+			return float64(ns.PageWaitNs) / float64(pages) / 1e3
+		}
+	}
+	return 0
+}
+
+// consoleInt extracts "key=<int>" from guest console output.
+func consoleInt(console, key string) int64 {
+	idx := strings.Index(console, key+"=")
+	if idx < 0 {
+		return 0
+	}
+	rest := console[idx+len(key)+1:]
+	if nl := strings.IndexByte(rest, '\n'); nl >= 0 {
+		rest = rest[:nl]
+	}
+	v, _ := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+	return v
+}
+
+// Print renders the table.
+func (t *Table1) Print(w io.Writer) {
+	fmt.Fprintf(w, "Table 1: memory performance of DQEMU\n")
+	fmt.Fprintf(w, "%-28s %-18s %-12s\n", "Access Type", "Throughput(MB/s)", "Latency(us)")
+	for _, r := range t.Rows {
+		lat := "-"
+		if r.LatencyUs > 0 {
+			lat = fmt.Sprintf("%.1f", r.LatencyUs)
+		}
+		fmt.Fprintf(w, "%-28s %-18.2f %-12s\n", r.Name, r.Throughput, lat)
+	}
+}

@@ -1,0 +1,68 @@
+package guestos
+
+// FutexTable is the distributed futex of §4.4: "a wait queue is maintained
+// in OS to record the status of threads waiting for the futex semaphore. To
+// emulate this functionality in a distributed environment, we have
+// implemented a futex table to support a distributed futex syscall." It
+// lives on the master; waiters are parked delegated-syscall replies.
+type FutexTable struct {
+	waiters map[uint64][]futexWaiter
+	// Waits and Wakes count operations for the statistics report.
+	Waits uint64
+	Wakes uint64
+}
+
+type futexWaiter struct {
+	tid  int64
+	wake func()
+}
+
+// NewFutexTable returns an empty table.
+func NewFutexTable() *FutexTable {
+	return &FutexTable{waiters: map[uint64][]futexWaiter{}}
+}
+
+// Wait parks tid on addr; wake fires when a FUTEX_WAKE releases it. The
+// *addr == val check belongs to the caller (it needs guest memory access).
+func (t *FutexTable) Wait(addr uint64, tid int64, wake func()) {
+	t.Waits++
+	t.waiters[addr] = append(t.waiters[addr], futexWaiter{tid: tid, wake: wake})
+}
+
+// Wake releases up to n waiters on addr and returns how many woke.
+func (t *FutexTable) Wake(addr uint64, n int64) int64 {
+	t.Wakes++
+	q := t.waiters[addr]
+	if len(q) == 0 {
+		return 0
+	}
+	count := int64(len(q))
+	if count > n {
+		count = n
+	}
+	released := q[:count]
+	rest := q[count:]
+	if len(rest) == 0 {
+		delete(t.waiters, addr)
+	} else {
+		t.waiters[addr] = append([]futexWaiter(nil), rest...)
+	}
+	for _, w := range released {
+		w.wake()
+	}
+	return count
+}
+
+// Waiting returns the number of threads parked on addr.
+func (t *FutexTable) Waiting(addr uint64) int {
+	return len(t.waiters[addr])
+}
+
+// TotalWaiting returns the number of parked threads across all addresses.
+func (t *FutexTable) TotalWaiting() int {
+	total := 0
+	for _, q := range t.waiters {
+		total += len(q)
+	}
+	return total
+}

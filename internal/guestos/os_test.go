@@ -1,0 +1,351 @@
+package guestos
+
+import (
+	"bytes"
+	"testing"
+
+	"dqemu/internal/abi"
+)
+
+// fakeHost backs guest memory with a flat map and performs all callbacks
+// synchronously.
+type fakeHost struct {
+	mem      map[uint64]byte
+	console  bytes.Buffer
+	started  []int64
+	shutdown *int64
+	now      int64
+}
+
+func newFakeHost() *fakeHost { return &fakeHost{mem: map[uint64]byte{}} }
+
+func (h *fakeHost) ReadGuest(addr uint64, n int, cb func([]byte, error)) {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = h.mem[addr+uint64(i)]
+	}
+	cb(buf, nil)
+}
+
+func (h *fakeHost) WriteGuest(addr uint64, data []byte, cb func(error)) {
+	for i, b := range data {
+		h.mem[addr+uint64(i)] = b
+	}
+	cb(nil)
+}
+
+func (h *fakeHost) StartThread(tid int64, fn, arg, stackTop uint64, hint int64) {
+	h.started = append(h.started, tid)
+}
+
+func (h *fakeHost) Shutdown(code int64) { h.shutdown = &code }
+
+func (h *fakeHost) ConsoleWrite(fd int64, data []byte) { h.console.Write(data) }
+
+func (h *fakeHost) NowNs() int64 { return h.now }
+
+func (h *fakeHost) poke(addr uint64, s string) {
+	for i := 0; i < len(s); i++ {
+		h.mem[addr+uint64(i)] = s[i]
+	}
+}
+
+func newOS(h *fakeHost) *OS {
+	return New(h, NewVFS(), 0x100000, 0x200000, 0x400000)
+}
+
+// call runs a global syscall synchronously and returns the reply.
+func call(t *testing.T, o *OS, tid, num int64, args ...uint64) uint64 {
+	t.Helper()
+	var a [6]uint64
+	copy(a[:], args)
+	var ret uint64
+	replied := false
+	o.Global(tid, num, a, func(v uint64) { ret = v; replied = true })
+	if !replied {
+		t.Fatalf("syscall %d did not reply synchronously", num)
+	}
+	return ret
+}
+
+func TestIsGlobalClassification(t *testing.T) {
+	locals := []int64{abi.SysGetTID, abi.SysNodeID, abi.SysNumNodes,
+		abi.SysClockGettime, abi.SysNanosleep, abi.SysSchedYield, abi.SysHint, abi.SysTimeNs}
+	for _, n := range locals {
+		if IsGlobal(n) {
+			t.Errorf("syscall %d should be local", n)
+		}
+	}
+	globals := []int64{abi.SysWrite, abi.SysRead, abi.SysOpenAt, abi.SysFutex,
+		abi.SysBrk, abi.SysMmap, abi.SysExit, abi.SysExitGroup, abi.SysThreadCreate}
+	for _, n := range globals {
+		if !IsGlobal(n) {
+			t.Errorf("syscall %d should be global", n)
+		}
+	}
+}
+
+func TestConsoleWrite(t *testing.T) {
+	h := newFakeHost()
+	o := newOS(h)
+	h.poke(0x5000, "hello\n")
+	ret := call(t, o, 1, abi.SysWrite, 1, 0x5000, 6)
+	if ret != 6 || h.console.String() != "hello\n" {
+		t.Errorf("ret=%d console=%q", ret, h.console.String())
+	}
+	if o.Stats.ConsoleOut != 6 {
+		t.Errorf("console stat = %d", o.Stats.ConsoleOut)
+	}
+}
+
+func TestFileIO(t *testing.T) {
+	h := newFakeHost()
+	o := newOS(h)
+	o.VFS().AddFile("/input.txt", []byte("abcdefgh"))
+
+	h.poke(0x5000, "/input.txt\x00")
+	fd := call(t, o, 1, abi.SysOpenAt, uint64(^uint64(99)), 0x5000, abi.ORdOnly)
+	if int64(fd) < 3 {
+		t.Fatalf("open: %d", int64(fd))
+	}
+	// Read 4 bytes into guest memory at 0x6000.
+	n := call(t, o, 1, abi.SysRead, fd, 0x6000, 4)
+	if n != 4 || h.mem[0x6000] != 'a' || h.mem[0x6003] != 'd' {
+		t.Errorf("read: n=%d", n)
+	}
+	// Seek and read the tail.
+	pos := call(t, o, 1, abi.SysLSeek, fd, 6, abi.SeekSet)
+	if pos != 6 {
+		t.Errorf("lseek: %d", pos)
+	}
+	n = call(t, o, 1, abi.SysRead, fd, 0x6100, 100)
+	if n != 2 || h.mem[0x6100] != 'g' {
+		t.Errorf("tail read: n=%d", n)
+	}
+	// EOF.
+	if n := call(t, o, 1, abi.SysRead, fd, 0x6200, 10); n != 0 {
+		t.Errorf("EOF read: %d", n)
+	}
+	// fstat reports the size.
+	call(t, o, 1, abi.SysFstat, fd, 0x7000)
+	var size uint64
+	for i := 0; i < 8; i++ {
+		size |= uint64(h.mem[0x7000+48+uint64(i)]) << (8 * i)
+	}
+	if size != 8 {
+		t.Errorf("fstat size = %d", size)
+	}
+	if ret := call(t, o, 1, abi.SysClose, fd); ret != 0 {
+		t.Errorf("close: %d", int64(ret))
+	}
+	if ret := int64(call(t, o, 1, abi.SysClose, fd)); ret != -abi.EBADF {
+		t.Errorf("double close: %d", ret)
+	}
+}
+
+func TestFileCreateAndWrite(t *testing.T) {
+	h := newFakeHost()
+	o := newOS(h)
+	h.poke(0x5000, "/out.txt\x00")
+	fd := call(t, o, 1, abi.SysOpenAt, 0, 0x5000, abi.OWrOnly|abi.OCreate)
+	h.poke(0x6000, "data!")
+	if n := call(t, o, 1, abi.SysWrite, fd, 0x6000, 5); n != 5 {
+		t.Fatalf("write: %d", n)
+	}
+	got, ok := o.VFS().FileContent("/out.txt")
+	if !ok || string(got) != "data!" {
+		t.Errorf("file content = %q, %v", got, ok)
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	h := newFakeHost()
+	o := newOS(h)
+	h.poke(0x5000, "/nope\x00")
+	if ret := int64(call(t, o, 1, abi.SysOpenAt, 0, 0x5000, abi.ORdOnly)); ret != -abi.ENOENT {
+		t.Errorf("open missing: %d", ret)
+	}
+}
+
+func TestBrk(t *testing.T) {
+	h := newFakeHost()
+	o := newOS(h)
+	cur := call(t, o, 1, abi.SysBrk, 0)
+	if cur != 0x100000 {
+		t.Fatalf("initial brk = %#x", cur)
+	}
+	if got := call(t, o, 1, abi.SysBrk, 0x180000); got != 0x180000 {
+		t.Errorf("grow brk = %#x", got)
+	}
+	// Below start: unchanged.
+	if got := call(t, o, 1, abi.SysBrk, 0x1000); got != 0x180000 {
+		t.Errorf("shrink below start = %#x", got)
+	}
+}
+
+func TestMmap(t *testing.T) {
+	h := newFakeHost()
+	o := newOS(h)
+	a := call(t, o, 1, abi.SysMmap, 0, 100)
+	b := call(t, o, 1, abi.SysMmap, 0, 8192)
+	if a != 0x200000 || b != 0x201000 {
+		t.Errorf("mmap: %#x %#x", a, b)
+	}
+	// Exhaustion.
+	if ret := int64(call(t, o, 1, abi.SysMmap, 0, 1<<30)); ret != -abi.ENOMEM {
+		t.Errorf("mmap exhaustion: %d", ret)
+	}
+}
+
+func TestFutexWaitWake(t *testing.T) {
+	h := newFakeHost()
+	o := newOS(h)
+	// Value at 0x9000 is 2.
+	h.mem[0x9000] = 2
+
+	// Wait with matching value parks.
+	var woke bool
+	o.Global(2, abi.SysFutex, [6]uint64{0x9000, abi.FutexWait, 2}, func(uint64) { woke = true })
+	if woke {
+		t.Fatal("waiter completed early")
+	}
+	if o.Futex().Waiting(0x9000) != 1 {
+		t.Fatal("waiter not parked")
+	}
+	// Wait with stale value returns EAGAIN immediately.
+	if ret := int64(call(t, o, 3, abi.SysFutex, 0x9000, abi.FutexWait, 7)); ret != -abi.EAGAIN {
+		t.Errorf("stale wait: %d", ret)
+	}
+	// Wake releases the parked thread.
+	if n := call(t, o, 4, abi.SysFutex, 0x9000, abi.FutexWake, 10); n != 1 {
+		t.Errorf("wake count: %d", n)
+	}
+	if !woke {
+		t.Error("waiter not woken")
+	}
+}
+
+func TestFutexWakeLimitsCount(t *testing.T) {
+	h := newFakeHost()
+	o := newOS(h)
+	h.mem[0x9000] = 1
+	woken := 0
+	for i := 0; i < 5; i++ {
+		o.Global(int64(10+i), abi.SysFutex, [6]uint64{0x9000, abi.FutexWait, 1}, func(uint64) { woken++ })
+	}
+	if n := call(t, o, 1, abi.SysFutex, 0x9000, abi.FutexWake, 2); n != 2 || woken != 2 {
+		t.Errorf("wake 2: n=%d woken=%d", n, woken)
+	}
+	if n := call(t, o, 1, abi.SysFutex, 0x9000, abi.FutexWake, 100); n != 3 || woken != 5 {
+		t.Errorf("wake rest: n=%d woken=%d", n, woken)
+	}
+}
+
+func TestThreadLifecycle(t *testing.T) {
+	h := newFakeHost()
+	o := newOS(h)
+	tid := int64(call(t, o, 1, abi.SysThreadCreate, 0x10000, 42, 0x300000))
+	if tid != 2 || len(h.started) != 1 || h.started[0] != 2 {
+		t.Fatalf("create: tid=%d started=%v", tid, h.started)
+	}
+	if o.AliveThreads() != 2 {
+		t.Errorf("alive = %d", o.AliveThreads())
+	}
+	// Join blocks until exit.
+	var joined bool
+	o.Global(1, abi.SysThreadJoin, [6]uint64{uint64(tid)}, func(uint64) { joined = true })
+	if joined {
+		t.Fatal("join completed early")
+	}
+	o.Global(tid, abi.SysExit, [6]uint64{0}, func(uint64) { t.Fatal("exit must not reply") })
+	if !joined {
+		t.Error("joiner not woken")
+	}
+	// Join on a dead thread returns immediately.
+	if ret := call(t, o, 1, abi.SysThreadJoin, uint64(tid)); ret != 0 {
+		t.Errorf("join dead: %d", ret)
+	}
+}
+
+func TestExitGroupShutsDown(t *testing.T) {
+	h := newFakeHost()
+	o := newOS(h)
+	o.Global(1, abi.SysExitGroup, [6]uint64{7}, func(uint64) { t.Fatal("exit_group must not reply") })
+	if h.shutdown == nil || *h.shutdown != 7 {
+		t.Errorf("shutdown = %v", h.shutdown)
+	}
+}
+
+func TestUnameAndGetcwd(t *testing.T) {
+	h := newFakeHost()
+	o := newOS(h)
+	if ret := call(t, o, 1, abi.SysUname, 0xa000); ret != 0 {
+		t.Fatalf("uname: %d", int64(ret))
+	}
+	if h.mem[0xa000] != 'L' || h.mem[0xa000+65] != 'd' {
+		t.Error("uname fields wrong")
+	}
+	if ret := call(t, o, 1, abi.SysGetcwd, 0xb000, 64); ret != 2 {
+		t.Errorf("getcwd: %d", ret)
+	}
+	if h.mem[0xb000] != '/' {
+		t.Error("cwd wrong")
+	}
+	if ret := int64(call(t, o, 1, abi.SysGetcwd, 0xb000, 1)); ret != -abi.EINVAL {
+		t.Errorf("short getcwd: %d", ret)
+	}
+}
+
+func TestUnknownSyscall(t *testing.T) {
+	h := newFakeHost()
+	o := newOS(h)
+	if ret := int64(call(t, o, 1, 9999)); ret != -abi.ENOSYS {
+		t.Errorf("unknown: %d", ret)
+	}
+	if ret := int64(call(t, o, 1, abi.SysClone)); ret != -abi.ENOSYS {
+		t.Errorf("clone: %d", ret)
+	}
+	if o.Stats.Unknown != 1 {
+		t.Errorf("unknown stat = %d", o.Stats.Unknown)
+	}
+}
+
+func TestVFSPaths(t *testing.T) {
+	v := NewVFS()
+	v.AddFile("/b", nil)
+	v.AddFile("/a", []byte("x"))
+	paths := v.Paths()
+	if len(paths) != 2 || paths[0] != "/a" || paths[1] != "/b" {
+		t.Errorf("paths = %v", paths)
+	}
+	if _, ok := v.FileContent("/nope"); ok {
+		t.Error("missing file found")
+	}
+}
+
+func TestFDTableAppend(t *testing.T) {
+	v := NewVFS()
+	v.AddFile("/log", []byte("abc"))
+	fds := NewFDTable()
+	fd, err := fds.Open(v, "/log", abi.OWrOnly|abi.OAppend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fds.Write(fd, []byte("def"))
+	got, _ := v.FileContent("/log")
+	if string(got) != "abcdef" {
+		t.Errorf("append = %q", got)
+	}
+}
+
+func TestFDTableTrunc(t *testing.T) {
+	v := NewVFS()
+	v.AddFile("/f", []byte("old content"))
+	fds := NewFDTable()
+	fd, _ := fds.Open(v, "/f", abi.OWrOnly|abi.OTrunc)
+	fds.Write(fd, []byte("new"))
+	got, _ := v.FileContent("/f")
+	if string(got) != "new" {
+		t.Errorf("trunc = %q", got)
+	}
+}

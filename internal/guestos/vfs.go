@@ -1,0 +1,172 @@
+// Package guestos implements the guest operating-system services of DQEMU's
+// user mode: an in-memory filesystem, a distributed futex table, and the
+// master-side syscall engine that the delegation mechanism (§4.3) routes
+// global syscalls to. Syscalls are classified local (executed on the node
+// that trapped them) or global (forwarded to the master and executed by the
+// requesting slave's manager thread); the engine here is what the manager
+// threads run.
+package guestos
+
+import (
+	"fmt"
+	"sort"
+
+	"dqemu/internal/abi"
+)
+
+// file is an in-memory regular file.
+type file struct {
+	data []byte
+}
+
+// VFS is the master's in-memory filesystem. The paper's benchmarks read
+// their PARSEC inputs through delegated read syscalls against files the
+// master owns; tests and workloads pre-populate the VFS with input data.
+type VFS struct {
+	files map[string]*file
+}
+
+// NewVFS returns an empty filesystem.
+func NewVFS() *VFS {
+	return &VFS{files: map[string]*file{}}
+}
+
+// AddFile creates (or replaces) a file with the given content.
+func (v *VFS) AddFile(path string, content []byte) {
+	v.files[path] = &file{data: append([]byte(nil), content...)}
+}
+
+// FileContent returns a copy of a file's content.
+func (v *VFS) FileContent(path string) ([]byte, bool) {
+	f, ok := v.files[path]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), f.data...), true
+}
+
+// Paths lists all file paths in sorted order.
+func (v *VFS) Paths() []string {
+	out := make([]string, 0, len(v.files))
+	for p := range v.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// openFile is one open descriptor.
+type openFile struct {
+	f       *file
+	pos     int64
+	flags   int64
+	append_ bool
+}
+
+// FDTable maps guest descriptors to open files. Descriptors 0..2 are the
+// standard streams handled by the OS itself.
+type FDTable struct {
+	next int64
+	open map[int64]*openFile
+}
+
+// NewFDTable returns a table whose first free descriptor is 3.
+func NewFDTable() *FDTable {
+	return &FDTable{next: 3, open: map[int64]*openFile{}}
+}
+
+// Open resolves path in the VFS per flags.
+func (t *FDTable) Open(v *VFS, path string, flags int64) (int64, error) {
+	f, ok := v.files[path]
+	if !ok {
+		if flags&abi.OCreate == 0 {
+			return 0, fmt.Errorf("no such file: %s", path)
+		}
+		f = &file{}
+		v.files[path] = f
+	}
+	if flags&abi.OTrunc != 0 {
+		f.data = nil
+	}
+	fd := t.next
+	t.next++
+	t.open[fd] = &openFile{f: f, flags: flags, append_: flags&abi.OAppend != 0}
+	return fd, nil
+}
+
+// Close releases a descriptor.
+func (t *FDTable) Close(fd int64) bool {
+	if _, ok := t.open[fd]; !ok {
+		return false
+	}
+	delete(t.open, fd)
+	return true
+}
+
+// Read copies up to len(buf) bytes from the descriptor.
+func (t *FDTable) Read(fd int64, buf []byte) (int64, bool) {
+	of, ok := t.open[fd]
+	if !ok {
+		return 0, false
+	}
+	if of.pos >= int64(len(of.f.data)) {
+		return 0, true // EOF
+	}
+	n := copy(buf, of.f.data[of.pos:])
+	of.pos += int64(n)
+	return int64(n), true
+}
+
+// Write appends or overwrites at the current position.
+func (t *FDTable) Write(fd int64, data []byte) (int64, bool) {
+	of, ok := t.open[fd]
+	if !ok {
+		return 0, false
+	}
+	if of.append_ {
+		of.pos = int64(len(of.f.data))
+	}
+	end := of.pos + int64(len(data))
+	if end > int64(len(of.f.data)) {
+		grown := make([]byte, end)
+		copy(grown, of.f.data)
+		of.f.data = grown
+	}
+	copy(of.f.data[of.pos:], data)
+	of.pos = end
+	return int64(len(data)), true
+}
+
+// Seek implements lseek.
+func (t *FDTable) LSeek(fd, off, whence int64) (int64, bool) {
+	of, ok := t.open[fd]
+	if !ok {
+		return 0, false
+	}
+	var base int64
+	switch whence {
+	case abi.SeekSet:
+		base = 0
+	case abi.SeekCur:
+		base = of.pos
+	case abi.SeekEnd:
+		base = int64(len(of.f.data))
+	default:
+		return 0, false
+	}
+	npos := base + off
+	if npos < 0 {
+		return 0, false
+	}
+	of.pos = npos
+	return npos, true
+}
+
+// Size returns the current size of the file behind fd.
+func (t *FDTable) Size(fd int64) (int64, bool) {
+	of, ok := t.open[fd]
+	if !ok {
+		return 0, false
+	}
+	return int64(len(of.f.data)), true
+}

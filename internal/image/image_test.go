@@ -1,0 +1,106 @@
+package image
+
+import (
+	"bytes"
+	"testing"
+)
+
+func sample() *Image {
+	im := New()
+	im.Entry = 0x10000
+	im.AddSegment(Segment{Name: "text", Addr: 0x10000, Data: []byte{1, 2, 3, 4}})
+	im.AddSegment(Segment{Name: "data", Addr: 0x20000, Data: []byte{9}, MemSize: 4096, Writable: true})
+	im.Symbols["main"] = 0x10000
+	im.Symbols["counter"] = 0x20000
+	return im
+}
+
+func TestRoundtrip(t *testing.T) {
+	im := sample()
+	got, err := Decode(im.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entry != im.Entry {
+		t.Errorf("entry %#x, want %#x", got.Entry, im.Entry)
+	}
+	if len(got.Segments) != 2 {
+		t.Fatalf("got %d segments", len(got.Segments))
+	}
+	if !bytes.Equal(got.Segments[0].Data, []byte{1, 2, 3, 4}) {
+		t.Error("text data mismatch")
+	}
+	if got.Segments[1].MemSize != 4096 || !got.Segments[1].Writable {
+		t.Errorf("data segment: %+v", got.Segments[1])
+	}
+	if addr, ok := got.Symbol("counter"); !ok || addr != 0x20000 {
+		t.Errorf("counter symbol: %#x %v", addr, ok)
+	}
+}
+
+func TestOverlapRejected(t *testing.T) {
+	im := New()
+	if err := im.AddSegment(Segment{Name: "a", Addr: 0x1000, MemSize: 0x1000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := im.AddSegment(Segment{Name: "b", Addr: 0x1800, MemSize: 0x10}); err == nil {
+		t.Error("overlap not rejected")
+	}
+	// Adjacent is fine.
+	if err := im.AddSegment(Segment{Name: "c", Addr: 0x2000, MemSize: 0x10}); err != nil {
+		t.Errorf("adjacent segment rejected: %v", err)
+	}
+}
+
+func TestSegmentsSorted(t *testing.T) {
+	im := New()
+	im.AddSegment(Segment{Name: "hi", Addr: 0x3000, MemSize: 1})
+	im.AddSegment(Segment{Name: "lo", Addr: 0x1000, MemSize: 1})
+	if im.Segments[0].Name != "lo" {
+		t.Error("segments not sorted by address")
+	}
+}
+
+func TestEnd(t *testing.T) {
+	im := sample()
+	if end := im.End(); end != 0x20000+4096 {
+		t.Errorf("End() = %#x", end)
+	}
+	if New().End() != 0 {
+		t.Error("empty image End should be 0")
+	}
+}
+
+func TestText(t *testing.T) {
+	im := sample()
+	seg, ok := im.Text()
+	if !ok || seg.Addr != 0x10000 {
+		t.Errorf("Text() = %+v, %v", seg, ok)
+	}
+	if _, ok := New().Text(); ok {
+		t.Error("empty image should have no text")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte("BADMAGIC....")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	enc := sample().Encode()
+	for _, cut := range []int{9, 15, 30, len(enc) - 3} {
+		if cut >= len(enc) {
+			continue
+		}
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Errorf("truncated image (%d bytes) accepted", cut)
+		}
+	}
+}
+
+func TestMemSizeDefaults(t *testing.T) {
+	im := New()
+	im.AddSegment(Segment{Name: "x", Addr: 0, Data: make([]byte, 10)})
+	if im.Segments[0].MemSize != 10 {
+		t.Errorf("MemSize = %d, want 10", im.Segments[0].MemSize)
+	}
+}

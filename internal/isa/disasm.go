@@ -1,0 +1,75 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Disasm renders ins in the assembler's input syntax.
+func (ins Instruction) Disasm() string {
+	fd, f1, f2 := ins.Op.FRegFields()
+	rd := regStr(ins.Rd, fd)
+	rs1 := regStr(ins.Rs1, f1)
+	rs2 := regStr(ins.Rs2, f2)
+	switch ins.Op.Format() {
+	case FormatR:
+		switch ins.Op {
+		case OpNOP, OpHALT, OpEBREAK, OpFENCE:
+			return ins.Op.String()
+		case OpFSQRT, OpFNEG, OpFABS, OpFEXP, OpFLN, OpFMV, OpFMVXD, OpFMVDX, OpFCVTDL, OpFCVTLD:
+			return fmt.Sprintf("%s %s, %s", ins.Op, rd, rs1)
+		case OpSC, OpCAS, OpAMOADD, OpAMOSWAP:
+			return fmt.Sprintf("%s %s, %s, (%s)", ins.Op, rd, rs2, rs1)
+		default:
+			return fmt.Sprintf("%s %s, %s, %s", ins.Op, rd, rs1, rs2)
+		}
+	case FormatI:
+		switch ins.Op {
+		case OpLB, OpLBU, OpLH, OpLHU, OpLW, OpLWU, OpLD, OpFLD, OpLL:
+			return fmt.Sprintf("%s %s, %d(%s)", ins.Op, rd, ins.Imm, rs1)
+		case OpSVC, OpHINT:
+			return fmt.Sprintf("%s %d", ins.Op, ins.Imm)
+		case OpJALR:
+			return fmt.Sprintf("%s %s, %s, %d", ins.Op, rd, rs1, ins.Imm)
+		default:
+			return fmt.Sprintf("%s %s, %s, %d", ins.Op, rd, rs1, ins.Imm)
+		}
+	case FormatS:
+		return fmt.Sprintf("%s %s, %d(%s)", ins.Op, rs2, ins.Imm, rs1)
+	case FormatB:
+		return fmt.Sprintf("%s %s, %s, %d", ins.Op, rs1, rs2, ins.Imm*4)
+	case FormatJ:
+		return fmt.Sprintf("%s %s, %d", ins.Op, rd, ins.Imm*4)
+	case FormatX:
+		if ins.Op == OpFMOVD {
+			return fmt.Sprintf("%s %s, %g", ins.Op, rd, math.Float64frombits(uint64(ins.Imm)))
+		}
+		return fmt.Sprintf("%s %s, %d", ins.Op, rd, ins.Imm)
+	}
+	return ins.Op.String()
+}
+
+// DisasmCode renders a code buffer one instruction per line, prefixed with
+// the given base address. Undecodable words are rendered as ".word".
+func DisasmCode(base uint64, code []byte) string {
+	var sb strings.Builder
+	for off := 0; off < len(code); {
+		ins, n, err := Decode(code[off:])
+		if err != nil {
+			fmt.Fprintf(&sb, "%#08x:\t.word %#x\n", base+uint64(off), readWord(code[off:]))
+			off += 4
+			continue
+		}
+		fmt.Fprintf(&sb, "%#08x:\t%s\n", base+uint64(off), ins.Disasm())
+		off += n
+	}
+	return sb.String()
+}
+
+func regStr(n uint8, fp bool) string {
+	if fp {
+		return FRegName(n)
+	}
+	return IntRegName(n)
+}

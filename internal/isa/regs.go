@@ -1,0 +1,91 @@
+package isa
+
+import "fmt"
+
+// Integer register ABI assignments. X0 is hardwired to zero; writes to it
+// are discarded. The calling convention used by the assembler, the mini-C
+// compiler and the guest runtime:
+//
+//	X0      zero
+//	X1  RA  return address
+//	X2  SP  stack pointer (16-byte aligned at calls)
+//	X3  GP  global pointer (unused, reserved)
+//	X4  TP  thread pointer (set by the runtime to the TCB address)
+//	X5-X9   T0-T4 caller-saved temporaries
+//	X10-X17 A0-A7 arguments/results; A7 carries the syscall number
+//	X18-X27 S0-S9 callee-saved
+//	X28-X31 T5-T8 caller-saved temporaries
+const (
+	RegZero = 0
+	RegRA   = 1
+	RegSP   = 2
+	RegGP   = 3
+	RegTP   = 4
+	RegT0   = 5
+	RegA0   = 10
+	RegA1   = 11
+	RegA2   = 12
+	RegA3   = 13
+	RegA4   = 14
+	RegA5   = 15
+	RegA6   = 16
+	RegA7   = 17
+	RegS0   = 18
+	RegT5   = 28
+)
+
+// NumRegs is the number of integer (and separately, FP) registers.
+const NumRegs = 32
+
+// regNames maps ABI names to register numbers; populated in init.
+var regNames = map[string]uint8{}
+
+// intRegName holds the canonical (ABI) name for each integer register.
+var intRegName [NumRegs]string
+
+func init() {
+	abi := map[string]uint8{
+		"zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+		"t0": 5, "t1": 6, "t2": 7, "t3": 8, "t4": 9,
+		"a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15, "a6": 16, "a7": 17,
+		"s0": 18, "s1": 19, "s2": 20, "s3": 21, "s4": 22, "s5": 23, "s6": 24, "s7": 25, "s8": 26, "s9": 27,
+		"t5": 28, "t6": 29, "t7": 30, "t8": 31,
+	}
+	for name, n := range abi {
+		regNames[name] = n
+		intRegName[n] = name
+	}
+	for i := 0; i < NumRegs; i++ {
+		regNames[fmt.Sprintf("x%d", i)] = uint8(i)
+	}
+}
+
+// IntRegNumber resolves an integer register name ("x7", "a0", "sp", ...).
+func IntRegNumber(name string) (uint8, bool) {
+	n, ok := regNames[name]
+	return n, ok
+}
+
+// FRegNumber resolves an FP register name ("f0".."f31").
+func FRegNumber(name string) (uint8, bool) {
+	var n int
+	if _, err := fmt.Sscanf(name, "f%d", &n); err != nil || n < 0 || n > 31 {
+		return 0, false
+	}
+	// Reject trailing garbage such as "f1x".
+	if fmt.Sprintf("f%d", n) != name {
+		return 0, false
+	}
+	return uint8(n), true
+}
+
+// IntRegName returns the ABI name of integer register n.
+func IntRegName(n uint8) string {
+	if int(n) < len(intRegName) {
+		return intRegName[n]
+	}
+	return fmt.Sprintf("x%d", n)
+}
+
+// FRegName returns the name of FP register n.
+func FRegName(n uint8) string { return fmt.Sprintf("f%d", n) }

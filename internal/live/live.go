@@ -1,0 +1,509 @@
+// Package live runs a DQEMU cluster over real TCP with true concurrency:
+// each node is an independent event loop (its own goroutine or process)
+// executing guest threads against its local MMU and exchanging the same
+// protocol messages (internal/proto) that the deterministic simulation
+// exchanges; the directory (internal/dsm), DBT engine (internal/tcg),
+// software MMU (internal/mem) and guest OS (internal/guestos) are the
+// identical components. The simulation driver (internal/core) answers the
+// paper's performance questions reproducibly; this driver demonstrates the
+// system actually distributing work across machines.
+//
+// Usage: Master listens, slaves connect (RunSlave); the master ships the
+// guest image in a KInit frame, places threads, and the guest runs until
+// exit_group. See cmd/dqemu-live.
+package live
+
+import (
+	"fmt"
+	"time"
+
+	"dqemu/internal/abi"
+	"dqemu/internal/guestos"
+	"dqemu/internal/image"
+	"dqemu/internal/mem"
+	"dqemu/internal/proto"
+	"dqemu/internal/tcg"
+)
+
+const (
+	reqRead  uint8 = 1
+	reqWrite uint8 = 2
+)
+
+// sliceNs is the engine budget per scheduling slice (virtual cost units;
+// in live mode it only sets the yield granularity of the node loop).
+const sliceNs = 200_000
+
+type threadState uint8
+
+const (
+	tRunnable threadState = iota
+	tBlockedPage
+	tBlockedSyscall
+	tBlockedTimer
+	tDead
+)
+
+type thread struct {
+	tid   int64
+	cpu   *tcg.CPU
+	state threadState
+
+	needWrite bool
+	waitPage  uint64
+	retry     func(*thread)
+}
+
+// nodeCore is the state shared by live masters and slaves. All fields are
+// owned by the node's loop goroutine; the only cross-goroutine channels are
+// inbox (fed by connection readers) and wake (fed by timers).
+type nodeCore struct {
+	id    int
+	nodes int
+	cores int
+
+	space  *mem.Space
+	engine *tcg.Engine
+	llsc   *tcg.LLSCTable
+
+	threads   map[int64]*thread
+	runq      []*thread
+	waiting   map[uint64][]*thread
+	requested map[uint64]uint8
+
+	inbox chan *proto.Msg
+	wake  chan int64 // tids whose sleep expired
+
+	send func(*proto.Msg) error
+
+	start    time.Time
+	deadline time.Time // zero = none; checked every loop iteration
+	done     bool
+	exitCode int64
+	err      error
+}
+
+func newNodeCore(id, nodes, cores int, im *image.Image) *nodeCore {
+	space := mem.NewSpace(0)
+	if id == 0 {
+		mem.InstallImage(space, im, mem.PermRead, mem.PermReadWrite)
+	} else {
+		mem.InstallImage(space, im, mem.PermRead, mem.PermNone)
+	}
+	engine := tcg.NewEngine(space, tcg.DefaultCostModel())
+	llsc := tcg.NewLLSCTable()
+	engine.Mon = llsc
+	engine.StopAtomic = true
+	n := &nodeCore{
+		id:        id,
+		nodes:     nodes,
+		cores:     cores,
+		space:     space,
+		engine:    engine,
+		llsc:      llsc,
+		threads:   map[int64]*thread{},
+		waiting:   map[uint64][]*thread{},
+		requested: map[uint64]uint8{},
+		inbox:     make(chan *proto.Msg, 1024),
+		wake:      make(chan int64, 64),
+		start:     time.Now(),
+	}
+	return n
+}
+
+func (n *nodeCore) fail(err error) {
+	if n.err == nil {
+		n.err = err
+	}
+	n.done = true
+}
+
+func (n *nodeCore) nowNs() int64 { return time.Since(n.start).Nanoseconds() }
+
+func (n *nodeCore) addThread(cpu *tcg.CPU) {
+	t := &thread{tid: cpu.TID, cpu: cpu, state: tRunnable}
+	n.threads[cpu.TID] = t
+	n.runq = append(n.runq, t)
+}
+
+// loop drives the node until shutdown, interleaving one protocol message
+// with one guest execution slice. The interleaving matters: on a real node
+// the guest cores run concurrently with the communicator thread, so a
+// thread woken by a page grant gets to use the page even if a revoking
+// fetch is already queued behind the grant. Draining the whole inbox first
+// would let the fetch win every time — a cross-node livelock.
+func (n *nodeCore) loop(handle func(*proto.Msg)) {
+	for !n.done {
+		if !n.deadline.IsZero() && time.Now().After(n.deadline) {
+			n.fail(fmt.Errorf("live: node %d exceeded its deadline", n.id))
+			return
+		}
+		if len(n.runq) == 0 {
+			// Nothing runnable: block until an event arrives.
+			select {
+			case m := <-n.inbox:
+				handle(m)
+			case tid := <-n.wake:
+				n.timerFired(tid)
+			case <-time.After(time.Second):
+				// Liveness tick; loop re-checks done.
+			}
+			continue
+		}
+		// One slice first — a freshly granted page must be usable before a
+		// queued revocation takes it away — then one message.
+		t := n.runq[0]
+		n.runq = n.runq[1:]
+		n.runSlice(t)
+		if n.done {
+			return
+		}
+		select {
+		case m := <-n.inbox:
+			handle(m)
+		case tid := <-n.wake:
+			n.timerFired(tid)
+		default:
+		}
+	}
+}
+
+// runSlice executes one scheduling slice for t and handles its stop reason.
+func (n *nodeCore) runSlice(t *thread) {
+	res := n.engine.Exec(t.cpu, sliceNs)
+	switch res.Reason {
+	case tcg.StopBudget:
+		t.state = tRunnable
+		n.runq = append(n.runq, t)
+	case tcg.StopPageFault:
+		n.blockOnPage(t, res.Fault.Page, res.Fault.Addr, res.Fault.Write)
+	case tcg.StopSyscall:
+		n.syscall(t)
+	case tcg.StopHalt:
+		t.state = tDead
+		n.sendMsg(&proto.Msg{Kind: proto.KSyscallReq, From: int32(n.id), TID: t.tid, Num: abi.SysExit})
+	default:
+		n.fail(fmt.Errorf("live: node %d thread %d: %v (%v)", n.id, t.tid, res.Reason, res.Err))
+	}
+}
+
+func (n *nodeCore) sendMsg(m *proto.Msg) {
+	if err := n.send(m); err != nil && !n.done {
+		n.fail(fmt.Errorf("live: node %d send: %w", n.id, err))
+	}
+}
+
+func (n *nodeCore) permOK(page uint64, write bool) bool {
+	perm := n.space.PermOf(page)
+	if write {
+		return perm == mem.PermReadWrite
+	}
+	return perm >= mem.PermRead
+}
+
+func (n *nodeCore) blockOnPage(t *thread, page, addr uint64, write bool) {
+	if n.permOK(page, write) {
+		t.state = tRunnable
+		n.runq = append(n.runq, t)
+		return
+	}
+	t.state = tBlockedPage
+	t.needWrite = write
+	t.waitPage = page
+	n.waiting[page] = append(n.waiting[page], t)
+	n.requestPage(page, addr, write, t.tid)
+}
+
+func (n *nodeCore) requestPage(page, addr uint64, write bool, tid int64) {
+	var bit = reqRead
+	if write {
+		bit = reqWrite
+	}
+	if n.requested[page]&bit != 0 {
+		return
+	}
+	n.requested[page] |= bit
+	n.sendMsg(&proto.Msg{
+		Kind: proto.KPageReq, From: int32(n.id), To: 0,
+		TID: tid, Page: page, Addr: addr, Write: write,
+	})
+}
+
+func (n *nodeCore) wakePageWaiters(page uint64, perm mem.Perm) {
+	waiters := n.waiting[page]
+	if len(waiters) == 0 {
+		return
+	}
+	var still []*thread
+	for _, t := range waiters {
+		if t.needWrite && perm != mem.PermReadWrite {
+			still = append(still, t)
+			continue
+		}
+		n.unblock(t)
+	}
+	if len(still) == 0 {
+		delete(n.waiting, page)
+		return
+	}
+	n.waiting[page] = still
+	n.requestPage(page, page*uint64(n.space.PageSize()), true, still[0].tid)
+}
+
+func (n *nodeCore) unblock(t *thread) {
+	if t.retry != nil {
+		retry := t.retry
+		t.retry = nil
+		t.state = tRunnable
+		retry(t)
+		return
+	}
+	t.state = tRunnable
+	n.runq = append(n.runq, t)
+}
+
+func (n *nodeCore) timerFired(tid int64) {
+	t := n.threads[tid]
+	if t == nil || t.state != tBlockedTimer || n.done {
+		return
+	}
+	t.cpu.X[10] = 0
+	t.state = tRunnable
+	n.runq = append(n.runq, t)
+}
+
+// ---- syscalls ----
+
+func (n *nodeCore) syscall(t *thread) {
+	num := int64(t.cpu.X[17])
+	if guestos.IsGlobal(num) {
+		n.delegate(t, num)
+		return
+	}
+	n.localSyscall(t, num)
+}
+
+func (n *nodeCore) delegate(t *thread, num int64) {
+	var args [6]uint64
+	copy(args[:], t.cpu.X[10:16])
+	if num == abi.SysThreadCreate {
+		args[3] = uint64(t.cpu.HintGroup)
+	}
+	switch num {
+	case abi.SysExit, abi.SysExitGroup:
+		t.state = tDead
+	default:
+		t.state = tBlockedSyscall
+	}
+	n.sendMsg(&proto.Msg{
+		Kind: proto.KSyscallReq, From: int32(n.id), To: 0,
+		TID: t.tid, Num: num, Args: args,
+	})
+}
+
+func (n *nodeCore) localSyscall(t *thread, num int64) {
+	resume := func(ret uint64) {
+		t.cpu.X[10] = ret
+		t.state = tRunnable
+		n.runq = append(n.runq, t)
+	}
+	switch num {
+	case abi.SysGetTID:
+		resume(uint64(t.tid))
+	case abi.SysNodeID:
+		resume(uint64(n.id))
+	case abi.SysNumNodes:
+		resume(uint64(n.nodes))
+	case abi.SysTimeNs:
+		resume(uint64(n.nowNs()))
+	case abi.SysSchedYield:
+		resume(0)
+	case abi.SysHint:
+		t.cpu.HintGroup = int64(t.cpu.X[10])
+		resume(0)
+	case abi.SysClockGettime:
+		n.clockGettime(t)
+	case abi.SysNanosleep:
+		n.nanosleep(t)
+	default:
+		n.fail(fmt.Errorf("live: node %d: unclassified local syscall %d", n.id, num))
+	}
+}
+
+func (n *nodeCore) clockGettime(t *thread) {
+	addr := t.cpu.X[11]
+	now := n.nowNs()
+	var buf [16]byte
+	putU64(buf[0:], uint64(now/1_000_000_000))
+	putU64(buf[8:], uint64(now%1_000_000_000))
+	n.writeGuestOrRetry(t, addr, buf[:], (*nodeCore).clockGettime, func() {
+		t.cpu.X[10] = 0
+		t.state = tRunnable
+		n.runq = append(n.runq, t)
+	})
+}
+
+func (n *nodeCore) nanosleep(t *thread) {
+	addr := t.cpu.X[10]
+	buf := make([]byte, 16)
+	if err := n.space.ReadBytes(addr, buf); err != nil {
+		n.retryOnFault(t, addr, false, (*nodeCore).nanosleep)
+		return
+	}
+	ns := int64(getU64(buf[0:]))*1_000_000_000 + int64(getU64(buf[8:]))
+	if ns < 0 {
+		ns = 0
+	}
+	t.state = tBlockedTimer
+	tid := t.tid
+	time.AfterFunc(time.Duration(ns), func() {
+		select {
+		case n.wake <- tid:
+		default:
+			// Wake channel full: retry shortly rather than lose the wake.
+			time.AfterFunc(time.Millisecond, func() { n.wake <- tid })
+		}
+	})
+}
+
+func (n *nodeCore) writeGuestOrRetry(t *thread, addr uint64, data []byte, retry func(*nodeCore, *thread), done func()) {
+	for i := range data {
+		ba := n.space.Translate(addr + uint64(i))
+		if n.space.PermOf(n.space.PageOf(ba)) != mem.PermReadWrite {
+			n.retryOnFault(t, ba, true, retry)
+			return
+		}
+	}
+	for i := range data {
+		n.space.Store(addr+uint64(i), uint64(data[i]), 1)
+	}
+	done()
+}
+
+func (n *nodeCore) retryOnFault(t *thread, addr uint64, write bool, handler func(*nodeCore, *thread)) {
+	page := n.space.PageOf(n.space.Translate(addr))
+	if n.permOK(page, write) {
+		handler(n, t)
+		return
+	}
+	t.retry = func(t *thread) { handler(n, t) }
+	t.state = tBlockedPage
+	t.needWrite = write
+	t.waitPage = page
+	n.waiting[page] = append(n.waiting[page], t)
+	n.requestPage(page, addr, write, t.tid)
+}
+
+// ---- common message handling (content, invalidate, fetch, etc.) ----
+
+// handleCommon processes the messages every node understands; it returns
+// false if the kind was not recognized.
+func (n *nodeCore) handleCommon(m *proto.Msg) bool {
+	switch m.Kind {
+	case proto.KPageContent:
+		perm := mem.Perm(m.Perm)
+		if m.Data == nil {
+			n.space.EnsurePage(m.Page, perm)
+			n.space.SetPerm(m.Page, perm)
+		} else {
+			n.space.InstallPage(m.Page, m.Data, perm)
+		}
+		n.contentArrived(m.Page, perm)
+	case proto.KInvalidate:
+		n.space.DropPage(m.Page)
+		n.llsc.InvalidatePage(m.Page, n.space.PageSize())
+		n.sendMsg(&proto.Msg{Kind: proto.KInvAck, From: int32(n.id), To: 0, Page: m.Page})
+	case proto.KFetch:
+		data := n.space.PageData(m.Page)
+		if data == nil {
+			n.fail(fmt.Errorf("live: node %d: fetch for absent page %#x", n.id, m.Page))
+			return true
+		}
+		copied := append([]byte(nil), data...)
+		if m.Write {
+			n.space.DropPage(m.Page)
+			n.llsc.InvalidatePage(m.Page, n.space.PageSize())
+		} else {
+			n.space.SetPerm(m.Page, mem.PermRead)
+		}
+		n.sendMsg(&proto.Msg{
+			Kind: proto.KFetchReply, From: int32(n.id), To: 0,
+			Page: m.Page, Data: copied, Write: m.Write,
+		})
+	case proto.KRetry:
+		n.retryArrived(m.Page)
+	case proto.KRemap:
+		if err := n.space.AddRemap(m.Page, m.Shadows); err != nil {
+			n.fail(fmt.Errorf("live: node %d: remap: %w", n.id, err))
+			return true
+		}
+		n.llsc.InvalidatePage(m.Page, n.space.PageSize())
+	case proto.KPush:
+		if n.space.PermOf(m.Page) != mem.PermNone || n.requested[m.Page]&reqWrite != 0 {
+			return true
+		}
+		n.space.InstallPage(m.Page, m.Data, mem.PermRead)
+		n.requested[m.Page] &^= reqRead
+		if n.requested[m.Page] == 0 {
+			delete(n.requested, m.Page)
+		}
+		n.wakePageWaiters(m.Page, mem.PermRead)
+	case proto.KSyscallReply:
+		t := n.threads[m.TID]
+		if t == nil || t.state != tBlockedSyscall {
+			n.fail(fmt.Errorf("live: node %d: stray syscall reply for tid %d", n.id, m.TID))
+			return true
+		}
+		t.cpu.X[10] = m.Ret
+		t.state = tRunnable
+		n.runq = append(n.runq, t)
+	case proto.KThreadStart:
+		cpu, err := proto.DecodeCPU(m.CPU)
+		if err != nil {
+			n.fail(fmt.Errorf("live: node %d: thread start: %w", n.id, err))
+			return true
+		}
+		n.addThread(cpu)
+	case proto.KShutdown:
+		n.exitCode = m.Num
+		n.done = true
+	default:
+		return false
+	}
+	return true
+}
+
+func (n *nodeCore) contentArrived(page uint64, perm mem.Perm) {
+	if perm == mem.PermReadWrite {
+		delete(n.requested, page)
+	} else {
+		n.requested[page] &^= reqRead
+		if n.requested[page] == 0 {
+			delete(n.requested, page)
+		}
+	}
+	n.wakePageWaiters(page, perm)
+}
+
+func (n *nodeCore) retryArrived(page uint64) {
+	delete(n.requested, page)
+	waiters := n.waiting[page]
+	delete(n.waiting, page)
+	for _, t := range waiters {
+		n.unblock(t)
+	}
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

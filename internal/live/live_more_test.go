@@ -1,0 +1,86 @@
+package live
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"dqemu/internal/proto"
+)
+
+func TestRunSlaveBadAddress(t *testing.T) {
+	if err := RunSlave("127.0.0.1:1"); err == nil || !strings.Contains(err.Error(), "dial") {
+		t.Errorf("expected dial error, got %v", err)
+	}
+}
+
+func TestRunSlaveBadHandshake(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// Send a non-init message first.
+		proto.WriteMsg(conn, &proto.Msg{Kind: proto.KShutdown})
+		conn.Close()
+	}()
+	if err := RunSlave(ln.Addr().String()); err == nil || !strings.Contains(err.Error(), "init") {
+		t.Errorf("expected init error, got %v", err)
+	}
+}
+
+func TestMasterTimeout(t *testing.T) {
+	im := build(t, `
+long main() {
+	while (1) {}
+	return 0;
+}`)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go RunSlave(ln.Addr().String())
+	_, err = RunMaster(ln, im, Config{Slaves: 1, Timeout: 500 * time.Millisecond})
+	if err == nil || !strings.Contains(err.Error(), "exceeded") {
+		t.Errorf("expected timeout, got %v", err)
+	}
+}
+
+func TestLiveSplittingAndHints(t *testing.T) {
+	// Exercise the splitter and hint placement paths in live mode.
+	im := build(t, `
+long raw[1024];
+long *pg;
+long worker(long arg) {
+	long base = arg * 256;
+	for (long r = 0; r < 60; r++) {
+		for (long i = 0; i < 256; i++) pg[base + i] += 1;
+	}
+	return 0;
+}
+long main() {
+	pg = (long*)(((long)raw + 4095) & ~4095);
+	long tids[2];
+	for (long i = 0; i < 2; i++) {
+		dq_hint(1 + i);
+		tids[i] = thread_create((long)worker, i);
+	}
+	for (long i = 0; i < 2; i++) thread_join(tids[i]);
+	long s = 0;
+	for (long i = 0; i < 512; i++) s += pg[i];
+	print_long(s);
+	print_char('\n');
+	return 0;
+}`)
+	res := runLive(t, im, Config{Slaves: 2, Splitting: true, HintSched: true, Forwarding: true})
+	if res.Console != "30720\n" { // 512 slots * 60 rounds
+		t.Errorf("console = %q", res.Console)
+	}
+}

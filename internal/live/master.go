@@ -1,0 +1,518 @@
+package live
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"dqemu/internal/dsm"
+	"dqemu/internal/guestos"
+	"dqemu/internal/image"
+	"dqemu/internal/mem"
+	"dqemu/internal/proto"
+	"dqemu/internal/tcg"
+)
+
+// Config configures a live cluster.
+type Config struct {
+	// Slaves is how many slave connections the master waits for.
+	Slaves int
+	// Cores is the scheduler width per node (live nodes run their threads
+	// on one loop; Cores only affects placement arithmetic).
+	Cores int
+
+	Forwarding bool
+	Splitting  bool
+	HintSched  bool
+
+	// Timeout aborts a wedged run (default 2 minutes).
+	Timeout time.Duration
+	// Stdout receives guest console output as it appears (may be nil).
+	Stdout io.Writer
+	// Files pre-populates the guest VFS.
+	Files map[string][]byte
+}
+
+// Result reports a finished live run.
+type Result struct {
+	ExitCode int64
+	Console  string
+	Wall     time.Duration
+}
+
+// master is node 0 of a live cluster.
+type master struct {
+	*nodeCore
+	cfg   Config
+	peers []*sender // index 0 -> node 1
+
+	dir        *dsm.Directory
+	os         *guestos.OS
+	im         *image.Image
+	helperWait map[uint64][]func()
+	groupNode  map[int64]int
+	nextRR     int
+
+	trampolinePC uint64
+
+	console  bytes.Buffer
+	deadline time.Time
+}
+
+// sender serializes writes to one connection without ever blocking the
+// node loop.
+type sender struct {
+	conn    net.Conn
+	out     chan *proto.Msg
+	err     chan error
+	drained chan struct{}
+}
+
+func newSender(conn net.Conn) *sender {
+	s := &sender{
+		conn:    conn,
+		out:     make(chan *proto.Msg, 4096),
+		err:     make(chan error, 1),
+		drained: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.drained)
+		for m := range s.out {
+			if err := proto.WriteMsg(conn, m); err != nil {
+				select {
+				case s.err <- err:
+				default:
+				}
+				return
+			}
+		}
+	}()
+	return s
+}
+
+// close flushes queued frames (with a deadline) and closes the connection.
+func (s *sender) close() {
+	close(s.out)
+	select {
+	case <-s.drained:
+	case <-time.After(2 * time.Second):
+	}
+	s.conn.Close()
+}
+
+func (s *sender) send(m *proto.Msg) error {
+	select {
+	case err := <-s.err:
+		return err
+	default:
+	}
+	select {
+	case s.out <- m:
+		return nil
+	default:
+		return fmt.Errorf("live: outgoing queue to %s overflowed", s.conn.RemoteAddr())
+	}
+}
+
+// RunMaster accepts cfg.Slaves connections on ln, boots the cluster with
+// the given guest image, and runs it to completion.
+func RunMaster(ln net.Listener, im *image.Image, cfg Config) (*Result, error) {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 4
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Minute
+	}
+	m := &master{
+		nodeCore:   newNodeCore(0, cfg.Slaves+1, cfg.Cores, im),
+		cfg:        cfg,
+		im:         im,
+		helperWait: map[uint64][]func(){},
+		groupNode:  map[int64]int{},
+	}
+	m.deadline = time.Now().Add(cfg.Timeout)
+	m.nodeCore.deadline = m.deadline
+
+	var fwd *dsm.Forwarder
+	if cfg.Forwarding {
+		fwd = dsm.NewForwarder(0, 0)
+	}
+	var split *dsm.Splitter
+	if cfg.Splitting {
+		split = dsm.NewSplitter(m.space.PageSize(), 0, 0)
+	}
+	m.dir = dsm.New(m, fwd, split)
+
+	// Seed replicated read-only pages in the directory.
+	var all dsm.NodeSet
+	for id := 0; id <= cfg.Slaves; id++ {
+		all = all.Add(id)
+	}
+	for _, seg := range im.Segments {
+		if seg.Writable {
+			continue
+		}
+		first := m.space.PageOf(seg.Addr)
+		last := m.space.PageOf(seg.Addr + seg.MemSize - 1)
+		for p := first; p <= last; p++ {
+			m.dir.SeedReplicated(p, all)
+		}
+	}
+
+	// Accept and handshake the slaves.
+	imgBytes := im.Encode()
+	for i := 0; i < cfg.Slaves; i++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("live: accept slave %d: %w", i+1, err)
+		}
+		init := &proto.Msg{
+			Kind: proto.KInit, From: 0, To: int32(i + 1),
+			Num: int64(i + 1), Args: [6]uint64{uint64(cfg.Slaves + 1), uint64(cfg.Cores)},
+			Data: imgBytes,
+		}
+		if err := proto.WriteMsg(conn, init); err != nil {
+			return nil, fmt.Errorf("live: handshake with slave %d: %w", i+1, err)
+		}
+		ack, err := proto.ReadMsg(conn)
+		if err != nil || ack.Kind != proto.KInitAck {
+			return nil, fmt.Errorf("live: slave %d did not ack (msg %v, err %v)", i+1, ack, err)
+		}
+		m.peers = append(m.peers, newSender(conn))
+		go m.reader(conn, i+1)
+	}
+
+	// The master routes its own protocol traffic inline (synchronously with
+	// directory state, see internal/core on the in-flight-grant race).
+	m.send = func(msg *proto.Msg) error {
+		if msg.To == 0 {
+			m.handle(msg)
+			return nil
+		}
+		return m.peers[msg.To-1].send(msg)
+	}
+
+	// The wall clock starts when the cluster is assembled.
+	m.nodeCore.start = time.Now()
+
+	brk := (im.End() + 0xffff) &^ 0xffff
+	m.os = guestos.New(m, guestos.NewVFS(), brk, 0x4100_0000, image.ShadowBase)
+	for path, data := range cfg.Files {
+		m.os.VFS().AddFile(path, data)
+	}
+
+	cpu := &tcg.CPU{PC: im.Entry, TID: guestos.MainTID}
+	cpu.X[2] = image.StackTop
+	m.addThread(cpu)
+
+	m.loop(m.handleWithDeadline)
+	wall := time.Since(m.start)
+	// Tear everything down, flushing the shutdown frames first.
+	for _, p := range m.peers {
+		p.close()
+	}
+	if m.err != nil {
+		return nil, m.err
+	}
+	return &Result{ExitCode: m.exitCode, Console: m.console.String(), Wall: wall}, nil
+}
+
+func (m *master) reader(conn net.Conn, from int) {
+	for {
+		msg, err := proto.ReadMsg(conn)
+		if err != nil {
+			return // connection closed (shutdown) or broken; loop notices via timeout
+		}
+		msg.From = int32(from)
+		m.inbox <- msg
+	}
+}
+
+func (m *master) handleWithDeadline(msg *proto.Msg) {
+	if time.Now().After(m.deadline) {
+		m.fail(fmt.Errorf("live: run exceeded %v; master state: %s", m.cfg.Timeout, m.dump()))
+		return
+	}
+	m.handle(msg)
+}
+
+// dump summarizes master state for timeout diagnostics.
+func (m *master) dump() string {
+	var sb bytes.Buffer
+	fmt.Fprintf(&sb, "runq=%d", len(m.runq))
+	for tid, t := range m.threads {
+		fmt.Fprintf(&sb, " [tid %d st=%d pc=%#x page=%#x w=%v]", tid, t.state, t.cpu.PC, t.waitPage, t.needWrite)
+	}
+	fmt.Fprintf(&sb, " waiting=%d requested=%v helperWait=%d futex=%d alive=%d",
+		len(m.waiting), m.requested, len(m.helperWait), m.os.Futex().TotalWaiting(), m.os.AliveThreads())
+	for _, page := range []uint64{0x16, 0x17, 0x18, 0x3ffff} {
+		owner, sharers, busy := m.dir.State(page)
+		fmt.Fprintf(&sb, " dir[%#x]={o=%d s=%v b=%v}", page, owner, sharers, busy)
+	}
+	return sb.String()
+}
+
+func (m *master) handle(msg *proto.Msg) {
+	if m.done {
+		return
+	}
+	switch msg.Kind {
+	case proto.KPageReq:
+		m.dir.OnRequest(dsm.Request{
+			Node: int(msg.From), TID: msg.TID,
+			Page: msg.Page, Addr: msg.Addr, Write: msg.Write,
+		})
+	case proto.KFetchReply:
+		if err := m.dir.OnFetchReply(int(msg.From), msg.Page, msg.Data, msg.Write); err != nil {
+			m.fail(err)
+		}
+	case proto.KInvAck:
+		if err := m.dir.OnInvAck(int(msg.From), msg.Page); err != nil {
+			m.fail(err)
+		}
+	case proto.KSyscallReq:
+		from := msg.From
+		tid := msg.TID
+		m.os.Global(tid, msg.Num, msg.Args, func(ret uint64) {
+			if m.done {
+				return
+			}
+			reply := &proto.Msg{Kind: proto.KSyscallReply, From: 0, To: from, TID: tid, Ret: ret}
+			if from == 0 {
+				m.handleCommon(reply)
+				return
+			}
+			m.sendMsg(reply)
+		})
+	case proto.KHintNote:
+		// Recorded for future rebalancing; placement uses creation hints.
+	default:
+		if !m.handleCommon(msg) {
+			m.fail(fmt.Errorf("live: master: unexpected message %v", msg.Kind))
+		}
+	}
+	if msg.Kind == proto.KPageContent || msg.Kind == proto.KRetry {
+		m.wakeHelpers(msg.Page)
+	}
+}
+
+// ---- dsm.Env ----
+
+func (m *master) SendContent(to int, page uint64, perm mem.Perm) {
+	if to == dsm.Master {
+		m.space.EnsurePage(page, perm)
+		m.space.SetPerm(page, perm)
+		m.contentArrived(page, perm)
+		m.wakeHelpers(page)
+		return
+	}
+	data := m.space.EnsurePage(page, m.space.PermOf(page))
+	m.sendMsg(&proto.Msg{
+		Kind: proto.KPageContent, From: 0, To: int32(to),
+		Page: page, Perm: uint8(perm), Data: append([]byte(nil), data...),
+	})
+}
+
+func (m *master) SendReaffirm(to int, page uint64, perm mem.Perm) {
+	if to == dsm.Master {
+		m.space.EnsurePage(page, perm)
+		m.space.SetPerm(page, perm)
+		m.contentArrived(page, perm)
+		m.wakeHelpers(page)
+		return
+	}
+	m.sendMsg(&proto.Msg{Kind: proto.KPageContent, From: 0, To: int32(to), Page: page, Perm: uint8(perm)})
+}
+
+func (m *master) SendInvalidate(to int, page uint64) {
+	m.sendMsg(&proto.Msg{Kind: proto.KInvalidate, From: 0, To: int32(to), Page: page})
+}
+
+func (m *master) SendFetch(owner int, page uint64, invalidate bool) {
+	m.sendMsg(&proto.Msg{Kind: proto.KFetch, From: 0, To: int32(owner), Page: page, Write: invalidate})
+}
+
+func (m *master) SendRetry(to int, page uint64, tid int64) {
+	if to == dsm.Master {
+		m.retryArrived(page)
+		m.wakeHelpers(page)
+		return
+	}
+	m.sendMsg(&proto.Msg{Kind: proto.KRetry, From: 0, To: int32(to), Page: page, TID: tid})
+}
+
+func (m *master) HomeWriteback(page uint64, data []byte) {
+	m.space.InstallPage(page, data, mem.PermNone)
+}
+
+func (m *master) HomeSetPerm(page uint64, perm mem.Perm) {
+	m.space.SetPerm(page, perm)
+	if perm == mem.PermNone {
+		m.llsc.InvalidatePage(page, m.space.PageSize())
+	}
+}
+
+func (m *master) BroadcastRemap(orig uint64, shadows []uint64) {
+	if err := m.space.AddRemap(orig, shadows); err != nil {
+		m.fail(err)
+		return
+	}
+	m.llsc.InvalidatePage(orig, m.space.PageSize())
+	for id := 1; id < m.nodes; id++ {
+		m.sendMsg(&proto.Msg{Kind: proto.KRemap, From: 0, To: int32(id), Page: orig, Shadows: shadows})
+	}
+}
+
+func (m *master) PushPage(to int, page uint64) {
+	data := m.space.EnsurePage(page, m.space.PermOf(page))
+	m.sendMsg(&proto.Msg{
+		Kind: proto.KPush, From: 0, To: int32(to),
+		Page: page, Data: append([]byte(nil), data...),
+	})
+}
+
+func (m *master) SplitHome(orig uint64, shadows []uint64) {
+	ps := m.space.PageSize()
+	src := append([]byte(nil), m.space.EnsurePage(orig, m.space.PermOf(orig))...)
+	part := ps / len(shadows)
+	for i, sh := range shadows {
+		buf := make([]byte, ps)
+		copy(buf[i*part:(i+1)*part], src[i*part:(i+1)*part])
+		m.space.InstallPage(sh, buf, mem.PermNone)
+	}
+}
+
+// ---- guestos.Host ----
+
+const helperStep = 256
+
+func (m *master) ensurePages(addr uint64, ln int, write bool, done func()) {
+	if ln <= 0 {
+		done()
+		return
+	}
+	need := mem.PermRead
+	if write {
+		need = mem.PermReadWrite
+	}
+	var attempt func()
+	attempt = func() {
+		if m.done {
+			return
+		}
+		check := func(ba uint64) bool {
+			page := m.space.PageOf(ba)
+			if m.space.PermOf(page) >= need {
+				return true
+			}
+			m.helperWait[page] = append(m.helperWait[page], attempt)
+			m.requestPage(page, ba, write, -1)
+			return false
+		}
+		for off := 0; off < ln; off += helperStep {
+			if !check(m.space.Translate(addr + uint64(off))) {
+				return
+			}
+		}
+		if !check(m.space.Translate(addr + uint64(ln-1))) {
+			return
+		}
+		done()
+	}
+	attempt()
+}
+
+func (m *master) wakeHelpers(page uint64) {
+	waiters := m.helperWait[page]
+	if len(waiters) == 0 {
+		return
+	}
+	delete(m.helperWait, page)
+	for _, w := range waiters {
+		w()
+	}
+}
+
+func (m *master) ReadGuest(addr uint64, n int, cb func([]byte, error)) {
+	m.ensurePages(addr, n, false, func() {
+		buf := make([]byte, n)
+		if err := m.space.ReadBytes(addr, buf); err != nil {
+			cb(nil, err)
+			return
+		}
+		cb(buf, nil)
+	})
+}
+
+func (m *master) WriteGuest(addr uint64, data []byte, cb func(error)) {
+	m.ensurePages(addr, len(data), true, func() {
+		cb(m.space.WriteBytes(addr, data))
+	})
+}
+
+func (m *master) StartThread(tid int64, fn, arg, stackTop uint64, hint int64) {
+	cpu := &tcg.CPU{PC: m.trampoline(), TID: tid, HintGroup: hint}
+	cpu.X[10] = fn
+	cpu.X[11] = arg
+	cpu.X[2] = stackTop
+	target := m.placeThread(hint)
+	if target == 0 {
+		m.addThread(cpu)
+		return
+	}
+	m.sendMsg(&proto.Msg{
+		Kind: proto.KThreadStart, From: 0, To: int32(target),
+		TID: tid, CPU: proto.EncodeCPU(cpu),
+	})
+}
+
+func (m *master) trampoline() uint64 {
+	// The image symbol lookup happens once; cache on first use.
+	if m.trampolinePC == 0 {
+		m.trampolinePC = 1 // sentinel for "looked up, missing"
+		if pc, ok := m.im.Symbol("__thread_start"); ok {
+			m.trampolinePC = pc
+		}
+	}
+	return m.trampolinePC
+}
+
+func (m *master) placeThread(hint int64) int {
+	if m.cfg.Slaves == 0 {
+		return 0
+	}
+	if m.cfg.HintSched && hint != 0 {
+		if node, ok := m.groupNode[hint]; ok {
+			return node
+		}
+		node := 1 + m.nextRR%m.cfg.Slaves
+		m.nextRR++
+		m.groupNode[hint] = node
+		return node
+	}
+	node := 1 + m.nextRR%m.cfg.Slaves
+	m.nextRR++
+	return node
+}
+
+func (m *master) Shutdown(code int64) {
+	if m.done {
+		return
+	}
+	m.exitCode = code
+	for id := 1; id < m.nodes; id++ {
+		m.sendMsg(&proto.Msg{Kind: proto.KShutdown, From: 0, To: int32(id), Num: code})
+	}
+	m.done = true
+}
+
+func (m *master) ConsoleWrite(fd int64, data []byte) {
+	m.console.Write(data)
+	if m.cfg.Stdout != nil {
+		m.cfg.Stdout.Write(data)
+	}
+}
+
+func (m *master) NowNs() int64 { return m.nowNs() }

@@ -1,0 +1,61 @@
+package live
+
+import (
+	"fmt"
+	"net"
+
+	"dqemu/internal/image"
+	"dqemu/internal/proto"
+)
+
+// RunSlave connects to a live master, receives its node id and the guest
+// image, and serves as a cluster node until the master shuts the run down.
+func RunSlave(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("live: dial master: %w", err)
+	}
+	defer conn.Close()
+
+	init, err := proto.ReadMsg(conn)
+	if err != nil {
+		return fmt.Errorf("live: handshake: %w", err)
+	}
+	if init.Kind != proto.KInit {
+		return fmt.Errorf("live: expected init, got %v", init.Kind)
+	}
+	im, err := image.Decode(init.Data)
+	if err != nil {
+		return fmt.Errorf("live: decoding image: %w", err)
+	}
+	id := int(init.Num)
+	nodes := int(init.Args[0])
+	cores := int(init.Args[1])
+	if err := proto.WriteMsg(conn, &proto.Msg{Kind: proto.KInitAck, From: int32(id)}); err != nil {
+		return fmt.Errorf("live: ack: %w", err)
+	}
+
+	n := newNodeCore(id, nodes, cores, im)
+	out := newSender(conn)
+	n.send = out.send
+
+	go func() {
+		for {
+			msg, err := proto.ReadMsg(conn)
+			if err != nil {
+				// Master gone: treat like a shutdown so the loop exits.
+				n.inbox <- &proto.Msg{Kind: proto.KShutdown}
+				return
+			}
+			n.inbox <- msg
+		}
+	}()
+
+	n.loop(func(m *proto.Msg) {
+		if !n.handleCommon(m) {
+			n.fail(fmt.Errorf("live: slave %d: unexpected message %v", id, m.Kind))
+		}
+	})
+	out.close()
+	return n.err
+}

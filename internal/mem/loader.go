@@ -1,0 +1,44 @@
+package mem
+
+import "dqemu/internal/image"
+
+// InstallImage loads an image's segments into the space. Read-only segments
+// (text, rodata) get roPerm and writable segments get rwPerm; PermNone skips
+// a class entirely, which is how slave nodes start — code replicated
+// read-only everywhere, data owned by the master until faulted over (§4.2).
+func InstallImage(s *Space, im *image.Image, roPerm, rwPerm Perm) {
+	for _, seg := range im.Segments {
+		perm := roPerm
+		if seg.Writable {
+			perm = rwPerm
+		}
+		if perm == PermNone {
+			continue
+		}
+		installRange(s, seg.Addr, seg.Data, seg.MemSize, perm)
+	}
+}
+
+// installRange installs [addr, addr+memSize) with the given initial bytes,
+// page by page. Partial first/last pages are merged with existing content.
+func installRange(s *Space, addr uint64, data []byte, memSize uint64, perm Perm) {
+	ps := uint64(s.pageSize)
+	for off := uint64(0); off < memSize; {
+		pageNo := (addr + off) >> s.pageShift
+		pageOff := (addr + off) & (ps - 1)
+		n := ps - pageOff
+		if off+n > memSize {
+			n = memSize - off
+		}
+		buf := s.EnsurePage(pageNo, perm)
+		if int(off) < len(data) {
+			end := int(off + n)
+			if end > len(data) {
+				end = len(data)
+			}
+			copy(buf[pageOff:pageOff+n], data[off:end])
+		}
+		s.SetPerm(pageNo, perm)
+		off += n
+	}
+}

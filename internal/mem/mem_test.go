@@ -1,0 +1,307 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadStoreBasic(t *testing.T) {
+	s := NewSpace(0)
+	s.SetPerm(1, PermReadWrite) // page 1 = [0x1000,0x2000)
+	for _, size := range []int{1, 2, 4, 8} {
+		addr := uint64(0x1000 + 8*size)
+		val := uint64(0x1122334455667788)
+		if f := s.Store(addr, val, size); f != nil {
+			t.Fatalf("store size %d: %v", size, f)
+		}
+		got, f := s.Load(addr, size)
+		if f != nil {
+			t.Fatalf("load size %d: %v", size, f)
+		}
+		want := val
+		if size < 8 {
+			want = val & (1<<(8*size) - 1)
+		}
+		if got != want {
+			t.Errorf("size %d: got %#x want %#x", size, got, want)
+		}
+	}
+}
+
+func TestPermissionFaults(t *testing.T) {
+	s := NewSpace(0)
+	// Absent page: read fault.
+	if _, f := s.Load(0x5000, 8); f == nil || f.Write {
+		t.Errorf("expected read fault, got %v", f)
+	}
+	// Read-only page: loads fine, stores fault.
+	s.InstallPage(5, []byte{42}, PermRead)
+	if v, f := s.Load(0x5000, 1); f != nil || v != 42 {
+		t.Errorf("load RO page: %v %v", v, f)
+	}
+	if f := s.Store(0x5000, 1, 1); f == nil || !f.Write || f.Page != 5 {
+		t.Errorf("expected write fault, got %v", f)
+	}
+	// Upgrade to RW.
+	s.SetPerm(5, PermReadWrite)
+	if f := s.Store(0x5000, 7, 1); f != nil {
+		t.Errorf("store after upgrade: %v", f)
+	}
+	if s.Faults != 2 {
+		t.Errorf("fault count = %d, want 2", s.Faults)
+	}
+}
+
+func TestFaultDoesNotPartiallyWrite(t *testing.T) {
+	s := NewSpace(0)
+	s.SetPerm(1, PermReadWrite)
+	s.InstallPage(2, nil, PermRead) // next page read-only
+	// 8-byte store spanning pages 1 and 2 must fault and leave page 1 alone.
+	addr := uint64(0x2000 - 4)
+	if f := s.Store(addr, 0xffffffffffffffff, 8); f == nil {
+		t.Fatal("expected fault")
+	}
+	v, f := s.Load(addr, 4)
+	if f != nil || v != 0 {
+		t.Errorf("partial write leaked: %#x %v", v, f)
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	s := NewSpace(0)
+	s.SetPerm(1, PermReadWrite)
+	s.SetPerm(2, PermReadWrite)
+	addr := uint64(0x2000 - 3)
+	want := uint64(0x0102030405060708)
+	if f := s.Store(addr, want, 8); f != nil {
+		t.Fatal(f)
+	}
+	got, f := s.Load(addr, 8)
+	if f != nil || got != want {
+		t.Errorf("cross-page: got %#x, %v", got, f)
+	}
+}
+
+func TestInstallAndExtract(t *testing.T) {
+	s := NewSpace(0)
+	content := make([]byte, 4096)
+	for i := range content {
+		content[i] = byte(i)
+	}
+	s.InstallPage(3, content, PermRead)
+	data := s.PageData(3)
+	if data == nil || data[255] != 255 {
+		t.Fatal("page data mismatch")
+	}
+	// Install copies.
+	content[0] = 99
+	if data[0] == 99 {
+		t.Error("InstallPage aliased caller's buffer")
+	}
+	s.DropPage(3)
+	if s.PageData(3) != nil || s.PermOf(3) != PermNone {
+		t.Error("page not dropped")
+	}
+}
+
+func TestTLBInvalidation(t *testing.T) {
+	s := NewSpace(0)
+	s.SetPerm(1, PermReadWrite)
+	if f := s.Store(0x1000, 1, 1); f != nil {
+		t.Fatal(f)
+	}
+	// Downgrade: the cached TLB entry must not satisfy the next store.
+	s.SetPerm(1, PermRead)
+	if f := s.Store(0x1000, 2, 1); f == nil {
+		t.Fatal("TLB served stale writable entry after downgrade")
+	}
+	// Drop entirely: loads must fault too.
+	s.DropPage(1)
+	if _, f := s.Load(0x1000, 1); f == nil {
+		t.Fatal("TLB served stale entry after drop")
+	}
+}
+
+func TestRemapSplitsPage(t *testing.T) {
+	s := NewSpace(0)
+	// Fill original page 1 with a pattern while unsplit.
+	s.SetPerm(1, PermReadWrite)
+	for i := 0; i < 4096; i++ {
+		s.Store(0x1000+uint64(i), uint64(i&0xff), 1)
+	}
+	orig := make([]byte, 4096)
+	copy(orig, s.PageData(1))
+
+	// Split into 4 shadow pages at 0x60000000.
+	shBase := uint64(0x60000000) >> 12
+	shadows := []uint64{shBase, shBase + 1, shBase + 2, shBase + 3}
+	if err := s.AddRemap(1, shadows); err != nil {
+		t.Fatal(err)
+	}
+	// Master would install each quarter at the same offset; emulate that.
+	for part := 0; part < 4; part++ {
+		data := make([]byte, 4096)
+		copy(data[part*1024:(part+1)*1024], orig[part*1024:(part+1)*1024])
+		s.InstallPage(shadows[part], data, PermReadWrite)
+	}
+	// All original addresses must still read the same bytes.
+	for i := 0; i < 4096; i += 37 {
+		v, f := s.Load(0x1000+uint64(i), 1)
+		if f != nil || v != uint64(i&0xff) {
+			t.Fatalf("addr %#x after split: %v %v", 0x1000+i, v, f)
+		}
+	}
+	// Writes go to shadow pages.
+	if f := s.Store(0x1000+2048, 0xAB, 1); f != nil {
+		t.Fatal(f)
+	}
+	if s.PageData(shadows[2])[2048] != 0xAB {
+		t.Error("write did not land in shadow page")
+	}
+	// Translate maps into each quarter.
+	if got := s.Translate(0x1000 + 1024); got != shadows[1]<<12|1024 {
+		t.Errorf("Translate = %#x", got)
+	}
+	// The faulting page reported for an absent shadow is the shadow page.
+	s.DropPage(shadows[3])
+	if _, f := s.Load(0x1000+3072, 1); f == nil || f.Page != shadows[3] {
+		t.Errorf("fault = %+v", f)
+	}
+}
+
+func TestRemapCrossPartAccess(t *testing.T) {
+	s := NewSpace(0)
+	s.SetPerm(1, PermReadWrite)
+	s.Store(0x1000+1022, 0x1122334455667788, 8) // spans parts 0 and 1
+	shBase := uint64(0x60000000) >> 12
+	shadows := []uint64{shBase, shBase + 1, shBase + 2, shBase + 3}
+	orig := make([]byte, 4096)
+	// Page content was dropped by AddRemap; repopulate shadows with the data
+	// that was there.
+	copy(orig, s.PageData(1))
+	s.AddRemap(1, shadows)
+	for part := 0; part < 4; part++ {
+		data := make([]byte, 4096)
+		copy(data[part*1024:(part+1)*1024], orig[part*1024:(part+1)*1024])
+		s.InstallPage(shadows[part], data, PermReadWrite)
+	}
+	v, f := s.Load(0x1000+1022, 8)
+	if f != nil || v != 0x1122334455667788 {
+		t.Errorf("cross-part load: %#x %v", v, f)
+	}
+	if f := s.Store(0x1000+1022, 0x8877665544332211, 8); f != nil {
+		t.Fatal(f)
+	}
+	v, _ = s.Load(0x1000+1022, 8)
+	if v != 0x8877665544332211 {
+		t.Errorf("cross-part store: %#x", v)
+	}
+}
+
+func TestRemapErrors(t *testing.T) {
+	s := NewSpace(0)
+	if err := s.AddRemap(1, []uint64{2, 3, 4}); err == nil {
+		t.Error("non-power-of-two split accepted")
+	}
+	if err := s.AddRemap(1, []uint64{2}); err == nil {
+		t.Error("split factor 1 accepted")
+	}
+	if err := s.AddRemap(1, []uint64{10, 11}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRemap(1, []uint64{12, 13}); err == nil {
+		t.Error("double split accepted")
+	}
+	if err := s.AddRemap(5, []uint64{10, 20}); err == nil {
+		t.Error("shadow of split page accepted as shadow again")
+	}
+}
+
+func TestReadWriteBytes(t *testing.T) {
+	s := NewSpace(0)
+	msg := []byte("hello guest world")
+	if err := s.WriteBytes(0x1ffa, msg); err != nil { // crosses page boundary
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	if err := s.ReadBytes(0x1ffa, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != string(msg) {
+		t.Errorf("roundtrip = %q", buf)
+	}
+	if err := s.ReadBytes(0x900000, buf); err == nil {
+		t.Error("read of absent page should fail")
+	}
+}
+
+func TestReadCString(t *testing.T) {
+	s := NewSpace(0)
+	s.WriteBytes(0x1000, []byte("hi\x00rest"))
+	got, err := s.ReadCString(0x1000, 100)
+	if err != nil || got != "hi" {
+		t.Errorf("ReadCString = %q, %v", got, err)
+	}
+	if _, err := s.ReadCString(0x1000, 1); err == nil {
+		t.Error("unterminated string accepted")
+	}
+}
+
+func TestLoadStoreF64(t *testing.T) {
+	s := NewSpace(0)
+	s.SetPerm(1, PermReadWrite)
+	if f := s.StoreF64(0x1008, 3.25); f != nil {
+		t.Fatal(f)
+	}
+	v, f := s.LoadF64(0x1008)
+	if f != nil || v != 3.25 {
+		t.Errorf("f64 roundtrip: %v %v", v, f)
+	}
+}
+
+func TestPageSizes(t *testing.T) {
+	for _, ps := range []int{64, 1024, 4096, 16384} {
+		s := NewSpace(ps)
+		if s.PageSize() != ps {
+			t.Errorf("PageSize = %d", s.PageSize())
+		}
+		if s.PageOf(uint64(ps)) != 1 || s.PageAddr(1) != uint64(ps) {
+			t.Errorf("ps %d: page math wrong", ps)
+		}
+	}
+	for _, bad := range []int{-1, 5, 48, 3000} {
+		func() {
+			defer func() { recover() }()
+			NewSpace(bad)
+			t.Errorf("page size %d accepted", bad)
+		}()
+	}
+}
+
+// Property: for random aligned addr/size/value, store-then-load returns the
+// stored value masked to the size.
+func TestQuickStoreLoad(t *testing.T) {
+	s := NewSpace(0)
+	for p := uint64(0); p < 16; p++ {
+		s.SetPerm(p, PermReadWrite)
+	}
+	f := func(addrRaw uint16, sizeSel uint8, val uint64) bool {
+		size := 1 << (sizeSel % 4)
+		addr := uint64(addrRaw) &^ uint64(size-1)
+		if fl := s.Store(addr, val, size); fl != nil {
+			return false
+		}
+		got, fl := s.Load(addr, size)
+		if fl != nil {
+			return false
+		}
+		want := val
+		if size < 8 {
+			want &= 1<<(8*size) - 1
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,173 @@
+package minicc
+
+// Built-in functions compiled to single instructions rather than calls.
+var fpBuiltins = map[string]string{
+	"sqrt": "fsqrt",
+	"exp":  "fexp",
+	"log":  "fln",
+	"fabs": "fabs",
+}
+
+func (g *codegen) genCall(v *call) (*Type, error) {
+	switch v.name {
+	case "sqrt", "exp", "log", "fabs":
+		if len(v.args) != 1 {
+			return nil, g.errf(v.line, "%s takes 1 argument", v.name)
+		}
+		ty, err := g.genExpr(v.args[0])
+		if err != nil {
+			return nil, err
+		}
+		if err := g.convert(ty, tyDouble, v.line); err != nil {
+			return nil, err
+		}
+		g.emit("%s f0, f0", fpBuiltins[v.name])
+		return tyDouble, nil
+
+	case "fmin", "fmax":
+		if len(v.args) != 2 {
+			return nil, g.errf(v.line, "%s takes 2 arguments", v.name)
+		}
+		ty, err := g.genExpr(v.args[0])
+		if err != nil {
+			return nil, err
+		}
+		if err := g.convert(ty, tyDouble, v.line); err != nil {
+			return nil, err
+		}
+		g.pushF()
+		ty, err = g.genExpr(v.args[1])
+		if err != nil {
+			return nil, err
+		}
+		if err := g.convert(ty, tyDouble, v.line); err != nil {
+			return nil, err
+		}
+		g.popF("f1")
+		g.emit("%s f0, f1, f0", v.name)
+		return tyDouble, nil
+
+	case "__fence":
+		if len(v.args) != 0 {
+			return nil, g.errf(v.line, "__fence takes no arguments")
+		}
+		g.emit("fence")
+		g.emit("li   a0, 0")
+		return tyLong, nil
+
+	case "hint":
+		if len(v.args) != 1 {
+			return nil, g.errf(v.line, "hint takes 1 constant argument")
+		}
+		lit, ok := v.args[0].(*intLit)
+		if !ok {
+			return nil, g.errf(v.line, "hint argument must be an integer literal (use dq_hint for dynamic groups)")
+		}
+		g.emit("hint %d", lit.val)
+		g.emit("li   a0, 0")
+		return tyLong, nil
+
+	case "__cas":
+		// __cas(p, expected, new) -> previous value at p.
+		if err := g.evalIntArgs(v, 3); err != nil {
+			return nil, err
+		}
+		g.popI("a2")
+		g.popI("a1")
+		g.popI("a0")
+		g.emit("cas  a1, a2, (a0)")
+		g.emit("mv   a0, a1")
+		return tyLong, nil
+
+	case "__amoadd", "__amoswap":
+		if err := g.evalIntArgs(v, 2); err != nil {
+			return nil, err
+		}
+		g.popI("a1")
+		g.popI("a0")
+		g.emit("%s t0, a1, (a0)", v.name[2:])
+		g.emit("mv   a0, t0")
+		return tyLong, nil
+
+	case "__ll":
+		if err := g.evalIntArgs(v, 1); err != nil {
+			return nil, err
+		}
+		g.popI("a0")
+		g.emit("ll   a0, (a0)")
+		return tyLong, nil
+
+	case "__sc":
+		// __sc(p, v) -> 0 on success, 1 on failure.
+		if err := g.evalIntArgs(v, 2); err != nil {
+			return nil, err
+		}
+		g.popI("a1")
+		g.popI("a0")
+		g.emit("sc   t0, a1, (a0)")
+		g.emit("mv   a0, t0")
+		return tyLong, nil
+	}
+
+	sig, ok := g.funcs[v.name]
+	if !ok {
+		return nil, g.errf(v.line, "call to undeclared function %q (declare it extern)", v.name)
+	}
+	if len(v.args) > 8 {
+		return nil, g.errf(v.line, "at most 8 arguments supported")
+	}
+	if sig.known && len(v.args) != len(sig.params) {
+		return nil, g.errf(v.line, "%s takes %d arguments, got %d", v.name, len(sig.params), len(v.args))
+	}
+	// Evaluate left to right, pushing each argument.
+	kinds := make([]bool, len(v.args)) // true = float
+	for i, a := range v.args {
+		ty, err := g.genExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		if sig.known {
+			if err := g.convert(ty, sig.params[i], v.line); err != nil {
+				return nil, err
+			}
+			ty = sig.params[i]
+		}
+		kinds[i] = ty.isFloat()
+		if kinds[i] {
+			g.pushF()
+		} else {
+			g.pushI()
+		}
+	}
+	// Pop into argument registers, last first. Register index = position.
+	for i := len(v.args) - 1; i >= 0; i-- {
+		if kinds[i] {
+			g.popF(fRegName(i))
+		} else {
+			g.popI(aRegName(i))
+		}
+	}
+	g.emit("call %s", v.name)
+	return sig.ret, nil
+}
+
+// evalIntArgs evaluates exactly n integer/pointer arguments, pushing each.
+func (g *codegen) evalIntArgs(v *call, n int) error {
+	if len(v.args) != n {
+		return g.errf(v.line, "%s takes %d arguments", v.name, n)
+	}
+	for _, a := range v.args {
+		ty, err := g.genExpr(a)
+		if err != nil {
+			return err
+		}
+		if ty.isFloat() {
+			return g.errf(v.line, "%s needs integer/pointer arguments", v.name)
+		}
+		g.pushI()
+	}
+	return nil
+}
+
+func aRegName(i int) string { return "a" + string(rune('0'+i)) }
+func fRegName(i int) string { return "f1" + string(rune('0'+i)) } // f10..f17

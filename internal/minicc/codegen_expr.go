@@ -1,0 +1,577 @@
+package minicc
+
+import "strconv"
+
+// ---- Value stack helpers. Values are spilled to the guest stack between
+// the two operands of a binary operation; sp is restored by the function
+// epilogue even if codegen leaves it moved (it cannot, but belt and braces).
+
+func (g *codegen) pushI() {
+	g.emit("addi sp, sp, -8")
+	g.emit("sd   a0, 0(sp)")
+}
+
+func (g *codegen) popI(reg string) {
+	g.emit("ld   %s, 0(sp)", reg)
+	g.emit("addi sp, sp, 8")
+}
+
+func (g *codegen) pushF() {
+	g.emit("addi sp, sp, -8")
+	g.emit("fsd  f0, 0(sp)")
+}
+
+func (g *codegen) popF(reg string) {
+	g.emit("fld  %s, 0(sp)", reg)
+	g.emit("addi sp, sp, 8")
+}
+
+// convert coerces the current value (in a0/f0 per `from`) to type `to`.
+func (g *codegen) convert(from, to *Type, line int) error {
+	if from.isFloat() == to.isFloat() {
+		if to.Kind == KindChar && from.Kind != KindChar {
+			g.emit("andi a0, a0, 255")
+		}
+		if to.Kind == KindVoid || from.Kind == KindVoid {
+			if to.Kind != from.Kind {
+				return g.errf(line, "cannot convert %s to %s", from, to)
+			}
+		}
+		return nil
+	}
+	if to.isFloat() {
+		g.emit("fcvt.d.l f0, a0")
+		return nil
+	}
+	g.emit("fcvt.l.d a0, f0")
+	if to.Kind == KindChar {
+		g.emit("andi a0, a0, 255")
+	}
+	return nil
+}
+
+// loadValue loads the value of type ty from the address in a0.
+func (g *codegen) loadValue(ty *Type) {
+	switch ty.Kind {
+	case KindChar:
+		g.emit("lbu  a0, 0(a0)")
+	case KindDouble:
+		g.emit("fld  f0, 0(a0)")
+	default:
+		g.emit("ld   a0, 0(a0)")
+	}
+}
+
+// storeValue stores the current value (a0/f0 per ty) to the address in reg.
+func (g *codegen) storeValue(ty *Type, reg string) {
+	switch ty.Kind {
+	case KindChar:
+		g.emit("sb   a0, 0(%s)", reg)
+	case KindDouble:
+		g.emit("fsd  f0, 0(%s)", reg)
+	default:
+		g.emit("sd   a0, 0(%s)", reg)
+	}
+}
+
+// genAddr leaves the address of an lvalue in a0 and returns the type of the
+// value stored there (for arrays, the element type).
+func (g *codegen) genAddr(e expr) (*Type, error) {
+	switch v := e.(type) {
+	case *varRef:
+		if li := g.lookupLocal(v.name); li != nil {
+			g.addrOfSlot(li.off, "a0")
+			return li.ty, nil
+		}
+		if gi, ok := g.globals[v.name]; ok {
+			g.emit("la   a0, %s", v.name)
+			return gi.ty, nil
+		}
+		return nil, g.errf(v.line, "undefined variable %q", v.name)
+	case *unary:
+		if v.op != "*" {
+			return nil, g.errf(v.line, "not an lvalue")
+		}
+		ty, err := g.genExpr(v.x)
+		if err != nil {
+			return nil, err
+		}
+		if !ty.isPtr() {
+			return nil, g.errf(v.line, "cannot dereference %s", ty)
+		}
+		return ty.Elem, nil
+	case *index:
+		bty, err := g.genExpr(v.base)
+		if err != nil {
+			return nil, err
+		}
+		if !bty.isPtr() {
+			return nil, g.errf(v.line, "cannot index %s", bty)
+		}
+		g.pushI()
+		ity, err := g.genExpr(v.idx)
+		if err != nil {
+			return nil, err
+		}
+		if !ity.isInt() {
+			return nil, g.errf(v.line, "index must be integer, got %s", ity)
+		}
+		g.popI("a1")
+		if size := bty.Elem.size(); size > 1 {
+			g.emit("li   t0, %d", size)
+			g.emit("mul  a0, a0, t0")
+		}
+		g.emit("add  a0, a1, a0")
+		return bty.Elem, nil
+	}
+	return nil, g.errf(0, "expression is not an lvalue")
+}
+
+// genExpr generates code leaving the value in a0 (integers, pointers) or f0
+// (doubles) and returns its type. Array-typed names decay to pointers.
+func (g *codegen) genExpr(e expr) (*Type, error) {
+	switch v := e.(type) {
+	case *intLit:
+		g.emit("li   a0, %d", v.val)
+		return tyLong, nil
+	case *floatLit:
+		g.emit("fli  f0, %s", strconv.FormatFloat(v.val, 'g', 17, 64))
+		return tyDouble, nil
+	case *strLit:
+		g.emit("la   a0, %s", g.strLabel(v.val))
+		return ptrTo(tyChar), nil
+	case *varRef:
+		return g.genVarRef(v)
+	case *unary:
+		return g.genUnary(v)
+	case *binary:
+		return g.genBinary(v)
+	case *assign:
+		return g.genAssign(v)
+	case *incDec:
+		return g.genIncDec(v)
+	case *cond:
+		return g.genCondExpr(v)
+	case *call:
+		return g.genCall(v)
+	case *index:
+		ty, err := g.genAddr(v)
+		if err != nil {
+			return nil, err
+		}
+		g.loadValue(ty)
+		return g.decay(ty), nil
+	case *cast:
+		ty, err := g.genExpr(v.x)
+		if err != nil {
+			return nil, err
+		}
+		if err := g.convert(ty, v.to, v.line); err != nil {
+			return nil, err
+		}
+		return v.to, nil
+	}
+	return nil, g.errf(0, "unknown expression %T", e)
+}
+
+// decay widens char values to long (they are already zero-extended in a0).
+func (g *codegen) decay(ty *Type) *Type {
+	if ty.Kind == KindChar {
+		return tyLong
+	}
+	return ty
+}
+
+func (g *codegen) genVarRef(v *varRef) (*Type, error) {
+	if li := g.lookupLocal(v.name); li != nil {
+		if li.arrayLen >= 0 {
+			g.addrOfSlot(li.off, "a0")
+			return ptrTo(li.ty), nil
+		}
+		g.addrOfSlot(li.off, "a0")
+		g.loadValue(li.ty)
+		return g.decay(li.ty), nil
+	}
+	if gi, ok := g.globals[v.name]; ok {
+		g.emit("la   a0, %s", v.name)
+		if gi.arrayLen >= 0 {
+			return ptrTo(gi.ty), nil
+		}
+		g.loadValue(gi.ty)
+		return g.decay(gi.ty), nil
+	}
+	if _, ok := g.funcs[v.name]; ok {
+		g.emit("la   a0, %s", v.name)
+		return ptrTo(tyVoid), nil
+	}
+	return nil, g.errf(v.line, "undefined identifier %q", v.name)
+}
+
+func (g *codegen) genUnary(v *unary) (*Type, error) {
+	switch v.op {
+	case "&":
+		ty, err := g.genAddr(v.x)
+		if err != nil {
+			return nil, err
+		}
+		return ptrTo(ty), nil
+	case "*":
+		ty, err := g.genExpr(v.x)
+		if err != nil {
+			return nil, err
+		}
+		if !ty.isPtr() {
+			return nil, g.errf(v.line, "cannot dereference %s", ty)
+		}
+		g.loadValue(ty.Elem)
+		return g.decay(ty.Elem), nil
+	}
+	ty, err := g.genExpr(v.x)
+	if err != nil {
+		return nil, err
+	}
+	switch v.op {
+	case "-":
+		if ty.isFloat() {
+			g.emit("fneg f0, f0")
+		} else {
+			g.emit("neg  a0, a0")
+		}
+		return ty, nil
+	case "!":
+		if ty.isFloat() {
+			g.emit("fli  f1, 0.0")
+			g.emit("feq  a0, f0, f1")
+			return tyLong, nil
+		}
+		g.emit("seqz a0, a0")
+		return tyLong, nil
+	case "~":
+		if ty.isFloat() {
+			return nil, g.errf(v.line, "~ needs an integer")
+		}
+		g.emit("not  a0, a0")
+		return ty, nil
+	}
+	return nil, g.errf(v.line, "unknown unary %q", v.op)
+}
+
+func (g *codegen) genBinary(v *binary) (*Type, error) {
+	if v.op == "&&" || v.op == "||" {
+		return g.genLogical(v)
+	}
+	lty, err := g.genExpr(v.l)
+	if err != nil {
+		return nil, err
+	}
+	if lty.isFloat() {
+		g.pushF()
+	} else {
+		g.pushI()
+	}
+	rty, err := g.genExpr(v.r)
+	if err != nil {
+		return nil, err
+	}
+	return g.combine(v.op, lty, rty, v.line)
+}
+
+// combine pops the left operand (pushed by the caller) and applies op with
+// the right operand in a0/f0, leaving the result in a0/f0.
+func (g *codegen) combine(op string, lty, rty *Type, line int) (*Type, error) {
+	// Pointer arithmetic.
+	if lty.isPtr() || rty.isPtr() {
+		return g.combinePtr(op, lty, rty, line)
+	}
+	if lty.isFloat() || rty.isFloat() {
+		// Promote both to double: right first (in registers), then left.
+		if !rty.isFloat() {
+			g.emit("fcvt.d.l f0, a0")
+		}
+		if lty.isFloat() {
+			g.popF("f1")
+		} else {
+			g.popI("a1")
+			g.emit("fcvt.d.l f1, a1")
+		}
+		switch op {
+		case "+":
+			g.emit("fadd f0, f1, f0")
+		case "-":
+			g.emit("fsub f0, f1, f0")
+		case "*":
+			g.emit("fmul f0, f1, f0")
+		case "/":
+			g.emit("fdiv f0, f1, f0")
+		case "<":
+			g.emit("flt  a0, f1, f0")
+			return tyLong, nil
+		case ">":
+			g.emit("flt  a0, f0, f1")
+			return tyLong, nil
+		case "<=":
+			g.emit("fle  a0, f1, f0")
+			return tyLong, nil
+		case ">=":
+			g.emit("fle  a0, f0, f1")
+			return tyLong, nil
+		case "==":
+			g.emit("feq  a0, f1, f0")
+			return tyLong, nil
+		case "!=":
+			g.emit("feq  a0, f1, f0")
+			g.emit("xori a0, a0, 1")
+			return tyLong, nil
+		default:
+			return nil, g.errf(line, "operator %q not defined on double", op)
+		}
+		return tyDouble, nil
+	}
+	// Integer operands.
+	g.popI("a1")
+	switch op {
+	case "+":
+		g.emit("add  a0, a1, a0")
+	case "-":
+		g.emit("sub  a0, a1, a0")
+	case "*":
+		g.emit("mul  a0, a1, a0")
+	case "/":
+		g.emit("div  a0, a1, a0")
+	case "%":
+		g.emit("rem  a0, a1, a0")
+	case "&":
+		g.emit("and  a0, a1, a0")
+	case "|":
+		g.emit("or   a0, a1, a0")
+	case "^":
+		g.emit("xor  a0, a1, a0")
+	case "<<":
+		g.emit("sll  a0, a1, a0")
+	case ">>":
+		g.emit("sra  a0, a1, a0")
+	case "<":
+		g.emit("slt  a0, a1, a0")
+	case ">":
+		g.emit("slt  a0, a0, a1")
+	case "<=":
+		g.emit("slt  a0, a0, a1")
+		g.emit("xori a0, a0, 1")
+	case ">=":
+		g.emit("slt  a0, a1, a0")
+		g.emit("xori a0, a0, 1")
+	case "==":
+		g.emit("sub  a0, a1, a0")
+		g.emit("seqz a0, a0")
+	case "!=":
+		g.emit("sub  a0, a1, a0")
+		g.emit("snez a0, a0")
+	default:
+		return nil, g.errf(line, "unknown operator %q", op)
+	}
+	return tyLong, nil
+}
+
+func (g *codegen) combinePtr(op string, lty, rty *Type, line int) (*Type, error) {
+	switch {
+	case lty.isPtr() && rty.isInt():
+		g.popI("a1")
+		size := lty.Elem.size()
+		switch op {
+		case "+", "-":
+			if size > 1 {
+				g.emit("li   t0, %d", size)
+				g.emit("mul  a0, a0, t0")
+			}
+			if op == "+" {
+				g.emit("add  a0, a1, a0")
+			} else {
+				g.emit("sub  a0, a1, a0")
+			}
+			return lty, nil
+		case "==", "!=", "<", ">", "<=", ">=":
+			return g.ptrCompareRegs(op)
+		}
+	case lty.isInt() && rty.isPtr():
+		switch op {
+		case "+":
+			g.popI("a1")
+			if size := rty.Elem.size(); size > 1 {
+				g.emit("li   t0, %d", size)
+				g.emit("mul  a1, a1, t0")
+			}
+			g.emit("add  a0, a1, a0")
+			return rty, nil
+		case "==", "!=", "<", ">", "<=", ">=":
+			g.popI("a1")
+			return g.ptrCompareRegs(op)
+		}
+	case lty.isPtr() && rty.isPtr():
+		switch op {
+		case "-":
+			g.popI("a1")
+			g.emit("sub  a0, a1, a0")
+			if size := lty.Elem.size(); size > 1 {
+				g.emit("li   t0, %d", size)
+				g.emit("div  a0, a0, t0")
+			}
+			return tyLong, nil
+		case "==", "!=", "<", ">", "<=", ">=":
+			return g.ptrCompare(op)
+		}
+	}
+	return nil, g.errf(line, "invalid pointer operation %s %q %s", lty, op, rty)
+}
+
+// ptrCompare pops the left operand into a1 and emits an unsigned compare
+// against a0.
+func (g *codegen) ptrCompare(op string) (*Type, error) {
+	g.popI("a1")
+	return g.ptrCompareRegs(op)
+}
+
+// ptrCompareRegs compares a1 (left) with a0 (right), unsigned.
+func (g *codegen) ptrCompareRegs(op string) (*Type, error) {
+	switch op {
+	case "==":
+		g.emit("sub  a0, a1, a0")
+		g.emit("seqz a0, a0")
+	case "!=":
+		g.emit("sub  a0, a1, a0")
+		g.emit("snez a0, a0")
+	case "<":
+		g.emit("sltu a0, a1, a0")
+	case ">":
+		g.emit("sltu a0, a0, a1")
+	case "<=":
+		g.emit("sltu a0, a0, a1")
+		g.emit("xori a0, a0, 1")
+	case ">=":
+		g.emit("sltu a0, a1, a0")
+		g.emit("xori a0, a0, 1")
+	}
+	return tyLong, nil
+}
+
+func (g *codegen) genLogical(v *binary) (*Type, error) {
+	end := g.newLabel("logend")
+	short := g.newLabel("logshort")
+	lty, err := g.genExpr(v.l)
+	if err != nil {
+		return nil, err
+	}
+	g.boolify(lty)
+	if v.op == "&&" {
+		g.emit("beqz a0, %s", short)
+	} else {
+		g.emit("bnez a0, %s", short)
+	}
+	rty, err := g.genExpr(v.r)
+	if err != nil {
+		return nil, err
+	}
+	g.boolify(rty)
+	g.emit("snez a0, a0")
+	g.emit("j %s", end)
+	g.label(short)
+	if v.op == "&&" {
+		g.emit("li   a0, 0")
+	} else {
+		g.emit("li   a0, 1")
+	}
+	g.label(end)
+	return tyLong, nil
+}
+
+func (g *codegen) genAssign(v *assign) (*Type, error) {
+	aty, err := g.genAddr(v.l)
+	if err != nil {
+		return nil, err
+	}
+	g.pushI() // address
+	if v.op == "=" {
+		rty, err := g.genExpr(v.r)
+		if err != nil {
+			return nil, err
+		}
+		if err := g.convert(rty, aty, v.line); err != nil {
+			return nil, err
+		}
+		g.popI("a1")
+		g.storeValue(aty, "a1")
+		return g.decay(aty), nil
+	}
+	// Compound assignment: load current value, keeping the address pushed.
+	g.emit("ld   a1, 0(sp)")
+	g.emit("mv   a0, a1")
+	g.loadValue(aty)
+	vty := g.decay(aty)
+	if vty.isFloat() {
+		g.pushF()
+	} else {
+		g.pushI()
+	}
+	rty, err := g.genExpr(v.r)
+	if err != nil {
+		return nil, err
+	}
+	resTy, err := g.combine(v.op, vty, rty, v.line)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.convert(resTy, aty, v.line); err != nil {
+		return nil, err
+	}
+	g.popI("a1")
+	g.storeValue(aty, "a1")
+	return g.decay(aty), nil
+}
+
+func (g *codegen) genIncDec(v *incDec) (*Type, error) {
+	aty, err := g.genAddr(v.l)
+	if err != nil {
+		return nil, err
+	}
+	if aty.isFloat() {
+		return nil, g.errf(v.line, "%s needs an integer or pointer", v.op)
+	}
+	delta := int64(1)
+	if aty.isPtr() {
+		delta = aty.Elem.size()
+	}
+	if v.op == "--" {
+		delta = -delta
+	}
+	g.emit("mv   t2, a0")
+	g.emit("mv   a0, t2")
+	g.loadValue(aty)
+	g.emit("addi a0, a0, %d", delta)
+	g.storeValue(aty, "t2")
+	return g.decay(aty), nil
+}
+
+func (g *codegen) genCondExpr(v *cond) (*Type, error) {
+	elseL := g.newLabel("celse")
+	endL := g.newLabel("cend")
+	cty, err := g.genExpr(v.c)
+	if err != nil {
+		return nil, err
+	}
+	g.boolify(cty)
+	g.emit("beqz a0, %s", elseL)
+	tty, err := g.genExpr(v.t)
+	if err != nil {
+		return nil, err
+	}
+	g.emit("j %s", endL)
+	g.label(elseL)
+	fty, err := g.genExpr(v.f)
+	if err != nil {
+		return nil, err
+	}
+	g.label(endL)
+	if tty.isFloat() != fty.isFloat() {
+		return nil, g.errf(v.line, "ternary branches have mismatched classes (%s vs %s); add a cast", tty, fty)
+	}
+	return tty, nil
+}

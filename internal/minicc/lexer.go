@@ -1,0 +1,237 @@
+// Package minicc is a small C-like compiler targeting the GA64 guest ISA.
+// It exists so the PARSEC-like workloads of the paper's evaluation (§6) can
+// be written in readable source and compiled to guest binaries, playing the
+// role of the cross-compiler in the paper's toolchain.
+//
+// The language ("mini-C") has 64-bit integers (long), IEEE doubles, bytes
+// (char), pointers and fixed-size arrays; functions with up to 8 parameters;
+// if/while/for/break/continue/return; and short-circuit logic. Built-ins
+// map to ISA instructions (sqrt, exp, log, fabs, __cas, __amoadd,
+// __amoswap, __ll, __sc, __fence, hint). Everything else is an external
+// symbol resolved at assembly time against the guest runtime (internal/grt).
+package minicc
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokStr
+	tokChar
+	tokPunct
+	tokKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string
+	ival int64
+	fval float64
+	line int
+}
+
+var keywords = map[string]bool{
+	"long": true, "double": true, "char": true, "void": true,
+	"if": true, "else": true, "while": true, "for": true,
+	"return": true, "break": true, "continue": true, "extern": true,
+}
+
+// punctuators, longest first so maximal munch works.
+var puncts = []string{
+	"<<=", ">>=", "&&", "||", "==", "!=", "<=", ">=", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+	"+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+	"(", ")", "{", "}", "[", "]", ",", ";", "?", ":",
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	file string
+}
+
+func (lx *lexer) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("%s:%d: %s", lx.file, lx.line, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) lex() ([]token, error) {
+	var toks []token
+	lx.line = 1
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case strings.HasPrefix(lx.src[lx.pos:], "//"):
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case strings.HasPrefix(lx.src[lx.pos:], "/*"):
+			end := strings.Index(lx.src[lx.pos+2:], "*/")
+			if end < 0 {
+				return nil, lx.errorf("unterminated block comment")
+			}
+			lx.line += strings.Count(lx.src[lx.pos:lx.pos+2+end+2], "\n")
+			lx.pos += 2 + end + 2
+		case c >= '0' && c <= '9' || c == '.' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] >= '0' && lx.src[lx.pos+1] <= '9':
+			tok, err := lx.lexNumber()
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, tok)
+		case c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+			start := lx.pos
+			for lx.pos < len(lx.src) && isIdentChar(lx.src[lx.pos]) {
+				lx.pos++
+			}
+			text := lx.src[start:lx.pos]
+			kind := tokIdent
+			if keywords[text] {
+				kind = tokKeyword
+			}
+			toks = append(toks, token{kind: kind, text: text, line: lx.line})
+		case c == '"':
+			s, err := lx.lexString('"')
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tokStr, text: s, line: lx.line})
+		case c == '\'':
+			s, err := lx.lexString('\'')
+			if err != nil {
+				return nil, err
+			}
+			if len(s) != 1 {
+				return nil, lx.errorf("character literal must be one byte")
+			}
+			toks = append(toks, token{kind: tokInt, ival: int64(s[0]), text: "'" + s + "'", line: lx.line})
+		default:
+			matched := false
+			for _, p := range puncts {
+				if strings.HasPrefix(lx.src[lx.pos:], p) {
+					toks = append(toks, token{kind: tokPunct, text: p, line: lx.line})
+					lx.pos += len(p)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, lx.errorf("unexpected character %q", c)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: lx.line})
+	return toks, nil
+}
+
+func (lx *lexer) lexNumber() (token, error) {
+	start := lx.pos
+	isFloat := false
+	if strings.HasPrefix(lx.src[lx.pos:], "0x") || strings.HasPrefix(lx.src[lx.pos:], "0X") {
+		lx.pos += 2
+		for lx.pos < len(lx.src) && isHex(lx.src[lx.pos]) {
+			lx.pos++
+		}
+	} else {
+		for lx.pos < len(lx.src) {
+			c := lx.src[lx.pos]
+			if c >= '0' && c <= '9' {
+				lx.pos++
+			} else if c == '.' && !isFloat {
+				isFloat = true
+				lx.pos++
+			} else if (c == 'e' || c == 'E') && lx.pos+1 < len(lx.src) &&
+				(lx.src[lx.pos+1] == '+' || lx.src[lx.pos+1] == '-' || lx.src[lx.pos+1] >= '0' && lx.src[lx.pos+1] <= '9') {
+				isFloat = true
+				lx.pos += 2
+				for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+					lx.pos++
+				}
+				break
+			} else {
+				break
+			}
+		}
+	}
+	text := lx.src[start:lx.pos]
+	if isFloat {
+		var f float64
+		if _, err := fmt.Sscanf(text, "%g", &f); err != nil {
+			return token{}, lx.errorf("bad float %q", text)
+		}
+		return token{kind: tokFloat, fval: f, text: text, line: lx.line}, nil
+	}
+	var v int64
+	var err error
+	if strings.HasPrefix(text, "0x") || strings.HasPrefix(text, "0X") {
+		_, err = fmt.Sscanf(text, "%v", &v)
+	} else {
+		_, err = fmt.Sscanf(text, "%d", &v)
+	}
+	if err != nil {
+		return token{}, lx.errorf("bad integer %q", text)
+	}
+	return token{kind: tokInt, ival: v, text: text, line: lx.line}, nil
+}
+
+func (lx *lexer) lexString(quote byte) (string, error) {
+	lx.pos++ // opening quote
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch c {
+		case quote:
+			lx.pos++
+			return sb.String(), nil
+		case '\n':
+			return "", lx.errorf("unterminated string")
+		case '\\':
+			lx.pos++
+			if lx.pos >= len(lx.src) {
+				return "", lx.errorf("trailing backslash")
+			}
+			switch lx.src[lx.pos] {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '0':
+				sb.WriteByte(0)
+			case '\\':
+				sb.WriteByte('\\')
+			case '\'':
+				sb.WriteByte('\'')
+			case '"':
+				sb.WriteByte('"')
+			default:
+				return "", lx.errorf("unknown escape \\%c", lx.src[lx.pos])
+			}
+			lx.pos++
+		default:
+			sb.WriteByte(c)
+			lx.pos++
+		}
+	}
+	return "", lx.errorf("unterminated string")
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+func isHex(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

@@ -1,0 +1,178 @@
+package minicc
+
+import "testing"
+
+func TestForLoopVariants(t *testing.T) {
+	wantLong(t, `
+long main() {
+	long i = 0;
+	long s = 0;
+	for (; i < 5; i++) s += i;        // no init
+	for (long j = 0; ; j++) {          // no condition
+		if (j == 3) break;
+		s += 100;
+	}
+	for (long k = 0; k < 2;) {         // no post
+		s += 1000;
+		k++;
+	}
+	return s;                          // 10 + 300 + 2000
+}`, 2310)
+}
+
+func TestWhileWithComplexCondition(t *testing.T) {
+	wantLong(t, `
+long main() {
+	long a = 0;
+	long b = 10;
+	while (a < 5 && b > 7) { a++; b--; }
+	return a * 100 + b;   // stops when b==7: a=3,b=7
+}`, 307)
+}
+
+func TestCommentsAndEmptyStatements(t *testing.T) {
+	wantLong(t, `
+// line comment
+/* block
+   comment */
+long main() {
+	;
+	long x = 1; // trailing
+	/* inline */ x += 2;
+	return x;
+}`, 3)
+}
+
+func TestCharArithmetic(t *testing.T) {
+	wantLong(t, `
+long main() {
+	char a = 'A';
+	char b = (char)(a + 1);
+	return b == 'B' ? (a + b) : 0;   // 65 + 66
+}`, 131)
+}
+
+func TestShadowedParam(t *testing.T) {
+	wantLong(t, `
+long f(long x) {
+	{
+		long x = 99;
+		if (x != 99) return -1;
+	}
+	return x;
+}
+long main() { return f(7); }`, 7)
+}
+
+func TestDeepExpressionSpills(t *testing.T) {
+	// Deeply nested expressions exercise the operand stack.
+	wantLong(t, `
+long main() {
+	long a = 1;
+	return ((((a+1)*(a+2))+((a+3)*(a+4)))*(((a+5)*(a+6))+((a+7)*(a+8))));
+	// ((2*3)+(4*5))*((6*7)+(8*9)) = 26*114
+}`, 2964)
+}
+
+func TestDoubleInFunctionCallChain(t *testing.T) {
+	wantDouble(t, `
+double half(double x) { return x / 2.0; }
+double main() { return half(half(half(20.0))); }`, 2.5)
+}
+
+func TestGlobalDoubleArrayInit(t *testing.T) {
+	wantDouble(t, `
+double ws[3] = {0.5, 1.5, 2.0};
+double main() { return ws[0] + ws[1] + ws[2]; }`, 4.0)
+}
+
+func TestNegativeGlobalInit(t *testing.T) {
+	wantLong(t, `
+long bias = -42;
+double scale = -0.5;
+long main() { return bias + (long)(scale * -4.0); }`, -40)
+}
+
+func TestUnsignedishShifts(t *testing.T) {
+	wantLong(t, `
+long main() {
+	long x = 1;
+	x = x << 62;
+	x = x >> 61;     // arithmetic shift keeps sign of positive value
+	return x;
+}`, 2)
+}
+
+func TestModAndDivCombination(t *testing.T) {
+	wantLong(t, `
+long main() {
+	long total = 0;
+	for (long i = 1; i <= 20; i++) {
+		if (i % 3 == 0) total += i / 3;
+	}
+	return total;   // 1+2+3+4+5+6 = 21
+}`, 21)
+}
+
+func TestVoidPointerishFunctionValue(t *testing.T) {
+	out, err := Compile("t.mc", `
+long cb(long x) { return x * 2; }
+extern long invoke(long fn, long arg);
+long main() { return invoke((long)cb, 21); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Fatal("no output")
+	}
+}
+
+func TestParseErrorsMore(t *testing.T) {
+	cases := map[string]string{
+		"missing semicolon":    "long main() { return 0 }",
+		"bad for":              "long main() { for (;;; ) {} return 0; }",
+		"unterminated comment": "/* never closed\nlong main() { return 0; }",
+		"unterminated string":  `long main() { print_str("abc); return 0; }`,
+		"assign to call":       "long f() { return 0; } long main() { f() = 3; return 0; }",
+		"array len zero":       "long a[0]; long main() { return 0; }",
+		"local array init":     "long main() { long a[2] = {1,2}; return 0; }",
+		"void var":             "long main() { void v; return 0; }",
+		"void param":           "long f(void v) { return 0; } long main() { return 0; }",
+		"too many array inits": "long a[2] = {1,2,3}; long main() { return 0; }",
+		"string to long":       "long g = \"s\"; long main() { return 0; }",
+		"index a scalar":       "long main() { long x; return x[0]; }",
+		"deref double":         "double main() { double d; return *d; }",
+		"continue outside":     "long main() { continue; return 0; }",
+		"char literal long":    "long main() { return 'ab'; }",
+		"bad escape":           `long main() { print_str("\q"); return 0; }`,
+	}
+	for name, src := range cases {
+		if _, err := Compile("t.mc", src); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestFloatLiteralsWithExponent(t *testing.T) {
+	wantDouble(t, `
+double main() { return 1.5e2 + 2.5e-1; }`, 150.25)
+}
+
+func TestHexLiterals(t *testing.T) {
+	wantLong(t, "long main() { return 0xff + 0x10; }", 271)
+}
+
+func TestBreakInWhileNested(t *testing.T) {
+	wantLong(t, `
+long main() {
+	long count = 0;
+	for (long i = 0; i < 3; i++) {
+		while (1) {
+			count++;
+			if (count % 2 == 1) break;
+			break;
+		}
+	}
+	return count;
+}`, 3)
+}

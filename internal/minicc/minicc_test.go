@@ -1,0 +1,438 @@
+package minicc
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dqemu/internal/asm"
+	"dqemu/internal/isa"
+	"dqemu/internal/mem"
+	"dqemu/internal/tcg"
+)
+
+// compileAndRun compiles src, links a minimal _start, runs the program, and
+// returns the engine/CPU after main returns (its result is in a0/f0).
+func compileAndRun(t *testing.T, src string) (*tcg.Engine, *tcg.CPU) {
+	t.Helper()
+	asmText, err := Compile("test.mc", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	startup := `
+	.global _start
+_start:
+	call main
+	halt
+`
+	im, err := asm.Assemble(
+		asm.Source{Name: "start.s", Text: startup},
+		asm.Source{Name: "test.s", Text: asmText},
+	)
+	if err != nil {
+		t.Fatalf("assemble: %v\n%s", err, numbered(asmText))
+	}
+	space := mem.NewSpace(0)
+	mem.InstallImage(space, im, mem.PermRead, mem.PermReadWrite)
+	for p := uint64(0x300000); p < 0x400000; p += uint64(space.PageSize()) {
+		space.SetPerm(space.PageOf(p), mem.PermReadWrite)
+	}
+	e := tcg.NewEngine(space, tcg.DefaultCostModel())
+	cpu := &tcg.CPU{PC: im.Entry, TID: 1}
+	cpu.X[isa.RegSP] = 0x400000
+	for i := 0; i < 10000; i++ {
+		res := e.Exec(cpu, 100_000_000)
+		switch res.Reason {
+		case tcg.StopHalt:
+			return e, cpu
+		case tcg.StopBudget:
+			continue
+		default:
+			t.Fatalf("unexpected stop: %+v (err=%v)\n%s", res, res.Err, numbered(asmText))
+		}
+	}
+	t.Fatal("program ran too long")
+	return nil, nil
+}
+
+func numbered(s string) string {
+	lines := strings.Split(s, "\n")
+	var sb strings.Builder
+	for i, l := range lines {
+		sb.WriteString(strings.TrimRight(l, " "))
+		if i < len(lines)-1 {
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+func wantLong(t *testing.T, src string, want int64) {
+	t.Helper()
+	_, cpu := compileAndRun(t, src)
+	if got := int64(cpu.X[isa.RegA0]); got != want {
+		t.Errorf("main() = %d, want %d", got, want)
+	}
+}
+
+func wantDouble(t *testing.T, src string, want float64) {
+	t.Helper()
+	_, cpu := compileAndRun(t, src)
+	if got := cpu.F[0]; math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+		t.Errorf("main() = %g, want %g", got, want)
+	}
+}
+
+func TestReturnConstant(t *testing.T) {
+	wantLong(t, "long main() { return 42; }", 42)
+}
+
+func TestArithmetic(t *testing.T) {
+	wantLong(t, "long main() { return (3+4*5-1)/2 % 7; }", 4)
+	wantLong(t, "long main() { return 1 << 10 | 3; }", 1027)
+	wantLong(t, "long main() { return (255 & 0x0f) ^ 0xff; }", 0xf0)
+	wantLong(t, "long main() { return -7 / 2; }", -3)
+	wantLong(t, "long main() { return 100 >> 2; }", 25)
+	wantLong(t, "long main() { return ~0; }", -1)
+}
+
+func TestComparisons(t *testing.T) {
+	wantLong(t, "long main() { return (1 < 2) + (2 <= 2) + (3 > 2) + (2 >= 3) + (1 == 1) + (1 != 1); }", 4)
+}
+
+func TestLocalsAndAssignment(t *testing.T) {
+	wantLong(t, `
+long main() {
+	long x = 5;
+	long y;
+	y = x * 3;
+	x += y;
+	x -= 2;
+	x *= 2;
+	x /= 3;
+	return x;   // ((5+15-2)*2)/3 = 12
+}`, 12)
+}
+
+func TestIfElse(t *testing.T) {
+	wantLong(t, `
+long sign(long x) {
+	if (x > 0) return 1;
+	else if (x < 0) return -1;
+	return 0;
+}
+long main() { return sign(5) * 100 + (sign(-3)+1) * 10 + sign(0); }`, 100)
+}
+
+func TestWhileLoop(t *testing.T) {
+	wantLong(t, `
+long main() {
+	long i = 0; long sum = 0;
+	while (i < 101) { sum += i; i++; }
+	return sum;
+}`, 5050)
+}
+
+func TestForLoopBreakContinue(t *testing.T) {
+	wantLong(t, `
+long main() {
+	long sum = 0;
+	for (long i = 0; i < 100; i++) {
+		if (i % 2 == 0) continue;
+		if (i > 20) break;
+		sum += i;
+	}
+	return sum;   // 1+3+...+19 = 100
+}`, 100)
+}
+
+func TestRecursion(t *testing.T) {
+	wantLong(t, `
+long fib(long n) {
+	if (n < 2) return n;
+	return fib(n-1) + fib(n-2);
+}
+long main() { return fib(15); }`, 610)
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	wantLong(t, `
+long table[10];
+long total = 7;
+long main() {
+	for (long i = 0; i < 10; i++) table[i] = i * i;
+	long sum = 0;
+	for (long i = 0; i < 10; i++) sum += table[i];
+	return sum + total;   // 285 + 7
+}`, 292)
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	wantLong(t, `
+long weights[4] = {10, 20, 30, 40};
+double scale = 0.5;
+char tag = 'x';
+long main() {
+	long s = 0;
+	for (long i = 0; i < 4; i++) s += weights[i];
+	return s + tag;   // 100 + 120
+}`, 220)
+}
+
+func TestPointers(t *testing.T) {
+	wantLong(t, `
+long main() {
+	long x = 10;
+	long *p = &x;
+	*p = 20;
+	long *q = p;
+	return *q + x;   // 40
+}`, 40)
+}
+
+func TestPointerArithmetic(t *testing.T) {
+	wantLong(t, `
+long arr[5] = {1, 2, 3, 4, 5};
+long main() {
+	long *p = arr;
+	long *q = p + 4;
+	long diff = q - p;          // 4
+	long s = *p + *(p+2) + *q;  // 1+3+5
+	return diff * 100 + s;
+}`, 409)
+}
+
+func TestCharAndStrings(t *testing.T) {
+	wantLong(t, `
+char *msg = "hello";
+long strlen_(char *s) {
+	long n = 0;
+	while (s[n]) n++;
+	return n;
+}
+long main() { return strlen_(msg) * 10 + msg[1]; }`, 50+'e')
+}
+
+func TestCharArrays(t *testing.T) {
+	wantLong(t, `
+char buf[16];
+long main() {
+	for (long i = 0; i < 10; i++) buf[i] = (char)(i + 1);
+	long s = 0;
+	for (long i = 0; i < 16; i++) s += buf[i];
+	return s;   // 55
+}`, 55)
+}
+
+func TestLocalArrays(t *testing.T) {
+	wantLong(t, `
+long main() {
+	long tmp[8];
+	for (long i = 0; i < 8; i++) tmp[i] = i * 2;
+	long s = 0;
+	for (long i = 0; i < 8; i++) s += tmp[i];
+	return s;   // 56
+}`, 56)
+}
+
+func TestDoubles(t *testing.T) {
+	wantDouble(t, `
+double main() {
+	double a = 1.5;
+	double b = 2.0;
+	return a * b + 1.0 / b;   // 3.5
+}`, 3.5)
+}
+
+func TestDoubleIntMixing(t *testing.T) {
+	wantDouble(t, `
+double main() {
+	long n = 7;
+	double x = n;           // implicit convert via init
+	double y = (double)n / 2;
+	return x + y;           // 10.5
+}`, 10.5)
+}
+
+func TestMathBuiltins(t *testing.T) {
+	wantDouble(t, `
+double main() {
+	double x = sqrt(16.0) + exp(0.0) + log(1.0) + fabs(-2.5);
+	return x + fmin(1.0, 2.0) + fmax(1.0, 2.0);   // 4+1+0+2.5+1+2
+}`, 10.5)
+}
+
+func TestDoubleComparisons(t *testing.T) {
+	wantLong(t, `
+long main() {
+	double a = 1.5; double b = 2.5;
+	return (a < b) + (b <= a) + (a == a) + (a != b) + (b > a) + (a >= b);
+}`, 4)
+}
+
+func TestTernary(t *testing.T) {
+	wantLong(t, "long main() { long x = 5; return x > 3 ? 10 : 20; }", 10)
+	wantLong(t, "long main() { long x = 1; return x > 3 ? 10 : 20; }", 20)
+}
+
+func TestLogicalOps(t *testing.T) {
+	wantLong(t, `
+long calls = 0;
+long bump() { calls++; return 1; }
+long main() {
+	long a = (0 && bump());   // short-circuit: no call
+	long b = (1 || bump());   // short-circuit: no call
+	long c = (1 && bump());   // calls
+	long d = (0 || bump());   // calls
+	return calls * 10 + a + b + c + d;
+}`, 23)
+}
+
+func TestFunctionArgsMixed(t *testing.T) {
+	wantDouble(t, `
+double blend(double a, long w1, double b, long w2) {
+	return (a * w1 + b * w2) / (w1 + w2);
+}
+double main() { return blend(1.0, 3, 2.0, 1); }`, 1.25)
+}
+
+func TestEightArgs(t *testing.T) {
+	wantLong(t, `
+long sum8(long a, long b, long c, long d, long e, long f, long g, long h) {
+	return a + b + c + d + e + f + g + h;
+}
+long main() { return sum8(1, 2, 3, 4, 5, 6, 7, 8); }`, 36)
+}
+
+func TestAtomicsBuiltins(t *testing.T) {
+	wantLong(t, `
+long word = 100;
+long main() {
+	long old = __cas(&word, 100, 200);       // success: old = 100
+	long old2 = __cas(&word, 100, 300);      // fail: old2 = 200
+	long old3 = __amoadd(&word, 5);          // old3 = 200, word = 205
+	long old4 = __amoswap(&word, 9);         // old4 = 205, word = 9
+	__fence();
+	return old + old2 + old3 + old4 + word;  // 100+200+200+205+9
+}`, 714)
+}
+
+func TestLLSCBuiltins(t *testing.T) {
+	wantLong(t, `
+long word = 5;
+long main() {
+	long v = __ll(&word);
+	long fail = __sc(&word, v + 1);
+	return word * 10 + fail;   // 60 + 0
+}`, 60)
+}
+
+func TestHintInstruction(t *testing.T) {
+	asmText, err := Compile("t.mc", "long main() { hint(3); return 0; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(asmText, "hint 3") {
+		t.Errorf("no hint instruction in output:\n%s", asmText)
+	}
+}
+
+func TestVoidFunction(t *testing.T) {
+	wantLong(t, `
+long acc;
+void add(long v) { acc += v; }
+long main() {
+	add(3); add(4);
+	return acc;
+}`, 7)
+}
+
+func TestCastTruncation(t *testing.T) {
+	wantLong(t, `
+long main() {
+	long big = 300;
+	char c = (char)big;       // 300 & 255 = 44
+	long d = (long)2.9;       // truncates to 2
+	return c + d;
+}`, 46)
+}
+
+func TestNestedScopes(t *testing.T) {
+	wantLong(t, `
+long main() {
+	long x = 1;
+	{
+		long x = 2;
+		{ long x = 3; }
+	}
+	return x;
+}`, 1)
+}
+
+func TestBigFrame(t *testing.T) {
+	wantLong(t, `
+long main() {
+	long big[2000];
+	for (long i = 0; i < 2000; i++) big[i] = 1;
+	long s = 0;
+	for (long i = 0; i < 2000; i++) s += big[i];
+	return s;
+}`, 2000)
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := map[string]string{
+		"undefined var":    "long main() { return nope; }",
+		"undefined func":   "long main() { return nope(); }",
+		"bad deref":        "long main() { long x; return *x; }",
+		"not lvalue":       "long main() { 5 = 3; return 0; }",
+		"break outside":    "long main() { break; return 0; }",
+		"mod double":       "double main() { return 1.5 % 2.0; }",
+		"too many args":    "long f(long a, long b, long c, long d, long e, long f2, long g, long h, long i) { return 0; }",
+		"unterminated":     "long main() { return 0;",
+		"bad token":        "long main() { return @; }",
+		"dup function":     "long f() { return 0; } long f() { return 1; }",
+		"dup global":       "long g; long g;",
+		"arg count":        "long f(long a) { return a; } long main() { return f(1, 2); }",
+		"hint dynamic":     "long main() { long g = 1; hint(g); return 0; }",
+		"ternary mismatch": "long main() { return 1 ? 1.5 : 2; }",
+	}
+	for name, src := range cases {
+		if _, err := Compile("t.mc", src); err == nil {
+			t.Errorf("%s: expected compile error", name)
+		}
+	}
+}
+
+func TestExternDeclarations(t *testing.T) {
+	out, err := Compile("t.mc", `
+extern long helper(long);
+long main() { return helper(5); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "call helper") {
+		t.Error("extern call missing")
+	}
+}
+
+func TestGlobalStringPointer(t *testing.T) {
+	wantLong(t, `
+char *greeting = "hey";
+long main() { return greeting[0]; }`, 'h')
+}
+
+func TestIncDecPointers(t *testing.T) {
+	wantLong(t, `
+long arr[4] = {10, 20, 30, 40};
+long main() {
+	long *p = arr;
+	p++;
+	long a = *p;   // 20
+	p--;
+	long b = *p;   // 10
+	long i = 5;
+	i--;
+	return a + b + i;   // 34
+}`, 34)
+}

@@ -1,0 +1,153 @@
+// Package netsim models the cluster interconnect: a switched Ethernet like
+// the paper's testbed (1 Gb/s, ~55 µs TCP round trip, §6.1). Messages pay
+// serialization (size/bandwidth) on the sender's NIC, propagation latency,
+// and software processing time at the receiver, where the communicator /
+// manager helper threads handle protocol messages one at a time (§4).
+//
+// The defaults are calibrated so a remote page fault costs ≈410 µs end to
+// end, matching Table 1.
+package netsim
+
+import (
+	"fmt"
+
+	"dqemu/internal/proto"
+	"dqemu/internal/sim"
+)
+
+// Config describes the interconnect.
+type Config struct {
+	// LatencyNs is one-way propagation delay (≈ half the TCP RTT).
+	LatencyNs int64
+	// BandwidthBps is the link bandwidth in bits per second.
+	BandwidthBps int64
+	// ProcNs is the receiver-side software cost of handling one protocol
+	// message on the fault path (signal handling, (de)serialization, page
+	// table updates — the bulk of the paper's 410 µs remote fault).
+	ProcNs int64
+	// StreamProcNs is the receiver-side cost for pipelined stream messages
+	// (forwarded pages, remap broadcasts), which are installed in batch by
+	// the helper threads off the fault path.
+	StreamProcNs int64
+	// LocalNs is the delivery cost of a node messaging itself (master's own
+	// requests to its directory).
+	LocalNs int64
+}
+
+// DefaultConfig matches the paper's testbed.
+func DefaultConfig() Config {
+	return Config{
+		LatencyNs:    28_000, // 56 µs RTT
+		BandwidthBps: 1_000_000_000,
+		ProcNs:       150_000,
+		StreamProcNs: 5_000,
+		LocalNs:      1_000,
+	}
+}
+
+// Stats counts network activity.
+type Stats struct {
+	Msgs     uint64
+	Bytes    uint64
+	ByKind   [32]uint64
+	BusyTxNs int64
+}
+
+// Handler receives delivered messages.
+type Handler func(*proto.Msg)
+
+// Network connects n nodes through the simulated switch.
+type Network struct {
+	k        *sim.Kernel
+	cfg      Config
+	handlers []Handler
+	// Trace, if set, observes every message as it is sent.
+	Trace    func(now int64, m *proto.Msg)
+	txFreeAt []int64
+	// rxFreeAt serializes receive processing per (receiver, sender) link:
+	// the master runs one manager thread per slave (§4), so requests from
+	// different slaves are handled concurrently while messages from the
+	// same peer are handled in order.
+	rxFreeAt map[[2]int32]int64
+	Stats    Stats
+}
+
+// New builds a network for n nodes on the given kernel.
+func New(k *sim.Kernel, cfg Config, n int) *Network {
+	if cfg.BandwidthBps <= 0 {
+		panic("netsim: bandwidth must be positive")
+	}
+	return &Network{
+		k:        k,
+		cfg:      cfg,
+		handlers: make([]Handler, n),
+		txFreeAt: make([]int64, n),
+		rxFreeAt: map[[2]int32]int64{},
+	}
+}
+
+// Register installs the message handler for a node.
+func (nw *Network) Register(node int, h Handler) {
+	nw.handlers[node] = h
+}
+
+// Nodes returns the cluster size.
+func (nw *Network) Nodes() int { return len(nw.handlers) }
+
+// Send queues m for delivery to m.To. Delivery invokes the destination
+// handler after serialization, propagation and receive processing.
+func (nw *Network) Send(m *proto.Msg) {
+	if int(m.To) < 0 || int(m.To) >= len(nw.handlers) {
+		panic(fmt.Sprintf("netsim: send to unknown node %d", m.To))
+	}
+	if nw.Trace != nil {
+		nw.Trace(nw.k.Now(), m)
+	}
+	nw.Stats.Msgs++
+	nw.Stats.Bytes += uint64(m.WireSize())
+	if int(m.Kind) < len(nw.Stats.ByKind) {
+		nw.Stats.ByKind[m.Kind]++
+	}
+	now := nw.k.Now()
+	if m.From == m.To {
+		nw.k.Post(nw.cfg.LocalNs, func() { nw.deliver(m) })
+		return
+	}
+	txStart := max64(now, nw.txFreeAt[m.From])
+	txTime := m.WireSize() * 8 * 1_000_000_000 / nw.cfg.BandwidthBps
+	txDone := txStart + txTime
+	nw.txFreeAt[m.From] = txDone
+	nw.Stats.BusyTxNs += txTime
+
+	arrive := txDone + nw.cfg.LatencyNs
+	proc := nw.cfg.ProcNs
+	switch m.Kind {
+	case proto.KPush, proto.KRemap, proto.KThreadStart:
+		// Streamed installs handled in batch by helper threads, off the
+		// fault path.
+		proc = nw.cfg.StreamProcNs
+	}
+	// The helper thread for this link serializes its message handling.
+	link := [2]int32{m.To, m.From}
+	nw.k.PostAt(arrive, func() {
+		start := max64(nw.k.Now(), nw.rxFreeAt[link])
+		done := start + proc
+		nw.rxFreeAt[link] = done
+		nw.k.PostAt(done, func() { nw.deliver(m) })
+	})
+}
+
+func (nw *Network) deliver(m *proto.Msg) {
+	h := nw.handlers[m.To]
+	if h == nil {
+		panic(fmt.Sprintf("netsim: no handler registered for node %d", m.To))
+	}
+	h(m)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

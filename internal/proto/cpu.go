@@ -1,0 +1,54 @@
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dqemu/internal/tcg"
+)
+
+// cpuBlobSize is the serialized size of a guest CPU context: 32 integer
+// registers, 32 FP registers, PC, TID and the hint group.
+const cpuBlobSize = 32*8 + 32*8 + 8 + 8 + 8
+
+// EncodeCPU serialises a guest CPU context for remote thread creation or
+// migration (§4.1: "we clone on the remote node the CPU context of the
+// parent thread").
+func EncodeCPU(cpu *tcg.CPU) []byte {
+	buf := make([]byte, 0, cpuBlobSize)
+	for _, x := range cpu.X {
+		buf = binary.LittleEndian.AppendUint64(buf, x)
+	}
+	for _, f := range cpu.F {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, cpu.PC)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(cpu.TID))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(cpu.HintGroup))
+	return buf
+}
+
+// DecodeCPU parses a context produced by EncodeCPU.
+func DecodeCPU(buf []byte) (*tcg.CPU, error) {
+	if len(buf) != cpuBlobSize {
+		return nil, fmt.Errorf("proto: bad CPU blob size %d (want %d)", len(buf), cpuBlobSize)
+	}
+	cpu := &tcg.CPU{}
+	off := 0
+	u64 := func() uint64 {
+		v := binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+		return v
+	}
+	for i := range cpu.X {
+		cpu.X[i] = u64()
+	}
+	for i := range cpu.F {
+		cpu.F[i] = math.Float64frombits(u64())
+	}
+	cpu.PC = u64()
+	cpu.TID = int64(u64())
+	cpu.HintGroup = int64(u64())
+	return cpu, nil
+}

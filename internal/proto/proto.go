@@ -1,0 +1,195 @@
+// Package proto defines the wire protocol spoken between DQEMU cluster
+// nodes: coherence traffic (page requests, contents, invalidations), syscall
+// delegation, thread management and the optimization side-channels (page
+// splitting remaps, forwarded pages, scheduling hints). One Msg type covers
+// all kinds; the binary codec is used by the live TCP transport and to size
+// messages for the simulated network's bandwidth model.
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Kind discriminates message types.
+type Kind uint8
+
+const (
+	KInvalid Kind = iota
+
+	// Coherence protocol (§4.2).
+	KPageReq     // slave -> master: Page, Addr, Write
+	KPageContent // master -> node: Page, Perm, Data
+	KInvalidate  // master -> sharer: Page
+	KInvAck      // sharer -> master: Page
+	KFetch       // master -> owner: Page, Write (true = invalidate, false = downgrade)
+	KFetchReply  // owner -> master: Page, Data
+	KRetry       // master -> node: Page — re-execute the faulting access (page was split)
+
+	// Optimizations (§5).
+	KRemap // master -> all: Page, Shadows (page splitting)
+	KPush  // master -> node: Page, Data (data forwarding, Shared state)
+
+	// Syscall delegation (§4.3).
+	KSyscallReq   // slave -> master: TID, Num, Args
+	KSyscallReply // master -> slave: TID, Ret
+
+	// Thread management (§4.1).
+	KThreadStart // master -> node: TID, CPU (serialized context)
+	KHintNote    // node -> master: TID, Num=group (locality hint, §5.3)
+	KShutdown    // master -> all: stop; Num = exit code
+
+	// Dynamic thread migration (extension of the paper's §4.1 context
+	// shipping): the master asks a node to hand over a thread; the node
+	// ships the context back when the thread reaches a clean boundary.
+	KMigrate    // master -> node: TID (Num = target node, informational)
+	KMigrateCtx // node -> master: TID, CPU
+
+	// Live-mode bootstrap (internal/live): the master assigns the slave its
+	// node id and ships the guest image.
+	KInit // master -> slave: Num=node id, Args[0]=cluster size, Data=image
+	KInitAck
+)
+
+var kindNames = [...]string{
+	KInvalid: "invalid", KPageReq: "page-req", KPageContent: "page-content",
+	KInvalidate: "invalidate", KInvAck: "inv-ack", KFetch: "fetch",
+	KFetchReply: "fetch-reply", KRetry: "retry", KRemap: "remap", KPush: "push",
+	KSyscallReq: "syscall-req", KSyscallReply: "syscall-reply",
+	KThreadStart: "thread-start", KHintNote: "hint", KShutdown: "shutdown",
+	KInit: "init", KInitAck: "init-ack",
+	KMigrate: "migrate", KMigrateCtx: "migrate-ctx",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Msg is one protocol message. Unused fields are zero.
+type Msg struct {
+	Kind    Kind
+	From    int32
+	To      int32
+	TID     int64
+	Page    uint64
+	Addr    uint64
+	Write   bool
+	Perm    uint8
+	Num     int64 // syscall number / hint group
+	Ret     uint64
+	Args    [6]uint64
+	Data    []byte
+	Shadows []uint64
+	CPU     []byte
+}
+
+// headerSize approximates the fixed header cost on the wire.
+const headerSize = 64
+
+// WireSize returns the message size in bytes for the bandwidth model.
+func (m *Msg) WireSize() int64 {
+	return int64(headerSize + len(m.Data) + len(m.CPU) + 8*len(m.Shadows))
+}
+
+// Encode serialises the message (length-prefixed frame).
+func (m *Msg) Encode() []byte {
+	buf := make([]byte, 4, 128+len(m.Data)+len(m.CPU))
+	buf = append(buf, byte(m.Kind))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.From))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.To))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.TID))
+	buf = binary.LittleEndian.AppendUint64(buf, m.Page)
+	buf = binary.LittleEndian.AppendUint64(buf, m.Addr)
+	var w byte
+	if m.Write {
+		w = 1
+	}
+	buf = append(buf, w, m.Perm)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.Num))
+	buf = binary.LittleEndian.AppendUint64(buf, m.Ret)
+	for _, a := range m.Args {
+		buf = binary.LittleEndian.AppendUint64(buf, a)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Shadows)))
+	for _, s := range m.Shadows {
+		buf = binary.LittleEndian.AppendUint64(buf, s)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Data)))
+	buf = append(buf, m.Data...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.CPU)))
+	buf = append(buf, m.CPU...)
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	return buf
+}
+
+// Decode parses a frame produced by Encode (without consuming the length
+// prefix, which the transport strips). It returns the message.
+func Decode(buf []byte) (*Msg, error) {
+	r := &reader{buf: buf}
+	m := &Msg{}
+	m.Kind = Kind(r.u8())
+	m.From = int32(r.u32())
+	m.To = int32(r.u32())
+	m.TID = int64(r.u64())
+	m.Page = r.u64()
+	m.Addr = r.u64()
+	m.Write = r.u8() != 0
+	m.Perm = r.u8()
+	m.Num = int64(r.u64())
+	m.Ret = r.u64()
+	for i := range m.Args {
+		m.Args[i] = r.u64()
+	}
+	if n := int(r.u32()); n > 0 {
+		if n > 1<<20 {
+			return nil, fmt.Errorf("proto: absurd shadow count %d", n)
+		}
+		m.Shadows = make([]uint64, n)
+		for i := range m.Shadows {
+			m.Shadows[i] = r.u64()
+		}
+	}
+	m.Data = r.blob()
+	m.CPU = r.blob()
+	if r.err != nil {
+		return nil, fmt.Errorf("proto: decode %v: %w", m.Kind, r.err)
+	}
+	return m, nil
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil || r.off+n > len(r.buf) {
+		if r.err == nil {
+			r.err = fmt.Errorf("truncated at %d (+%d of %d)", r.off, n, len(r.buf))
+		}
+		return make([]byte, n)
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u8() byte    { return r.take(1)[0] }
+func (r *reader) u32() uint32 { return binary.LittleEndian.Uint32(r.take(4)) }
+func (r *reader) u64() uint64 { return binary.LittleEndian.Uint64(r.take(8)) }
+
+func (r *reader) blob() []byte {
+	n := int(r.u32())
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n > 1<<24 {
+		r.err = fmt.Errorf("absurd blob size %d", n)
+		return nil
+	}
+	return append([]byte(nil), r.take(n)...)
+}

@@ -1,0 +1,121 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dqemu/internal/tcg"
+)
+
+func TestMsgRoundtrip(t *testing.T) {
+	msgs := []*Msg{
+		{Kind: KPageReq, From: 2, To: 0, Page: 0x123, Addr: 0x123456, Write: true, TID: 7},
+		{Kind: KPageContent, From: 0, To: 2, Page: 0x123, Perm: 2, Data: bytes.Repeat([]byte{0xab}, 4096)},
+		{Kind: KInvalidate, From: 0, To: 1, Page: 9},
+		{Kind: KRemap, From: 0, To: 3, Page: 5, Shadows: []uint64{100, 101, 102, 103}},
+		{Kind: KSyscallReq, From: 1, To: 0, TID: 12, Num: 64, Args: [6]uint64{1, 0x2000, 5, 0, 0, 0}},
+		{Kind: KSyscallReply, From: 0, To: 1, TID: 12, Ret: 5},
+		{Kind: KThreadStart, From: 0, To: 2, TID: 3, CPU: make([]byte, 32*8+32*8+24)},
+		{Kind: KHintNote, From: 2, To: 0, TID: 3, Num: 42},
+	}
+	for _, m := range msgs {
+		frame := m.Encode()
+		length := binary.LittleEndian.Uint32(frame[:4])
+		if int(length) != len(frame)-4 {
+			t.Fatalf("%v: frame length %d vs %d", m.Kind, length, len(frame)-4)
+		}
+		got, err := Decode(frame[4:])
+		if err != nil {
+			t.Fatalf("%v: %v", m.Kind, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("%v: roundtrip mismatch\n got %+v\nwant %+v", m.Kind, got, m)
+		}
+	}
+}
+
+func TestMsgRoundtripQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func() bool {
+		m := &Msg{
+			Kind:  Kind(r.Intn(int(KShutdown)) + 1),
+			From:  int32(r.Intn(8)),
+			To:    int32(r.Intn(8)),
+			TID:   r.Int63(),
+			Page:  r.Uint64(),
+			Addr:  r.Uint64(),
+			Write: r.Intn(2) == 1,
+			Perm:  uint8(r.Intn(3)),
+			Num:   r.Int63(),
+			Ret:   r.Uint64(),
+		}
+		for i := range m.Args {
+			m.Args[i] = r.Uint64()
+		}
+		if r.Intn(2) == 1 {
+			m.Data = make([]byte, r.Intn(1000))
+			r.Read(m.Data)
+			if len(m.Data) == 0 {
+				m.Data = nil
+			}
+		}
+		if r.Intn(3) == 0 {
+			m.Shadows = []uint64{r.Uint64(), r.Uint64()}
+		}
+		got, err := Decode(m.Encode()[4:])
+		return err == nil && reflect.DeepEqual(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	m := &Msg{Kind: KPageContent, Data: make([]byte, 100)}
+	frame := m.Encode()[4:]
+	for _, cut := range []int{0, 1, 10, 50, len(frame) - 1} {
+		if _, err := Decode(frame[:cut]); err == nil {
+			t.Errorf("truncated frame (%d) accepted", cut)
+		}
+	}
+}
+
+func TestWireSize(t *testing.T) {
+	m := &Msg{Kind: KPageContent, Data: make([]byte, 4096)}
+	if m.WireSize() < 4096 || m.WireSize() > 4300 {
+		t.Errorf("WireSize = %d", m.WireSize())
+	}
+}
+
+func TestCPURoundtrip(t *testing.T) {
+	cpu := &tcg.CPU{PC: 0x10040, TID: 17, HintGroup: 3}
+	for i := range cpu.X {
+		cpu.X[i] = uint64(i * 1000)
+	}
+	for i := range cpu.F {
+		cpu.F[i] = float64(i) * 1.5
+	}
+	got, err := DecodeCPU(EncodeCPU(cpu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cpu, got) {
+		t.Errorf("cpu roundtrip mismatch:\n got %+v\nwant %+v", got, cpu)
+	}
+}
+
+func TestCPUDecodeBadSize(t *testing.T) {
+	if _, err := DecodeCPU(make([]byte, 10)); err == nil {
+		t.Error("bad size accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KPageReq.String() != "page-req" || Kind(200).String() == "" {
+		t.Error("kind names broken")
+	}
+}

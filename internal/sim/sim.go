@@ -1,0 +1,105 @@
+// Package sim provides the deterministic discrete-event kernel that drives
+// DQEMU's simulated cluster. Virtual time is int64 nanoseconds. Events fire
+// in (time, insertion-order) order, so runs are reproducible — the property
+// that lets the benchmark harness regenerate the paper's figures exactly.
+package sim
+
+import "container/heap"
+
+// Kernel is a discrete-event scheduler. The zero value is not usable; call
+// NewKernel.
+type Kernel struct {
+	now   int64
+	seq   uint64
+	queue eventHeap
+	// Stopped reports whether Stop was called.
+	stopped bool
+}
+
+type event struct {
+	at  int64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewKernel returns a kernel at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current virtual time in nanoseconds.
+func (k *Kernel) Now() int64 { return k.now }
+
+// Post schedules fn to run delay nanoseconds from now. Negative delays are
+// clamped to zero (same-time events run in posting order).
+func (k *Kernel) Post(delay int64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	k.PostAt(k.now+delay, fn)
+}
+
+// PostAt schedules fn at absolute time t (clamped to now).
+func (k *Kernel) PostAt(t int64, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.queue, event{at: t, seq: k.seq, fn: fn})
+}
+
+// Pending returns the number of queued events.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Step runs the next event. It returns false when the queue is empty or the
+// kernel is stopped.
+func (k *Kernel) Step() bool {
+	if k.stopped || len(k.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.queue).(event)
+	k.now = e.at
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// RunUntil executes events with time <= t, then advances the clock to t.
+func (k *Kernel) RunUntil(t int64) {
+	for !k.stopped && len(k.queue) > 0 && k.queue[0].at <= t {
+		k.Step()
+	}
+	if !k.stopped && k.now < t {
+		k.now = t
+	}
+}
+
+// Stop halts Run at the next event boundary.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Stopped reports whether Stop was called.
+func (k *Kernel) Stopped() bool { return k.stopped }

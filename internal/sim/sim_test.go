@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOrdering(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	k.Post(30, func() { order = append(order, 3) })
+	k.Post(10, func() { order = append(order, 1) })
+	k.Post(20, func() { order = append(order, 2) })
+	k.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if k.Now() != 30 {
+		t.Errorf("now = %d", k.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Post(5, func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of order: %v", order)
+		}
+	}
+}
+
+func TestNestedPost(t *testing.T) {
+	k := NewKernel()
+	var hits []int64
+	k.Post(10, func() {
+		hits = append(hits, k.Now())
+		k.Post(5, func() { hits = append(hits, k.Now()) })
+	})
+	k.Run()
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	k.Post(10, func() {
+		k.Post(-5, func() { fired = true })
+	})
+	k.Run()
+	if !fired || k.Now() != 10 {
+		t.Errorf("fired=%v now=%d", fired, k.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel()
+	var fired []int64
+	for _, d := range []int64{5, 15, 25} {
+		d := d
+		k.Post(d, func() { fired = append(fired, d) })
+	}
+	k.RunUntil(20)
+	if len(fired) != 2 {
+		t.Errorf("fired = %v", fired)
+	}
+	if k.Now() != 20 {
+		t.Errorf("now = %d", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Errorf("pending = %d", k.Pending())
+	}
+	k.Run()
+	if len(fired) != 3 || k.Now() != 25 {
+		t.Errorf("after Run: fired=%v now=%d", fired, k.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	for i := 0; i < 10; i++ {
+		k.Post(int64(i), func() {
+			count++
+			if count == 3 {
+				k.Stop()
+			}
+		})
+	}
+	k.Run()
+	if count != 3 {
+		t.Errorf("count = %d", count)
+	}
+	if !k.Stopped() {
+		t.Error("not stopped")
+	}
+}
+
+func TestPostAtPastClamped(t *testing.T) {
+	k := NewKernel()
+	var at int64 = -1
+	k.Post(100, func() {
+		k.PostAt(50, func() { at = k.Now() })
+	})
+	k.Run()
+	if at != 100 {
+		t.Errorf("past event ran at %d", at)
+	}
+}
+
+// Property: events always fire in nondecreasing time order.
+func TestQuickMonotonicTime(t *testing.T) {
+	f := func(delays []uint16) bool {
+		k := NewKernel()
+		var last int64 = -1
+		ok := true
+		for _, d := range delays {
+			k.Post(int64(d), func() {
+				if k.Now() < last {
+					ok = false
+				}
+				last = k.Now()
+			})
+		}
+		k.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

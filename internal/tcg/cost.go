@@ -1,0 +1,36 @@
+package tcg
+
+// CostModel assigns virtual-time costs (nanoseconds) to the events of the
+// DBT. The defaults are calibrated so that the single-node micro-benchmarks
+// land near the paper's measured constants (§6.1, Table 1): translated code
+// runs roughly an order of magnitude slower than native, a local page fault
+// costs ~2000 host cycles, and translation is much more expensive per
+// instruction than execution.
+type CostModel struct {
+	IntOpNs     int64 // simple integer/ALU instruction
+	MemOpNs     int64 // load/store (hit)
+	BranchNs    int64 // taken or not-taken branch/jump
+	FPOpNs      int64 // FP add/sub/mul and moves
+	HelperFPNs  int64 // FP div/sqrt/exp/ln helper calls
+	AtomicNs    int64 // LL/SC/CAS/AMO
+	FenceNs     int64
+	TranslateNs int64 // per guest instruction translated
+	SyscallNs   int64 // trap into the emulator (excluding the syscall body)
+	FaultNs     int64 // local page-fault trap overhead (~2000 cycles, [9])
+}
+
+// DefaultCostModel returns the calibrated cost model.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		IntOpNs:     1,
+		MemOpNs:     3,
+		BranchNs:    1,
+		FPOpNs:      3,
+		HelperFPNs:  20,
+		AtomicNs:    25,
+		FenceNs:     5,
+		TranslateNs: 50,
+		SyscallNs:   300,
+		FaultNs:     600,
+	}
+}

@@ -1,0 +1,658 @@
+// Package tcg is DQEMU's dynamic binary translation engine — the analog of
+// QEMU's TCG. Guest GA64 code is decoded into translation blocks that are
+// cached per node, chained to their successors, and executed against the
+// node's software MMU. Execution is restartable at instruction granularity:
+// a page fault leaves PC at the faulting instruction so the node can run
+// the coherence protocol and retry, exactly like the SIGSEGV-driven page
+// protection scheme in the paper (§4.2).
+//
+// All virtual-time costs (execution, translation, traps) are charged
+// through a CostModel so the cluster's discrete-event simulation sees
+// QEMU-like relative costs.
+package tcg
+
+import (
+	"fmt"
+	"math"
+
+	"dqemu/internal/isa"
+	"dqemu/internal/mem"
+)
+
+// CPU is the guest CPU context of one thread — the state that migrates when
+// a thread is created on or moved to a remote node (§4.1).
+type CPU struct {
+	X   [32]uint64  // integer registers; X[0] reads as zero
+	F   [32]float64 // FP registers
+	PC  uint64
+	TID int64 // guest thread id, used by the LL/SC monitor
+
+	// HintGroup is the most recent scheduling hint executed (§5.3).
+	HintGroup int64
+}
+
+// StopReason says why Exec returned.
+type StopReason uint8
+
+const (
+	// StopBudget: the time budget was exhausted; call Exec again.
+	StopBudget StopReason = iota
+	// StopPageFault: a guest access faulted; Result.Fault has details. PC
+	// is at the faulting instruction.
+	StopPageFault
+	// StopSyscall: an SVC executed; the syscall number is in A7, arguments
+	// in A0..A5. PC is already past the SVC; write the result to A0 and
+	// resume.
+	StopSyscall
+	// StopHalt: the vCPU executed HALT.
+	StopHalt
+	// StopEBreak: the vCPU executed EBREAK (PC still at the EBREAK).
+	StopEBreak
+	// StopError: the guest did something unrecoverable (bad PC, undecodable
+	// instruction, misaligned atomic).
+	StopError
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopBudget:
+		return "budget"
+	case StopPageFault:
+		return "pagefault"
+	case StopSyscall:
+		return "syscall"
+	case StopHalt:
+		return "halt"
+	case StopEBreak:
+		return "ebreak"
+	default:
+		return "error"
+	}
+}
+
+// Result reports the outcome of one Exec call.
+type Result struct {
+	Reason StopReason
+	TimeNs int64     // virtual time consumed, including translation
+	Fault  mem.Fault // valid when Reason == StopPageFault
+	Err    error     // valid when Reason == StopError
+}
+
+// Stats aggregates engine activity for the per-thread breakdowns of Fig. 8.
+type Stats struct {
+	Blocks          uint64 // translation blocks built
+	TranslatedInsns uint64
+	ExecInsns       uint64
+	TranslateNs     int64
+	Faults          uint64
+	Syscalls        uint64
+}
+
+// MaxBlockInsns bounds translation block length.
+const MaxBlockInsns = 64
+
+type block struct {
+	ops []isa.Instruction
+	pcs []uint64 // guest address of each instruction
+	// Static successors for block chaining; filled lazily.
+	takenPC, fallPC uint64 // 0 when unknown/dynamic
+	taken, fall     *block
+}
+
+// Engine translates and executes guest code against one node's Space.
+type Engine struct {
+	Mem  *mem.Space
+	Cost CostModel
+	// Mon is the LL/SC monitor (the node's global hash table). Must be set.
+	Mon Monitor
+	// OnHint, if set, observes HINT instructions as they execute.
+	OnHint func(tid, group int64)
+
+	// NoCache disables the translation cache (every block entry
+	// retranslates) and NoChain disables block chaining; both exist for the
+	// ablation benchmarks.
+	NoCache bool
+	NoChain bool
+
+	// StopAtomic ends the scheduling quantum after a CONTENDED atomic (a
+	// CAS whose comparison failed or an SC that lost its reservation), the
+	// way QEMU ends translation blocks at synchronizing instructions. A
+	// failing spinner thus yields immediately — lock hand-offs interleave
+	// at instruction granularity — while a successful lock holder keeps
+	// its timeslice and is not convoyed.
+	StopAtomic bool
+
+	Stats Stats
+
+	cache  map[uint64]*block
+	opCost [256]int64
+}
+
+// NewEngine returns an engine bound to a Space with the given cost model.
+func NewEngine(space *mem.Space, cost CostModel) *Engine {
+	e := &Engine{Mem: space, Cost: cost, Mon: NewLLSCTable(), cache: map[uint64]*block{}}
+	for op := 1; op < 256; op++ {
+		if !isa.Op(op).Valid() {
+			continue
+		}
+		e.opCost[op] = e.classCost(isa.Op(op))
+	}
+	return e
+}
+
+func (e *Engine) classCost(op isa.Op) int64 {
+	switch op {
+	case isa.OpLB, isa.OpLBU, isa.OpLH, isa.OpLHU, isa.OpLW, isa.OpLWU, isa.OpLD,
+		isa.OpSB, isa.OpSH, isa.OpSW, isa.OpSD, isa.OpFLD, isa.OpFSD:
+		return e.Cost.MemOpNs
+	case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU, isa.OpJAL, isa.OpJALR:
+		return e.Cost.BranchNs
+	case isa.OpLL, isa.OpSC, isa.OpCAS, isa.OpAMOADD, isa.OpAMOSWAP:
+		return e.Cost.AtomicNs
+	case isa.OpFENCE:
+		return e.Cost.FenceNs
+	case isa.OpFDIV, isa.OpFSQRT, isa.OpFEXP, isa.OpFLN:
+		return e.Cost.HelperFPNs
+	case isa.OpFADD, isa.OpFSUB, isa.OpFMUL, isa.OpFMIN, isa.OpFMAX, isa.OpFNEG,
+		isa.OpFABS, isa.OpFMV, isa.OpFMVXD, isa.OpFMVDX, isa.OpFCVTDL, isa.OpFCVTLD,
+		isa.OpFEQ, isa.OpFLT, isa.OpFLE, isa.OpFMOVD:
+		return e.Cost.FPOpNs
+	default:
+		return e.Cost.IntOpNs
+	}
+}
+
+// ClearCache drops all translated blocks.
+func (e *Engine) ClearCache() { e.cache = map[uint64]*block{} }
+
+// CacheSize returns the number of cached translation blocks.
+func (e *Engine) CacheSize() int { return len(e.cache) }
+
+// fetchInsn decodes one instruction at pc, reading through the MMU with
+// permissions bypassed (code pages are replicated read-only on every node).
+func (e *Engine) fetchInsn(pc uint64) (isa.Instruction, int, error) {
+	var buf [12]byte
+	n := 12
+	for ; n >= 4; n -= 4 {
+		if err := e.Mem.ReadBytes(pc, buf[:n]); err == nil {
+			break
+		}
+	}
+	if n < 4 {
+		return isa.Instruction{}, 0, fmt.Errorf("tcg: cannot fetch code at %#x", pc)
+	}
+	return isa.Decode(buf[:n])
+}
+
+// translate builds the translation block starting at pc.
+func (e *Engine) translate(pc uint64) (*block, error) {
+	b := &block{}
+	cur := pc
+	for len(b.ops) < MaxBlockInsns {
+		ins, n, err := e.fetchInsn(cur)
+		if err != nil {
+			if len(b.ops) > 0 {
+				break // let execution reach the bad address before failing
+			}
+			return nil, err
+		}
+		b.ops = append(b.ops, ins)
+		b.pcs = append(b.pcs, cur)
+		if ins.IsBranch() {
+			switch ins.Op {
+			case isa.OpJAL:
+				b.takenPC = cur + uint64(ins.Imm*4)
+			case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU:
+				b.takenPC = cur + uint64(ins.Imm*4)
+				b.fallPC = cur + 4
+			case isa.OpSVC:
+				b.fallPC = cur + 4
+			}
+			break
+		}
+		cur += uint64(n)
+	}
+	if len(b.ops) == MaxBlockInsns && !b.ops[len(b.ops)-1].IsBranch() {
+		last := len(b.ops) - 1
+		b.fallPC = b.pcs[last] + uint64(b.ops[last].Size())
+	}
+	return b, nil
+}
+
+// lookup returns the block at pc, translating (and charging translation
+// time) if needed.
+func (e *Engine) lookup(pc uint64, spent *int64) (*block, error) {
+	if !e.NoCache {
+		if b, ok := e.cache[pc]; ok {
+			return b, nil
+		}
+	}
+	b, err := e.translate(pc)
+	if err != nil {
+		return nil, err
+	}
+	t := int64(len(b.ops)) * e.Cost.TranslateNs
+	*spent += t
+	e.Stats.TranslateNs += t
+	e.Stats.Blocks++
+	e.Stats.TranslatedInsns += uint64(len(b.ops))
+	if !e.NoCache {
+		e.cache[pc] = b
+	}
+	return b, nil
+}
+
+// Exec runs cpu until a stop condition or until at least budgetNs of
+// virtual time has been consumed (it may overshoot by up to one block).
+func (e *Engine) Exec(cpu *CPU, budgetNs int64) Result {
+	var spent int64
+	blk, err := e.lookup(cpu.PC, &spent)
+	if err != nil {
+		return Result{Reason: StopError, TimeNs: spent, Err: err}
+	}
+	for {
+		next, res, stop := e.execBlock(cpu, blk, &spent)
+		if stop {
+			res.TimeNs = spent
+			return res
+		}
+		if spent >= budgetNs {
+			return Result{Reason: StopBudget, TimeNs: spent}
+		}
+		if next == nil {
+			nb, err := e.lookup(cpu.PC, &spent)
+			if err != nil {
+				return Result{Reason: StopError, TimeNs: spent, Err: err}
+			}
+			if !e.NoChain {
+				switch cpu.PC {
+				case blk.takenPC:
+					blk.taken = nb
+				case blk.fallPC:
+					blk.fall = nb
+				}
+			}
+			next = nb
+		}
+		blk = next
+	}
+}
+
+// execBlock executes b. It returns the chained next block (nil when a cache
+// lookup is needed), or stop=true with a Result.
+func (e *Engine) execBlock(cpu *CPU, b *block, spent *int64) (next *block, res Result, stop bool) {
+	x := &cpu.X
+	f := &cpu.F
+	mmu := e.Mem
+	var executed uint64
+	defer func() { e.Stats.ExecInsns += executed }()
+
+	for i := 0; i < len(b.ops); i++ {
+		ins := &b.ops[i]
+		pc := b.pcs[i]
+		*spent += e.opCost[ins.Op]
+		executed++
+		switch ins.Op {
+		case isa.OpADD:
+			wr(x, ins.Rd, x[ins.Rs1]+x[ins.Rs2])
+		case isa.OpSUB:
+			wr(x, ins.Rd, x[ins.Rs1]-x[ins.Rs2])
+		case isa.OpMUL:
+			wr(x, ins.Rd, x[ins.Rs1]*x[ins.Rs2])
+		case isa.OpDIV:
+			wr(x, ins.Rd, uint64(sdiv(int64(x[ins.Rs1]), int64(x[ins.Rs2]))))
+		case isa.OpDIVU:
+			if x[ins.Rs2] == 0 {
+				wr(x, ins.Rd, ^uint64(0))
+			} else {
+				wr(x, ins.Rd, x[ins.Rs1]/x[ins.Rs2])
+			}
+		case isa.OpREM:
+			wr(x, ins.Rd, uint64(srem(int64(x[ins.Rs1]), int64(x[ins.Rs2]))))
+		case isa.OpREMU:
+			if x[ins.Rs2] == 0 {
+				wr(x, ins.Rd, x[ins.Rs1])
+			} else {
+				wr(x, ins.Rd, x[ins.Rs1]%x[ins.Rs2])
+			}
+		case isa.OpAND:
+			wr(x, ins.Rd, x[ins.Rs1]&x[ins.Rs2])
+		case isa.OpOR:
+			wr(x, ins.Rd, x[ins.Rs1]|x[ins.Rs2])
+		case isa.OpXOR:
+			wr(x, ins.Rd, x[ins.Rs1]^x[ins.Rs2])
+		case isa.OpSLL:
+			wr(x, ins.Rd, x[ins.Rs1]<<(x[ins.Rs2]&63))
+		case isa.OpSRL:
+			wr(x, ins.Rd, x[ins.Rs1]>>(x[ins.Rs2]&63))
+		case isa.OpSRA:
+			wr(x, ins.Rd, uint64(int64(x[ins.Rs1])>>(x[ins.Rs2]&63)))
+		case isa.OpSLT:
+			wr(x, ins.Rd, b2u(int64(x[ins.Rs1]) < int64(x[ins.Rs2])))
+		case isa.OpSLTU:
+			wr(x, ins.Rd, b2u(x[ins.Rs1] < x[ins.Rs2]))
+
+		case isa.OpADDI:
+			wr(x, ins.Rd, x[ins.Rs1]+uint64(ins.Imm))
+		case isa.OpANDI:
+			wr(x, ins.Rd, x[ins.Rs1]&uint64(ins.Imm))
+		case isa.OpORI:
+			wr(x, ins.Rd, x[ins.Rs1]|uint64(ins.Imm))
+		case isa.OpXORI:
+			wr(x, ins.Rd, x[ins.Rs1]^uint64(ins.Imm))
+		case isa.OpSLLI:
+			wr(x, ins.Rd, x[ins.Rs1]<<(uint64(ins.Imm)&63))
+		case isa.OpSRLI:
+			wr(x, ins.Rd, x[ins.Rs1]>>(uint64(ins.Imm)&63))
+		case isa.OpSRAI:
+			wr(x, ins.Rd, uint64(int64(x[ins.Rs1])>>(uint64(ins.Imm)&63)))
+		case isa.OpSLTI:
+			wr(x, ins.Rd, b2u(int64(x[ins.Rs1]) < ins.Imm))
+
+		case isa.OpMOVIW, isa.OpMOVID:
+			wr(x, ins.Rd, uint64(ins.Imm))
+
+		case isa.OpLB, isa.OpLBU, isa.OpLH, isa.OpLHU, isa.OpLW, isa.OpLWU, isa.OpLD:
+			addr := x[ins.Rs1] + uint64(ins.Imm)
+			size := loadSize(ins.Op)
+			v, fault := mmu.Load(addr, size)
+			if fault != nil {
+				return e.fault(cpu, pc, fault, spent)
+			}
+			switch ins.Op {
+			case isa.OpLB:
+				v = uint64(int64(int8(v)))
+			case isa.OpLH:
+				v = uint64(int64(int16(v)))
+			case isa.OpLW:
+				v = uint64(int64(int32(v)))
+			}
+			wr(x, ins.Rd, v)
+
+		case isa.OpSB, isa.OpSH, isa.OpSW, isa.OpSD:
+			addr := x[ins.Rs1] + uint64(ins.Imm)
+			size := storeSize(ins.Op)
+			if fault := mmu.Store(addr, x[ins.Rs2], size); fault != nil {
+				return e.fault(cpu, pc, fault, spent)
+			}
+			if !e.Mon.Empty() {
+				e.Mon.OnStore(cpu.TID, mmu.Translate(addr))
+			}
+
+		case isa.OpFLD:
+			v, fault := mmu.LoadF64(x[ins.Rs1] + uint64(ins.Imm))
+			if fault != nil {
+				return e.fault(cpu, pc, fault, spent)
+			}
+			f[ins.Rd] = v
+		case isa.OpFSD:
+			if fault := mmu.StoreF64(x[ins.Rs1]+uint64(ins.Imm), f[ins.Rs2]); fault != nil {
+				return e.fault(cpu, pc, fault, spent)
+			}
+			if !e.Mon.Empty() {
+				e.Mon.OnStore(cpu.TID, mmu.Translate(x[ins.Rs1]+uint64(ins.Imm)))
+			}
+
+		case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU:
+			if takeBranch(ins.Op, x[ins.Rs1], x[ins.Rs2]) {
+				cpu.PC = pc + uint64(ins.Imm*4)
+				return b.taken, Result{}, false
+			}
+			cpu.PC = pc + 4
+			return b.fall, Result{}, false
+
+		case isa.OpJAL:
+			wr(x, ins.Rd, pc+4)
+			cpu.PC = pc + uint64(ins.Imm*4)
+			return b.taken, Result{}, false
+
+		case isa.OpJALR:
+			target := (x[ins.Rs1] + uint64(ins.Imm)) &^ 3
+			wr(x, ins.Rd, pc+4)
+			cpu.PC = target
+			return nil, Result{}, false
+
+		case isa.OpLL:
+			addr := x[ins.Rs1]
+			if addr%8 != 0 {
+				return e.badAlign(cpu, pc, addr, spent)
+			}
+			v, fault := mmu.Load(addr, 8)
+			if fault != nil {
+				return e.fault(cpu, pc, fault, spent)
+			}
+			e.Mon.OnLL(cpu.TID, mmu.Translate(addr))
+			wr(x, ins.Rd, v)
+
+		case isa.OpSC:
+			addr := x[ins.Rs1]
+			if addr%8 != 0 {
+				return e.badAlign(cpu, pc, addr, spent)
+			}
+			taddr := mmu.Translate(addr)
+			if mmu.PermOf(mmu.PageOf(taddr)) != mem.PermReadWrite {
+				return e.fault(cpu, pc, &mem.Fault{Addr: taddr, Page: mmu.PageOf(taddr), Write: true}, spent)
+			}
+			if e.Mon.ValidateSC(cpu.TID, taddr) {
+				if fault := mmu.Store(addr, x[ins.Rs2], 8); fault != nil {
+					return e.fault(cpu, pc, fault, spent)
+				}
+				wr(x, ins.Rd, 0)
+			} else {
+				wr(x, ins.Rd, 1)
+				if e.StopAtomic {
+					cpu.PC = pc + 4
+					return nil, Result{Reason: StopBudget}, true
+				}
+			}
+
+		case isa.OpCAS, isa.OpAMOADD, isa.OpAMOSWAP:
+			addr := x[ins.Rs1]
+			if addr%8 != 0 {
+				return e.badAlign(cpu, pc, addr, spent)
+			}
+			taddr := mmu.Translate(addr)
+			if mmu.PermOf(mmu.PageOf(taddr)) != mem.PermReadWrite {
+				return e.fault(cpu, pc, &mem.Fault{Addr: taddr, Page: mmu.PageOf(taddr), Write: true}, spent)
+			}
+			old, fault := mmu.Load(addr, 8)
+			if fault != nil {
+				return e.fault(cpu, pc, fault, spent)
+			}
+			var newVal uint64
+			doStore := true
+			switch ins.Op {
+			case isa.OpCAS:
+				newVal = x[ins.Rs2]
+				doStore = old == x[ins.Rd]
+			case isa.OpAMOADD:
+				newVal = old + x[ins.Rs2]
+			case isa.OpAMOSWAP:
+				newVal = x[ins.Rs2]
+			}
+			if doStore {
+				if fault := mmu.Store(addr, newVal, 8); fault != nil {
+					return e.fault(cpu, pc, fault, spent)
+				}
+				if !e.Mon.Empty() {
+					e.Mon.OnStore(cpu.TID, taddr)
+				}
+			}
+			wr(x, ins.Rd, old)
+			if e.StopAtomic && ins.Op == isa.OpCAS && !doStore {
+				// Contended CAS: yield the core like a failed spinner.
+				cpu.PC = pc + 4
+				return nil, Result{Reason: StopBudget}, true
+			}
+
+		case isa.OpFENCE:
+			// Full barrier. Within a node execution is already sequential;
+			// cross-node ordering is enforced by the page protocol (§3.3).
+
+		case isa.OpSVC:
+			e.Stats.Syscalls++
+			*spent += e.Cost.SyscallNs
+			cpu.PC = pc + 4
+			return nil, Result{Reason: StopSyscall}, true
+
+		case isa.OpHINT:
+			cpu.HintGroup = ins.Imm
+			if e.OnHint != nil {
+				e.OnHint(cpu.TID, ins.Imm)
+			}
+
+		case isa.OpNOP:
+
+		case isa.OpHALT:
+			cpu.PC = pc + 4
+			return nil, Result{Reason: StopHalt}, true
+
+		case isa.OpEBREAK:
+			cpu.PC = pc
+			return nil, Result{Reason: StopEBreak}, true
+
+		case isa.OpFADD:
+			f[ins.Rd] = f[ins.Rs1] + f[ins.Rs2]
+		case isa.OpFSUB:
+			f[ins.Rd] = f[ins.Rs1] - f[ins.Rs2]
+		case isa.OpFMUL:
+			f[ins.Rd] = f[ins.Rs1] * f[ins.Rs2]
+		case isa.OpFDIV:
+			f[ins.Rd] = f[ins.Rs1] / f[ins.Rs2]
+		case isa.OpFMIN:
+			f[ins.Rd] = math.Min(f[ins.Rs1], f[ins.Rs2])
+		case isa.OpFMAX:
+			f[ins.Rd] = math.Max(f[ins.Rs1], f[ins.Rs2])
+		case isa.OpFSQRT:
+			f[ins.Rd] = math.Sqrt(f[ins.Rs1])
+		case isa.OpFNEG:
+			f[ins.Rd] = -f[ins.Rs1]
+		case isa.OpFABS:
+			f[ins.Rd] = math.Abs(f[ins.Rs1])
+		case isa.OpFEXP:
+			f[ins.Rd] = math.Exp(f[ins.Rs1])
+		case isa.OpFLN:
+			f[ins.Rd] = math.Log(f[ins.Rs1])
+		case isa.OpFMOVD:
+			f[ins.Rd] = math.Float64frombits(uint64(ins.Imm))
+		case isa.OpFMV:
+			f[ins.Rd] = f[ins.Rs1]
+		case isa.OpFMVXD:
+			wr(x, ins.Rd, math.Float64bits(f[ins.Rs1]))
+		case isa.OpFMVDX:
+			f[ins.Rd] = math.Float64frombits(x[ins.Rs1])
+		case isa.OpFCVTDL:
+			f[ins.Rd] = float64(int64(x[ins.Rs1]))
+		case isa.OpFCVTLD:
+			wr(x, ins.Rd, uint64(int64(f[ins.Rs1])))
+		case isa.OpFEQ:
+			wr(x, ins.Rd, b2u(f[ins.Rs1] == f[ins.Rs2]))
+		case isa.OpFLT:
+			wr(x, ins.Rd, b2u(f[ins.Rs1] < f[ins.Rs2]))
+		case isa.OpFLE:
+			wr(x, ins.Rd, b2u(f[ins.Rs1] <= f[ins.Rs2]))
+
+		default:
+			cpu.PC = pc
+			return nil, Result{Reason: StopError, Err: fmt.Errorf("tcg: unimplemented op %s at %#x", ins.Op, pc)}, true
+		}
+	}
+	// Fell off the end of a full-length block: continue at fallPC.
+	if b.fallPC != 0 {
+		cpu.PC = b.fallPC
+		return b.fall, Result{}, false
+	}
+	cpu.PC = b.pcs[len(b.pcs)-1] + uint64(b.ops[len(b.ops)-1].Size())
+	return nil, Result{}, false
+}
+
+// fault stops execution with PC at the faulting instruction.
+func (e *Engine) fault(cpu *CPU, pc uint64, fl *mem.Fault, spent *int64) (*block, Result, bool) {
+	cpu.PC = pc
+	e.Stats.Faults++
+	*spent += e.Cost.FaultNs
+	return nil, Result{Reason: StopPageFault, Fault: *fl}, true
+}
+
+func (e *Engine) badAlign(cpu *CPU, pc, addr uint64, spent *int64) (*block, Result, bool) {
+	cpu.PC = pc
+	return nil, Result{Reason: StopError, Err: fmt.Errorf("tcg: misaligned atomic %#x at %#x", addr, pc)}, true
+}
+
+func wr(x *[32]uint64, rd uint8, v uint64) {
+	if rd != 0 {
+		x[rd] = v
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func sdiv(a, b int64) int64 {
+	switch {
+	case b == 0:
+		return -1
+	case a == math.MinInt64 && b == -1:
+		return math.MinInt64
+	default:
+		return a / b
+	}
+}
+
+func srem(a, b int64) int64 {
+	switch {
+	case b == 0:
+		return a
+	case a == math.MinInt64 && b == -1:
+		return 0
+	default:
+		return a % b
+	}
+}
+
+func loadSize(op isa.Op) int {
+	switch op {
+	case isa.OpLB, isa.OpLBU:
+		return 1
+	case isa.OpLH, isa.OpLHU:
+		return 2
+	case isa.OpLW, isa.OpLWU:
+		return 4
+	default:
+		return 8
+	}
+}
+
+func storeSize(op isa.Op) int {
+	switch op {
+	case isa.OpSB:
+		return 1
+	case isa.OpSH:
+		return 2
+	case isa.OpSW:
+		return 4
+	default:
+		return 8
+	}
+}
+
+func takeBranch(op isa.Op, a, b uint64) bool {
+	switch op {
+	case isa.OpBEQ:
+		return a == b
+	case isa.OpBNE:
+		return a != b
+	case isa.OpBLT:
+		return int64(a) < int64(b)
+	case isa.OpBGE:
+		return int64(a) >= int64(b)
+	case isa.OpBLTU:
+		return a < b
+	default: // OpBGEU
+		return a >= b
+	}
+}

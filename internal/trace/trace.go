@@ -1,0 +1,141 @@
+// Package trace records cluster events — protocol messages, scheduling
+// decisions, page faults, syscalls — as timestamped entries that can be
+// rendered as a human-readable log or filtered programmatically. The
+// simulation driver attaches a Tracer through core.Config.Tracer; the
+// dqemu CLI exposes it as -trace.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Kind classifies trace events.
+type Kind uint8
+
+const (
+	// EvMsg is a protocol message send.
+	EvMsg Kind = iota
+	// EvFault is a guest page fault.
+	EvFault
+	// EvSyscall is a guest syscall trap.
+	EvSyscall
+	// EvSched is a scheduling decision (dispatch, block, wake, migrate).
+	EvSched
+	// EvSplit is a page-splitting event.
+	EvSplit
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EvMsg:
+		return "msg"
+	case EvFault:
+		return "fault"
+	case EvSyscall:
+		return "syscall"
+	case EvSched:
+		return "sched"
+	case EvSplit:
+		return "split"
+	default:
+		return "event"
+	}
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	TimeNs int64
+	Kind   Kind
+	Node   int
+	TID    int64
+	Detail string
+}
+
+// Tracer collects events. The zero value is unusable; construct with New.
+// Recording is safe for concurrent use (the live driver runs nodes on
+// several goroutines).
+type Tracer struct {
+	mu     sync.Mutex
+	events []Event
+	limit  int
+	// dropped counts events discarded after the limit was hit.
+	dropped uint64
+	sink    io.Writer
+}
+
+// New returns a tracer keeping at most limit events (0 means 1<<20).
+// If sink is non-nil every event is also written to it as it happens.
+func New(limit int, sink io.Writer) *Tracer {
+	if limit <= 0 {
+		limit = 1 << 20
+	}
+	return &Tracer{limit: limit, sink: sink}
+}
+
+// Record appends an event.
+func (t *Tracer) Record(timeNs int64, kind Kind, node int, tid int64, format string, args ...interface{}) {
+	if t == nil {
+		return
+	}
+	detail := fmt.Sprintf(format, args...)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.events) >= t.limit {
+		t.dropped++
+		return
+	}
+	ev := Event{TimeNs: timeNs, Kind: kind, Node: node, TID: tid, Detail: detail}
+	t.events = append(t.events, ev)
+	if t.sink != nil {
+		fmt.Fprintln(t.sink, ev.String())
+	}
+}
+
+// String renders one event line.
+func (e Event) String() string {
+	return fmt.Sprintf("%12dns node%d %-7s tid=%-4d %s", e.TimeNs, e.Node, e.Kind, e.TID, e.Detail)
+}
+
+// Events returns a snapshot of the recorded events.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Dropped reports how many events were discarded after the limit.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Filter returns the recorded events matching kind.
+func (t *Tracer) Filter(kind Kind) []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Event
+	for _, e := range t.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dump writes every event to w.
+func (t *Tracer) Dump(w io.Writer) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range t.events {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	if t.dropped > 0 {
+		fmt.Fprintf(w, "... %d events dropped (limit %d)\n", t.dropped, t.limit)
+	}
+	return nil
+}

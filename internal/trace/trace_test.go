@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRecordAndDump(t *testing.T) {
+	tr := New(10, nil)
+	tr.Record(100, EvFault, 1, 5, "page=%#x", 0x20)
+	tr.Record(200, EvMsg, 0, -1, "content -> node1")
+	tr.Record(300, EvSched, 0, 7, "placed on node 2")
+	events := tr.Events()
+	if len(events) != 3 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0].Kind != EvFault || events[0].TID != 5 || events[0].TimeNs != 100 {
+		t.Errorf("event 0 = %+v", events[0])
+	}
+	var buf bytes.Buffer
+	if err := tr.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fault", "page=0x20", "node0", "placed on node 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLimitAndDropped(t *testing.T) {
+	tr := New(2, nil)
+	for i := 0; i < 5; i++ {
+		tr.Record(int64(i), EvMsg, 0, 0, "m%d", i)
+	}
+	if len(tr.Events()) != 2 || tr.Dropped() != 3 {
+		t.Errorf("events=%d dropped=%d", len(tr.Events()), tr.Dropped())
+	}
+	var buf bytes.Buffer
+	tr.Dump(&buf)
+	if !strings.Contains(buf.String(), "3 events dropped") {
+		t.Error("dropped note missing")
+	}
+}
+
+func TestFilterAndSink(t *testing.T) {
+	var sink bytes.Buffer
+	tr := New(0, &sink)
+	tr.Record(1, EvFault, 1, 1, "a")
+	tr.Record(2, EvMsg, 1, 1, "b")
+	tr.Record(3, EvFault, 2, 2, "c")
+	if got := tr.Filter(EvFault); len(got) != 2 {
+		t.Errorf("filtered = %d", len(got))
+	}
+	if strings.Count(sink.String(), "\n") != 3 {
+		t.Errorf("sink = %q", sink.String())
+	}
+	// Nil tracer records are no-ops.
+	var nilTr *Tracer
+	nilTr.Record(1, EvMsg, 0, 0, "ignored")
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{EvMsg: "msg", EvFault: "fault", EvSyscall: "syscall", EvSched: "sched", EvSplit: "split", Kind(99): "event"} {
+		if k.String() != want {
+			t.Errorf("%d = %q", k, k.String())
+		}
+	}
+}

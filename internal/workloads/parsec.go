@@ -1,0 +1,339 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dqemu/internal/image"
+)
+
+// Blackscholes is the PARSEC blackscholes kernel (Fig. 7): each thread
+// prices a contiguous chunk of options with the Black-Scholes closed form,
+// rounds times. Good locality, light sharing — the paper's
+// "distributed-system friendly" case. Option data is initialized by the
+// main thread on the master, so workers stream it across the network,
+// which is what data forwarding accelerates.
+// nodes is the slave count the run will use: chunks are arranged so one
+// node's threads (round-robin placement) work on contiguous memory, as
+// PARSEC's static partitioning does on contiguous cores.
+func Blackscholes(threads, options, rounds, nodes int) (*image.Image, error) {
+	if threads > 256 {
+		return nil, fmt.Errorf("workloads: blackscholes supports at most 256 threads")
+	}
+	if nodes < 1 {
+		nodes = 1
+	}
+	src := fmt.Sprintf(`
+long THREADS = %d;
+long OPTIONS = %d;
+long ROUNDS  = %d;
+long NODES   = %d;
+
+// Option data is an array of structs (8 doubles per option: S, K, r, v, T,
+// type, 2 pad), like PARSEC's OptionData, so each thread's chunk is one
+// contiguous multi-page stream.
+double *data;
+double *prices;
+long   done[256];
+
+double CNDF(double x) {
+	long sign = 0;
+	if (x < 0.0) { x = -x; sign = 1; }
+	double k = 1.0 / (1.0 + 0.2316419 * x);
+	double k2 = k * k;
+	double k4 = k2 * k2;
+	double poly = 0.319381530 * k - 0.356563782 * k2 + 1.781477937 * k2 * k
+	            - 1.821255978 * k4 + 1.330274429 * k4 * k;
+	double n = 1.0 - 0.3989422804014327 * exp(-0.5 * x * x) * poly;
+	if (sign) n = 1.0 - n;
+	return n;
+}
+
+double bsprice(double S, double K, double r, double v, double T, long call) {
+	double sq = v * sqrt(T);
+	double d1 = (log(S / K) + (r + 0.5 * v * v) * T) / sq;
+	double d2 = d1 - sq;
+	if (call) {
+		return S * CNDF(d1) - K * exp(-r * T) * CNDF(d2);
+	}
+	return K * exp(-r * T) * CNDF(-d2) - S * CNDF(-d1);
+}
+
+long worker(long idx) {
+	long chunk = OPTIONS / THREADS;
+	// Bijective slot mapping: the threads placed on one node (round-robin)
+	// get contiguous chunks, for any THREADS/NODES combination.
+	long base = THREADS / NODES;
+	long rem = THREADS %% NODES;
+	long n = idx %% NODES;
+	long mn = n;
+	if (mn > rem) mn = rem;
+	long slot = n * base + mn + idx / NODES;
+	long lo = slot * chunk;
+	long hi = lo + chunk;
+	if (slot == THREADS - 1) hi = OPTIONS;
+	for (long r = 0; r < ROUNDS; r++) {
+		for (long i = lo; i < hi; i++) {
+			double *opt = data + i * 8;
+			prices[i] = bsprice(opt[0], opt[1], opt[2], opt[3], opt[4],
+			                    (long)opt[5]);
+		}
+	}
+	done[idx] = 1;
+	return 0;
+}
+
+long main() {
+	data   = (double*)malloc(OPTIONS * 64);
+	prices = (double*)malloc(OPTIONS * 8);
+	for (long i = 0; i < OPTIONS; i++) {
+		double *opt = data + i * 8;
+		opt[0] = 90.0 + (double)(i %% 21);          // spot
+		opt[1] = 95.0 + (double)(i %% 11);          // strike
+		opt[2] = 0.01 + 0.0001 * (double)(i %% 7);  // rate
+		opt[3] = 0.2 + 0.01 * (double)(i %% 9);     // volatility
+		opt[4] = 0.5 + 0.1 * (double)(i %% 5);      // time
+		opt[5] = (double)(i %% 2);                  // type
+	}
+	long tids[256];
+	for (long i = 0; i < THREADS; i++) tids[i] = thread_create((long)worker, i);
+	for (long i = 0; i < THREADS; i++) thread_join(tids[i]);
+	double sum = 0.0;
+	for (long i = 0; i < OPTIONS; i++) sum += prices[i];
+	print_str("sum=");
+	print_double(sum);
+	print_char('\n');
+	return 0;
+}`, threads, options, rounds, nodes)
+	return build("blackscholes.mc", src)
+}
+
+// Swaptions is the PARSEC swaptions kernel (Fig. 7): Monte-Carlo pricing
+// where each thread owns a slice of swaptions and a private PRNG. Compute
+// is data parallel with no input, but every simulation updates its
+// swaption's running price in the shared results array — the little true
+// output sharing whose false sharing page splitting removes (the paper
+// reports 6.1-14.7%% improvement for swaptions from splitting alone).
+func Swaptions(threads, swaptions, trials, nodes int) (*image.Image, error) {
+	if threads > 256 {
+		return nil, fmt.Errorf("workloads: swaptions supports at most 256 threads")
+	}
+	if nodes < 1 {
+		nodes = 1
+	}
+	src := fmt.Sprintf(`
+long THREADS   = %d;
+long SWAPTIONS = %d;
+long TRIALS    = %d;
+long NODES     = %d;
+
+double *results;   // 64-byte stride per swaption (PARSEC pads its structs)
+
+double simulate(long id, double *path, long *rng) {
+	// Simplified HJM path simulation: each trial writes its forward-rate
+	// path into the thread's heap scratch buffer, as PARSEC's HJM kernel
+	// fills per-thread ppdHJMPath arrays. Those scratch buffers are what
+	// falsely share heap pages between threads (§6.1.2: swaptions improves
+	// 6.1-14.7%% from page splitting).
+	double rate0 = 0.02 + 0.001 * (double)(id %% 10);
+	double strike = 0.025;
+	double payoff = 0.0;
+	for (long t = 0; t < TRIALS; t++) {
+		double r = rate0;
+		double disc = 1.0;
+		for (long s = 0; s < 8; s++) {
+			long z = rand_next(rng) %% 2001;
+			double shock = ((double)z - 1000.0) / 1000.0;  // [-1, 1]
+			r = r + 0.002 * shock;
+			if (r < 0.0001) r = 0.0001;
+			disc = disc / (1.0 + r);
+			path[s] = r;
+		}
+		double gain = path[7] - strike;
+		if (gain > 0.0) payoff += gain * disc;
+	}
+	return payoff / (double)TRIALS;
+}
+
+long worker(long idx) {
+	long chunk = SWAPTIONS / THREADS;
+	long base = THREADS / NODES;
+	long rem = THREADS %% NODES;
+	long n = idx %% NODES;
+	long mn = n;
+	if (mn > rem) mn = rem;
+	long slot = n * base + mn + idx / NODES;
+	long lo = slot * chunk;
+	long hi = lo + chunk;
+	if (slot == THREADS - 1) hi = SWAPTIONS;
+	long rng = 0x9e3779b9 + idx * 0x10000001;
+	// Per-thread HJM scratch; adjacent threads' buffers share heap pages.
+	double *path = (double*)malloc(2048);
+	for (long i = lo; i < hi; i++) {
+		results[i * 8] = simulate(i, path, &rng);
+	}
+	return 0;
+}
+
+long main() {
+	results = (double*)malloc(SWAPTIONS * 64 + 4096);
+	results = (double*)(((long)results + 4095) & ~4095);
+	long tids[256];
+	for (long i = 0; i < THREADS; i++) tids[i] = thread_create((long)worker, i);
+	for (long i = 0; i < THREADS; i++) thread_join(tids[i]);
+	double sum = 0.0;
+	for (long i = 0; i < SWAPTIONS; i++) sum += results[i * 8];
+	print_str("sum=");
+	print_double(sum);
+	print_char('\n');
+	return 0;
+}`, threads, swaptions, trials, nodes)
+	return build("swaptions.mc", src)
+}
+
+// X264 models the paper's modified x264 (Fig. 8): a pipelined encoder whose
+// frames are divided into independent groups, each bound to a squad of
+// groupSize threads. Within a group, every frame is predicted from the
+// previous one (heavy sharing: all members read the whole reference frame
+// and write parts of the current one, with a group barrier per frame);
+// across groups there is no sharing. dq_hint tags each squad so the
+// locality-aware scheduler can co-locate it.
+func X264(threads, groupSize, frames int) (*image.Image, error) {
+	if threads > 256 || groupSize <= 0 || threads%groupSize != 0 {
+		return nil, fmt.Errorf("workloads: bad x264 shape %d/%d", threads, groupSize)
+	}
+	src := fmt.Sprintf(`
+long THREADS   = %d;
+long GROUPSIZE = %d;
+long FRAMES    = %d;
+long WIDTH     = 64;
+long HEIGHT    = 64;
+
+char *framesBase;    // per group: two rolling 4 KiB frame buffers
+long *barsBase;      // per group: one page with {barrier, sad accumulator}
+
+long worker(long arg) {
+	long g = arg / GROUPSIZE;
+	long member = arg %% GROUPSIZE;
+	char *buf0 = framesBase + g * 2 * 4096;
+	char *buf1 = buf0 + 4096;
+	long *bar = barsBase + g * 512;
+	long *sad = bar + 8;
+	long rows = HEIGHT / GROUPSIZE;
+	for (long f = 1; f < FRAMES; f++) {
+		char *prev = buf0;
+		char *cur = buf1;
+		if (f %% 2 == 0) { prev = buf1; cur = buf0; }
+		long mySad = 0;
+		for (long y = member * rows; y < (member + 1) * rows; y++) {
+			for (long x = 0; x < WIDTH; x++) {
+				long p = prev[y * WIDTH + x];
+				long n = (p + x + y + f) & 255;
+				long d = n - p;
+				if (d < 0) d = -d;
+				mySad += d;
+				cur[y * WIDTH + x] = (char)n;
+			}
+		}
+		__amoadd(sad, mySad);
+		barrier_wait(bar);
+	}
+	return 0;
+}
+
+long main() {
+	long groups = THREADS / GROUPSIZE;
+	framesBase = (char*)malloc(groups * 2 * 4096 + 4096);
+	framesBase = (char*)(((long)framesBase + 4095) & ~4095);
+	barsBase = (long*)malloc(groups * 4096 + 4096);
+	barsBase = (long*)(((long)barsBase + 4095) & ~4095);
+	for (long g = 0; g < groups; g++) {
+		char *buf0 = framesBase + g * 2 * 4096;
+		for (long i = 0; i < 4096; i++) buf0[i] = (char)((i + g) & 255);
+		barrier_init(barsBase + g * 512, GROUPSIZE);
+	}
+	long tids[256];
+	for (long i = 0; i < THREADS; i++) {
+		dq_hint(1 + i / GROUPSIZE);
+		tids[i] = thread_create((long)worker, i);
+	}
+	for (long i = 0; i < THREADS; i++) thread_join(tids[i]);
+	long total = 0;
+	for (long g = 0; g < groups; g++) total += *(barsBase + g * 512 + 8);
+	print_str("sad=");
+	print_long(total);
+	print_char('\n');
+	return 0;
+}`, threads, groupSize, frames)
+	return build("x264.mc", src)
+}
+
+// Fluidanimate models the paper's fluidanimate (Fig. 8): a grid is divided
+// into row blocks, one per thread; every iteration each thread updates its
+// block from the previous grid (reading one neighbour row on each side) and
+// meets a global barrier. Blocks are grouped spatially with dq_hint so
+// adjacent blocks — which share boundary rows — land on the same node.
+func Fluidanimate(threads, n, iters, groups int) (*image.Image, error) {
+	if threads > 256 || n%threads != 0 || groups <= 0 {
+		return nil, fmt.Errorf("workloads: bad fluidanimate shape n=%d threads=%d", n, threads)
+	}
+	src := fmt.Sprintf(`
+long THREADS = %d;
+long N       = %d;
+long ITERS   = %d;
+long GROUPS  = %d;
+
+double *cur;
+double *nxt;
+long bar[3];
+
+long worker(long idx) {
+	long rows = N / THREADS;
+	long lo = idx * rows;
+	long hi = lo + rows;
+	for (long it = 0; it < ITERS; it++) {
+		double *src = cur;
+		double *dst = nxt;
+		if (it %% 2 == 1) { src = nxt; dst = cur; }
+		for (long y = lo; y < hi; y++) {
+			for (long x = 0; x < N; x++) {
+				double up = 0.0;
+				double dn = 0.0;
+				double lf = 0.0;
+				double rt = 0.0;
+				if (y > 0)     up = src[(y - 1) * N + x];
+				if (y < N - 1) dn = src[(y + 1) * N + x];
+				if (x > 0)     lf = src[y * N + x - 1];
+				if (x < N - 1) rt = src[y * N + x + 1];
+				dst[y * N + x] = 0.25 * (up + dn + lf + rt);
+			}
+		}
+		barrier_wait(bar);
+	}
+	return 0;
+}
+
+long main() {
+	cur = (double*)malloc(N * N * 8 + 4096);
+	nxt = (double*)malloc(N * N * 8 + 4096);
+	for (long i = 0; i < N * N; i++) cur[i] = (double)(i %% 97);
+	barrier_init(bar, THREADS + 1);
+	long tids[256];
+	long perGroup = THREADS / GROUPS;
+	if (perGroup < 1) perGroup = 1;
+	for (long i = 0; i < THREADS; i++) {
+		dq_hint(1 + i / perGroup);       // adjacent blocks share a group
+		tids[i] = thread_create((long)worker, i);
+	}
+	for (long it = 0; it < ITERS; it++) barrier_wait(bar);
+	for (long i = 0; i < THREADS; i++) thread_join(tids[i]);
+	double sum = 0.0;
+	double *last = cur;
+	if (ITERS %% 2 == 1) last = nxt;
+	for (long i = 0; i < N * N; i++) sum += last[i];
+	print_str("sum=");
+	print_double(sum);
+	print_char('\n');
+	return 0;
+}`, threads, n, iters, groups)
+	return build("fluidanimate.mc", src)
+}

@@ -1,0 +1,256 @@
+package workloads
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dqemu/internal/core"
+	"dqemu/internal/image"
+)
+
+func run(t *testing.T, im *image.Image, cfg core.Config) *core.Result {
+	t.Helper()
+	res, err := core.Run(im, cfg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.ExitCode != 0 {
+		t.Fatalf("exit = %d, console=%q", res.ExitCode, res.Console)
+	}
+	return res
+}
+
+func cfgWith(slaves int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Slaves = slaves
+	return cfg
+}
+
+// consoleValue extracts the numeric payload of "key=value\n" output.
+func consoleValue(t *testing.T, console, key string) float64 {
+	t.Helper()
+	idx := strings.Index(console, key+"=")
+	if idx < 0 {
+		t.Fatalf("console %q missing %s=", console, key)
+	}
+	rest := console[idx+len(key)+1:]
+	if nl := strings.IndexByte(rest, '\n'); nl >= 0 {
+		rest = rest[:nl]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		t.Fatalf("bad value %q: %v", rest, err)
+	}
+	return v
+}
+
+func TestPiCorrectAndScales(t *testing.T) {
+	im, err := Pi(8, 50, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1 := run(t, im, cfgWith(1))
+	pi := consoleValue(t, res1.Console, "pi")
+	if math.Abs(pi-math.Pi) > 0.01 {
+		t.Errorf("pi = %v", pi)
+	}
+	res4 := run(t, im, cfgWith(4))
+	if res4.TimeNs >= res1.TimeNs {
+		t.Errorf("4 slaves (%d ns) not faster than 1 (%d ns)", res4.TimeNs, res1.TimeNs)
+	}
+}
+
+func TestLockBenchWorstVsBest(t *testing.T) {
+	worst, err := LockBench(8, 500, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := LockBench(8, 500, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cfgWith(2)
+	resWorst := run(t, worst, cfg)
+	resBest := run(t, best, cfg)
+	if !strings.Contains(resWorst.Console, "locks done") {
+		t.Errorf("console = %q", resWorst.Console)
+	}
+	if resBest.TimeNs >= resWorst.TimeNs {
+		t.Errorf("private locks (%d ns) should beat global lock (%d ns)", resBest.TimeNs, resWorst.TimeNs)
+	}
+}
+
+func TestMemWalkRemoteVsLocal(t *testing.T) {
+	bytes := 128 * 1024
+	remote, err := MemWalk(bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := LocalWalk(bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resRemote := run(t, remote, cfgWith(1))
+	resLocal := run(t, local, cfgWith(0))
+	wantSum := 0
+	for i := 0; i < bytes/8; i++ {
+		wantSum += i & 63
+	}
+	if got := consoleValue(t, resRemote.Console, "sum"); int(got) != wantSum {
+		t.Errorf("remote sum = %v, want %d", got, wantSum)
+	}
+	if got := consoleValue(t, resLocal.Console, "sum"); int(got) != wantSum {
+		t.Errorf("local sum = %v, want %d", got, wantSum)
+	}
+	// Remote walking is dominated by page faults and far slower.
+	if resRemote.TimeNs < 2*resLocal.TimeNs {
+		t.Errorf("remote %d ns vs local %d ns: expected big slowdown", resRemote.TimeNs, resLocal.TimeNs)
+	}
+}
+
+func TestFalseShareSplittingHelps(t *testing.T) {
+	im, err := FalseShare(8, 4, 512, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cfgWith(4)
+	plain := run(t, im, cfg)
+	cfgSplit := cfg
+	cfgSplit.Splitting = true
+	split := run(t, im, cfgSplit)
+	if consoleValue(t, plain.Console, "sum") != consoleValue(t, split.Console, "sum") {
+		t.Errorf("results differ: %q vs %q", plain.Console, split.Console)
+	}
+	if split.Dir.Splits == 0 {
+		t.Error("page never split")
+	}
+	if split.TimeNs >= plain.TimeNs {
+		t.Errorf("splitting (%d ns) should beat false sharing (%d ns)", split.TimeNs, plain.TimeNs)
+	}
+}
+
+func TestBlackscholesDeterministicAcrossClusterSizes(t *testing.T) {
+	im, err := Blackscholes(8, 256, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1 := run(t, im, cfgWith(0))
+	res2 := run(t, im, cfgWith(3))
+	if res1.Console != res2.Console {
+		t.Errorf("results differ across cluster sizes: %q vs %q", res1.Console, res2.Console)
+	}
+	sum := consoleValue(t, res1.Console, "sum")
+	if sum <= 0 || math.IsNaN(sum) {
+		t.Errorf("sum = %v", sum)
+	}
+}
+
+func TestBlackscholesPriceSanity(t *testing.T) {
+	// One-option check against a Go-side Black-Scholes evaluation.
+	im, err := Blackscholes(1, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, im, cfgWith(0))
+	got := consoleValue(t, res.Console, "sum")
+	// Parameters for i=0: S=90, K=95, r=0.01, v=0.2, T=0.5, put.
+	want := bsRef(90, 95, 0.01, 0.2, 0.5, false)
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("price = %v, want %v", got, want)
+	}
+}
+
+func bsRef(s, k, r, v, tt float64, call bool) float64 {
+	cndf := func(x float64) float64 {
+		sign := false
+		if x < 0 {
+			x, sign = -x, true
+		}
+		kk := 1 / (1 + 0.2316419*x)
+		poly := 0.319381530*kk - 0.356563782*kk*kk + 1.781477937*math.Pow(kk, 3) -
+			1.821255978*math.Pow(kk, 4) + 1.330274429*math.Pow(kk, 5)
+		n := 1 - 0.3989422804014327*math.Exp(-0.5*x*x)*poly
+		if sign {
+			return 1 - n
+		}
+		return n
+	}
+	sq := v * math.Sqrt(tt)
+	d1 := (math.Log(s/k) + (r+0.5*v*v)*tt) / sq
+	d2 := d1 - sq
+	if call {
+		return s*cndf(d1) - k*math.Exp(-r*tt)*cndf(d2)
+	}
+	return k*math.Exp(-r*tt)*cndf(-d2) - s*cndf(-d1)
+}
+
+func TestSwaptionsRuns(t *testing.T) {
+	im, err := Swaptions(8, 32, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res0 := run(t, im, cfgWith(0))
+	res3 := run(t, im, cfgWith(3))
+	if res0.Console != res3.Console {
+		t.Errorf("swaptions not deterministic: %q vs %q", res0.Console, res3.Console)
+	}
+	if v := consoleValue(t, res0.Console, "sum"); v < 0 || math.IsNaN(v) {
+		t.Errorf("sum = %v", v)
+	}
+}
+
+func TestX264HintVsRoundRobin(t *testing.T) {
+	im, err := X264(8, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cfgWith(2)
+	rr := run(t, im, cfg)
+	cfgHint := cfg
+	cfgHint.HintSched = true
+	hint := run(t, im, cfgHint)
+	if rr.Console != hint.Console {
+		t.Errorf("x264 results differ: %q vs %q", rr.Console, hint.Console)
+	}
+	if hint.TimeNs >= rr.TimeNs {
+		t.Errorf("hint placement (%d ns) should beat round-robin (%d ns)", hint.TimeNs, rr.TimeNs)
+	}
+	if v := consoleValue(t, rr.Console, "sad"); v <= 0 {
+		t.Errorf("sad = %v", v)
+	}
+}
+
+func TestFluidanimateConverges(t *testing.T) {
+	im, err := Fluidanimate(8, 64, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res0 := run(t, im, cfgWith(0))
+	res2 := run(t, im, cfgWith(2))
+	if res0.Console != res2.Console {
+		t.Errorf("fluidanimate not deterministic: %q vs %q", res0.Console, res2.Console)
+	}
+	if v := consoleValue(t, res0.Console, "sum"); v <= 0 {
+		t.Errorf("sum = %v", v)
+	}
+}
+
+func TestWorkloadParameterValidation(t *testing.T) {
+	if _, err := Pi(1000, 1, 1); err == nil {
+		t.Error("pi accepted 1000 threads")
+	}
+	if _, err := LockBench(100, 1, false); err == nil {
+		t.Error("lockbench accepted 100 threads")
+	}
+	if _, err := FalseShare(64, 4, 128, 1); err == nil {
+		t.Error("falseshare accepted page overflow")
+	}
+	if _, err := X264(10, 3, 4); err == nil {
+		t.Error("x264 accepted non-divisible group size")
+	}
+	if _, err := Fluidanimate(7, 64, 1, 2); err == nil {
+		t.Error("fluidanimate accepted non-divisible grid")
+	}
+}
