@@ -19,10 +19,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig5, fig6, table1, fig7, fig8, or all")
+	exp := flag.String("exp", "all", "experiment to run: fig5, fig6, table1, fig7, fig8, singlenode, or all")
 	full := flag.Bool("full", false, "use inputs close to the paper's sizes (slow)")
 	slaves := flag.Int("slaves", 6, "maximum number of slave nodes to sweep")
 	quiet := flag.Bool("q", false, "suppress per-run progress")
+	jsonOut := flag.String("json", "", "write singlenode results as JSON to this file")
+	noSuper := flag.Bool("nosuperblock", false, "disable hot-trace superblocks (ablation)")
+	noJC := flag.Bool("nojumpcache", false, "disable the indirect-branch target cache (ablation)")
 	flag.Parse()
 
 	opts := experiments.Options{MaxSlaves: *slaves}
@@ -62,6 +65,29 @@ func main() {
 	runOne("table1", func() (printer, error) { return experiments.RunTable1(opts) })
 	runOne("fig7", func() (printer, error) { return experiments.RunFig7(opts) })
 	runOne("fig8", func() (printer, error) { return experiments.RunFig8(opts) })
+
+	if want("singlenode") {
+		start := time.Now()
+		sn, err := experiments.RunSingleNode(opts, *noSuper, *noJC)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dqemu-bench: singlenode: %v\n", err)
+			os.Exit(1)
+		}
+		sn.Print(os.Stdout)
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dqemu-bench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := sn.WriteJSON(f); err != nil {
+				fmt.Fprintf(os.Stderr, "dqemu-bench: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+		fmt.Fprintf(os.Stderr, "[singlenode took %.1fs host time]\n\n", time.Since(start).Seconds())
+	}
 }
 
 type printer interface {

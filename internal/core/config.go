@@ -65,6 +65,10 @@ type Config struct {
 	Interp bool
 	// NoChain disables block chaining (ablation).
 	NoChain bool
+	// NoSuperblock disables hot-trace superblock promotion (ablation).
+	NoSuperblock bool
+	// NoJumpCache disables the indirect-branch target cache (ablation).
+	NoJumpCache bool
 	// NoAtomicPreempt keeps running the quantum across write-atomics
 	// (ablation; default off = quanta end at atomics like QEMU translation
 	// blocks, so lock hand-offs interleave at instruction granularity).

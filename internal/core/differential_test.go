@@ -1,10 +1,14 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
+
+	"dqemu/internal/guestos"
+	"dqemu/internal/image"
 )
 
 // TestDifferentialRandomPrograms generates random (but deterministic)
@@ -42,6 +46,22 @@ func TestDifferentialRandomPrograms(t *testing.T) {
 		cfg.SplitFactor = 8
 		variants = append(variants, cfg)
 	}
+	// Translation-tier ablations: block chaining without superblocks, and
+	// the same distributed, but with the indirect-branch cache off too. The
+	// default variants above already exercise the superblock tier.
+	{
+		cfg := DefaultConfig()
+		cfg.Slaves = 1
+		cfg.NoSuperblock = true
+		cfg.NoJumpCache = true
+		variants = append(variants, cfg)
+	}
+	{
+		cfg := DefaultConfig()
+		cfg.Slaves = 2
+		cfg.NoJumpCache = true
+		variants = append(variants, cfg)
+	}
 
 	const programs = 8
 	for p := 0; p < programs; p++ {
@@ -64,6 +84,103 @@ func TestDifferentialRandomPrograms(t *testing.T) {
 			if res.Console != want {
 				t.Fatalf("program %d variant %d diverged:\n got %q\nwant %q\nsource:\n%s",
 					p, vi, res.Console, want, src)
+			}
+		}
+	}
+}
+
+// tierConfigs returns the three translation tiers on a single node:
+// superblocks (the default), plain chained blocks, and the pure interpreter.
+func tierConfigs() map[string]Config {
+	super := DefaultConfig()
+
+	chained := DefaultConfig()
+	chained.NoSuperblock = true
+	chained.NoJumpCache = true
+
+	interp := DefaultConfig()
+	interp.Interp = true
+	interp.NoChain = true
+	interp.NoSuperblock = true
+	interp.NoJumpCache = true
+
+	return map[string]Config{"superblock": super, "chained": chained, "interp": interp}
+}
+
+// tierState is the architecturally visible outcome of a run: console bytes,
+// exit code, the main thread's final registers, and every writable image
+// segment's memory.
+type tierState struct {
+	console  string
+	exitCode int64
+	x        [32]uint64
+	f        [32]float64
+	pc       uint64
+	mem      []byte
+}
+
+// runTier executes im under cfg and captures the final architectural state
+// from inside the cluster.
+func runTier(t *testing.T, im *image.Image, cfg Config) tierState {
+	t.Helper()
+	c, err := NewCluster(im, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The main thread's CPU outlives its bookkeeping entry; grab it now so
+	// its registers can be inspected after the exit syscall retires it.
+	mainCPU := c.master.node.threads[guestos.MainTID].cpu
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tierState{console: res.Console, exitCode: res.ExitCode,
+		x: mainCPU.X, f: mainCPU.F, pc: mainCPU.PC}
+	for _, seg := range im.Segments {
+		if !seg.Writable {
+			continue
+		}
+		buf := make([]byte, seg.MemSize)
+		if err := c.master.node.space.ReadBytes(seg.Addr, buf); err != nil {
+			t.Fatalf("dump segment %s: %v", seg.Name, err)
+		}
+		st.mem = append(st.mem, buf...)
+	}
+	return st
+}
+
+// TestDifferentialTiers proves the tentpole's coherence claim end to end:
+// the superblock tier, the chained-block tier and the interpreter leave
+// bit-identical architectural state — registers and memory — for the same
+// guest program, not just identical console output.
+func TestDifferentialTiers(t *testing.T) {
+	r := rand.New(rand.NewSource(4242))
+	const programs = 4
+	for p := 0; p < programs; p++ {
+		src := genProgram(r)
+		im := build(t, src)
+
+		want := runTier(t, im, tierConfigs()["superblock"])
+		for name, cfg := range tierConfigs() {
+			if name == "superblock" {
+				continue
+			}
+			got := runTier(t, im, cfg)
+			if got.console != want.console || got.exitCode != want.exitCode {
+				t.Fatalf("program %d tier %s output diverged:\n got %q (exit %d)\nwant %q (exit %d)\nsource:\n%s",
+					p, name, got.console, got.exitCode, want.console, want.exitCode, src)
+			}
+			if got.x != want.x || got.f != want.f || got.pc != want.pc {
+				t.Fatalf("program %d tier %s registers diverged:\n got pc=%#x x=%v\nwant pc=%#x x=%v\nsource:\n%s",
+					p, name, got.pc, got.x, want.pc, want.x, src)
+			}
+			if !bytes.Equal(got.mem, want.mem) {
+				for i := range got.mem {
+					if got.mem[i] != want.mem[i] {
+						t.Fatalf("program %d tier %s memory diverged at writable-segment offset %#x: got %#x want %#x\nsource:\n%s",
+							p, name, i, got.mem[i], want.mem[i], src)
+					}
+				}
 			}
 		}
 	}

@@ -62,6 +62,8 @@ func newNode(id int, cl *Cluster) *node {
 	engine.Mon = llsc
 	engine.NoCache = cl.cfg.Interp
 	engine.NoChain = cl.cfg.NoChain
+	engine.NoSuperblock = cl.cfg.NoSuperblock
+	engine.NoJumpCache = cl.cfg.NoJumpCache
 	engine.StopAtomic = !cl.cfg.NoAtomicPreempt
 	return &node{
 		id:        id,
@@ -484,6 +486,7 @@ func (n *node) contentArrived(page uint64, perm mem.Perm) {
 func (n *node) onInvalidate(m *proto.Msg) {
 	n.space.DropPage(m.Page)
 	n.llsc.InvalidatePage(m.Page, n.space.PageSize())
+	n.engine.InvalidatePage(m.Page)
 	n.cl.net.Send(&proto.Msg{Kind: proto.KInvAck, From: int32(n.id), To: 0, Page: m.Page})
 }
 
@@ -497,6 +500,7 @@ func (n *node) onFetch(m *proto.Msg) {
 	if m.Write { // invalidate
 		n.space.DropPage(m.Page)
 		n.llsc.InvalidatePage(m.Page, n.space.PageSize())
+		n.engine.InvalidatePage(m.Page)
 	} else { // downgrade to shared
 		n.space.SetPerm(m.Page, mem.PermRead)
 	}
@@ -530,6 +534,7 @@ func (n *node) onRemap(m *proto.Msg) {
 		return
 	}
 	n.llsc.InvalidatePage(m.Page, n.space.PageSize())
+	n.engine.InvalidatePage(m.Page)
 }
 
 func (n *node) onPush(m *proto.Msg) {

@@ -121,3 +121,59 @@ func TestFig8Smoke(t *testing.T) {
 		t.Error("print output missing benchmark")
 	}
 }
+
+func TestSingleNodeSmoke(t *testing.T) {
+	// Both tiers must run every bench and produce well-formed rows; the
+	// superblock tier must actually build superblocks and retire guest
+	// instructions inside them.
+	super, err := RunSingleNode(smokeOpts(), false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed, err := RunSingleNode(smokeOpts(), true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(super.Rows) != 4 || len(seed.Rows) != 4 {
+		t.Fatalf("rows: %d / %d", len(super.Rows), len(seed.Rows))
+	}
+	var sbs uint64
+	for i, r := range super.Rows {
+		if r.GuestInsns == 0 || r.HostNs <= 0 || r.InsnsPerSec <= 0 {
+			t.Errorf("row %+v", r)
+		}
+		// Instruction counts must agree closely across tiers. They are not
+		// bit-equal: tiers charge virtual time at different granularity, so
+		// quantum boundaries — and thus how long a contended spin loop spins
+		// before it is descheduled — can shift by a few iterations.
+		lo, hi := r.GuestInsns, seed.Rows[i].GuestInsns
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if hi-lo > hi/100 {
+			t.Errorf("%s: insns diverge across tiers: %d vs %d",
+				r.Bench, r.GuestInsns, seed.Rows[i].GuestInsns)
+		}
+		sbs += r.Superblocks
+	}
+	if sbs == 0 {
+		t.Error("no superblocks built at smoke scale")
+	}
+	for _, r := range seed.Rows {
+		if r.Superblocks != 0 || r.JumpCacheHits != 0 {
+			t.Errorf("ablated run used the superblock tier: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	super.Print(&buf)
+	if !strings.Contains(buf.String(), "insns/s") {
+		t.Error("print output missing header")
+	}
+	buf.Reset()
+	if err := super.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"insns_per_sec\"") {
+		t.Error("json output missing insns_per_sec")
+	}
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"dqemu/internal/image"
+	"dqemu/internal/workloads"
+)
+
+// SingleNode measures raw translator throughput on one node (no DSM
+// traffic): guest instructions retired per second of *host* time. This is
+// the honest figure of merit for the tiered-translation work — virtual time
+// is charged per guest instruction and so barely moves, but superblocks cut
+// the host-side dispatch and decode work per instruction.
+type SingleNode struct {
+	// Config echoes the ablation under test so JSON files are
+	// self-describing.
+	NoSuperblock bool `json:"no_superblock"`
+	NoJumpCache  bool `json:"no_jump_cache"`
+
+	Rows []SingleNodeRow `json:"rows"`
+}
+
+// SingleNodeRow is one benchmark's measurement.
+type SingleNodeRow struct {
+	Bench       string  `json:"bench"`
+	GuestInsns  uint64  `json:"guest_insns"`
+	HostNs      int64   `json:"host_ns"`
+	InsnsPerSec float64 `json:"insns_per_sec"`
+
+	// Per-phase virtual-time breakdown.
+	TranslateNs int64 `json:"translate_ns"`
+	ExecNs      int64 `json:"exec_ns"`
+	FaultNs     int64 `json:"fault_ns"`
+	SyscallNs   int64 `json:"syscall_ns"`
+
+	// Tier counters (zero when the tier is ablated off).
+	Superblocks     uint64 `json:"superblocks"`
+	SuperblockInsns uint64 `json:"superblock_insns"`
+	FusedUops       uint64 `json:"fused_uops"`
+	JumpCacheHits   uint64 `json:"jump_cache_hits"`
+}
+
+// singleNodeBench is one workload in the fixed suite.
+type singleNodeBench struct {
+	name  string
+	build func(s Scale) (*image.Image, error)
+}
+
+func singleNodeSuite() []singleNodeBench {
+	return []singleNodeBench{
+		{"pi", func(s Scale) (*image.Image, error) {
+			threads, repeats, terms := 8, 400, 100
+			switch s {
+			case Full:
+				repeats = 1600
+			case Smoke:
+				threads, repeats, terms = 4, 50, 50
+			}
+			return workloads.Pi(threads, repeats, terms)
+		}},
+		{"blackscholes", func(s Scale) (*image.Image, error) {
+			threads, options, rounds := 8, 1024, 10
+			switch s {
+			case Full:
+				options, rounds = 4096, 16
+			case Smoke:
+				threads, options, rounds = 4, 64, 2
+			}
+			return workloads.Blackscholes(threads, options, rounds, 1)
+		}},
+		{"swaptions", func(s Scale) (*image.Image, error) {
+			threads, swaptions, trials := 8, 24, 120
+			switch s {
+			case Full:
+				swaptions, trials = 48, 300
+			case Smoke:
+				threads, swaptions, trials = 4, 4, 20
+			}
+			return workloads.Swaptions(threads, swaptions, trials, 1)
+		}},
+		{"x264", func(s Scale) (*image.Image, error) {
+			threads, group, frames := 8, 4, 24
+			switch s {
+			case Full:
+				frames = 96
+			case Smoke:
+				threads, group, frames = 4, 2, 8
+			}
+			return workloads.X264(threads, group, frames)
+		}},
+	}
+}
+
+// RunSingleNode runs the single-node throughput suite with the given tier
+// ablation. noSuper && noJC is the seed baseline (plain chained blocks).
+func RunSingleNode(o Options, noSuper, noJC bool) (*SingleNode, error) {
+	o.normalize()
+	out := &SingleNode{NoSuperblock: noSuper, NoJumpCache: noJC}
+	for _, b := range singleNodeSuite() {
+		im, err := b.build(o.Scale)
+		if err != nil {
+			return nil, fmt.Errorf("singlenode %s: %w", b.name, err)
+		}
+		cfg := baseConfig(0)
+		cfg.NoSuperblock = noSuper
+		cfg.NoJumpCache = noJC
+
+		start := time.Now()
+		res, err := run(im, cfg)
+		hostNs := time.Since(start).Nanoseconds()
+		if err != nil {
+			return nil, fmt.Errorf("singlenode %s: %w", b.name, err)
+		}
+
+		row := SingleNodeRow{Bench: b.name, HostNs: hostNs}
+		for _, n := range res.Nodes {
+			row.GuestInsns += n.Engine.ExecInsns
+			row.TranslateNs += n.Engine.TranslateNs
+			row.Superblocks += n.Engine.Superblocks
+			row.SuperblockInsns += n.Engine.SuperblockInsns
+			row.FusedUops += n.Engine.FusedUops
+			row.JumpCacheHits += n.Engine.JumpCacheHits
+		}
+		for _, t := range res.Threads {
+			row.ExecNs += t.ExecNs
+			row.FaultNs += t.FaultNs
+			row.SyscallNs += t.SyscallNs
+		}
+		if hostNs > 0 {
+			row.InsnsPerSec = float64(row.GuestInsns) / (float64(hostNs) / 1e9)
+		}
+		out.Rows = append(out.Rows, row)
+		o.logf("singlenode: %s: %.1fM insns in %.2fs host (%.1fM insns/s)",
+			b.name, float64(row.GuestInsns)/1e6, float64(hostNs)/1e9, row.InsnsPerSec/1e6)
+	}
+	return out, nil
+}
+
+// Print renders the suite as a table.
+func (s *SingleNode) Print(w io.Writer) {
+	fmt.Fprintf(w, "Single-node translator throughput (superblocks=%v, jump cache=%v)\n",
+		!s.NoSuperblock, !s.NoJumpCache)
+	fmt.Fprintf(w, "%-14s %-12s %-12s %-14s %-12s %-10s\n",
+		"bench", "insns(M)", "host(s)", "insns/s(M)", "superblocks", "fused")
+	for _, r := range s.Rows {
+		fmt.Fprintf(w, "%-14s %-12.1f %-12.2f %-14.1f %-12d %-10d\n",
+			r.Bench, float64(r.GuestInsns)/1e6, float64(r.HostNs)/1e9,
+			r.InsnsPerSec/1e6, r.Superblocks, r.FusedUops)
+	}
+}
+
+// WriteJSON emits the machine-readable form (committed as BENCH_*.json).
+func (s *SingleNode) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -269,6 +269,45 @@ func (s *Space) lookup(pageNo uint64) ([]byte, Perm) {
 	return p.data, p.perm
 }
 
+// Epoch returns the current mutation epoch. It starts at 1 and is bumped by
+// every page-state change (install, drop, permission, split), so any cached
+// page pointer stamped with an older epoch is stale.
+func (s *Space) Epoch() uint64 { return s.epoch }
+
+// AccelEntry is an inline-TLB entry for DBT fast paths: a direct pointer to
+// a page's backing bytes, valid only while the Space's epoch is unchanged.
+// The zero value never matches (Epoch starts at 1).
+type AccelEntry struct {
+	PageNo uint64
+	Epoch  uint64
+	Data   []byte
+}
+
+// AccelFill populates ent for pageNo when the page is resident,
+// identity-mapped (not split) and allows the access class: PermReadWrite
+// for write entries, PermRead or better for read entries. It returns false
+// — leaving ent alone — when the slow path must be taken instead.
+func (s *Space) AccelFill(ent *AccelEntry, pageNo uint64, write bool) bool {
+	if len(s.remap) != 0 {
+		if _, split := s.remap[pageNo]; split {
+			return false
+		}
+	}
+	p := s.pages[pageNo]
+	if p == nil {
+		return false
+	}
+	if write {
+		if p.perm != PermReadWrite {
+			return false
+		}
+	} else if p.perm == PermNone {
+		return false
+	}
+	*ent = AccelEntry{PageNo: pageNo, Epoch: s.epoch, Data: p.data}
+	return true
+}
+
 // Load reads size bytes (1, 2, 4 or 8) at addr, zero-extended. A non-nil
 // Fault means the access did not happen.
 func (s *Space) Load(addr uint64, size int) (uint64, *Fault) {

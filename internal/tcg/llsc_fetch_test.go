@@ -1,0 +1,186 @@
+package tcg
+
+import (
+	"testing"
+
+	"dqemu/internal/isa"
+	"dqemu/internal/mem"
+)
+
+func TestLLSCInvalidatePageAccounting(t *testing.T) {
+	tab := NewLLSCTable()
+	const pageSize = 4096
+
+	// Reservations on three pages, two threads.
+	tab.OnLL(1, 0x1000) // page 1
+	tab.OnLL(2, 0x1008) // page 1
+	tab.OnLL(1, 0x2010) // page 2
+	tab.OnLL(3, 0x3000) // page 3
+	if tab.Len() != 4 {
+		t.Fatalf("len = %d, want 4", tab.Len())
+	}
+
+	// Invalidating a page with no reservations counts nothing.
+	tab.InvalidatePage(9, pageSize)
+	if tab.FalseFailures != 0 || tab.Len() != 4 {
+		t.Fatalf("empty page: falseFailures=%d len=%d", tab.FalseFailures, tab.Len())
+	}
+
+	// Invalidating page 1 kills both of its reservations, regardless of
+	// owning thread, and counts each as a false failure.
+	tab.InvalidatePage(1, pageSize)
+	if tab.FalseFailures != 2 || tab.Len() != 2 {
+		t.Fatalf("page 1: falseFailures=%d len=%d", tab.FalseFailures, tab.Len())
+	}
+	if tab.ValidateSC(1, 0x1000) || tab.ValidateSC(2, 0x1008) {
+		t.Error("SC succeeded on an invalidated reservation")
+	}
+	// Survivors on other pages are untouched.
+	if !tab.ValidateSC(1, 0x2010) {
+		t.Error("reservation on page 2 was killed")
+	}
+
+	// An address exactly at the page's upper boundary belongs to the next
+	// page and must survive.
+	tab.OnLL(4, 2*pageSize) // first byte of page 2
+	tab.InvalidatePage(1, pageSize)
+	if tab.FalseFailures != 2 {
+		t.Errorf("boundary address counted: falseFailures=%d", tab.FalseFailures)
+	}
+	if !tab.ValidateSC(4, 2*pageSize) {
+		t.Error("boundary reservation was killed")
+	}
+
+	// The remaining reservation (page 3) is killed and counted too.
+	tab.InvalidatePage(3, pageSize)
+	if tab.FalseFailures != 3 || tab.Len() != 0 {
+		t.Errorf("page 3: falseFailures=%d len=%d", tab.FalseFailures, tab.Len())
+	}
+	// On an empty table, invalidation is a no-op (fast path).
+	tab.InvalidatePage(3, pageSize)
+	if tab.FalseFailures != 3 {
+		t.Errorf("empty-table invalidation counted: falseFailures=%d", tab.FalseFailures)
+	}
+	tab2 := NewLLSCTable()
+	tab2.InvalidatePage(0, pageSize)
+	if tab2.FalseFailures != 0 {
+		t.Errorf("empty table counted failures: %d", tab2.FalseFailures)
+	}
+}
+
+func TestLLSCFalseFailureFailsPendingSC(t *testing.T) {
+	// The paper's semantics: a page invalidation between LL and SC fails
+	// the SC even though no conflicting store was observed.
+	tab := NewLLSCTable()
+	tab.OnLL(7, 0x5000)
+	tab.InvalidatePage(0x5000/4096, 4096)
+	if tab.ValidateSC(7, 0x5000) {
+		t.Fatal("SC succeeded across a page invalidation")
+	}
+	if tab.FalseFailures != 1 {
+		t.Errorf("falseFailures = %d, want 1", tab.FalseFailures)
+	}
+}
+
+// installCode writes raw instruction bytes at addr with read permission,
+// spanning pages as needed.
+func installCode(space *mem.Space, addr uint64, code []byte) {
+	for len(code) > 0 {
+		page := space.PageOf(addr)
+		space.EnsurePage(page, mem.PermRead)
+		data := space.PageData(page)
+		n := copy(data[addr-space.PageAddr(page):], code)
+		code = code[n:]
+		addr += uint64(n)
+	}
+}
+
+func TestFetchInsnAtPageBoundary(t *testing.T) {
+	// fetchInsn optimistically reads 12 bytes (the longest encoding) and
+	// retries with 8 then 4 when the read crosses into an absent page. A
+	// 4-byte instruction in the last word of a resident page, with the next
+	// page absent, must decode via the retry path.
+	space := mem.NewSpace(0)
+	pageSize := uint64(space.PageSize())
+
+	halt, err := (isa.Instruction{Op: isa.OpHALT}).Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last4 := pageSize - 4 // next page not resident: 12- and 8-byte reads fail
+	installCode(space, last4, halt)
+
+	e := NewEngine(space, DefaultCostModel())
+	ins, n, err := e.fetchInsn(last4)
+	if err != nil {
+		t.Fatalf("fetch at page boundary: %v", err)
+	}
+	if ins.Op != isa.OpHALT || n != 4 {
+		t.Fatalf("decoded %v (%d bytes), want halt (4)", ins, n)
+	}
+
+	// Same for the 8-byte retry: an 8-byte MOVIW in the last 8 bytes.
+	moviw, err := (isa.Instruction{Op: isa.OpMOVIW, Rd: 5, Imm: -7}).Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last8 := 3*pageSize - 8
+	installCode(space, last8, moviw)
+	ins, n, err = e.fetchInsn(last8)
+	if err != nil {
+		t.Fatalf("fetch 8-byte at boundary: %v", err)
+	}
+	if ins.Op != isa.OpMOVIW || n != 8 || ins.Imm != -7 {
+		t.Fatalf("decoded %v (%d bytes), want moviw imm=-7 (8)", ins, n)
+	}
+
+	// A 12-byte MOVID spanning two *resident* pages decodes on the first
+	// (12-byte) attempt, exercising the cross-page ReadBytes path.
+	movid, err := (isa.Instruction{Op: isa.OpMOVID, Rd: 6, Imm: 0x1122334455667788}).Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := 5*pageSize - 4 // 4 bytes on page 4, 8 bytes on page 5
+	space.EnsurePage(5, mem.PermRead)
+	installCode(space, span, movid)
+	ins, n, err = e.fetchInsn(span)
+	if err != nil {
+		t.Fatalf("fetch spanning insn: %v", err)
+	}
+	if ins.Op != isa.OpMOVID || n != 12 || uint64(ins.Imm) != 0x1122334455667788 {
+		t.Fatalf("decoded %v (%d bytes), want movid", ins, n)
+	}
+
+	// And truly unreadable code is still an error.
+	if _, _, err := e.fetchInsn(100 * pageSize); err == nil {
+		t.Fatal("fetch of absent page succeeded")
+	}
+}
+
+func TestExecBlockEndingAtPageBoundary(t *testing.T) {
+	// End-to-end: a block whose final instruction abuts an absent page
+	// translates and runs (translate's fetch loop must not demand bytes
+	// past the boundary).
+	space := mem.NewSpace(0)
+	pageSize := uint64(space.PageSize())
+	addi, err := (isa.Instruction{Op: isa.OpADDI, Rd: 10, Rs1: 0, Imm: 42}).Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	halt, err := (isa.Instruction{Op: isa.OpHALT}).Encode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := pageSize - 8
+	installCode(space, start, append(addi, halt...))
+
+	e := NewEngine(space, DefaultCostModel())
+	cpu := &CPU{PC: start, TID: 1}
+	res := e.Exec(cpu, 1_000_000)
+	if res.Reason != StopHalt {
+		t.Fatalf("stop: %+v", res)
+	}
+	if cpu.X[10] != 42 {
+		t.Errorf("a0 = %d, want 42", cpu.X[10])
+	}
+}

@@ -14,6 +14,7 @@ package tcg
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"dqemu/internal/isa"
 	"dqemu/internal/mem"
@@ -81,11 +82,19 @@ type Result struct {
 // Stats aggregates engine activity for the per-thread breakdowns of Fig. 8.
 type Stats struct {
 	Blocks          uint64 // translation blocks built
-	TranslatedInsns uint64
+	TranslatedInsns uint64 // guest instructions translated (blocks + traces)
 	ExecInsns       uint64
 	TranslateNs     int64
 	Faults          uint64
 	Syscalls        uint64
+
+	// Tiered-translation counters.
+	Superblocks     uint64 // hot traces built
+	SuperblockInsns uint64 // guest instructions retired inside superblocks
+	FusedUops       uint64 // peephole fusions applied during trace lowering
+	JumpCacheHits   uint64
+	JumpCacheMisses uint64
+	Flushes         uint64 // translation cache flushes (generation bumps)
 }
 
 // MaxBlockInsns bounds translation block length.
@@ -97,6 +106,17 @@ type block struct {
 	// Static successors for block chaining; filled lazily.
 	takenPC, fallPC uint64 // 0 when unknown/dynamic
 	taken, fall     *block
+
+	startPC, endPC uint64 // [startPC, endPC) guest code range of the block
+	gen            uint64 // cache generation the block was translated in
+
+	// Hot-trace bookkeeping: execution count toward promotion, direction
+	// counts of the terminating conditional branch (for trace bias), and
+	// the superblock this block heads once promoted.
+	count      uint32
+	takenCount uint32
+	fallCount  uint32
+	sb         *superblock
 }
 
 // Engine translates and executes guest code against one node's Space.
@@ -110,9 +130,16 @@ type Engine struct {
 
 	// NoCache disables the translation cache (every block entry
 	// retranslates) and NoChain disables block chaining; both exist for the
-	// ablation benchmarks.
-	NoCache bool
-	NoChain bool
+	// ablation benchmarks. NoSuperblock disables hot-trace promotion and
+	// NoJumpCache disables the indirect-branch target cache, so the speedup
+	// ladder interp -> chained -> superblock can be measured.
+	NoCache      bool
+	NoChain      bool
+	NoSuperblock bool
+	NoJumpCache  bool
+
+	// HotThreshold overrides DefaultHotThreshold when nonzero (tests).
+	HotThreshold uint32
 
 	// StopAtomic ends the scheduling quantum after a CONTENDED atomic (a
 	// CAS whose comparison failed or an SC that lost its reservation), the
@@ -126,11 +153,55 @@ type Engine struct {
 
 	cache  map[uint64]*block
 	opCost [256]int64
+
+	// gen is the translation cache generation. ClearCache bumps it;
+	// blocks, superblocks, chain pointers and jump-cache entries from an
+	// older generation are dead and revalidated wherever they are followed.
+	// Starts at 1 so a zero-valued jump-cache entry never matches.
+	gen uint64
+
+	// codePages is the set of guest pages containing code translated in
+	// the current generation. InvalidatePage flushes the cache only when
+	// the invalidated page is in this set (data-page invalidations — the
+	// overwhelmingly common case under the coherence protocol — keep all
+	// translations).
+	codePages map[uint64]struct{}
+
+	// jc is the indirect-branch target cache (QEMU jump-cache style):
+	// a direct-mapped PC-indexed array resolving JALR targets without the
+	// translation-cache map probe.
+	jc [jcSize]jcEntry
+
+	// pendingExit, when set by exitVia, is the superblock exit slot that
+	// Exec's next lookup should fill (the trace analog of block chaining).
+	pendingExit *exitSlot
+
+	// Inline softmmu TLB for the superblock tier: direct-mapped caches of
+	// page byte slices for loads (rdTLB) and stores (wrTLB), validated
+	// against the Space's mutation epoch on every access, so page-state
+	// changes by the coherence protocol invalidate them implicitly.
+	rdTLB     [accelTLBSize]mem.AccelEntry
+	wrTLB     [accelTLBSize]mem.AccelEntry
+	pageMask  uint64 // Space page size - 1
+	pageShift uint
+}
+
+const accelTLBSize = 64 // power of two
+
+const jcSize = 1024 // power of two
+
+type jcEntry struct {
+	pc  uint64
+	blk *block
+	gen uint64
 }
 
 // NewEngine returns an engine bound to a Space with the given cost model.
 func NewEngine(space *mem.Space, cost CostModel) *Engine {
-	e := &Engine{Mem: space, Cost: cost, Mon: NewLLSCTable(), cache: map[uint64]*block{}}
+	e := &Engine{Mem: space, Cost: cost, Mon: NewLLSCTable(),
+		cache: map[uint64]*block{}, codePages: map[uint64]struct{}{}, gen: 1,
+		pageMask:  uint64(space.PageSize() - 1),
+		pageShift: uint(bits.TrailingZeros64(uint64(space.PageSize())))}
 	for op := 1; op < 256; op++ {
 		if !isa.Op(op).Valid() {
 			continue
@@ -162,8 +233,28 @@ func (e *Engine) classCost(op isa.Op) int64 {
 	}
 }
 
-// ClearCache drops all translated blocks.
-func (e *Engine) ClearCache() { e.cache = map[uint64]*block{} }
+// ClearCache drops all translated blocks, superblocks, chain pointers and
+// jump-cache entries by bumping the cache generation (QEMU tb_flush).
+// Already-chained taken/fall pointers and superblock exit slots may still
+// reference retired blocks, but every follow site revalidates the
+// generation, so no stale translation executes after the flush.
+func (e *Engine) ClearCache() {
+	e.gen++
+	e.cache = map[uint64]*block{}
+	e.codePages = map[uint64]struct{}{}
+	e.Stats.Flushes++
+}
+
+// InvalidatePage is called by the coherence layer when pageNo is dropped,
+// downgraded or remapped. If translated code lives on the page the whole
+// translation cache is flushed (coarse but rare — self-modifying code and
+// code-page migration are not on any hot path); pure data pages are free.
+func (e *Engine) InvalidatePage(pageNo uint64) {
+	if _, ok := e.codePages[pageNo]; !ok {
+		return
+	}
+	e.ClearCache()
+}
 
 // CacheSize returns the number of cached translation blocks.
 func (e *Engine) CacheSize() int { return len(e.cache) }
@@ -186,7 +277,7 @@ func (e *Engine) fetchInsn(pc uint64) (isa.Instruction, int, error) {
 
 // translate builds the translation block starting at pc.
 func (e *Engine) translate(pc uint64) (*block, error) {
-	b := &block{}
+	b := &block{startPC: pc}
 	cur := pc
 	for len(b.ops) < MaxBlockInsns {
 		ins, n, err := e.fetchInsn(cur)
@@ -198,6 +289,7 @@ func (e *Engine) translate(pc uint64) (*block, error) {
 		}
 		b.ops = append(b.ops, ins)
 		b.pcs = append(b.pcs, cur)
+		b.endPC = cur + uint64(n)
 		if ins.IsBranch() {
 			switch ins.Op {
 			case isa.OpJAL:
@@ -236,22 +328,69 @@ func (e *Engine) lookup(pc uint64, spent *int64) (*block, error) {
 	e.Stats.TranslateNs += t
 	e.Stats.Blocks++
 	e.Stats.TranslatedInsns += uint64(len(b.ops))
+	b.gen = e.gen
 	if !e.NoCache {
 		e.cache[pc] = b
+		for p := e.Mem.PageOf(b.startPC); p <= e.Mem.PageOf(b.endPC-1); p++ {
+			e.codePages[p] = struct{}{}
+		}
 	}
 	return b, nil
 }
 
+// lookupFast is lookup behind the indirect-branch target cache: a
+// direct-mapped PC-indexed probe that avoids the translation-cache map on
+// hits (JALR-heavy code — function returns — hits here almost always).
+func (e *Engine) lookupFast(pc uint64, spent *int64) (*block, error) {
+	if e.NoJumpCache || e.NoCache {
+		return e.lookup(pc, spent)
+	}
+	h := &e.jc[(pc>>2)&(jcSize-1)]
+	if h.pc == pc && h.gen == e.gen {
+		e.Stats.JumpCacheHits++
+		return h.blk, nil
+	}
+	e.Stats.JumpCacheMisses++
+	b, err := e.lookup(pc, spent)
+	if err != nil {
+		return nil, err
+	}
+	*h = jcEntry{pc: pc, blk: b, gen: e.gen}
+	return b, nil
+}
+
 // Exec runs cpu until a stop condition or until at least budgetNs of
-// virtual time has been consumed (it may overshoot by up to one block).
+// virtual time has been consumed (it may overshoot by up to one block or
+// one superblock segment chain).
+//
+// Dispatch is tiered: a block that has been promoted runs its superblock's
+// micro-op array; otherwise the block interpreter runs and bumps the
+// promotion counter. All chained pointers (taken/fall, superblock exit
+// slots, jump-cache entries) are revalidated against the cache generation
+// before being followed, so ClearCache retires them atomically.
 func (e *Engine) Exec(cpu *CPU, budgetNs int64) Result {
 	var spent int64
-	blk, err := e.lookup(cpu.PC, &spent)
+	e.pendingExit = nil
+	blk, err := e.lookupFast(cpu.PC, &spent)
 	if err != nil {
 		return Result{Reason: StopError, TimeNs: spent, Err: err}
 	}
 	for {
-		next, res, stop := e.execBlock(cpu, blk, &spent)
+		var next *block
+		var res Result
+		var stop bool
+		if sb := blk.sb; sb != nil && !e.NoSuperblock && sb.gen == e.gen {
+			next, res, stop = e.execSuper(cpu, sb, &spent, budgetNs)
+		} else {
+			if !e.NoSuperblock && !e.NoCache && blk.sb == nil && blk.gen == e.gen {
+				blk.count++
+				if blk.count >= e.hotThreshold() {
+					blk.sb = e.buildTrace(blk, &spent)
+					continue
+				}
+			}
+			next, res, stop = e.execBlock(cpu, blk, &spent)
+		}
 		if stop {
 			res.TimeNs = spent
 			return res
@@ -259,12 +398,15 @@ func (e *Engine) Exec(cpu *CPU, budgetNs int64) Result {
 		if spent >= budgetNs {
 			return Result{Reason: StopBudget, TimeNs: spent}
 		}
-		if next == nil {
-			nb, err := e.lookup(cpu.PC, &spent)
+		if next == nil || next.gen != e.gen {
+			nb, err := e.lookupFast(cpu.PC, &spent)
 			if err != nil {
 				return Result{Reason: StopError, TimeNs: spent, Err: err}
 			}
-			if !e.NoChain {
+			if pe := e.pendingExit; pe != nil {
+				pe.blk = nb
+				e.pendingExit = nil
+			} else if !e.NoChain && blk.gen == e.gen {
 				switch cpu.PC {
 				case blk.takenPC:
 					blk.taken = nb
@@ -395,9 +537,11 @@ func (e *Engine) execBlock(cpu *CPU, b *block, spent *int64) (next *block, res R
 
 		case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU:
 			if takeBranch(ins.Op, x[ins.Rs1], x[ins.Rs2]) {
+				b.takenCount++
 				cpu.PC = pc + uint64(ins.Imm*4)
 				return b.taken, Result{}, false
 			}
+			b.fallCount++
 			cpu.PC = pc + 4
 			return b.fall, Result{}, false
 

@@ -1,0 +1,277 @@
+// Hot-trace superblock formation (tier 3 of the translation pipeline).
+//
+// Per-block execution counters promote hot translation blocks into
+// superblocks: traces that follow chained successors across unconditional
+// JALs and strongly biased conditional branches, up to a length cap. The
+// trace body is lowered to the flat micro-op array in uop.go. A trace that
+// re-enters its own head gets a back-edge uop, so hot loops run entirely
+// inside one superblock with only a budget check per iteration.
+//
+// Coherence: a superblock carries the cache generation it was built in.
+// ClearCache bumps the generation, which retires every superblock (checked
+// at dispatch, at back-edges, and after HINT callbacks) and every chained
+// exit pointer — no stale translation can run after a flush.
+package tcg
+
+import "dqemu/internal/isa"
+
+const (
+	// DefaultHotThreshold is the execution count at which a block is
+	// promoted into a superblock.
+	DefaultHotThreshold = 50
+	// MaxTraceInsns bounds total guest instructions in one superblock.
+	MaxTraceInsns = 256
+	// MaxTraceBlocks bounds how many translation blocks one trace spans.
+	MaxTraceBlocks = 16
+	// A conditional branch is followed only when it has executed at least
+	// biasMinTotal times and one direction accounts for >= biasNum/biasDen
+	// of executions.
+	biasMinTotal = 8
+	biasNum      = 3
+	biasDen      = 4
+)
+
+// exitSlot caches the translated block at one static trace exit, the trace
+// analog of block.taken/block.fall chaining. Exec fills it lazily via
+// Engine.pendingExit; exitVia revalidates against the cache generation.
+type exitSlot struct {
+	blk *block
+}
+
+type superblock struct {
+	entry  uint64
+	gen    uint64 // cache generation this trace was built in
+	ops    []uop
+	exits  []exitSlot
+	ninsns uint32 // guest instructions lowered into the trace
+}
+
+func (e *Engine) hotThreshold() uint32 {
+	if e.HotThreshold != 0 {
+		return e.HotThreshold
+	}
+	return DefaultHotThreshold
+}
+
+// exitVia resolves the chained block at a trace exit, or records the slot in
+// pendingExit so Exec's next lookup fills it.
+func (e *Engine) exitVia(sb *superblock, idx int16) *block {
+	if idx < 0 || e.NoChain {
+		return nil
+	}
+	s := &sb.exits[idx]
+	if b := s.blk; b != nil && b.gen == e.gen {
+		return b
+	}
+	s.blk = nil
+	e.pendingExit = s
+	return nil
+}
+
+// biasDir reports whether a conditional branch with the given taken/fall
+// counts is biased enough to follow, and in which direction.
+func biasDir(taken, fall uint32) (followTaken, ok bool) {
+	total := uint64(taken) + uint64(fall)
+	if total < biasMinTotal {
+		return false, false
+	}
+	if uint64(taken)*biasDen >= total*biasNum {
+		return true, true
+	}
+	if uint64(fall)*biasDen >= total*biasNum {
+		return false, true
+	}
+	return false, false
+}
+
+func isCondBranch(op isa.Op) bool {
+	switch op {
+	case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU:
+		return true
+	}
+	return false
+}
+
+// buildTrace forms a superblock starting at head, charging translation time
+// for every instruction lowered. head must be a current-generation cached
+// block.
+func (e *Engine) buildTrace(head *block, spent *int64) *superblock {
+	sb := &superblock{entry: head.startPC, gen: e.gen}
+	visited := map[uint64]bool{head.startPC: true}
+
+	newExit := func() int16 {
+		sb.exits = append(sb.exits, exitSlot{})
+		return int16(len(sb.exits) - 1)
+	}
+
+	// canFollow reports whether the trace may continue into the block at
+	// target: it must be translated in this generation, not already part of
+	// the trace, and fit under the caps.
+	canFollow := func(target uint64, blocks int) (*block, bool) {
+		if blocks >= MaxTraceBlocks || visited[target] {
+			return nil, false
+		}
+		nb, ok := e.cache[target]
+		if !ok || nb.gen != e.gen {
+			return nil, false
+		}
+		if sb.ninsns+uint32(len(nb.ops)) > MaxTraceInsns {
+			return nil, false
+		}
+		return nb, true
+	}
+
+	// emitGuardOrExit appends a conditional-branch uop, fusing it with an
+	// immediately preceding slt/sltu when the branch tests the compare's
+	// destination against x0. Fusion is unsafe when that destination is x0:
+	// the architectural branch then reads the constant 0, not the compare.
+	emit := func(u uop) {
+		if len(sb.ops) > 0 && (u.kind == uGuard || u.kind == uBranchExit) &&
+			u.rs2 == 0 && (u.bop == isa.OpBEQ || u.bop == isa.OpBNE) {
+			p := &sb.ops[len(sb.ops)-1]
+			if (p.kind == uSlt || p.kind == uSltu) && p.rd != 0 && p.rd == u.rs1 {
+				fused := u
+				if u.kind == uGuard {
+					fused.kind = uFusedCmpGuard
+				} else {
+					fused.kind = uFusedCmpExit
+				}
+				fused.rd = p.rd
+				fused.rs1 = p.rs1
+				fused.rs2 = p.rs2
+				fused.cmpU = p.kind == uSltu
+				fused.selfCost += p.selfCost
+				fused.selfInsns += p.selfInsns
+				*p = fused
+				e.Stats.FusedUops++
+				return
+			}
+		}
+		sb.ops = append(sb.ops, u)
+	}
+
+	b := head
+	blocks := 0
+loop:
+	for {
+		blocks++
+		n := len(b.ops)
+		term := -1
+		if n > 0 && b.ops[n-1].IsBranch() {
+			term = n - 1
+		}
+		for i := 0; i < n; i++ {
+			if i == term {
+				break
+			}
+			sb.ops = e.lowerInsn(sb.ops, &b.ops[i], b.pcs[i])
+			sb.ninsns++
+		}
+		if term < 0 {
+			// Block without a terminator: MaxBlockInsns fall-through, or a
+			// mid-block fetch failure. Continue into the fall-through when
+			// possible; otherwise exit the trace there (a non-translatable
+			// PC then fails at Exec's lookup, exactly as with execBlock).
+			fallPC := b.fallPC
+			if fallPC == 0 {
+				last := len(b.ops) - 1
+				fallPC = b.pcs[last] + uint64(b.ops[last].Size())
+			}
+			if nb, ok := canFollow(fallPC, blocks); ok {
+				visited[fallPC] = true
+				b = nb
+				continue
+			}
+			sb.ops = append(sb.ops, uop{kind: uExit, npc: fallPC, exit: newExit(), exit2: -1})
+			break
+		}
+
+		ins := &b.ops[term]
+		pc := b.pcs[term]
+		sb.ninsns++
+		cost := int32(e.opCost[ins.Op])
+
+		switch {
+		case ins.Op == isa.OpJAL:
+			target := pc + uint64(ins.Imm*4)
+			link := uop{kind: uLink, rd: ins.Rd, val: pc + 4, pc: pc,
+				selfInsns: 1, selfCost: cost, exit: -1, exit2: -1}
+			if ins.Rd == 0 {
+				link.kind = uNop
+			}
+			if target == sb.entry {
+				sb.ops = append(sb.ops, link)
+				sb.ops = append(sb.ops, uop{kind: uLoopBack, pc: pc, exit: -1, exit2: -1})
+				break loop
+			}
+			if nb, ok := canFollow(target, blocks); ok {
+				sb.ops = append(sb.ops, link)
+				visited[target] = true
+				b = nb
+				continue
+			}
+			link.kind = uJalExit
+			link.npc = target
+			link.exit = newExit()
+			sb.ops = append(sb.ops, link)
+			break loop
+
+		case ins.Op == isa.OpJALR:
+			sb.ops = append(sb.ops, uop{kind: uJalrExit, rd: ins.Rd, rs1: ins.Rs1,
+				imm: ins.Imm, val: pc + 4, pc: pc, selfInsns: 1, selfCost: cost,
+				exit: -1, exit2: -1})
+			break loop
+
+		case isCondBranch(ins.Op):
+			takenPC := pc + uint64(ins.Imm*4)
+			fallPC := pc + 4
+			if followTaken, biased := biasDir(b.takenCount, b.fallCount); biased {
+				onPC, offPC := takenPC, fallPC
+				if !followTaken {
+					onPC, offPC = fallPC, takenPC
+				}
+				if onPC == sb.entry {
+					emit(uop{kind: uGuard, rs1: ins.Rs1, rs2: ins.Rs2, bop: ins.Op,
+						expectTaken: followTaken, pc: pc, npc: offPC,
+						selfInsns: 1, selfCost: cost, exit: newExit(), exit2: -1})
+					sb.ops = append(sb.ops, uop{kind: uLoopBack, pc: pc, exit: -1, exit2: -1})
+					break loop
+				}
+				if nb, ok := canFollow(onPC, blocks); ok {
+					emit(uop{kind: uGuard, rs1: ins.Rs1, rs2: ins.Rs2, bop: ins.Op,
+						expectTaken: followTaken, pc: pc, npc: offPC,
+						selfInsns: 1, selfCost: cost, exit: newExit(), exit2: -1})
+					visited[onPC] = true
+					b = nb
+					continue
+				}
+			}
+			emit(uop{kind: uBranchExit, rs1: ins.Rs1, rs2: ins.Rs2, bop: ins.Op,
+				pc: pc, npc: takenPC, npc2: fallPC,
+				selfInsns: 1, selfCost: cost, exit: newExit(), exit2: newExit()})
+			break loop
+
+		case ins.Op == isa.OpSVC:
+			sb.ops = append(sb.ops, uop{kind: uSvcExit, pc: pc,
+				selfInsns: 1, selfCost: cost, exit: -1, exit2: -1})
+			break loop
+		case ins.Op == isa.OpHALT:
+			sb.ops = append(sb.ops, uop{kind: uHaltExit, pc: pc,
+				selfInsns: 1, selfCost: cost, exit: -1, exit2: -1})
+			break loop
+		default: // EBREAK and anything unexpected
+			sb.ops = append(sb.ops, uop{kind: uEbreakExit, pc: pc,
+				selfInsns: 1, selfCost: cost, exit: -1, exit2: -1})
+			break loop
+		}
+	}
+
+	segmentize(sb.ops)
+
+	t := int64(sb.ninsns) * e.Cost.TranslateNs
+	*spent += t
+	e.Stats.TranslateNs += t
+	e.Stats.Superblocks++
+	e.Stats.TranslatedInsns += uint64(sb.ninsns)
+	return sb
+}

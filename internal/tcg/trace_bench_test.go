@@ -1,0 +1,42 @@
+package tcg
+
+import (
+	"testing"
+
+	"dqemu/internal/asm"
+	"dqemu/internal/isa"
+	"dqemu/internal/mem"
+)
+
+// benchHotLoop measures engine throughput on the shared hotLoop program,
+// with or without superblock promotion, reporting retired guest
+// instructions per op so the tiers are directly comparable.
+func benchHotLoop(b *testing.B, noSuper bool) {
+	im, err := asm.Assemble(asm.Source{Name: "t.s", Text: hotLoop})
+	if err != nil {
+		b.Fatal(err)
+	}
+	space := mem.NewSpace(0)
+	mem.InstallImage(space, im, mem.PermRead, mem.PermReadWrite)
+	e := NewEngine(space, DefaultCostModel())
+	e.NoSuperblock = noSuper
+	e.HotThreshold = 20 // promote early, but with enough branch history for bias
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		c := &CPU{PC: im.Entry, TID: 1}
+		c.X[isa.RegSP] = 0x40000
+		for {
+			res := e.Exec(c, 1_000_000_000)
+			if res.Reason == StopHalt {
+				break
+			}
+			if res.Reason != StopBudget {
+				b.Fatalf("stop %+v", res)
+			}
+		}
+	}
+	b.ReportMetric(float64(e.Stats.ExecInsns)/float64(b.N), "insns/op")
+}
+
+func BenchmarkHotLoopSuperblock(b *testing.B) { benchHotLoop(b, false) }
+func BenchmarkHotLoopChained(b *testing.B)    { benchHotLoop(b, true) }

@@ -1,0 +1,512 @@
+package tcg
+
+import (
+	"testing"
+
+	"dqemu/internal/asm"
+	"dqemu/internal/image"
+	"dqemu/internal/isa"
+	"dqemu/internal/mem"
+)
+
+// setupImage installs src with the standard test memory map and returns the
+// pieces for tests that drive Exec manually.
+func setupImage(t *testing.T, src string) (*mem.Space, *Engine, *CPU, *image.Image) {
+	t.Helper()
+	im, err := asm.Assemble(asm.Source{Name: "t.s", Text: src})
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	space := mem.NewSpace(0)
+	mem.InstallImage(space, im, mem.PermRead, mem.PermReadWrite)
+	for p := uint64(0x3f000); p < 0x40000; p += uint64(space.PageSize()) {
+		space.SetPerm(space.PageOf(p), mem.PermReadWrite)
+	}
+	for p := uint64(0x20000); p < 0x22000; p += uint64(space.PageSize()) {
+		space.SetPerm(space.PageOf(p), mem.PermReadWrite)
+	}
+	e := NewEngine(space, DefaultCostModel())
+	cpu := &CPU{PC: im.Entry, TID: 1}
+	cpu.X[isa.RegSP] = 0x40000
+	return space, e, cpu, im
+}
+
+// runToStop drives Exec until a non-budget stop.
+func runToStop(t *testing.T, e *Engine, cpu *CPU) Result {
+	t.Helper()
+	var res Result
+	for i := 0; i < 1000; i++ {
+		res = e.Exec(cpu, 10_000_000)
+		if res.Reason != StopBudget {
+			return res
+		}
+	}
+	t.Fatalf("program did not stop: %+v", res)
+	return Result{}
+}
+
+// hotLoop sums 0..n-1 with a biased backward branch and a compare+branch
+// pair, so it exercises promotion, loop-back, and slt/bnez fusion.
+const hotLoop = `
+_start:
+	li  s0, 0          ; sum
+	li  s1, 0          ; i
+	li  s2, 1000       ; n
+loop:
+	add s0, s0, s1
+	addi s1, s1, 1
+	slt t0, s1, s2
+	bnez t0, loop
+	halt
+`
+
+func TestSuperblockPromotionAndCorrectness(t *testing.T) {
+	_, e, cpu, _ := setupImage(t, hotLoop)
+	res := runToStop(t, e, cpu)
+	if res.Reason != StopHalt {
+		t.Fatalf("stop: %+v", res)
+	}
+	if got := int64(cpu.X[isa.RegS0]); got != 999*1000/2 {
+		t.Errorf("sum = %d, want %d", got, 999*1000/2)
+	}
+	if e.Stats.Superblocks == 0 {
+		t.Error("hot loop was never promoted to a superblock")
+	}
+	if e.Stats.SuperblockInsns == 0 {
+		t.Error("no instructions retired inside superblocks")
+	}
+	if e.Stats.FusedUops == 0 {
+		t.Error("slt+bnez pair was not fused")
+	}
+	if e.Stats.SuperblockInsns >= e.Stats.ExecInsns {
+		t.Errorf("SuperblockInsns %d must be < ExecInsns %d",
+			e.Stats.SuperblockInsns, e.Stats.ExecInsns)
+	}
+}
+
+func TestSuperblockMatchesBaselineState(t *testing.T) {
+	// The same program must leave bit-identical registers and memory under
+	// all three tiers: interpreter, chained blocks, and superblocks.
+	src := `
+_start:
+	li  t0, 0x20000
+	li  s0, 0
+	li  s1, 0
+	li  s2, 200
+	fmovd f1, 1.5
+	fmovd f2, 0.0
+loop:
+	mul t1, s1, s1
+	add s0, s0, t1
+	sd  s0, 0(t0)
+	ld  t2, 0(t0)
+	add s3, s3, t2
+	fadd f2, f2, f1
+	addi s1, s1, 1
+	slt t3, s1, s2
+	bnez t3, loop
+	fcvt.l.d s4, f2
+	halt
+`
+	type tier struct {
+		name                  string
+		noSuper, noJC, interp bool
+	}
+	tiers := []tier{
+		{"superblock", false, false, false},
+		{"chained", true, true, false},
+		{"interp", true, true, true},
+	}
+	var ref *CPU
+	var refMem []byte
+	for _, tr := range tiers {
+		space, e, cpu, _ := setupImage(t, src)
+		e.NoSuperblock, e.NoJumpCache, e.NoCache = tr.noSuper, tr.noJC, tr.interp
+		if res := runToStop(t, e, cpu); res.Reason != StopHalt {
+			t.Fatalf("%s: stop %+v", tr.name, res)
+		}
+		buf := make([]byte, 64)
+		if err := space.ReadBytes(0x20000, buf); err != nil {
+			t.Fatalf("%s: read scratch: %v", tr.name, err)
+		}
+		if ref == nil {
+			ref, refMem = cpu, buf
+			continue
+		}
+		if *cpu != *ref {
+			t.Errorf("%s: CPU state diverged:\n got %+v\nwant %+v", tr.name, cpu, ref)
+		}
+		for i := range buf {
+			if buf[i] != refMem[i] {
+				t.Errorf("%s: memory diverged at +%d: %d != %d", tr.name, i, buf[i], refMem[i])
+				break
+			}
+		}
+	}
+}
+
+func TestNoSuperblockReproducesSeedStats(t *testing.T) {
+	// With both new tiers disabled no superblocks are built and the jump
+	// cache is never consulted.
+	_, e, cpu, _ := setupImage(t, hotLoop)
+	e.NoSuperblock, e.NoJumpCache = true, true
+	if res := runToStop(t, e, cpu); res.Reason != StopHalt {
+		t.Fatalf("stop: %+v", res)
+	}
+	if e.Stats.Superblocks != 0 || e.Stats.SuperblockInsns != 0 ||
+		e.Stats.JumpCacheHits != 0 || e.Stats.JumpCacheMisses != 0 {
+		t.Errorf("ablated run used new tiers: %+v", e.Stats)
+	}
+	if got := int64(cpu.X[isa.RegS0]); got != 999*1000/2 {
+		t.Errorf("sum = %d, want %d", got, 999*1000/2)
+	}
+}
+
+func TestJumpCacheHitsOnReturns(t *testing.T) {
+	// A function called in a loop returns through JALR; the return target
+	// lookup should hit the jump cache almost every iteration.
+	src := `
+_start:
+	li  s0, 0
+	li  s1, 0
+	li  s2, 300
+loop:
+	jal ra, addone
+	addi s1, s1, 1
+	blt s1, s2, loop
+	halt
+addone:
+	addi s0, s0, 1
+	ret
+`
+	_, e, cpu, _ := setupImage(t, src)
+	if res := runToStop(t, e, cpu); res.Reason != StopHalt {
+		t.Fatalf("stop: %+v", res)
+	}
+	if cpu.X[isa.RegS0] != 300 {
+		t.Errorf("s0 = %d, want 300", cpu.X[isa.RegS0])
+	}
+	if e.Stats.JumpCacheHits == 0 {
+		t.Error("no jump-cache hits on a JALR-heavy loop")
+	}
+	if e.Stats.JumpCacheHits < e.Stats.JumpCacheMisses {
+		t.Errorf("hits %d < misses %d; cache is not effective",
+			e.Stats.JumpCacheHits, e.Stats.JumpCacheMisses)
+	}
+
+	_, e2, cpu2, _ := setupImage(t, src)
+	e2.NoJumpCache = true
+	if res := runToStop(t, e2, cpu2); res.Reason != StopHalt {
+		t.Fatalf("ablated stop: %+v", res)
+	}
+	if e2.Stats.JumpCacheHits != 0 || e2.Stats.JumpCacheMisses != 0 {
+		t.Errorf("NoJumpCache still touched the cache: %+v", e2.Stats)
+	}
+	if cpu2.X[isa.RegS0] != 300 {
+		t.Errorf("ablated s0 = %d, want 300", cpu2.X[isa.RegS0])
+	}
+}
+
+func TestSuperblockLoopRespectsBudget(t *testing.T) {
+	// Once the loop runs inside one superblock, the back-edge must still
+	// yield when the quantum is spent — bounded overshoot, no livelock.
+	_, e, cpu, _ := setupImage(t, `
+_start:
+	li  s1, 0
+	li  s2, 100000000
+loop:
+	addi s1, s1, 1
+	blt s1, s2, loop
+	halt
+`)
+	e.HotThreshold = 4
+	for i := 0; i < 50; i++ {
+		res := e.Exec(cpu, 10_000)
+		if res.Reason != StopBudget {
+			t.Fatalf("iteration %d: %+v", i, res)
+		}
+		if res.TimeNs > 13_000 {
+			t.Fatalf("iteration %d: overshoot %d ns on a 10000 ns budget", i, res.TimeNs)
+		}
+	}
+	if e.Stats.Superblocks == 0 {
+		t.Fatal("loop was not promoted")
+	}
+}
+
+func TestSuperblockSyscallExitState(t *testing.T) {
+	// A syscall inside a hot loop must exit the superblock with PC past the
+	// SVC and argument registers intact, every iteration.
+	_, e, cpu, _ := setupImage(t, `
+_start:
+	li  s1, 0
+	li  s2, 40
+loop:
+	li  a7, 64          ; write-like number, never dispatched here
+	add a0, s1, x0
+	svc 0
+	addi s1, s1, 1
+	blt s1, s2, loop
+	halt
+`)
+	e.HotThreshold = 4
+	syscalls := 0
+	var res Result
+	for i := 0; i < 2000; i++ {
+		res = e.Exec(cpu, 10_000_000)
+		if res.Reason == StopHalt {
+			break
+		}
+		if res.Reason != StopSyscall {
+			t.Fatalf("stop: %+v", res)
+		}
+		if cpu.X[isa.RegA7] != 64 || cpu.X[isa.RegA0] != uint64(syscalls) {
+			t.Fatalf("syscall %d: a7=%d a0=%d", syscalls, cpu.X[isa.RegA7], cpu.X[isa.RegA0])
+		}
+		syscalls++
+	}
+	if res.Reason != StopHalt || syscalls != 40 {
+		t.Fatalf("reason=%v syscalls=%d", res.Reason, syscalls)
+	}
+	if e.Stats.Superblocks == 0 {
+		t.Error("loop was not promoted")
+	}
+}
+
+func TestSuperblockFaultExitState(t *testing.T) {
+	// A store fault inside a promoted trace must leave PC exactly at the
+	// faulting store so execution can restart there after the grant.
+	space, e, cpu, _ := setupImage(t, `
+_start:
+	li  t0, 0x20000
+	li  s1, 0
+	li  s2, 20000
+loop:
+	sd  s1, 0(t0)
+	addi s1, s1, 1
+	blt s1, s2, loop
+	ld  a3, 0(t0)
+	halt
+`)
+	e.HotThreshold = 4
+	// Run some quanta so the loop is promoted mid-flight.
+	for i := 0; i < 8; i++ {
+		if res := e.Exec(cpu, 3_000); res.Reason != StopBudget {
+			t.Fatalf("warmup stop: %+v", res)
+		}
+	}
+	if e.Stats.Superblocks == 0 {
+		t.Fatal("loop was not promoted during warmup")
+	}
+	// Revoke write permission: the next store must fault restartably.
+	space.SetPerm(space.PageOf(0x20000), mem.PermRead)
+	res := e.Exec(cpu, 10_000_000)
+	if res.Reason != StopPageFault || !res.Fault.Write {
+		t.Fatalf("expected write fault, got %+v", res)
+	}
+	ins, _, err := e.fetchInsn(cpu.PC)
+	if err != nil || ins.Op != isa.OpSD {
+		t.Fatalf("PC not at the faulting store: pc=%#x ins=%v err=%v", cpu.PC, ins, err)
+	}
+	insnsAtFault := e.Stats.ExecInsns
+	// Re-grant and finish; the final state must be exact.
+	space.SetPerm(space.PageOf(0x20000), mem.PermReadWrite)
+	if res = runToStop(t, e, cpu); res.Reason != StopHalt {
+		t.Fatalf("after grant: %+v", res)
+	}
+	if cpu.X[isa.RegA3] != 19999 {
+		t.Errorf("a3 = %d, want 19999", cpu.X[isa.RegA3])
+	}
+	if e.Stats.ExecInsns <= insnsAtFault {
+		t.Error("ExecInsns did not advance after restart")
+	}
+}
+
+func TestSuperblockStopAtomicExit(t *testing.T) {
+	// A contended CAS inside a promoted trace ends the quantum with PC just
+	// past the CAS, exactly like the block interpreter.
+	space, e, cpu, _ := setupImage(t, `
+_start:
+	li  t0, 0x20000
+	li  t1, 5
+	sd  t1, 0(t0)
+	li  s1, 0
+	li  s2, 30
+loop:
+	li  a0, 99          ; wrong expected value -> CAS always fails
+	li  a2, 7
+	cas a0, a2, (t0)
+	addi s1, s1, 1
+	blt s1, s2, loop
+	halt
+`)
+	_ = space
+	e.HotThreshold = 4
+	e.StopAtomic = true
+	stops := 0
+	var res Result
+	for i := 0; i < 2000; i++ {
+		res = e.Exec(cpu, 1<<40)
+		if res.Reason == StopHalt {
+			break
+		}
+		if res.Reason != StopBudget {
+			t.Fatalf("stop: %+v", res)
+		}
+		if cpu.X[isa.RegA0] != 5 {
+			t.Fatalf("CAS old value = %d, want 5", cpu.X[isa.RegA0])
+		}
+		// PC must be past the CAS: next decoded insn is the addi.
+		ins, _, err := e.fetchInsn(cpu.PC)
+		if err != nil || ins.Op != isa.OpADDI {
+			t.Fatalf("PC not after CAS: ins=%v err=%v", ins, err)
+		}
+		stops++
+	}
+	if res.Reason != StopHalt || stops != 30 {
+		t.Fatalf("reason=%v stops=%d", res.Reason, stops)
+	}
+	if e.Stats.Superblocks == 0 {
+		t.Error("loop was not promoted")
+	}
+}
+
+// findInsn scans forward from pc for the first instruction with the given
+// op, returning its address.
+func findInsn(t *testing.T, e *Engine, pc uint64, op isa.Op) uint64 {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		ins, n, err := e.fetchInsn(pc)
+		if err != nil {
+			t.Fatalf("scan at %#x: %v", pc, err)
+		}
+		if ins.Op == op {
+			return pc
+		}
+		pc += uint64(n)
+	}
+	t.Fatalf("no %v found", op)
+	return 0
+}
+
+func TestClearCacheRetiresChainedBlocks(t *testing.T) {
+	// Regression: ClearCache during execution (from the OnHint hook) must
+	// retire already-chained blocks. The hook patches the loop body —
+	// replacing its ADDI with HALT — and flushes; the patched code must
+	// execute on the next iteration instead of the stale chained block
+	// looping forever.
+	for _, tier := range []struct {
+		name    string
+		noSuper bool
+	}{{"superblock", false}, {"blocks", true}} {
+		t.Run(tier.name, func(t *testing.T) {
+			// s0 is zeroed with add (not li: the assembler expands small li
+			// into addi, which would confuse the patch-target scan below).
+			space, e, cpu, im := setupImage(t, `
+_start:
+	add s0, x0, x0
+loop:
+	hint 7
+	addi s0, s0, 1
+	jal x0, loop
+`)
+			e.NoSuperblock = tier.noSuper
+			e.HotThreshold = 4
+			addiPC := findInsn(t, e, im.Entry, isa.OpADDI)
+			halt, err := (isa.Instruction{Op: isa.OpHALT}).Encode(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hints := 0
+			e.OnHint = func(tid, group int64) {
+				hints++
+				if hints == 20 {
+					page := space.PageOf(addiPC)
+					data := space.PageData(page)
+					off := addiPC - space.PageAddr(page)
+					copy(data[off:], halt)
+					e.ClearCache()
+				}
+			}
+			res := runToStop(t, e, cpu)
+			if res.Reason != StopHalt {
+				t.Fatalf("patched HALT never executed: %+v", res)
+			}
+			// The loop ran exactly as many full iterations as hints fired
+			// before (or at) the patch, give or take the iteration in
+			// flight when the flush landed.
+			if s0 := cpu.X[isa.RegS0]; s0 < 19 || s0 > 20 {
+				t.Errorf("s0 = %d, want 19..20", s0)
+			}
+			if e.Stats.Flushes != 1 {
+				t.Errorf("flushes = %d, want 1", e.Stats.Flushes)
+			}
+			if !tier.noSuper && e.Stats.Superblocks == 0 {
+				t.Error("loop was not promoted before the flush")
+			}
+		})
+	}
+}
+
+func TestInvalidatePageFlushesOnlyCodePages(t *testing.T) {
+	_, e, cpu, im := setupImage(t, hotLoop)
+	if res := runToStop(t, e, cpu); res.Reason != StopHalt {
+		t.Fatalf("stop: %+v", res)
+	}
+	if e.CacheSize() == 0 {
+		t.Fatal("no cached blocks")
+	}
+	// Invalidating a pure data page keeps all translations.
+	e.InvalidatePage(e.Mem.PageOf(0x20000))
+	if e.CacheSize() == 0 || e.Stats.Flushes != 0 {
+		t.Errorf("data-page invalidation flushed the cache (flushes=%d)", e.Stats.Flushes)
+	}
+	// Invalidating the code page flushes everything.
+	e.InvalidatePage(e.Mem.PageOf(im.Entry))
+	if e.CacheSize() != 0 || e.Stats.Flushes != 1 {
+		t.Errorf("code-page invalidation did not flush (size=%d flushes=%d)",
+			e.CacheSize(), e.Stats.Flushes)
+	}
+	// The program still reruns correctly after the flush.
+	cpu2 := &CPU{PC: im.Entry, TID: 1}
+	cpu2.X[isa.RegSP] = 0x40000
+	if res := runToStop(t, e, cpu2); res.Reason != StopHalt {
+		t.Fatalf("rerun: %+v", res)
+	}
+	if got := int64(cpu2.X[isa.RegS0]); got != 999*1000/2 {
+		t.Errorf("rerun sum = %d", got)
+	}
+}
+
+func TestAddiChainFolding(t *testing.T) {
+	// Adjacent same-register ADDIs inside a trace fold into one uop but
+	// must retire the same instruction count and value.
+	_, e, cpu, _ := setupImage(t, `
+_start:
+	li  s1, 0
+	li  s2, 400
+loop:
+	addi s0, s0, 3
+	addi s0, s0, 4
+	addi s1, s1, 1
+	blt s1, s2, loop
+	halt
+`)
+	e.HotThreshold = 4
+	res := runToStop(t, e, cpu)
+	if res.Reason != StopHalt {
+		t.Fatalf("stop: %+v", res)
+	}
+	if got := cpu.X[isa.RegS0]; got != 400*7 {
+		t.Errorf("s0 = %d, want %d", got, 400*7)
+	}
+	if e.Stats.FusedUops == 0 {
+		t.Error("ADDI chain was not folded")
+	}
+	// ExecInsns must count guest instructions, not uops: 2 lis (possibly
+	// moviw) + 400 iterations of 4 instructions + halt.
+	want := uint64(2 + 400*4 + 1)
+	if e.Stats.ExecInsns != want {
+		t.Errorf("ExecInsns = %d, want %d", e.Stats.ExecInsns, want)
+	}
+}
