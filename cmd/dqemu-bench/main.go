@@ -4,7 +4,10 @@
 //
 // Usage:
 //
-//	dqemu-bench [-exp fig5|fig6|table1|fig7|fig8|all] [-full] [-slaves N] [-q]
+//	dqemu-bench [-exp fig5|fig6|table1|fig7|fig8|chaos|all] [-full] [-slaves N] [-q]
+//	dqemu-bench -exp chaos -seed N            # reproduce one fault plan
+//	dqemu-bench -exp chaos -runs 200          # longer battery
+//	dqemu-bench -exp chaos -broken noretry    # prove the suite catches a broken transport
 package main
 
 import (
@@ -19,13 +22,16 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig5, fig6, table1, fig7, fig8, singlenode, or all")
+	exp := flag.String("exp", "all", "experiment to run: fig5, fig6, table1, fig7, fig8, singlenode, chaos, or all")
 	full := flag.Bool("full", false, "use inputs close to the paper's sizes (slow)")
 	slaves := flag.Int("slaves", 6, "maximum number of slave nodes to sweep")
 	quiet := flag.Bool("q", false, "suppress per-run progress")
 	jsonOut := flag.String("json", "", "write singlenode results as JSON to this file")
 	noSuper := flag.Bool("nosuperblock", false, "disable hot-trace superblocks (ablation)")
 	noJC := flag.Bool("nojumpcache", false, "disable the indirect-branch target cache (ablation)")
+	seed := flag.Int64("seed", 0, "chaos: run a single fault plan with this seed (0 = full battery)")
+	runs := flag.Int("runs", 50, "chaos: battery size when -seed is 0")
+	broken := flag.String("broken", "", "chaos: transport ablation to inject (noretry or nodedup)")
 	flag.Parse()
 
 	opts := experiments.Options{MaxSlaves: *slaves}
@@ -60,6 +66,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[%s took %.1fs host time]\n\n", name, time.Since(start).Seconds())
 	}
 
+	if want("chaos") {
+		start := time.Now()
+		co := experiments.ChaosOptions{Options: opts, Runs: *runs, Broken: *broken}
+		if *seed != 0 {
+			co.Seed, co.Runs = *seed, 1
+		}
+		c, err := experiments.RunChaos(co)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dqemu-bench: chaos: %v\n", err)
+			os.Exit(1)
+		}
+		c.Print(os.Stdout)
+		fmt.Fprintf(os.Stderr, "[chaos took %.1fs host time]\n\n", time.Since(start).Seconds())
+		if c.Fails() > 0 {
+			os.Exit(1)
+		}
+	}
 	runOne("fig5", func() (printer, error) { return experiments.RunFig5(opts) })
 	runOne("fig6", func() (printer, error) { return experiments.RunFig6(opts) })
 	runOne("table1", func() (printer, error) { return experiments.RunTable1(opts) })

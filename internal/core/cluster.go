@@ -28,10 +28,16 @@ type Cluster struct {
 	cfg    Config
 	k      *sim.Kernel
 	net    *netsim.Network
+	// rel is the reliable transport layered over net when fault injection
+	// is active (cfg.Faults); nil on fault-free runs.
+	rel    *netsim.Reliable
 	nodes  []*node
 	master *master
 	os     *guestos.OS
 	im     *image.Image
+
+	// lostNodes records peers declared dead after retransmission gave up.
+	lostNodes map[int32]bool
 
 	trampoline uint64
 
@@ -52,7 +58,11 @@ type Result struct {
 	Nodes   []NodeStats
 	Dir     dsm.Stats
 	Net     netsim.Stats
-	OS      guestos.Stats
+	// Faults and Rel report injected-fault and reliable-transport activity;
+	// both are zero on fault-free runs.
+	Faults netsim.FaultStats
+	Rel    netsim.RelStats
+	OS     guestos.Stats
 	// Migrations counts dynamic thread migrations (Config.RebalanceNs).
 	Migrations uint64
 }
@@ -65,7 +75,7 @@ func NewCluster(im *image.Image, cfg Config) (*Cluster, error) {
 	if cfg.Nodes() > 64 {
 		return nil, fmt.Errorf("core: at most 63 slaves supported")
 	}
-	c := &Cluster{cfg: cfg, k: sim.NewKernel(), im: im}
+	c := &Cluster{cfg: cfg, k: sim.NewKernel(), im: im, lostNodes: map[int32]bool{}}
 	c.net = netsim.New(c.k, cfg.Net, cfg.Nodes())
 	if cfg.Tracer != nil {
 		c.net.Trace = func(now int64, m *proto.Msg) {
@@ -73,15 +83,20 @@ func NewCluster(im *image.Image, cfg Config) (*Cluster, error) {
 				"%v -> node%d page=%#x num=%d", m.Kind, m.To, m.Page, m.Num)
 		}
 	}
+	if cfg.Faults.Active() {
+		c.net.SetFaults(cfg.Faults)
+		c.rel = netsim.NewReliable(c.k, c.net, cfg.Retry)
+		c.rel.OnGiveUp = c.nodeLost
+	}
 
 	for id := 0; id < cfg.Nodes(); id++ {
 		n := newNode(id, c)
 		c.nodes = append(c.nodes, n)
 	}
 	c.master = newMaster(c.nodes[0])
-	c.net.Register(0, c.master.handle)
+	c.register(0, c.master.handle)
 	for id := 1; id < cfg.Nodes(); id++ {
-		c.net.Register(id, c.nodes[id].handle)
+		c.register(id, c.nodes[id].handle)
 	}
 
 	// Load segments: RO everywhere, RW on the master only.
@@ -126,6 +141,25 @@ func NewCluster(im *image.Image, cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
+// register installs a node's handler on the active transport.
+func (c *Cluster) register(node int, h netsim.Handler) {
+	if c.rel != nil {
+		c.rel.Register(node, h)
+		return
+	}
+	c.net.Register(node, h)
+}
+
+// send routes a protocol message through the reliable transport when fault
+// injection is active, or straight onto the wire otherwise.
+func (c *Cluster) send(m *proto.Msg) {
+	if c.rel != nil {
+		c.rel.Send(m)
+		return
+	}
+	c.net.Send(m)
+}
+
 // VFS exposes the guest filesystem for pre-loading inputs and collecting
 // outputs.
 func (c *Cluster) VFS() *guestos.VFS { return c.os.VFS() }
@@ -150,7 +184,7 @@ func (c *Cluster) finish(code int64) {
 	c.exitCode = code
 	c.done = true
 	for id := 1; id < c.cfg.Nodes(); id++ {
-		c.net.Send(&proto.Msg{Kind: proto.KShutdown, From: 0, To: int32(id)})
+		c.send(&proto.Msg{Kind: proto.KShutdown, From: 0, To: int32(id)})
 	}
 	c.k.Stop()
 }
@@ -181,8 +215,12 @@ func (c *Cluster) result() *Result {
 		Console:    c.console.String(),
 		Dir:        c.master.dir.Stats,
 		Net:        c.net.Stats,
+		Faults:     c.net.FaultStats,
 		OS:         c.os.Stats,
 		Migrations: c.master.migrations,
+	}
+	if c.rel != nil {
+		r.Rel = c.rel.Stats
 	}
 	var tids []int64
 	byTID := map[int64]*thread{}

@@ -74,6 +74,18 @@ type Config struct {
 	// blocks, so lock hand-offs interleave at instruction granularity).
 	NoAtomicPreempt bool
 
+	// Faults, when set to an active plan, injects deterministic seeded
+	// faults (drop/dup/jitter/reorder, node stalls and crashes) into the
+	// simulated interconnect and automatically layers the reliable
+	// transport (per-link sequencing, retransmission with exponential
+	// backoff, duplicate suppression) over it. Fault-free runs bypass both,
+	// keeping default message counts and timings unchanged.
+	Faults *netsim.FaultPlan
+	// Retry tunes the reliable transport when Faults is active. The zero
+	// value selects netsim.DefaultRetryPolicy; the NoRetry/NoDedup fields
+	// are deliberate-breakage ablations for the chaos suite.
+	Retry netsim.RetryPolicy
+
 	// RebalanceNs, when positive, enables dynamic thread migration (an
 	// extension of the paper's §4.1 context shipping): every RebalanceNs of
 	// virtual time the master moves one thread from the most- to the

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"dqemu/internal/dsm"
+	"dqemu/internal/mem"
+)
+
+// Inspection is a post-run snapshot of the cluster's coherence state, used
+// by the chaos harness to check protocol invariants after the guest exits.
+type Inspection struct {
+	// Dir is the master directory, sorted by page.
+	Dir []dsm.PageState
+	// NodePerms maps page -> permission for every resident page, per node
+	// (index = node id).
+	NodePerms []map[uint64]mem.Perm
+	// FutexWaiting is the number of threads still parked on a futex.
+	FutexWaiting int
+	// LiveThreads counts threads that never reached tDead.
+	LiveThreads int
+	// UnackedMsgs counts reliable-transport messages still in flight
+	// (0 after a clean quiesce).
+	UnackedMsgs int
+}
+
+// Inspect snapshots coherence state. Call it after Run returns; the snapshot
+// is only meaningful once the event queue has quiesced.
+func (c *Cluster) Inspect() *Inspection {
+	ins := &Inspection{Dir: c.master.dir.Snapshot()}
+	for _, n := range c.nodes {
+		perms := map[uint64]mem.Perm{}
+		n.space.ForEachPage(func(pageNo uint64, perm mem.Perm) {
+			perms[pageNo] = perm
+		})
+		ins.NodePerms = append(ins.NodePerms, perms)
+		for _, t := range n.threads {
+			if t.state != tDead {
+				ins.LiveThreads++
+			}
+		}
+	}
+	ins.FutexWaiting = c.os.Futex().TotalWaiting()
+	if c.rel != nil {
+		ins.UnackedMsgs = c.rel.Unacked()
+	}
+	return ins
+}

@@ -112,7 +112,7 @@ func (m *master) onMigrateCtx(msg *proto.Msg) {
 		m.node.addThread(cpu)
 		return
 	}
-	m.cl.net.Send(&proto.Msg{
+	m.cl.send(&proto.Msg{
 		Kind: proto.KThreadStart, From: 0, To: int32(target),
 		TID: msg.TID, CPU: msg.CPU,
 	})
@@ -160,7 +160,7 @@ func (m *master) rebalance() {
 			continue
 		}
 		m.migrating[tid] = minNode
-		m.cl.net.Send(&proto.Msg{Kind: proto.KMigrate, From: 0, To: int32(maxNode), TID: tid, Num: int64(minNode)})
+		m.cl.send(&proto.Msg{Kind: proto.KMigrate, From: 0, To: int32(maxNode), TID: tid, Num: int64(minNode)})
 		return
 	}
 }
@@ -177,7 +177,7 @@ func (m *master) onSyscallReq(msg *proto.Msg) {
 		if m.cl.done {
 			return
 		}
-		m.cl.net.Send(&proto.Msg{
+		m.cl.send(&proto.Msg{
 			Kind: proto.KSyscallReply, From: 0, To: from, TID: tid, Ret: ret,
 		})
 	}
@@ -204,7 +204,7 @@ func (m *master) SendContent(to int, page uint64, perm mem.Perm) {
 		return
 	}
 	data := m.space.EnsurePage(page, m.space.PermOf(page))
-	m.cl.net.Send(&proto.Msg{
+	m.cl.send(&proto.Msg{
 		Kind: proto.KPageContent, From: 0, To: int32(to),
 		Page: page, Perm: uint8(perm),
 		Data: append([]byte(nil), data...),
@@ -220,18 +220,18 @@ func (m *master) SendReaffirm(to int, page uint64, perm mem.Perm) {
 		m.node.contentArrived(page, perm)
 		return
 	}
-	m.cl.net.Send(&proto.Msg{
+	m.cl.send(&proto.Msg{
 		Kind: proto.KPageContent, From: 0, To: int32(to),
 		Page: page, Perm: uint8(perm),
 	})
 }
 
 func (m *master) SendInvalidate(to int, page uint64) {
-	m.cl.net.Send(&proto.Msg{Kind: proto.KInvalidate, From: 0, To: int32(to), Page: page})
+	m.cl.send(&proto.Msg{Kind: proto.KInvalidate, From: 0, To: int32(to), Page: page})
 }
 
 func (m *master) SendFetch(owner int, page uint64, invalidate bool) {
-	m.cl.net.Send(&proto.Msg{Kind: proto.KFetch, From: 0, To: int32(owner), Page: page, Write: invalidate})
+	m.cl.send(&proto.Msg{Kind: proto.KFetch, From: 0, To: int32(owner), Page: page, Write: invalidate})
 }
 
 func (m *master) SendRetry(to int, page uint64, tid int64) {
@@ -240,17 +240,23 @@ func (m *master) SendRetry(to int, page uint64, tid int64) {
 		m.node.retryArrived(page)
 		return
 	}
-	m.cl.net.Send(&proto.Msg{Kind: proto.KRetry, From: 0, To: int32(to), Page: page, TID: tid})
+	m.cl.send(&proto.Msg{Kind: proto.KRetry, From: 0, To: int32(to), Page: page, TID: tid})
 }
 
 func (m *master) HomeWriteback(page uint64, data []byte) {
 	m.space.InstallPage(page, data, mem.PermNone)
+	// The written-back copy carries another node's modifications: any
+	// reservation or cached translation of the old bytes is stale.
+	m.llsc.InvalidatePage(page, m.space.PageSize())
+	m.engine.InvalidatePage(page)
 }
 
 func (m *master) HomeSetPerm(page uint64, perm mem.Perm) {
 	m.space.SetPerm(page, perm)
 	if perm == mem.PermNone {
+		// Losing the page to a remote writer: its code may change under us.
 		m.llsc.InvalidatePage(page, m.space.PageSize())
+		m.engine.InvalidatePage(page)
 	}
 }
 
@@ -261,7 +267,7 @@ func (m *master) BroadcastRemap(orig uint64, shadows []uint64) {
 	}
 	m.llsc.InvalidatePage(orig, m.space.PageSize())
 	for id := 1; id < m.cl.cfg.Nodes(); id++ {
-		m.cl.net.Send(&proto.Msg{
+		m.cl.send(&proto.Msg{
 			Kind: proto.KRemap, From: 0, To: int32(id),
 			Page: orig, Shadows: shadows,
 		})
@@ -270,7 +276,7 @@ func (m *master) BroadcastRemap(orig uint64, shadows []uint64) {
 
 func (m *master) PushPage(to int, page uint64) {
 	data := m.space.EnsurePage(page, m.space.PermOf(page))
-	m.cl.net.Send(&proto.Msg{
+	m.cl.send(&proto.Msg{
 		Kind: proto.KPush, From: 0, To: int32(to),
 		Page: page, Data: append([]byte(nil), data...),
 	})
@@ -385,7 +391,7 @@ func (m *master) StartThread(tid int64, fn, arg, stackTop uint64, hint int64) {
 		m.node.addThread(cpu)
 		return
 	}
-	m.cl.net.Send(&proto.Msg{
+	m.cl.send(&proto.Msg{
 		Kind: proto.KThreadStart, From: 0, To: int32(target),
 		TID: tid, CPU: proto.EncodeCPU(cpu),
 	})

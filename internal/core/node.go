@@ -112,7 +112,7 @@ func (n *node) shipContext(t *thread) {
 	n.llsc.DropThread(t.tid)
 	t.state = tDead
 	n.stats.MigratedOut++
-	n.cl.net.Send(&proto.Msg{
+	n.cl.send(&proto.Msg{
 		Kind: proto.KMigrateCtx, From: int32(n.id), To: 0,
 		TID: t.tid, CPU: proto.EncodeCPU(t.cpu),
 	})
@@ -214,7 +214,7 @@ func (n *node) requestPage(page uint64, addr uint64, write bool, tid int64) {
 		return
 	}
 	n.requested[page] |= bit
-	n.cl.net.Send(&proto.Msg{
+	n.cl.send(&proto.Msg{
 		Kind:  proto.KPageReq,
 		From:  int32(n.id),
 		To:    0,
@@ -299,7 +299,7 @@ func (n *node) delegate(t *thread, num int64) {
 		t.state = tBlockedSyscall
 		t.blockStart = n.cl.k.Now()
 	}
-	n.cl.net.Send(&proto.Msg{
+	n.cl.send(&proto.Msg{
 		Kind: proto.KSyscallReq,
 		From: int32(n.id),
 		To:   0,
@@ -462,6 +462,9 @@ func (n *node) onPageContent(m *proto.Msg) {
 		n.space.SetPerm(m.Page, perm)
 	} else {
 		n.space.InstallPage(m.Page, m.Data, perm)
+		// The incoming copy may carry another node's modifications; any
+		// translation made from the page's previous content is stale.
+		n.engine.InvalidatePage(m.Page)
 	}
 	n.contentArrived(m.Page, perm)
 }
@@ -487,7 +490,7 @@ func (n *node) onInvalidate(m *proto.Msg) {
 	n.space.DropPage(m.Page)
 	n.llsc.InvalidatePage(m.Page, n.space.PageSize())
 	n.engine.InvalidatePage(m.Page)
-	n.cl.net.Send(&proto.Msg{Kind: proto.KInvAck, From: int32(n.id), To: 0, Page: m.Page})
+	n.cl.send(&proto.Msg{Kind: proto.KInvAck, From: int32(n.id), To: 0, Page: m.Page})
 }
 
 func (n *node) onFetch(m *proto.Msg) {
@@ -504,7 +507,7 @@ func (n *node) onFetch(m *proto.Msg) {
 	} else { // downgrade to shared
 		n.space.SetPerm(m.Page, mem.PermRead)
 	}
-	n.cl.net.Send(&proto.Msg{
+	n.cl.send(&proto.Msg{
 		Kind: proto.KFetchReply, From: int32(n.id), To: 0,
 		Page: m.Page, Data: copied, Write: m.Write,
 	})

@@ -1,0 +1,102 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"dqemu/internal/asm"
+	"dqemu/internal/core"
+	"dqemu/internal/grt"
+)
+
+// TestRemoteCodeWriteInvalidatesTranslations is the cross-node
+// self-modifying-code case: the master executes a function that lives in a
+// WRITABLE page until its translation (and, after 200 calls, its hot-trace
+// superblock) is cached; a worker thread on slave 1 then overwrites the
+// function's instructions; after joining, the master calls it again.
+//
+// The remote write migrates the page to the slave in Modified state, which
+// must (a) strip the master's read permission on its stale home copy and
+// (b) invalidate every cached translation of that page — including
+// superblocks and jump-cache entries — so the master re-faults, pulls the
+// fresh bytes, and retranslates. If any layer serves stale state the second
+// call returns the OLD return value and the exit code exposes it.
+func TestRemoteCodeWriteInvalidatesTranslations(t *testing.T) {
+	im, err := grt.BuildAsmProgram(asm.Source{Name: "smc.s", Text: `
+	.global main
+main:
+	addi sp, sp, -32
+	sd   ra, 24(sp)
+	sd   s1, 16(sp)
+	sd   s2, 8(sp)
+
+	; Heat the translation: 200 calls promote patch() to a superblock.
+	li   s2, 200
+1:
+	call patch                 ; a0 = 1 every iteration
+	addi s2, s2, -1
+	bne  s2, x0, 1b
+	addi s1, a0, 0             ; s1 = 1
+
+	; Run the patcher on another node.
+	la   a0, worker
+	li   a1, 0
+	call thread_create
+	call thread_join           ; a0 is still the tid
+
+	call patch                 ; must return 2, not a stale 1
+	add  a0, a0, s1            ; exit code 3 = fresh, 2 = stale
+
+	ld   s2, 8(sp)
+	ld   s1, 16(sp)
+	ld   ra, 24(sp)
+	addi sp, sp, 32
+	ret
+
+worker:
+	addi sp, sp, -16
+	sd   ra, 8(sp)
+	; Report where we ran; the test asserts this is slave 1.
+	call node_id
+	call print_long
+	; Copy template() over patch(): 16 bytes, two 8-byte stores.
+	la   t0, patch
+	la   t1, template
+	ld   t2, 0(t1)
+	sd   t2, 0(t0)
+	ld   t2, 8(t1)
+	sd   t2, 8(t0)
+	ld   ra, 8(sp)
+	addi sp, sp, 16
+	ret
+
+	; The patchable function lives in .data so guest stores may reach it.
+	.data
+	.align 16
+patch:
+	li   a0, 1
+	ret
+	.align 16
+template:
+	li   a0, 2
+	ret
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Slaves = 1
+	res, err := core.Run(im, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Console, "1") {
+		t.Fatalf("worker did not run on slave 1 (console %q); the test needs a cross-node write", res.Console)
+	}
+	if res.ExitCode == 2 {
+		t.Fatal("master executed a STALE translation of the patched function")
+	}
+	if res.ExitCode != 3 {
+		t.Fatalf("exit code %d, want 3 (console %q)", res.ExitCode, res.Console)
+	}
+}

@@ -83,12 +83,14 @@ type entry struct {
 	owner   int // NoOwner, Master, or a slave node id
 	sharers NodeSet
 
-	busy     bool
-	acksLeft int
-	grant    *Request  // request waiting for acks/fetch
-	split    bool      // a split transaction is in flight
-	pending  []Request // requests queued while busy
-	retired  bool      // page was split; always answer Retry
+	busy       bool
+	acksLeft   int
+	fetchFrom  int     // slave a fetch is outstanding to (0 = none)
+	invPending NodeSet // nodes that owe an invalidation ack
+	grant      *Request  // request waiting for acks/fetch
+	split      bool      // a split transaction is in flight
+	pending    []Request // requests queued while busy
+	retired    bool      // page was split; always answer Retry
 }
 
 // Directory is the master's coherence directory.
@@ -182,6 +184,7 @@ func (d *Directory) serveWrite(e *entry, r Request) {
 		// A slave owns the only current copy: revoke and pull it home.
 		e.busy = true
 		e.grant = &r
+		e.fetchFrom = e.owner
 		d.Stats.Fetches++
 		d.env.SendFetch(e.owner, r.Page, true)
 		return
@@ -191,6 +194,7 @@ func (d *Directory) serveWrite(e *entry, r Request) {
 	e.sharers.ForEach(func(n int) {
 		if n != r.Node && n != Master {
 			d.Stats.Invalidates++
+			e.invPending = e.invPending.Add(n)
 			d.env.SendInvalidate(n, r.Page)
 			acks++
 		}
@@ -214,6 +218,7 @@ func (d *Directory) serveRead(e *entry, r Request) {
 		// Downgrade the owner: it keeps a Shared copy and sends data home.
 		e.busy = true
 		e.grant = &r
+		e.fetchFrom = e.owner
 		d.Stats.Fetches++
 		d.env.SendFetch(e.owner, r.Page, false)
 		return
@@ -271,9 +276,14 @@ func (d *Directory) grantRead(e *entry, r Request) {
 // OnFetchReply finishes a fetch transaction: data is the owner's copy.
 func (d *Directory) OnFetchReply(owner int, page uint64, data []byte, invalidated bool) error {
 	e := d.entryOf(page)
-	if !e.busy {
+	if !e.busy || e.fetchFrom == 0 {
 		return fmt.Errorf("dsm: unexpected fetch reply for page %#x from node %d", page, owner)
 	}
+	if owner != e.fetchFrom {
+		return fmt.Errorf("dsm: fetch reply for page %#x from node %d, but the fetch targets node %d",
+			page, owner, e.fetchFrom)
+	}
+	e.fetchFrom = 0
 	d.env.HomeWriteback(page, data)
 	e.owner = NoOwner
 	if !invalidated {
@@ -296,9 +306,10 @@ func (d *Directory) OnFetchReply(owner int, page uint64, data []byte, invalidate
 // OnInvAck records one invalidation acknowledgement.
 func (d *Directory) OnInvAck(node int, page uint64) error {
 	e := d.entryOf(page)
-	if !e.busy || e.acksLeft <= 0 {
+	if !e.busy || e.acksLeft <= 0 || !e.invPending.Has(node) {
 		return fmt.Errorf("dsm: unexpected inv-ack for page %#x from node %d", page, node)
 	}
+	e.invPending = e.invPending.Remove(node)
 	e.sharers = e.sharers.Remove(node)
 	e.acksLeft--
 	if e.acksLeft > 0 {
@@ -340,6 +351,7 @@ func (d *Directory) beginSplit(page uint64, e *entry) {
 	e.busy = true
 	e.split = true
 	if e.owner > 0 {
+		e.fetchFrom = e.owner
 		d.Stats.Fetches++
 		d.env.SendFetch(e.owner, page, true)
 		return
@@ -348,6 +360,7 @@ func (d *Directory) beginSplit(page uint64, e *entry) {
 	e.sharers.ForEach(func(n int) {
 		if n != Master {
 			d.Stats.Invalidates++
+			e.invPending = e.invPending.Add(n)
 			d.env.SendInvalidate(n, page)
 			acks++
 		}

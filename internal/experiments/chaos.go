@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"dqemu/internal/chaos"
+)
+
+// Chaos is the torture-suite experiment: a battery of seeded fault plans
+// run against the coherence torture workload, with per-seed verdicts. It is
+// not a figure from the paper — it is the robustness harness every
+// multi-node result is validated against (see EXPERIMENTS.md).
+type Chaos struct {
+	StartSeed int64
+	Battery   *chaos.Battery
+	Broken    string
+}
+
+// ChaosOptions extends Options with the chaos-specific knobs.
+type ChaosOptions struct {
+	Options
+	// Seed is the first seed of the battery.
+	Seed int64
+	// Runs is the number of consecutive seeds (default 50; 1 reproduces a
+	// single failure from a printed seed).
+	Runs int
+	// Broken selects a deliberately-broken transport ablation ("noretry"
+	// or "nodedup") to demonstrate the suite catches it.
+	Broken string
+}
+
+// RunChaos executes the battery.
+func RunChaos(o ChaosOptions) (*Chaos, error) {
+	o.normalize()
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Runs <= 0 {
+		o.Runs = 50
+	}
+	opts := chaos.Options{Broken: o.Broken}
+	var progress func(*chaos.Report)
+	if o.Progress != nil {
+		progress = func(rep *chaos.Report) {
+			verdict := "pass"
+			if !rep.Pass {
+				verdict = "FAIL"
+			}
+			fmt.Fprintf(o.Progress, "[chaos seed %d %s: %s]\n", rep.Seed, rep.Class, verdict)
+		}
+	}
+	b, err := chaos.RunBattery(o.Seed, o.Runs, opts, progress)
+	if err != nil {
+		return nil, err
+	}
+	return &Chaos{StartSeed: o.Seed, Battery: b, Broken: o.Broken}, nil
+}
+
+// Print renders the battery verdict table.
+func (c *Chaos) Print(w io.Writer) {
+	fmt.Fprintf(w, "Chaos torture suite — seeds %d..%d", c.StartSeed, c.StartSeed+int64(len(c.Battery.Reports))-1)
+	if c.Broken != "" {
+		fmt.Fprintf(w, " (ablation: %s)", c.Broken)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-8s %-12s %-7s %-9s %-42s\n", "seed", "class", "verdict", "time(ms)", "faults injected (drop/dup/reorder/stall)")
+	for _, rep := range c.Battery.Reports {
+		verdict := "pass"
+		if !rep.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(w, "%-8d %-12s %-7s %-9.1f %d/%d/%d/%d\n",
+			rep.Seed, rep.Class, verdict, float64(rep.TimeNs)/1e6,
+			rep.Faults.Dropped, rep.Faults.Duplicated, rep.Faults.Reordered, rep.Faults.Stalled)
+		if !rep.Pass {
+			fmt.Fprintf(w, "    plan: %s\n", rep.Plan)
+			for _, v := range rep.Violations {
+				fmt.Fprintf(w, "    violation: %s\n", v)
+			}
+		}
+	}
+	fmt.Fprintf(w, "passes=%d fails=%d\n", c.Battery.Passes, c.Battery.Fails)
+}
+
+// Fails reports how many seeds failed; a CI gate exits nonzero on any.
+func (c *Chaos) Fails() int { return c.Battery.Fails }

@@ -34,6 +34,33 @@ const (
 // in live mode it only sets the yield granularity of the node loop).
 const sliceNs = 200_000
 
+// Delegated-syscall retransmission. A KSyscallReq whose reply has not
+// arrived is re-sent with exponential backoff; the master's replay cache
+// (proto.ReplayCache) makes duplicates harmless. The give-up horizon is
+// wall-clock, not attempt-count, because a parked reply (a futex wait) is
+// legitimate for as long as the guest blocks.
+const (
+	syscallRTOBase = 50 * time.Millisecond
+	syscallRTOMax  = 2 * time.Second
+	syscallGiveUp  = 30 * time.Second
+)
+
+// SyscallTimeoutError reports a delegated syscall the master never answered
+// within the give-up horizon despite retransmissions.
+type SyscallTimeoutError struct {
+	Node     int
+	TID      int64
+	Num      int64
+	Seq      uint64
+	Attempts int
+	Elapsed  time.Duration
+}
+
+func (e *SyscallTimeoutError) Error() string {
+	return fmt.Sprintf("live: node %d: syscall %d (tid %d, seq %d) unanswered after %d attempts over %v",
+		e.Node, e.Num, e.TID, e.Seq, e.Attempts, e.Elapsed.Round(time.Millisecond))
+}
+
 type threadState uint8
 
 const (
@@ -52,6 +79,14 @@ type thread struct {
 	needWrite bool
 	waitPage  uint64
 	retry     func(*thread)
+
+	// Delegated-syscall request state: seq of the outstanding request (a
+	// per-thread counter doubling as the master's dedup key), the frame to
+	// retransmit, when it was first sent, and how many times.
+	scSeq      uint64
+	scMsg      *proto.Msg
+	scStart    time.Time
+	scAttempts int
 }
 
 // nodeCore is the state shared by live masters and slaves. All fields are
@@ -71,16 +106,31 @@ type nodeCore struct {
 	waiting   map[uint64][]*thread
 	requested map[uint64]uint8
 
-	inbox chan *proto.Msg
-	wake  chan int64 // tids whose sleep expired
+	inbox  chan *proto.Msg
+	wake   chan int64    // tids whose sleep expired
+	resend chan scResend // delegated-syscall retransmit ticks
 
 	send func(*proto.Msg) error
+
+	// retransmits counts delegated-syscall frames re-sent after a timeout;
+	// staleReplies counts duplicate or superseded replies dropped.
+	retransmits  uint64
+	staleReplies uint64
 
 	start    time.Time
 	deadline time.Time // zero = none; checked every loop iteration
 	done     bool
 	exitCode int64
 	err      error
+}
+
+// scResend identifies one retransmission tick. The (tid, seq) pair makes a
+// tick self-invalidating: if the thread has been resumed, died, or moved on
+// to a newer request, the tick no-ops.
+type scResend struct {
+	tid int64
+	seq uint64
+	rto time.Duration
 }
 
 func newNodeCore(id, nodes, cores int, im *image.Image) *nodeCore {
@@ -106,6 +156,7 @@ func newNodeCore(id, nodes, cores int, im *image.Image) *nodeCore {
 		requested: map[uint64]uint8{},
 		inbox:     make(chan *proto.Msg, 1024),
 		wake:      make(chan int64, 64),
+		resend:    make(chan scResend, 64),
 		start:     time.Now(),
 	}
 	return n
@@ -145,6 +196,8 @@ func (n *nodeCore) loop(handle func(*proto.Msg)) {
 				handle(m)
 			case tid := <-n.wake:
 				n.timerFired(tid)
+			case r := <-n.resend:
+				n.resendFired(r)
 			case <-time.After(time.Second):
 				// Liveness tick; loop re-checks done.
 			}
@@ -163,6 +216,8 @@ func (n *nodeCore) loop(handle func(*proto.Msg)) {
 			handle(m)
 		case tid := <-n.wake:
 			n.timerFired(tid)
+		case r := <-n.resend:
+			n.resendFired(r)
 		default:
 		}
 	}
@@ -289,16 +344,71 @@ func (n *nodeCore) delegate(t *thread, num int64) {
 	if num == abi.SysThreadCreate {
 		args[3] = uint64(t.cpu.HintGroup)
 	}
+	msg := &proto.Msg{
+		Kind: proto.KSyscallReq, From: int32(n.id), To: 0,
+		TID: t.tid, Num: num, Args: args,
+	}
 	switch num {
 	case abi.SysExit, abi.SysExitGroup:
+		// Fire-and-forget: no reply ever comes, so the request stays
+		// unsequenced and nothing is armed for retransmission.
 		t.state = tDead
 	default:
 		t.state = tBlockedSyscall
+		t.scSeq++
+		msg.Seq = t.scSeq
+		t.scMsg = msg
+		t.scStart = time.Now()
+		t.scAttempts = 1
+		if n.id != 0 {
+			// The master delivers to itself by direct call; only requests
+			// that cross the wire need a retransmission timer.
+			n.armResend(scResend{tid: t.tid, seq: t.scSeq, rto: syscallRTOBase})
+		}
 	}
-	n.sendMsg(&proto.Msg{
-		Kind: proto.KSyscallReq, From: int32(n.id), To: 0,
-		TID: t.tid, Num: num, Args: args,
-	})
+	n.sendMsg(msg)
+}
+
+// armResend schedules one retransmission tick. The tick is delivered to the
+// loop goroutine via the resend channel so all thread state stays
+// single-threaded.
+func (n *nodeCore) armResend(r scResend) {
+	time.AfterFunc(r.rto, func() { n.pushResend(r) })
+}
+
+func (n *nodeCore) pushResend(r scResend) {
+	select {
+	case n.resend <- r:
+	default:
+		// Channel full: try again shortly rather than lose the tick.
+		time.AfterFunc(time.Millisecond, func() { n.pushResend(r) })
+	}
+}
+
+// resendFired re-sends an unanswered delegated syscall, doubling the RTO up
+// to a cap, and gives up with a structured error past the wall-clock
+// horizon. A tick for a request that has been answered (or superseded by a
+// newer one from the same thread) is ignored.
+func (n *nodeCore) resendFired(r scResend) {
+	t := n.threads[r.tid]
+	if n.done || t == nil || t.state != tBlockedSyscall || t.scSeq != r.seq || t.scMsg == nil {
+		return
+	}
+	if elapsed := time.Since(t.scStart); elapsed > syscallGiveUp {
+		n.fail(&SyscallTimeoutError{
+			Node: n.id, TID: t.tid, Num: t.scMsg.Num, Seq: r.seq,
+			Attempts: t.scAttempts, Elapsed: elapsed,
+		})
+		return
+	}
+	t.scAttempts++
+	n.retransmits++
+	n.sendMsg(t.scMsg)
+	next := r.rto * 2
+	if next > syscallRTOMax {
+		next = syscallRTOMax
+	}
+	n.armResend(scResend{tid: r.tid, seq: r.seq, rto: next})
 }
 
 func (n *nodeCore) localSyscall(t *thread, num int64) {
@@ -403,15 +513,20 @@ func (n *nodeCore) handleCommon(m *proto.Msg) bool {
 	case proto.KPageContent:
 		perm := mem.Perm(m.Perm)
 		if m.Data == nil {
+			// Permission-only reaffirmation: keep the local (freshest) copy.
 			n.space.EnsurePage(m.Page, perm)
 			n.space.SetPerm(m.Page, perm)
 		} else {
 			n.space.InstallPage(m.Page, m.Data, perm)
+			// The incoming copy may carry another node's modifications; any
+			// translation made from the page's previous content is stale.
+			n.engine.InvalidatePage(m.Page)
 		}
 		n.contentArrived(m.Page, perm)
 	case proto.KInvalidate:
 		n.space.DropPage(m.Page)
 		n.llsc.InvalidatePage(m.Page, n.space.PageSize())
+		n.engine.InvalidatePage(m.Page)
 		n.sendMsg(&proto.Msg{Kind: proto.KInvAck, From: int32(n.id), To: 0, Page: m.Page})
 	case proto.KFetch:
 		data := n.space.PageData(m.Page)
@@ -423,6 +538,7 @@ func (n *nodeCore) handleCommon(m *proto.Msg) bool {
 		if m.Write {
 			n.space.DropPage(m.Page)
 			n.llsc.InvalidatePage(m.Page, n.space.PageSize())
+			n.engine.InvalidatePage(m.Page)
 		} else {
 			n.space.SetPerm(m.Page, mem.PermRead)
 		}
@@ -438,6 +554,7 @@ func (n *nodeCore) handleCommon(m *proto.Msg) bool {
 			return true
 		}
 		n.llsc.InvalidatePage(m.Page, n.space.PageSize())
+		n.engine.InvalidatePage(m.Page)
 	case proto.KPush:
 		if n.space.PermOf(m.Page) != mem.PermNone || n.requested[m.Page]&reqWrite != 0 {
 			return true
@@ -450,10 +567,15 @@ func (n *nodeCore) handleCommon(m *proto.Msg) bool {
 		n.wakePageWaiters(m.Page, mem.PermRead)
 	case proto.KSyscallReply:
 		t := n.threads[m.TID]
-		if t == nil || t.state != tBlockedSyscall {
-			n.fail(fmt.Errorf("live: node %d: stray syscall reply for tid %d", n.id, m.TID))
+		if t == nil || t.state != tBlockedSyscall || (m.Seq != 0 && m.Seq != t.scSeq) {
+			// A retransmitted request can draw two answers (the original and
+			// a cache replay), and a reply can race a thread that has moved
+			// on. Exactly-once is the (tid, seq) pair's job: anything not
+			// matching the outstanding request is a duplicate — drop it.
+			n.staleReplies++
 			return true
 		}
+		t.scMsg = nil
 		t.cpu.X[10] = m.Ret
 		t.state = tRunnable
 		n.runq = append(n.runq, t)

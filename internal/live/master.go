@@ -7,6 +7,7 @@ import (
 	"net"
 	"time"
 
+	"dqemu/internal/abi"
 	"dqemu/internal/dsm"
 	"dqemu/internal/guestos"
 	"dqemu/internal/image"
@@ -50,6 +51,7 @@ type master struct {
 
 	dir        *dsm.Directory
 	os         *guestos.OS
+	replay     *proto.ReplayCache
 	im         *image.Image
 	helperWait map[uint64][]func()
 	groupNode  map[int64]int
@@ -128,6 +130,7 @@ func RunMaster(ln net.Listener, im *image.Image, cfg Config) (*Result, error) {
 	m := &master{
 		nodeCore:   newNodeCore(0, cfg.Slaves+1, cfg.Cores, im),
 		cfg:        cfg,
+		replay:     proto.NewReplayCache(),
 		im:         im,
 		helperWait: map[uint64][]func(){},
 		groupNode:  map[int64]int{},
@@ -273,19 +276,7 @@ func (m *master) handle(msg *proto.Msg) {
 			m.fail(err)
 		}
 	case proto.KSyscallReq:
-		from := msg.From
-		tid := msg.TID
-		m.os.Global(tid, msg.Num, msg.Args, func(ret uint64) {
-			if m.done {
-				return
-			}
-			reply := &proto.Msg{Kind: proto.KSyscallReply, From: 0, To: from, TID: tid, Ret: ret}
-			if from == 0 {
-				m.handleCommon(reply)
-				return
-			}
-			m.sendMsg(reply)
-		})
+		m.globalSyscall(msg)
 	case proto.KHintNote:
 		// Recorded for future rebalancing; placement uses creation hints.
 	default:
@@ -296,6 +287,43 @@ func (m *master) handle(msg *proto.Msg) {
 	if msg.Kind == proto.KPageContent || msg.Kind == proto.KRetry {
 		m.wakeHelpers(msg.Page)
 	}
+}
+
+// globalSyscall executes a delegated syscall exactly once. A slave that
+// times out retransmits its KSyscallReq with the same (tid, seq) key; the
+// replay cache answers completed duplicates from the saved reply and drops
+// duplicates of requests whose reply is still parked (futex waits), so
+// non-idempotent syscalls never run twice.
+func (m *master) globalSyscall(msg *proto.Msg) {
+	from, tid, seq := msg.From, msg.TID, msg.Seq
+	reply := func(ret uint64) {
+		r := &proto.Msg{Kind: proto.KSyscallReply, From: 0, To: from, TID: tid, Seq: seq, Ret: ret}
+		if from == 0 {
+			m.handleCommon(r)
+			return
+		}
+		m.sendMsg(r)
+	}
+	switch outcome, ret := m.replay.Admit(tid, seq); outcome {
+	case proto.Replay:
+		reply(ret)
+		return
+	case proto.Suppress:
+		// In-flight or superseded: the live reply (if one is owed) is
+		// already on its way.
+		return
+	}
+	if msg.Num == abi.SysExit || msg.Num == abi.SysExitGroup {
+		// The thread is gone; its dedup state can go with it.
+		m.replay.Forget(tid)
+	}
+	m.os.Global(tid, msg.Num, msg.Args, func(ret uint64) {
+		if m.done {
+			return
+		}
+		m.replay.Complete(tid, seq, ret)
+		reply(ret)
+	})
 }
 
 // ---- dsm.Env ----
@@ -345,12 +373,18 @@ func (m *master) SendRetry(to int, page uint64, tid int64) {
 
 func (m *master) HomeWriteback(page uint64, data []byte) {
 	m.space.InstallPage(page, data, mem.PermNone)
+	// The written-back copy carries another node's modifications: any
+	// reservation or cached translation of the old bytes is stale.
+	m.llsc.InvalidatePage(page, m.space.PageSize())
+	m.engine.InvalidatePage(page)
 }
 
 func (m *master) HomeSetPerm(page uint64, perm mem.Perm) {
 	m.space.SetPerm(page, perm)
 	if perm == mem.PermNone {
+		// Losing the page to a remote writer: its code may change under us.
 		m.llsc.InvalidatePage(page, m.space.PageSize())
+		m.engine.InvalidatePage(page)
 	}
 }
 

@@ -1,0 +1,188 @@
+package live
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dqemu/internal/abi"
+	"dqemu/internal/dsm"
+	"dqemu/internal/guestos"
+	"dqemu/internal/image"
+	"dqemu/internal/proto"
+	"dqemu/internal/tcg"
+)
+
+// newTestMaster builds a live master wired to a capturing send function
+// instead of TCP senders, so tests can inject protocol frames directly and
+// observe exactly which replies go out.
+func newTestMaster(t *testing.T) (*master, *[]*proto.Msg) {
+	t.Helper()
+	im := build(t, `long main() { return 0; }`)
+	m := &master{
+		nodeCore:   newNodeCore(0, 2, 4, im),
+		cfg:        Config{Slaves: 1},
+		replay:     proto.NewReplayCache(),
+		im:         im,
+		helperWait: map[uint64][]func(){},
+		groupNode:  map[int64]int{},
+	}
+	m.dir = dsm.New(m, nil, nil)
+	brk := (im.End() + 0xffff) &^ 0xffff
+	m.os = guestos.New(m, guestos.NewVFS(), brk, 0x4100_0000, image.ShadowBase)
+	m.deadline = time.Now().Add(time.Minute)
+	m.nodeCore.deadline = m.deadline
+	sent := &[]*proto.Msg{}
+	m.send = func(msg *proto.Msg) error {
+		if msg.To == 0 {
+			m.handle(msg)
+			return nil
+		}
+		*sent = append(*sent, msg)
+		return nil
+	}
+	return m, sent
+}
+
+// TestMasterDedupsRetransmittedSyscall: a duplicate of a COMPLETED request
+// must be answered from the replay cache, not re-executed. mmap makes
+// re-execution observable: every fresh execution hands out a new region, so
+// a replayed request must return the same address and a genuinely new
+// request (next seq) a different one.
+func TestMasterDedupsRetransmittedSyscall(t *testing.T) {
+	m, sent := newTestMaster(t)
+	req := &proto.Msg{
+		Kind: proto.KSyscallReq, From: 1, To: 0, TID: 5, Seq: 1,
+		Num: abi.SysMmap, Args: [6]uint64{0, 0x4000},
+	}
+	m.handle(req)
+	m.handle(req) // slave timed out and retransmitted
+	if len(*sent) != 2 {
+		t.Fatalf("got %d replies, want 2 (original + replay)", len(*sent))
+	}
+	first, second := (*sent)[0], (*sent)[1]
+	if first.Kind != proto.KSyscallReply || first.TID != 5 || first.Seq != 1 {
+		t.Fatalf("unexpected first reply %+v", first)
+	}
+	if second.Ret != first.Ret {
+		t.Fatalf("duplicate request re-executed: ret %#x then %#x", first.Ret, second.Ret)
+	}
+	if m.replay.Replayed != 1 {
+		t.Fatalf("Replayed = %d, want 1", m.replay.Replayed)
+	}
+	// The next real request from the same thread must execute fresh.
+	req2 := &proto.Msg{
+		Kind: proto.KSyscallReq, From: 1, To: 0, TID: 5, Seq: 2,
+		Num: abi.SysMmap, Args: [6]uint64{0, 0x4000},
+	}
+	m.handle(req2)
+	if len(*sent) != 3 || (*sent)[2].Ret == first.Ret {
+		t.Fatalf("fresh request did not execute: replies %d, ret %#x vs %#x",
+			len(*sent), (*sent)[2].Ret, first.Ret)
+	}
+}
+
+// TestMasterSuppressesInFlightDuplicate: a duplicate of a request whose
+// reply is PARKED (here a thread join on a live thread) must be dropped —
+// the eventual reply answers both — and the reply must go out exactly once.
+func TestMasterSuppressesInFlightDuplicate(t *testing.T) {
+	m, sent := newTestMaster(t)
+	join := &proto.Msg{
+		Kind: proto.KSyscallReq, From: 1, To: 0, TID: 5, Seq: 1,
+		Num: abi.SysThreadJoin, Args: [6]uint64{uint64(guestos.MainTID)},
+	}
+	m.handle(join)
+	m.handle(join) // retransmit while the join is parked
+	if len(*sent) != 0 {
+		t.Fatalf("parked join replied early: %+v", *sent)
+	}
+	if m.replay.Suppressed != 1 {
+		t.Fatalf("Suppressed = %d, want 1", m.replay.Suppressed)
+	}
+	// The joined thread exits: exactly one reply, carrying the join's seq.
+	m.handle(&proto.Msg{
+		Kind: proto.KSyscallReq, From: 1, To: 0, TID: guestos.MainTID,
+		Num: abi.SysExit,
+	})
+	if len(*sent) != 1 {
+		t.Fatalf("got %d replies after exit, want 1", len(*sent))
+	}
+	r := (*sent)[0]
+	if r.Kind != proto.KSyscallReply || r.TID != 5 || r.Seq != 1 {
+		t.Fatalf("unexpected reply %+v", r)
+	}
+}
+
+// TestSlaveRetransmitAndReplyDedup drives the slave-side request state
+// machine directly: seq stamping, retransmission ticks, stale-reply drops,
+// and duplicate-reply drops after resumption.
+func TestSlaveRetransmitAndReplyDedup(t *testing.T) {
+	im := build(t, `long main() { return 0; }`)
+	n := newNodeCore(1, 2, 4, im)
+	var sent []*proto.Msg
+	n.send = func(m *proto.Msg) error { sent = append(sent, m); return nil }
+	n.addThread(&tcg.CPU{TID: 7})
+	th := n.threads[7]
+
+	n.delegate(th, abi.SysBrk)
+	if len(sent) != 1 || sent[0].Seq != 1 || th.state != tBlockedSyscall {
+		t.Fatalf("delegate: sent=%d seq=%d state=%d", len(sent), sent[0].Seq, th.state)
+	}
+
+	// A retransmission tick for the outstanding request re-sends it.
+	n.resendFired(scResend{tid: 7, seq: 1, rto: syscallRTOBase})
+	if len(sent) != 2 || sent[1] != sent[0] || n.retransmits != 1 || th.scAttempts != 2 {
+		t.Fatalf("retransmit: sent=%d retransmits=%d attempts=%d", len(sent), n.retransmits, th.scAttempts)
+	}
+
+	// A reply with the wrong seq is a stale duplicate: dropped, not fatal.
+	n.handleCommon(&proto.Msg{Kind: proto.KSyscallReply, TID: 7, Seq: 9, Ret: 1})
+	if th.state != tBlockedSyscall || n.staleReplies != 1 || n.err != nil {
+		t.Fatalf("stale reply: state=%d stale=%d err=%v", th.state, n.staleReplies, n.err)
+	}
+
+	// The matching reply resumes the thread.
+	n.handleCommon(&proto.Msg{Kind: proto.KSyscallReply, TID: 7, Seq: 1, Ret: 42})
+	if th.state != tRunnable || th.cpu.X[10] != 42 {
+		t.Fatalf("reply: state=%d a0=%d", th.state, th.cpu.X[10])
+	}
+
+	// A second copy of the same reply (master replayed after a retransmit
+	// raced the original answer) must be dropped, not treated as stray.
+	n.handleCommon(&proto.Msg{Kind: proto.KSyscallReply, TID: 7, Seq: 1, Ret: 42})
+	if n.err != nil || n.staleReplies != 2 || th.cpu.X[10] != 42 {
+		t.Fatalf("dup reply: err=%v stale=%d", n.err, n.staleReplies)
+	}
+
+	// A leftover tick for the answered request is a no-op.
+	n.resendFired(scResend{tid: 7, seq: 1, rto: syscallRTOBase})
+	if len(sent) != 2 {
+		t.Fatalf("answered request retransmitted: sent=%d", len(sent))
+	}
+}
+
+// TestSlaveSyscallGiveUp: past the wall-clock horizon the node fails with a
+// structured SyscallTimeoutError naming the request, instead of wedging
+// until the run deadline.
+func TestSlaveSyscallGiveUp(t *testing.T) {
+	im := build(t, `long main() { return 0; }`)
+	n := newNodeCore(1, 2, 4, im)
+	var sent []*proto.Msg
+	n.send = func(m *proto.Msg) error { sent = append(sent, m); return nil }
+	n.addThread(&tcg.CPU{TID: 3})
+	th := n.threads[3]
+
+	n.delegate(th, abi.SysBrk)
+	th.scStart = time.Now().Add(-syscallGiveUp - time.Second)
+	n.resendFired(scResend{tid: 3, seq: 1, rto: syscallRTOMax})
+	var te *SyscallTimeoutError
+	if !errors.As(n.err, &te) {
+		t.Fatalf("err = %v, want *SyscallTimeoutError", n.err)
+	}
+	if te.Node != 1 || te.TID != 3 || te.Num != abi.SysBrk || te.Seq != 1 {
+		t.Fatalf("wrong error contents: %+v", te)
+	}
+	if !n.done {
+		t.Fatal("node did not stop after give-up")
+	}
+}

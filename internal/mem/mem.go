@@ -16,6 +16,7 @@ package mem
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // DefaultPageSize is the guest page granularity of the coherence protocol.
@@ -250,6 +251,20 @@ func (s *Space) PageData(pageNo uint64) []byte {
 
 // ResidentPages returns the number of locally resident pages.
 func (s *Space) ResidentPages() int { return len(s.pages) }
+
+// ForEachPage visits every resident page in ascending page-number order
+// (invariant checkers compare spaces across nodes, so the order must be
+// deterministic).
+func (s *Space) ForEachPage(fn func(pageNo uint64, perm Perm)) {
+	nos := make([]uint64, 0, len(s.pages))
+	for no := range s.pages {
+		nos = append(nos, no)
+	}
+	sort.Slice(nos, func(i, j int) bool { return nos[i] < nos[j] })
+	for _, no := range nos {
+		fn(no, s.pages[no].perm)
+	}
+}
 
 func (s *Space) bumpEpoch() {
 	s.epoch++

@@ -1,0 +1,155 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dqemu/internal/proto"
+)
+
+// FaultPlan describes deterministic fault injection for the simulated
+// interconnect. All randomness comes from one seeded generator consumed in
+// Send order, so a given (seed, workload) pair replays the exact same fault
+// schedule. Local (From==To) messages are never faulted: they model
+// intra-node function calls, not the wire.
+type FaultPlan struct {
+	// Seed drives the per-message random draws.
+	Seed int64
+	// DropRate is the probability a unicast message silently vanishes.
+	DropRate float64
+	// DupRate is the probability a message is delivered twice.
+	DupRate float64
+	// JitterNs adds a uniform extra delay in [0, JitterNs] to each message.
+	JitterNs int64
+	// ReorderRate is the probability a message is held back by an extra
+	// ReorderDelayNs, letting later messages on the same link overtake it.
+	ReorderRate float64
+	// ReorderDelayNs is the hold-back for reordered messages. Defaults to
+	// 4×JitterNs or 200 µs, whichever is larger.
+	ReorderDelayNs int64
+	// Stalls freeze a node's receive processing for a window of virtual
+	// time: messages arriving during the window are deferred to its end
+	// (GC pause / scheduling hiccup model).
+	Stalls []Window
+	// Crashes kill a node permanently at a point in virtual time: all
+	// traffic from it is dropped at the sender and to it at delivery.
+	Crashes []Crash
+}
+
+// Window is a [FromNs, ToNs) interval of virtual time on one node.
+type Window struct {
+	Node   int32
+	FromNs int64
+	ToNs   int64
+}
+
+// Crash is a permanent node failure at AtNs.
+type Crash struct {
+	Node int32
+	AtNs int64
+}
+
+// CrashedAt reports whether the plan has node dead at time now.
+func (p *FaultPlan) CrashedAt(node int32, now int64) bool {
+	if p == nil {
+		return false
+	}
+	for _, c := range p.Crashes {
+		if c.Node == node && now >= c.AtNs {
+			return true
+		}
+	}
+	return false
+}
+
+// Active reports whether the plan injects any fault at all.
+func (p *FaultPlan) Active() bool {
+	if p == nil {
+		return false
+	}
+	return p.DropRate > 0 || p.DupRate > 0 || p.JitterNs > 0 ||
+		p.ReorderRate > 0 || len(p.Stalls) > 0 || len(p.Crashes) > 0
+}
+
+// String summarizes the plan for error reports ("reproduce with -seed N").
+func (p *FaultPlan) String() string {
+	return fmt.Sprintf("seed=%d drop=%.3f dup=%.3f jitter=%dns reorder=%.3f stalls=%d crashes=%d",
+		p.Seed, p.DropRate, p.DupRate, p.JitterNs, p.ReorderRate, len(p.Stalls), len(p.Crashes))
+}
+
+// FaultStats counts injected faults.
+type FaultStats struct {
+	Dropped      uint64 // messages silently discarded
+	Duplicated   uint64 // messages delivered twice
+	Reordered    uint64 // messages held back past later traffic
+	Stalled      uint64 // deliveries deferred by a stall window
+	CrashDropped uint64 // messages to/from a crashed node
+}
+
+type faultState struct {
+	plan FaultPlan
+	rng  *rand.Rand
+}
+
+func newFaultState(p FaultPlan) *faultState {
+	fp := p
+	if fp.ReorderDelayNs == 0 {
+		fp.ReorderDelayNs = 4 * fp.JitterNs
+		if fp.ReorderDelayNs < 200_000 {
+			fp.ReorderDelayNs = 200_000
+		}
+	}
+	return &faultState{plan: fp, rng: rand.New(rand.NewSource(fp.Seed))}
+}
+
+func (f *faultState) crashed(node int32, now int64) bool {
+	return f.plan.CrashedAt(node, now)
+}
+
+// stalledUntil returns the end of a stall window covering (node, now).
+func (f *faultState) stalledUntil(node int32, now int64) (int64, bool) {
+	end, ok := int64(0), false
+	for _, w := range f.plan.Stalls {
+		if w.Node == node && now >= w.FromNs && now < w.ToNs && w.ToNs > end {
+			end, ok = w.ToNs, true
+		}
+	}
+	return end, ok
+}
+
+// send applies sender-side faults (crash, drop, duplication, jitter,
+// reorder) and hands surviving copies to the network's transmit path. The
+// random draws happen in a fixed order per message so the schedule is a pure
+// function of the seed and the Send sequence.
+func (f *faultState) send(nw *Network, m *proto.Msg) {
+	now := nw.k.Now()
+	if f.crashed(m.From, now) || f.crashed(m.To, now) {
+		nw.FaultStats.CrashDropped++
+		return
+	}
+	drop := f.plan.DropRate > 0 && f.rng.Float64() < f.plan.DropRate
+	dup := f.plan.DupRate > 0 && f.rng.Float64() < f.plan.DupRate
+	var jitter int64
+	if f.plan.JitterNs > 0 {
+		jitter = f.rng.Int63n(f.plan.JitterNs + 1)
+	}
+	reorder := f.plan.ReorderRate > 0 && f.rng.Float64() < f.plan.ReorderRate
+	if drop {
+		nw.FaultStats.Dropped++
+		return
+	}
+	if reorder {
+		nw.FaultStats.Reordered++
+		jitter += f.plan.ReorderDelayNs
+	}
+	nw.transmit(m, jitter)
+	if dup {
+		nw.FaultStats.Duplicated++
+		var dupJitter int64
+		if f.plan.JitterNs > 0 {
+			dupJitter = f.rng.Int63n(f.plan.JitterNs + 1)
+		}
+		c := *m
+		nw.transmit(&c, dupJitter)
+	}
+}

@@ -70,6 +70,10 @@ type Network struct {
 	// same peer are handled in order.
 	rxFreeAt map[[2]int32]int64
 	Stats    Stats
+	// fault, when set via SetFaults, injects seeded drop/dup/jitter/reorder
+	// and node stall/crash events into every inter-node message.
+	fault      *faultState
+	FaultStats FaultStats
 }
 
 // New builds a network for n nodes on the given kernel.
@@ -94,6 +98,19 @@ func (nw *Network) Register(node int, h Handler) {
 // Nodes returns the cluster size.
 func (nw *Network) Nodes() int { return len(nw.handlers) }
 
+// SetFaults arms deterministic fault injection. Pass an active plan before
+// any Send; passing nil or an inactive plan leaves the network fault-free.
+func (nw *Network) SetFaults(p *FaultPlan) {
+	if !p.Active() {
+		nw.fault = nil
+		return
+	}
+	nw.fault = newFaultState(*p)
+}
+
+// Kernel returns the sim kernel the network schedules on.
+func (nw *Network) Kernel() *sim.Kernel { return nw.k }
+
 // Send queues m for delivery to m.To. Delivery invokes the destination
 // handler after serialization, propagation and receive processing.
 func (nw *Network) Send(m *proto.Msg) {
@@ -108,33 +125,64 @@ func (nw *Network) Send(m *proto.Msg) {
 	if int(m.Kind) < len(nw.Stats.ByKind) {
 		nw.Stats.ByKind[m.Kind]++
 	}
-	now := nw.k.Now()
 	if m.From == m.To {
 		nw.k.Post(nw.cfg.LocalNs, func() { nw.deliver(m) })
 		return
 	}
+	if nw.fault != nil {
+		nw.fault.send(nw, m)
+		return
+	}
+	nw.transmit(m, 0)
+}
+
+// transmit models the wire: sender NIC serialization, propagation (plus any
+// injected extra delay), then serialized receive processing on the
+// destination's helper thread for this link.
+func (nw *Network) transmit(m *proto.Msg, extraNs int64) {
+	now := nw.k.Now()
 	txStart := max64(now, nw.txFreeAt[m.From])
 	txTime := m.WireSize() * 8 * 1_000_000_000 / nw.cfg.BandwidthBps
 	txDone := txStart + txTime
 	nw.txFreeAt[m.From] = txDone
 	nw.Stats.BusyTxNs += txTime
 
-	arrive := txDone + nw.cfg.LatencyNs
+	arrive := txDone + nw.cfg.LatencyNs + extraNs
 	proc := nw.cfg.ProcNs
 	switch m.Kind {
 	case proto.KPush, proto.KRemap, proto.KThreadStart:
 		// Streamed installs handled in batch by helper threads, off the
 		// fault path.
 		proc = nw.cfg.StreamProcNs
+	case proto.KAck:
+		// Acks are cheap bookkeeping, not fault-path protocol work.
+		proc = nw.cfg.StreamProcNs
+	}
+	nw.k.PostAt(arrive, func() { nw.receive(m, proc) })
+}
+
+// receive runs at arrival time: it applies receiver-side fault checks
+// (crash, stall windows) and then queues the message behind the link's
+// helper-thread processing.
+func (nw *Network) receive(m *proto.Msg, proc int64) {
+	now := nw.k.Now()
+	if nw.fault != nil {
+		if nw.fault.crashed(m.To, now) {
+			nw.FaultStats.CrashDropped++
+			return
+		}
+		if end, ok := nw.fault.stalledUntil(m.To, now); ok {
+			nw.FaultStats.Stalled++
+			nw.k.PostAt(end, func() { nw.receive(m, proc) })
+			return
+		}
 	}
 	// The helper thread for this link serializes its message handling.
 	link := [2]int32{m.To, m.From}
-	nw.k.PostAt(arrive, func() {
-		start := max64(nw.k.Now(), nw.rxFreeAt[link])
-		done := start + proc
-		nw.rxFreeAt[link] = done
-		nw.k.PostAt(done, func() { nw.deliver(m) })
-	})
+	start := max64(now, nw.rxFreeAt[link])
+	done := start + proc
+	nw.rxFreeAt[link] = done
+	nw.k.PostAt(done, func() { nw.deliver(m) })
 }
 
 func (nw *Network) deliver(m *proto.Msg) {

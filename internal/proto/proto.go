@@ -49,6 +49,11 @@ const (
 	// node id and ships the guest image.
 	KInit // master -> slave: Num=node id, Args[0]=cluster size, Data=image
 	KInitAck
+
+	// Reliable delivery (fault-tolerant transport): cumulative acknowledgement
+	// for the per-link sequence space. Acks themselves are sent unreliably;
+	// they are idempotent and a later ack subsumes a lost one.
+	KAck // node -> node: Seq = highest contiguous sequence delivered
 )
 
 var kindNames = [...]string{
@@ -59,6 +64,7 @@ var kindNames = [...]string{
 	KThreadStart: "thread-start", KHintNote: "hint", KShutdown: "shutdown",
 	KInit: "init", KInitAck: "init-ack",
 	KMigrate: "migrate", KMigrateCtx: "migrate-ctx",
+	KAck: "ack",
 }
 
 func (k Kind) String() string {
@@ -70,9 +76,13 @@ func (k Kind) String() string {
 
 // Msg is one protocol message. Unused fields are zero.
 type Msg struct {
-	Kind    Kind
-	From    int32
-	To      int32
+	Kind Kind
+	From int32
+	To   int32
+	// Seq is the per-link sequence number stamped by the reliable transport
+	// (0 = unsequenced). For KSyscallReq/KSyscallReply it doubles as the
+	// per-thread request id used to deduplicate retried delegations.
+	Seq     uint64
 	TID     int64
 	Page    uint64
 	Addr    uint64
@@ -100,6 +110,7 @@ func (m *Msg) Encode() []byte {
 	buf = append(buf, byte(m.Kind))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.From))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.To))
+	buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.TID))
 	buf = binary.LittleEndian.AppendUint64(buf, m.Page)
 	buf = binary.LittleEndian.AppendUint64(buf, m.Addr)
@@ -133,6 +144,7 @@ func Decode(buf []byte) (*Msg, error) {
 	m.Kind = Kind(r.u8())
 	m.From = int32(r.u32())
 	m.To = int32(r.u32())
+	m.Seq = r.u64()
 	m.TID = int64(r.u64())
 	m.Page = r.u64()
 	m.Addr = r.u64()

@@ -1,0 +1,62 @@
+package proto
+
+import "testing"
+
+func TestReplayCache(t *testing.T) {
+	c := NewReplayCache()
+
+	// Unsequenced requests (legacy / exit) always execute.
+	for i := 0; i < 3; i++ {
+		if o, _ := c.Admit(1, 0); o != Execute {
+			t.Fatalf("seq 0 admit %d: %v, want Execute", i, o)
+		}
+	}
+
+	// Fresh seq executes; a duplicate before completion is suppressed.
+	if o, _ := c.Admit(1, 1); o != Execute {
+		t.Fatal("fresh seq 1 not executed")
+	}
+	if o, _ := c.Admit(1, 1); o != Suppress {
+		t.Fatal("in-flight duplicate not suppressed")
+	}
+
+	// After completion the duplicate replays the saved return value.
+	c.Complete(1, 1, 0xbeef)
+	if o, ret := c.Admit(1, 1); o != Replay || ret != 0xbeef {
+		t.Fatalf("completed duplicate: %v ret %#x, want Replay 0xbeef", o, ret)
+	}
+
+	// A newer seq executes and invalidates the old entry; the old seq is
+	// then older-than-newest and suppressed, not replayed.
+	if o, _ := c.Admit(1, 2); o != Execute {
+		t.Fatal("seq 2 not executed")
+	}
+	if o, _ := c.Admit(1, 1); o != Suppress {
+		t.Fatal("superseded seq 1 not suppressed")
+	}
+
+	// Completing a stale seq must not poison the current entry.
+	c.Complete(1, 1, 0xdead)
+	if o, _ := c.Admit(1, 2); o != Suppress {
+		t.Fatal("in-flight seq 2 affected by stale Complete")
+	}
+	c.Complete(1, 2, 7)
+	if o, ret := c.Admit(1, 2); o != Replay || ret != 7 {
+		t.Fatalf("seq 2 replay: %v ret %d", o, ret)
+	}
+
+	// Threads are independent.
+	if o, _ := c.Admit(2, 2); o != Execute {
+		t.Fatal("tid 2 seq 2 shares state with tid 1")
+	}
+
+	// Forget drops the thread: the same seq executes again afterwards.
+	c.Forget(1)
+	if o, _ := c.Admit(1, 2); o != Execute {
+		t.Fatal("forgotten tid did not reset")
+	}
+
+	if c.Replayed != 2 || c.Suppressed != 3 {
+		t.Fatalf("counters: replayed=%d suppressed=%d, want 2 and 3", c.Replayed, c.Suppressed)
+	}
+}

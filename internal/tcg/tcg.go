@@ -259,9 +259,15 @@ func (e *Engine) InvalidatePage(pageNo uint64) {
 // CacheSize returns the number of cached translation blocks.
 func (e *Engine) CacheSize() int { return len(e.cache) }
 
-// fetchInsn decodes one instruction at pc, reading through the MMU with
-// permissions bypassed (code pages are replicated read-only on every node).
+// fetchInsn decodes one instruction at pc, reading through the MMU. The
+// page holding pc must be locally coherent (Shared or Modified): a resident
+// page in I state is the stale home copy of a remotely-owned page, and
+// translating from it would execute stale code. Tail bytes of a long decode
+// may still spill into a neighbouring page permission-free.
 func (e *Engine) fetchInsn(pc uint64) (isa.Instruction, int, error) {
+	if e.Mem.PermOf(e.Mem.PageOf(e.Mem.Translate(pc))) == mem.PermNone {
+		return isa.Instruction{}, 0, fmt.Errorf("tcg: cannot fetch code at %#x", pc)
+	}
 	var buf [12]byte
 	n := 12
 	for ; n >= 4; n -= 4 {
@@ -373,7 +379,7 @@ func (e *Engine) Exec(cpu *CPU, budgetNs int64) Result {
 	e.pendingExit = nil
 	blk, err := e.lookupFast(cpu.PC, &spent)
 	if err != nil {
-		return Result{Reason: StopError, TimeNs: spent, Err: err}
+		return e.codeFault(cpu.PC, spent, err)
 	}
 	for {
 		var next *block
@@ -401,7 +407,7 @@ func (e *Engine) Exec(cpu *CPU, budgetNs int64) Result {
 		if next == nil || next.gen != e.gen {
 			nb, err := e.lookupFast(cpu.PC, &spent)
 			if err != nil {
-				return Result{Reason: StopError, TimeNs: spent, Err: err}
+				return e.codeFault(cpu.PC, spent, err)
 			}
 			if pe := e.pendingExit; pe != nil {
 				pe.blk = nb
@@ -708,6 +714,23 @@ func (e *Engine) execBlock(cpu *CPU, b *block, spent *int64) (next *block, res R
 	}
 	cpu.PC = b.pcs[len(b.pcs)-1] + uint64(b.ops[len(b.ops)-1].Size())
 	return nil, Result{}, false
+}
+
+// codeFault classifies a translation failure. A fetch from a page the node
+// holds no readable copy of is an ordinary coherence miss — self-modifying
+// or migrated code can live on another node — surfaced as StopPageFault so
+// the scheduler requests the page like any data miss. Anything else (bad PC
+// in a resident page, undecodable bytes) stays a hard StopError.
+func (e *Engine) codeFault(pc uint64, spent int64, err error) Result {
+	ba := e.Mem.Translate(pc)
+	page := e.Mem.PageOf(ba)
+	if e.Mem.PermOf(page) == mem.PermNone {
+		e.Stats.Faults++
+		spent += e.Cost.FaultNs
+		return Result{Reason: StopPageFault, TimeNs: spent,
+			Fault: mem.Fault{Addr: ba, Page: page}}
+	}
+	return Result{Reason: StopError, TimeNs: spent, Err: err}
 }
 
 // fault stops execution with PC at the faulting instruction.

@@ -509,12 +509,39 @@ _start:
 }
 
 func TestBadPCIsError(t *testing.T) {
+	// A PC in a non-resident page is a coherence miss, not a hard error: the
+	// page (and the code in it) may live on another node, so the engine
+	// reports a read fault for the scheduler to serve.
 	space := mem.NewSpace(0)
 	e := NewEngine(space, DefaultCostModel())
 	cpu := &CPU{PC: 0xdead000, TID: 1}
 	res := e.Exec(cpu, 1000)
+	if res.Reason != StopPageFault {
+		t.Fatalf("expected pagefault for non-resident PC, got %v", res.Reason)
+	}
+	if res.Fault.Addr != 0xdead000 || res.Fault.Write {
+		t.Fatalf("bad fault: %+v", res.Fault)
+	}
+
+	// Undecodable bytes in a page we do hold coherently are a hard error.
+	garbage := mem.NewSpace(0)
+	garbage.InstallPage(garbage.PageOf(0xdead000), make([]byte, garbage.PageSize()), mem.PermRead)
+	e2 := NewEngine(garbage, DefaultCostModel())
+	cpu2 := &CPU{PC: 0xdead000, TID: 1}
+	res = e2.Exec(cpu2, 1000)
 	if res.Reason != StopError {
-		t.Fatalf("expected error, got %v", res.Reason)
+		t.Fatalf("expected error for undecodable code, got %v", res.Reason)
+	}
+
+	// A resident page in I state is a stale home copy: fetching code from it
+	// must fault so the protocol re-acquires a coherent copy.
+	stale := mem.NewSpace(0)
+	stale.InstallPage(stale.PageOf(0xdead000), make([]byte, stale.PageSize()), mem.PermNone)
+	e3 := NewEngine(stale, DefaultCostModel())
+	cpu3 := &CPU{PC: 0xdead000, TID: 1}
+	res = e3.Exec(cpu3, 1000)
+	if res.Reason != StopPageFault {
+		t.Fatalf("expected pagefault for I-state code page, got %v", res.Reason)
 	}
 }
 

@@ -1,0 +1,82 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dqemu/internal/image"
+)
+
+// Torture is the chaos suite's coherence torture workload: threads hammer
+// every protocol path at once — a futex-backed mutex counter, wait-free
+// atomic adds, a CAS retry loop with a per-thread stride, false sharing
+// inside one page, and a barrier rendezvous each round — then the main
+// thread checks every result against its closed-form value and prints a
+// verdict. The printed output is deterministic, so a fault-injected run
+// must reproduce the fault-free reference byte for byte.
+func Torture(threads, rounds int) (*image.Image, error) {
+	if threads < 1 || threads > 32 {
+		return nil, fmt.Errorf("workloads: torture supports 1..32 threads")
+	}
+	src := fmt.Sprintf(`
+long THREADS = %d;
+long ROUNDS  = %d;
+
+long lock;
+long counter;      // mutex-protected
+long atomic_sum;   // __amoadd
+long cas_sum;      // CAS retry loop, per-thread stride idx+1
+long bar[4];
+long raw[1024];    // one page of false sharing, 64-byte slot per thread
+char *pg;
+
+long worker(long idx) {
+	char *mine = pg + idx * 64;
+	for (long r = 0; r < ROUNDS; r++) {
+		mutex_lock(&lock);
+		counter = counter + 1;
+		mutex_unlock(&lock);
+
+		__amoadd(&atomic_sum, 1);
+
+		long done = 0;
+		while (!done) {
+			long old = cas_sum;
+			if (__cas(&cas_sum, old, old + idx + 1) == old) done = 1;
+		}
+
+		mine[r & 63] = (char)(mine[r & 63] + 1);
+
+		if ((r & 7) == 7) barrier_wait(bar);
+	}
+	return 0;
+}
+
+long main() {
+	pg = (char*)(((long)raw + 4095) & ~4095);
+	barrier_init(bar, THREADS);
+	long tids[32];
+	for (long i = 0; i < THREADS; i++) tids[i] = thread_create((long)worker, i);
+	for (long i = 0; i < THREADS; i++) thread_join(tids[i]);
+
+	long fs = 0;
+	for (long i = 0; i < THREADS * 64; i++) fs += pg[i];
+
+	long want = THREADS * ROUNDS;
+	long wantCas = ROUNDS * THREADS * (THREADS + 1) / 2;
+	long ok = 1;
+	if (counter != want) ok = 0;
+	if (atomic_sum != want) ok = 0;
+	if (cas_sum != wantCas) ok = 0;
+	if (fs != want) ok = 0;
+
+	print_str("counter=");   print_long(counter);    print_char('\n');
+	print_str("atomic=");    print_long(atomic_sum); print_char('\n');
+	print_str("cas=");       print_long(cas_sum);    print_char('\n');
+	print_str("falseshare=");print_long(fs);         print_char('\n');
+	print_str("torture ");
+	if (ok) print_str("PASS\n");
+	else    print_str("FAIL\n");
+	return 1 - ok;
+}`, threads, rounds)
+	return build("torture.mc", src)
+}
