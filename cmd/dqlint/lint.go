@@ -1,0 +1,202 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// deterministicDirs are the packages on the simulated execution path: every
+// observable result there must be a pure function of the inputs and the seed.
+// internal/live (real sockets), internal/experiments (host-time overhead
+// measurement), internal/chaos (drives the sim from outside) and the
+// commands are exempt from the wallclock rule, not from the others.
+var deterministicDirs = []string{
+	"internal/abi", "internal/asm", "internal/core", "internal/dsm",
+	"internal/grt", "internal/guestos", "internal/image", "internal/isa",
+	"internal/mem", "internal/minicc", "internal/netsim", "internal/proto",
+	"internal/sanitizer", "internal/sim", "internal/tcg", "internal/trace",
+	"internal/workloads",
+}
+
+// protocolDirs hold message handlers that must degrade gracefully.
+var protocolDirs = []string{"internal/core", "internal/live", "internal/netsim"}
+
+// wallclockFuncs are the time package entry points that read or depend on
+// the host clock.
+var wallclockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+	"AfterFunc": true,
+}
+
+// seededRandFuncs are the only math/rand package-level entry points allowed:
+// constructors for explicitly-seeded generators.
+var seededRandFuncs = map[string]bool{"New": true, "NewSource": true}
+
+type finding struct {
+	pos  token.Position
+	rule string
+	msg  string
+}
+
+func (f finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.pos, f.msg, f.rule)
+}
+
+func inDirs(path string, dirs []string) bool {
+	slash := filepath.ToSlash(path)
+	for _, d := range dirs {
+		if strings.Contains(slash, d+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// lintSource runs every rule over one file and returns the findings.
+func lintSource(path string, src []byte) ([]finding, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, src, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	l := &linter{
+		fset:          fset,
+		deterministic: inDirs(path, deterministicDirs),
+		protocol:      inDirs(path, protocolDirs),
+		timeName:      "-", randName: "-", syncName: "-",
+	}
+	for _, imp := range file.Imports {
+		ipath := strings.Trim(imp.Path.Value, `"`)
+		name := filepath.Base(ipath)
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		switch ipath {
+		case "time":
+			l.timeName = name
+		case "math/rand", "math/rand/v2":
+			l.randName = name
+		case "sync":
+			l.syncName = name
+		}
+	}
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			ast.Inspect(decl, l.inspectExpr)
+			continue
+		}
+		l.checkSignature(fn)
+		inHandler := l.protocol && isHandlerName(fn.Name.Name)
+		if fn.Body != nil {
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if inHandler {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+							l.report(call.Pos(), "nakedpanic",
+								"protocol handler %s panics; return an error or drop the message", fn.Name.Name)
+						}
+					}
+				}
+				return l.inspectExpr(n)
+			})
+		}
+	}
+	return l.findings, nil
+}
+
+type linter struct {
+	fset          *token.FileSet
+	deterministic bool
+	protocol      bool
+	// Local import names of the packages the rules watch; "-" when the file
+	// does not import them (never a valid identifier, so lookups just miss).
+	timeName, randName, syncName string
+
+	findings []finding
+}
+
+func (l *linter) report(pos token.Pos, rule, format string, args ...interface{}) {
+	l.findings = append(l.findings, finding{
+		pos: l.fset.Position(pos), rule: rule, msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// inspectExpr applies the expression-level rules (wallclock, globalrand).
+func (l *linter) inspectExpr(n ast.Node) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return true
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return true
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return true
+	}
+	switch pkg.Name {
+	case l.timeName:
+		if l.deterministic && wallclockFuncs[sel.Sel.Name] {
+			l.report(call.Pos(), "wallclock",
+				"time.%s in a deterministic package; use the sim kernel's virtual clock", sel.Sel.Name)
+		}
+	case l.randName:
+		if !seededRandFuncs[sel.Sel.Name] {
+			l.report(call.Pos(), "globalrand",
+				"rand.%s uses the global source; use rand.New(rand.NewSource(seed))", sel.Sel.Name)
+		}
+	}
+	return true
+}
+
+// checkSignature flags sync.Mutex / sync.RWMutex passed by value through a
+// receiver, parameter or result.
+func (l *linter) checkSignature(fn *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			if name, bad := l.byValueMutex(f.Type); bad {
+				l.report(f.Type.Pos(), "mutexcopy",
+					"%s copies sync.%s by value; pass a pointer", what, name)
+			}
+		}
+	}
+	check(fn.Recv, "receiver")
+	if fn.Type != nil {
+		check(fn.Type.Params, "parameter")
+		check(fn.Type.Results, "result")
+	}
+}
+
+// byValueMutex reports whether t is literally sync.Mutex or sync.RWMutex
+// (not behind a pointer).
+func (l *linter) byValueMutex(t ast.Expr) (string, bool) {
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != l.syncName {
+		return "", false
+	}
+	if sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex" {
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+// isHandlerName matches the protocol-handler naming convention: handle*,
+// on*, On*.
+func isHandlerName(name string) bool {
+	return strings.HasPrefix(name, "handle") ||
+		strings.HasPrefix(name, "on") || strings.HasPrefix(name, "On")
+}

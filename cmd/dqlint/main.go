@@ -1,0 +1,107 @@
+// Command dqlint enforces repo-specific invariants that go vet cannot see:
+//
+//   - wallclock: packages on the deterministic simulation path must not read
+//     host time (time.Now/Since/Sleep/After/Tick). The discrete-event kernel
+//     is the only clock; a stray wall-clock read silently breaks the
+//     "same seed, same run" guarantee the chaos and sanitizer suites rely on.
+//   - globalrand: math/rand's global source is never allowed — all
+//     randomness must flow through rand.New(rand.NewSource(seed)) so a seed
+//     reproduces the run. (Seeded generators are fine anywhere.)
+//   - mutexcopy: sync.Mutex / sync.RWMutex must not appear by value in a
+//     function signature or receiver; a copied mutex guards nothing.
+//   - nakedpanic: protocol handler methods (handle*/on*/On* in core, live,
+//     netsim) must not panic — a malformed or replayed message has to produce
+//     a structured error or be dropped, never take the node down.
+//
+// Usage: dqlint [./... | dir ...]   (default ./...)
+// Test files are skipped: property tests legitimately use their own RNG
+// plumbing and drive the simulation from outside the deterministic boundary.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var files []string
+	for _, arg := range args {
+		fs, err := expand(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dqlint: %v\n", err)
+			os.Exit(2)
+		}
+		files = append(files, fs...)
+	}
+	bad := 0
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dqlint: %v\n", err)
+			os.Exit(2)
+		}
+		findings, err := lintSource(path, src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dqlint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "dqlint: %d problem(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// expand resolves one argument to the list of non-test .go files under it.
+func expand(arg string) ([]string, error) {
+	root := strings.TrimSuffix(arg, "...")
+	root = strings.TrimSuffix(root, "/")
+	if root == "" {
+		root = "."
+	}
+	recurse := strings.HasSuffix(arg, "...")
+	var files []string
+	if !recurse {
+		ents, err := os.ReadDir(root)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && wanted(e.Name()) {
+				files = append(files, filepath.Join(root, e.Name()))
+			}
+		}
+		return files, nil
+	}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if wanted(d.Name()) {
+			files = append(files, path)
+		}
+		return nil
+	})
+	return files, err
+}
+
+func wanted(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}

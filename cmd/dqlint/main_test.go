@@ -1,0 +1,163 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// lint compiles a fixture under a synthetic path and returns the rule names
+// that fired.
+func lint(t *testing.T, path, src string) []string {
+	t.Helper()
+	fs, err := lintSource(path, []byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var rules []string
+	for _, f := range fs {
+		rules = append(rules, f.rule)
+	}
+	return rules
+}
+
+func TestWallclockRule(t *testing.T) {
+	src := `package core
+import "time"
+func tick() int64 { return time.Now().UnixNano() }
+`
+	if got := lint(t, "internal/core/x.go", src); len(got) != 1 || got[0] != "wallclock" {
+		t.Errorf("deterministic package: %v", got)
+	}
+	// The same code is fine outside the deterministic boundary.
+	if got := lint(t, "internal/experiments/x.go", src); len(got) != 0 {
+		t.Errorf("experiments package flagged: %v", got)
+	}
+	// Renamed imports are still caught.
+	renamed := `package core
+import clock "time"
+func tick() int64 { return clock.Now().UnixNano() }
+`
+	if got := lint(t, "internal/core/x.go", renamed); len(got) != 1 {
+		t.Errorf("renamed import: %v", got)
+	}
+}
+
+func TestGlobalRandRule(t *testing.T) {
+	src := `package chaos
+import "math/rand"
+func roll() int { return rand.Intn(6) }
+`
+	// The global source is banned everywhere, even in seed-driving packages.
+	if got := lint(t, "internal/chaos/x.go", src); len(got) != 1 || got[0] != "globalrand" {
+		t.Errorf("global rand: %v", got)
+	}
+	seeded := `package chaos
+import "math/rand"
+func roll(seed int64) int { return rand.New(rand.NewSource(seed)).Intn(6) }
+`
+	if got := lint(t, "internal/chaos/x.go", seeded); len(got) != 0 {
+		t.Errorf("seeded generator flagged: %v", got)
+	}
+}
+
+func TestMutexCopyRule(t *testing.T) {
+	src := `package trace
+import "sync"
+func lock(mu sync.Mutex) {}
+func lockRW(mu sync.RWMutex) {}
+func ok(mu *sync.Mutex) {}
+type T struct{ mu sync.Mutex }
+func (t T) method() {}
+`
+	got := lint(t, "internal/trace/x.go", src)
+	if len(got) != 2 {
+		t.Errorf("mutex copies: %v", got)
+	}
+	for _, r := range got {
+		if r != "mutexcopy" {
+			t.Errorf("wrong rule: %v", got)
+		}
+	}
+}
+
+func TestNakedPanicRule(t *testing.T) {
+	src := `package core
+type m struct{}
+func (x *m) onFetch(a int) { if a < 0 { panic("bad") } }
+func (x *m) handleMsg() { panic("no") }
+func (x *m) helper() { panic("internal invariant, allowed") }
+`
+	got := lint(t, "internal/core/x.go", src)
+	if len(got) != 2 {
+		t.Errorf("handler panics: %v", got)
+	}
+	// Outside the protocol packages the rule is off.
+	if got := lint(t, "internal/isa/x.go", src); len(got) != 0 {
+		t.Errorf("non-protocol package flagged: %v", got)
+	}
+}
+
+// TestRepoIsClean runs every rule over the real tree: the linter gates CI,
+// so the tree it gates must pass it.
+func TestRepoIsClean(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Skipf("module root: %v", err)
+	}
+	files, err := expand(filepath.Join(root, "..."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 50 {
+		t.Fatalf("walk found only %d files; wrong root?", len(files))
+	}
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := lintSource(path, src)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		for _, f := range fs {
+			t.Errorf("%s", f)
+		}
+	}
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}
+
+func TestExpandNonRecursive(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"a.go", "a_test.go", "b.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("package x\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err := expand(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || !strings.HasSuffix(files[0], "a.go") {
+		t.Errorf("files = %v", files)
+	}
+}

@@ -44,6 +44,22 @@ func TestChaosShort(t *testing.T) {
 	}
 }
 
+// TestChaosSanitized: DQSan riding along under fault injection must stay
+// silent — the torture workload is race-free, and dropped/duplicated/
+// reordered clock-carrying messages must not fabricate a missing
+// happens-before edge.
+func TestChaosSanitized(t *testing.T) {
+	b, err := RunBattery(1, 20, Options{Sanitize: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range b.Reports {
+		if !rep.Pass {
+			t.Errorf("seed %d (%s, %s): %v", rep.Seed, rep.Class, rep.Plan, rep.Violations)
+		}
+	}
+}
+
 // TestChaosDeterministic: the same seed must reproduce the identical fault
 // schedule, stats and verdict.
 func TestChaosDeterministic(t *testing.T) {

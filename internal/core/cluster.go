@@ -13,6 +13,7 @@ import (
 	"dqemu/internal/mem"
 	"dqemu/internal/netsim"
 	"dqemu/internal/proto"
+	"dqemu/internal/sanitizer"
 	"dqemu/internal/sim"
 	"dqemu/internal/tcg"
 )
@@ -25,9 +26,9 @@ const mmapBase = 0x4100_0000
 // Cluster is a running DQEMU deployment: one master plus cfg.Slaves slaves
 // executing a single guest image under one virtual clock.
 type Cluster struct {
-	cfg    Config
-	k      *sim.Kernel
-	net    *netsim.Network
+	cfg Config
+	k   *sim.Kernel
+	net *netsim.Network
 	// rel is the reliable transport layered over net when fault injection
 	// is active (cfg.Faults); nil on fault-free runs.
 	rel    *netsim.Reliable
@@ -65,6 +66,9 @@ type Result struct {
 	OS     guestos.Stats
 	// Migrations counts dynamic thread migrations (Config.RebalanceNs).
 	Migrations uint64
+	// San holds the DQSan report (races, lint diagnostics, instrumentation
+	// counts) when Config.Sanitizer is on; nil otherwise.
+	San *sanitizer.Summary
 }
 
 // NewCluster loads the image into a fresh cluster. Text and read-only data
@@ -238,6 +242,15 @@ func (c *Cluster) result() *Result {
 			TID: tid, Node: t.node.id,
 			ExecNs: t.execNs, FaultNs: t.faultNs, SyscallNs: t.syscallNs,
 		})
+	}
+	if c.cfg.Sanitizer {
+		var sans []*sanitizer.Node
+		for _, n := range c.nodes {
+			if n.san != nil {
+				sans = append(sans, n.san)
+			}
+		}
+		r.San = sanitizer.Summarize(sans)
 	}
 	return r
 }

@@ -86,6 +86,14 @@ type Config struct {
 	// are deliberate-breakage ablations for the chaos suite.
 	Retry netsim.RetryPolicy
 
+	// Sanitizer enables DQSan (internal/sanitizer): translate-time IR lint
+	// passes plus the distributed happens-before guest race detector. Guest
+	// accesses are instrumented, vector clocks and shadow pages piggyback on
+	// protocol messages, and Result.San carries the findings. Off by default
+	// (the NoSanitizer baseline): instrumentation costs host time and wire
+	// bytes, and overhead is measured by `dqemu-bench -exp sanitizer`.
+	Sanitizer bool
+
 	// RebalanceNs, when positive, enables dynamic thread migration (an
 	// extension of the paper's §4.1 context shipping): every RebalanceNs of
 	// virtual time the master moves one thread from the most- to the

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"dqemu/internal/abi"
 	"dqemu/internal/dsm"
 	"dqemu/internal/mem"
 	"dqemu/internal/proto"
@@ -34,6 +35,11 @@ type master struct {
 	placement  map[int64]int
 	migrating  map[int64]int
 	migrations uint64
+
+	// createSan holds the creator's vector clock for the duration of a
+	// SysThreadCreate delegation: Global calls StartThread synchronously, so
+	// the stash bridges the two without widening the guestos.Host interface.
+	createSan []byte
 }
 
 func newMaster(n *node) *master {
@@ -75,10 +81,19 @@ func (m *master) handle(msg *proto.Msg) {
 			Write: msg.Write,
 		})
 	case proto.KFetchReply:
+		if m.node.san != nil {
+			// Fold the owner's shadow history into the home copy before the
+			// directory acts on the reply: a synchronous local grant reads
+			// the merged state.
+			m.node.san.MergePage(msg.Page, msg.San)
+		}
 		if err := m.dir.OnFetchReply(int(msg.From), msg.Page, msg.Data, msg.Write); err != nil {
 			m.cl.fail(err)
 		}
 	case proto.KInvAck:
+		if m.node.san != nil {
+			m.node.san.MergePage(msg.Page, msg.San)
+		}
 		if err := m.dir.OnInvAck(int(msg.From), msg.Page); err != nil {
 			m.cl.fail(err)
 		}
@@ -109,12 +124,15 @@ func (m *master) onMigrateCtx(msg *proto.Msg) {
 			m.cl.fail(err)
 			return
 		}
+		if m.node.san != nil {
+			m.node.san.InstallThread(msg.TID, msg.San)
+		}
 		m.node.addThread(cpu)
 		return
 	}
 	m.cl.send(&proto.Msg{
 		Kind: proto.KThreadStart, From: 0, To: int32(target),
-		TID: msg.TID, CPU: msg.CPU,
+		TID: msg.TID, CPU: msg.CPU, San: msg.San,
 	})
 }
 
@@ -135,6 +153,14 @@ func (m *master) rebalance() {
 	for tid, node := range m.placement {
 		if tid == 1 {
 			continue // the main thread stays on the master
+		}
+		// Count in-flight migrations at their target: the context ship can
+		// take longer than the rebalance period, and charging the thread to
+		// its source until then makes the same imbalance fire again — the
+		// master then moves a second thread, overshoots, moves the pair back,
+		// and the two bounce between nodes forever without executing.
+		if target, inFlight := m.migrating[tid]; inFlight {
+			node = target
 		}
 		if _, eligible := counts[node]; eligible {
 			counts[node]++
@@ -173,15 +199,46 @@ func (m *master) onSyscallReq(msg *proto.Msg) {
 		delete(m.placement, tid)
 		delete(m.migrating, tid)
 	}
+	// DQSan happens-before edges ride on the delegation: the caller's clock
+	// (msg.San) is released into the right master-side channel before the
+	// syscall runs, and `attach` picks the clock the reply should carry. The
+	// closure is evaluated when the reply actually fires — a parked futex wait
+	// or join replies long after this request, once more wakes/exits have
+	// accumulated.
+	san := m.node.san
+	var attach func() []byte
+	if san != nil {
+		switch msg.Num {
+		case abi.SysFutex:
+			taddr := m.space.Translate(msg.Args[0])
+			if int64(msg.Args[1]) == abi.FutexWake {
+				san.FutexWake(taddr, msg.San)
+			} else {
+				attach = func() []byte { return san.FutexWaitClock(taddr) }
+			}
+		case abi.SysThreadCreate:
+			m.createSan = msg.San
+		case abi.SysThreadJoin:
+			child := int64(msg.Args[0])
+			attach = func() []byte { return san.JoinClock(child) }
+		case sysExitNum:
+			san.RecordExit(tid, msg.San)
+		}
+	}
 	reply := func(ret uint64) {
 		if m.cl.done {
 			return
 		}
-		m.cl.send(&proto.Msg{
+		rm := &proto.Msg{
 			Kind: proto.KSyscallReply, From: 0, To: from, TID: tid, Ret: ret,
-		})
+		}
+		if attach != nil {
+			rm.San = attach()
+		}
+		m.cl.send(rm)
 	}
 	m.cl.os.Global(tid, msg.Num, msg.Args, reply)
+	m.createSan = nil
 }
 
 // osExit reaps a thread that died without going through the runtime.
@@ -204,11 +261,17 @@ func (m *master) SendContent(to int, page uint64, perm mem.Perm) {
 		return
 	}
 	data := m.space.EnsurePage(page, m.space.PermOf(page))
-	m.cl.send(&proto.Msg{
+	grant := &proto.Msg{
 		Kind: proto.KPageContent, From: 0, To: int32(to),
 		Page: page, Perm: uint8(perm),
 		Data: append([]byte(nil), data...),
-	})
+	}
+	if m.node.san != nil {
+		// Shadow state travels with the page: the grantee merges it so its
+		// next access is checked against every recorded remote access.
+		grant.San = m.node.san.EncodePage(page)
+	}
+	m.cl.send(grant)
 }
 
 // SendReaffirm grants permission without data: the target already holds the
@@ -276,10 +339,14 @@ func (m *master) BroadcastRemap(orig uint64, shadows []uint64) {
 
 func (m *master) PushPage(to int, page uint64) {
 	data := m.space.EnsurePage(page, m.space.PermOf(page))
-	m.cl.send(&proto.Msg{
+	push := &proto.Msg{
 		Kind: proto.KPush, From: 0, To: int32(to),
 		Page: page, Data: append([]byte(nil), data...),
-	})
+	}
+	if m.node.san != nil {
+		push.San = m.node.san.EncodePage(page)
+	}
+	m.cl.send(push)
 }
 
 // SplitHome redistributes the (current) home copy of orig into shadows,
@@ -293,6 +360,9 @@ func (m *master) SplitHome(orig uint64, shadows []uint64) {
 		buf := make([]byte, ps)
 		copy(buf[i*part:(i+1)*part], src[i*part:(i+1)*part])
 		m.space.InstallPage(sh, buf, mem.PermNone)
+	}
+	if m.node.san != nil {
+		m.node.san.SplitPage(orig, shadows)
 	}
 }
 
@@ -388,12 +458,15 @@ func (m *master) StartThread(tid int64, fn, arg, stackTop uint64, hint int64) {
 	m.node.trace(trace.EvSched, tid, "placed on node %d (hint %d)", target, hint)
 	m.placement[tid] = target
 	if target == 0 {
+		if m.node.san != nil {
+			m.node.san.InstallThread(tid, m.createSan)
+		}
 		m.node.addThread(cpu)
 		return
 	}
 	m.cl.send(&proto.Msg{
 		Kind: proto.KThreadStart, From: 0, To: int32(target),
-		TID: tid, CPU: proto.EncodeCPU(cpu),
+		TID: tid, CPU: proto.EncodeCPU(cpu), San: m.createSan,
 	})
 }
 

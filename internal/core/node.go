@@ -7,6 +7,7 @@ import (
 	"dqemu/internal/guestos"
 	"dqemu/internal/mem"
 	"dqemu/internal/proto"
+	"dqemu/internal/sanitizer"
 	"dqemu/internal/tcg"
 	"dqemu/internal/trace"
 )
@@ -25,6 +26,10 @@ type node struct {
 	threads map[int64]*thread
 	runq    []*thread
 	busy    int // cores currently running a thread
+
+	// san is this node's DQSan state (nil unless Config.Sanitizer): thread
+	// vector clocks and shadow pages that travel with the coherence protocol.
+	san *sanitizer.Node
 
 	// Page-fault bookkeeping: blocked threads per page and which requests
 	// are already outstanding (bit0 = read requested, bit1 = write).
@@ -65,7 +70,7 @@ func newNode(id int, cl *Cluster) *node {
 	engine.NoSuperblock = cl.cfg.NoSuperblock
 	engine.NoJumpCache = cl.cfg.NoJumpCache
 	engine.StopAtomic = !cl.cfg.NoAtomicPreempt
-	return &node{
+	n := &node{
 		id:        id,
 		cl:        cl,
 		space:     space,
@@ -75,6 +80,11 @@ func newNode(id int, cl *Cluster) *node {
 		waiting:   map[uint64][]*thread{},
 		requested: map[uint64]uint8{},
 	}
+	if cl.cfg.Sanitizer {
+		n.san = sanitizer.New(id, cl.cfg.PageSize)
+		engine.San = n.san
+	}
+	return n
 }
 
 // addThread registers and enqueues a new guest thread.
@@ -112,10 +122,17 @@ func (n *node) shipContext(t *thread) {
 	n.llsc.DropThread(t.tid)
 	t.state = tDead
 	n.stats.MigratedOut++
-	n.cl.send(&proto.Msg{
+	msg := &proto.Msg{
 		Kind: proto.KMigrateCtx, From: int32(n.id), To: 0,
 		TID: t.tid, CPU: proto.EncodeCPU(t.cpu),
-	})
+	}
+	if n.san != nil {
+		// The vector clock is part of the thread context: it migrates with
+		// the CPU state and is dropped here like the LL/SC reservation.
+		msg.San = n.san.EncodeThread(t.tid)
+		n.san.DropThread(t.tid)
+	}
+	n.cl.send(msg)
 }
 
 // onMigrate marks a thread for migration; if it is already runnable it
@@ -299,14 +316,22 @@ func (n *node) delegate(t *thread, num int64) {
 		t.state = tBlockedSyscall
 		t.blockStart = n.cl.k.Now()
 	}
-	n.cl.send(&proto.Msg{
+	msg := &proto.Msg{
 		Kind: proto.KSyscallReq,
 		From: int32(n.id),
 		To:   0,
 		TID:  t.tid,
 		Num:  num,
 		Args: args,
-	})
+	}
+	if n.san != nil {
+		// Every delegation releases the caller's clock to the master: thread
+		// create, futex wake and exit all publish whatever the caller did
+		// before trapping. SyscallClock ticks afterwards, so later accesses
+		// by this thread are not ordered before the master's use of it.
+		msg.San = n.san.SyscallClock(t.tid)
+	}
+	n.cl.send(msg)
 }
 
 // localSyscall executes a node-local syscall. Handlers that touch guest
@@ -465,6 +490,9 @@ func (n *node) onPageContent(m *proto.Msg) {
 		// The incoming copy may carry another node's modifications; any
 		// translation made from the page's previous content is stale.
 		n.engine.InvalidatePage(m.Page)
+		if n.san != nil {
+			n.san.MergePage(m.Page, m.San)
+		}
 	}
 	n.contentArrived(m.Page, perm)
 }
@@ -490,7 +518,14 @@ func (n *node) onInvalidate(m *proto.Msg) {
 	n.space.DropPage(m.Page)
 	n.llsc.InvalidatePage(m.Page, n.space.PageSize())
 	n.engine.InvalidatePage(m.Page)
-	n.cl.send(&proto.Msg{Kind: proto.KInvAck, From: int32(n.id), To: 0, Page: m.Page})
+	ack := &proto.Msg{Kind: proto.KInvAck, From: int32(n.id), To: 0, Page: m.Page}
+	if n.san != nil {
+		// Ship the shadow history home with the ack so the next owner sees
+		// this node's accesses; keeping it here would detach it from the page.
+		ack.San = n.san.EncodePage(m.Page)
+		n.san.DropPage(m.Page)
+	}
+	n.cl.send(ack)
 }
 
 func (n *node) onFetch(m *proto.Msg) {
@@ -500,17 +535,24 @@ func (n *node) onFetch(m *proto.Msg) {
 		return
 	}
 	copied := append([]byte(nil), data...)
+	reply := &proto.Msg{
+		Kind: proto.KFetchReply, From: int32(n.id), To: 0,
+		Page: m.Page, Data: copied, Write: m.Write,
+	}
+	if n.san != nil {
+		reply.San = n.san.EncodePage(m.Page)
+	}
 	if m.Write { // invalidate
 		n.space.DropPage(m.Page)
 		n.llsc.InvalidatePage(m.Page, n.space.PageSize())
 		n.engine.InvalidatePage(m.Page)
+		if n.san != nil {
+			n.san.DropPage(m.Page)
+		}
 	} else { // downgrade to shared
 		n.space.SetPerm(m.Page, mem.PermRead)
 	}
-	n.cl.send(&proto.Msg{
-		Kind: proto.KFetchReply, From: int32(n.id), To: 0,
-		Page: m.Page, Data: copied, Write: m.Write,
-	})
+	n.cl.send(reply)
 }
 
 func (n *node) onRetry(m *proto.Msg) {
@@ -538,6 +580,12 @@ func (n *node) onRemap(m *proto.Msg) {
 	}
 	n.llsc.InvalidatePage(m.Page, n.space.PageSize())
 	n.engine.InvalidatePage(m.Page)
+	if n.san != nil {
+		// Accesses now translate to the shadow pages; any leftover shadow
+		// state keyed by the original page is unreachable (the home split
+		// its own copy via SplitHome before broadcasting the remap).
+		n.san.DropPage(m.Page)
+	}
 }
 
 func (n *node) onPush(m *proto.Msg) {
@@ -547,6 +595,9 @@ func (n *node) onPush(m *proto.Msg) {
 		return
 	}
 	n.space.InstallPage(m.Page, m.Data, mem.PermRead)
+	if n.san != nil {
+		n.san.MergePage(m.Page, m.San)
+	}
 	n.requested[m.Page] &^= reqRead
 	if n.requested[m.Page] == 0 {
 		delete(n.requested, m.Page)
@@ -562,6 +613,11 @@ func (n *node) onSyscallReply(m *proto.Msg) {
 	}
 	t.syscallNs += n.cl.k.Now() - t.blockStart
 	t.cpu.X[10] = m.Ret
+	if n.san != nil {
+		// Acquire whatever clock the master attached: futex-wait wakeups
+		// carry the wakers' releases, join replies the target's exit clock.
+		n.san.Acquire(m.TID, m.San)
+	}
 	n.enqueue(t)
 }
 
@@ -570,6 +626,11 @@ func (n *node) onThreadStart(m *proto.Msg) {
 	if err != nil {
 		n.cl.fail(fmt.Errorf("node %d: thread start: %w", n.id, err))
 		return
+	}
+	if n.san != nil {
+		// New or migrated thread: its clock (creator's clock at create, or
+		// the migrated thread's own) arrives with the context.
+		n.san.InstallThread(m.TID, m.San)
 	}
 	n.addThread(cpu)
 }

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"dqemu/internal/image"
+	"dqemu/internal/sanitizer"
+	"dqemu/internal/workloads"
+)
+
+// Sanitizer is the DQSan evaluation: every workload runs twice on a
+// three-node cluster — once plain (the NoSanitizer baseline), once with
+// DQSan on — so each row reports both the findings and what they cost in
+// host time and wire bytes. The clean benchmarks are the false-positive
+// regression; the racy workload is the detection bar, including its
+// cross-node count (races whose two threads ran on different nodes).
+type Sanitizer struct {
+	Slaves int            `json:"slaves"`
+	Rows   []SanitizerRow `json:"rows"`
+}
+
+// SanitizerRow is one workload's measurement.
+type SanitizerRow struct {
+	Bench     string `json:"bench"`
+	WantRaces bool   `json:"want_races"`
+	Races     int    `json:"races"`
+	CrossNode int    `json:"cross_node_races"`
+	Diags     int    `json:"diags"`
+	Clean     bool   `json:"clean"` // detection matched expectation
+
+	Stats sanitizer.Stats  `json:"stats"`
+	Found []sanitizer.Race `json:"found,omitempty"`
+
+	// Overhead vs the NoSanitizer baseline.
+	BaseHostNs    int64   `json:"base_host_ns"`
+	SanHostNs     int64   `json:"san_host_ns"`
+	HostOverhead  float64 `json:"host_overhead"` // SanHostNs / BaseHostNs
+	BaseWireBytes uint64  `json:"base_wire_bytes"`
+	SanWireBytes  uint64  `json:"san_wire_bytes"`
+}
+
+// sanitizerSuite returns the workloads: clean ones must stay silent, the
+// racy one must trip the detector.
+func sanitizerSuite() []struct {
+	name      string
+	wantRaces bool
+	build     func(s Scale) (*image.Image, error)
+} {
+	return []struct {
+		name      string
+		wantRaces bool
+		build     func(s Scale) (*image.Image, error)
+	}{
+		{"blackscholes", false, func(s Scale) (*image.Image, error) {
+			threads, options, rounds := 8, 256, 4
+			if s == Smoke {
+				threads, options, rounds = 4, 32, 2
+			}
+			return workloads.Blackscholes(threads, options, rounds, 3)
+		}},
+		{"swaptions", false, func(s Scale) (*image.Image, error) {
+			threads, swaptions, trials := 8, 12, 40
+			if s == Smoke {
+				threads, swaptions, trials = 4, 4, 8
+			}
+			return workloads.Swaptions(threads, swaptions, trials, 3)
+		}},
+		{"racy", true, func(s Scale) (*image.Image, error) {
+			threads, rounds := 6, 40
+			if s == Smoke {
+				threads, rounds = 4, 10
+			}
+			return workloads.Racy(threads, rounds, 1234)
+		}},
+	}
+}
+
+// RunSanitizer runs the DQSan suite.
+func RunSanitizer(o Options) (*Sanitizer, error) {
+	o.normalize()
+	slaves := 2
+	out := &Sanitizer{Slaves: slaves}
+	for _, b := range sanitizerSuite() {
+		im, err := b.build(o.Scale)
+		if err != nil {
+			return nil, fmt.Errorf("sanitizer %s: %w", b.name, err)
+		}
+		row := SanitizerRow{Bench: b.name, WantRaces: b.wantRaces}
+
+		// Baseline: sanitizer off. The racy guest is correct code apart from
+		// the races (it exits 0), so both configurations run it fine.
+		cfg := baseConfig(slaves)
+		start := time.Now()
+		base, err := run(im, cfg)
+		row.BaseHostNs = time.Since(start).Nanoseconds()
+		if err != nil {
+			return nil, fmt.Errorf("sanitizer %s (baseline): %w", b.name, err)
+		}
+		row.BaseWireBytes = base.Net.Bytes
+
+		cfg.Sanitizer = true
+		start = time.Now()
+		res, err := run(im, cfg)
+		row.SanHostNs = time.Since(start).Nanoseconds()
+		if err != nil {
+			return nil, fmt.Errorf("sanitizer %s: %w", b.name, err)
+		}
+		row.SanWireBytes = res.Net.Bytes
+		if row.BaseHostNs > 0 {
+			row.HostOverhead = float64(row.SanHostNs) / float64(row.BaseHostNs)
+		}
+		if res.San == nil {
+			return nil, fmt.Errorf("sanitizer %s: no report", b.name)
+		}
+		row.Races = len(res.San.Races)
+		row.Diags = len(res.San.Diags)
+		row.Stats = res.San.Stats
+		row.Found = res.San.Races
+
+		nodeOf := map[int64]int{}
+		for _, t := range res.Threads {
+			nodeOf[t.TID] = t.Node
+		}
+		for _, r := range res.San.Races {
+			if r.TID != 0 && r.PrevTID != 0 && nodeOf[r.TID] != nodeOf[r.PrevTID] {
+				row.CrossNode++
+			}
+		}
+		if b.wantRaces {
+			row.Clean = row.Races >= 3 && row.CrossNode >= 1
+		} else {
+			row.Clean = row.Races == 0
+		}
+		out.Rows = append(out.Rows, row)
+		o.logf("sanitizer: %s: races=%d cross=%d diags=%d overhead=%.2fx",
+			b.name, row.Races, row.CrossNode, row.Diags, row.HostOverhead)
+	}
+	return out, nil
+}
+
+// Fails counts rows whose detection did not match expectations.
+func (s *Sanitizer) Fails() int {
+	n := 0
+	for _, r := range s.Rows {
+		if !r.Clean {
+			n++
+		}
+	}
+	return n
+}
+
+// Print renders the suite as a table.
+func (s *Sanitizer) Print(w io.Writer) {
+	fmt.Fprintf(w, "DQSan race detection and overhead (%d slaves + master)\n", s.Slaves)
+	fmt.Fprintf(w, "%-14s %-8s %-10s %-8s %-10s %-12s %-10s\n",
+		"bench", "races", "crossnode", "diags", "verdict", "host-ovh", "wire-ovh")
+	for _, r := range s.Rows {
+		verdict := "PASS"
+		if !r.Clean {
+			verdict = "FAIL"
+		}
+		wire := float64(1)
+		if r.BaseWireBytes > 0 {
+			wire = float64(r.SanWireBytes) / float64(r.BaseWireBytes)
+		}
+		fmt.Fprintf(w, "%-14s %-8d %-10d %-8d %-10s %-12.2f %-10.2f\n",
+			r.Bench, r.Races, r.CrossNode, r.Diags, verdict, r.HostOverhead, wire)
+	}
+	for _, r := range s.Rows {
+		for _, race := range r.Found {
+			fmt.Fprintf(w, "  %s: %s tid%d@%#x vs tid%d@%#x (node %d)\n",
+				r.Bench, race.Kind, race.TID, race.PC, race.PrevTID, race.PrevPC, race.Node)
+		}
+	}
+}
+
+// WriteJSON emits the machine-readable form.
+func (s *Sanitizer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

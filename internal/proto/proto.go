@@ -94,6 +94,11 @@ type Msg struct {
 	Data    []byte
 	Shadows []uint64
 	CPU     []byte
+	// San is the DQSan piggyback: an encoded vector clock (syscall
+	// delegation, futex replies, thread start/migration) or an encoded
+	// shadow page (coherence transfers). Empty when the sanitizer is off,
+	// so it costs nothing on the wire in normal runs.
+	San []byte
 }
 
 // headerSize approximates the fixed header cost on the wire.
@@ -101,7 +106,7 @@ const headerSize = 64
 
 // WireSize returns the message size in bytes for the bandwidth model.
 func (m *Msg) WireSize() int64 {
-	return int64(headerSize + len(m.Data) + len(m.CPU) + 8*len(m.Shadows))
+	return int64(headerSize + len(m.Data) + len(m.CPU) + 8*len(m.Shadows) + len(m.San))
 }
 
 // Encode serialises the message (length-prefixed frame).
@@ -132,6 +137,8 @@ func (m *Msg) Encode() []byte {
 	buf = append(buf, m.Data...)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.CPU)))
 	buf = append(buf, m.CPU...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.San)))
+	buf = append(buf, m.San...)
 	binary.LittleEndian.PutUint32(buf[:4], uint32(len(buf)-4))
 	return buf
 }
@@ -166,6 +173,7 @@ func Decode(buf []byte) (*Msg, error) {
 	}
 	m.Data = r.blob()
 	m.CPU = r.blob()
+	m.San = r.blob()
 	if r.err != nil {
 		return nil, fmt.Errorf("proto: decode %v: %w", m.Kind, r.err)
 	}

@@ -1,0 +1,69 @@
+package sanitizer
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"dqemu/internal/isa"
+)
+
+// FuzzLint feeds arbitrary bytes through the ISA decoder into the lint
+// passes. The passes must never panic regardless of what a (possibly
+// hostile or corrupted) guest image decodes to — they run inside the
+// translate path of every node.
+func FuzzLint(f *testing.F) {
+	// Seed corpus: encodings of the patterns the passes care about.
+	seed := func(insns []isa.Instruction) {
+		var buf []byte
+		for _, in := range insns {
+			b, err := in.Encode(buf)
+			if err != nil {
+				f.Fatalf("seed encode: %v", err)
+			}
+			buf = b
+		}
+		f.Add(buf)
+	}
+	seed([]isa.Instruction{
+		{Op: isa.OpLL, Rd: 5, Rs1: 6},
+		{Op: isa.OpLL, Rd: 5, Rs1: 6},
+		{Op: isa.OpSC, Rd: 7, Rs1: 6, Rs2: 5},
+		{Op: isa.OpSC, Rd: 7, Rs1: 6, Rs2: 5},
+	})
+	seed([]isa.Instruction{
+		{Op: isa.OpFENCE},
+		{Op: isa.OpFENCE},
+		{Op: isa.OpMOVID, Rd: 6, Imm: 0x2004},
+		{Op: isa.OpAMOADD, Rd: 5, Rs1: 6, Rs2: 7},
+	})
+	seed([]isa.Instruction{
+		{Op: isa.OpMOVID, Rd: 6, Imm: 0x10000},
+		{Op: isa.OpSD, Rs1: 6, Rs2: 7, Imm: 8},
+		{Op: isa.OpSVC},
+	})
+	// Raw garbage that does not decode cleanly.
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x00, 0x01, 0x02, 0x03})
+	f.Add(binary.LittleEndian.AppendUint32(nil, 0xdeadbeef))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var insns []isa.Instruction
+		var pcs []uint64
+		pc := uint64(0x1000)
+		for len(data) >= 4 && len(insns) < 4096 {
+			in, sz, err := isa.Decode(data)
+			if err != nil {
+				// Skip a word and keep going: a corrupt stream must not be
+				// able to hide a panic behind an early decode error.
+				data = data[4:]
+				pc += 4
+				continue
+			}
+			insns = append(insns, in)
+			pcs = append(pcs, pc)
+			data = data[sz:]
+			pc += uint64(sz)
+		}
+		n := New(0, testPage)
+		n.LintBlock(insns, pcs, func(a uint64) bool { return a>>12 == 0x10 })
+	})
+}

@@ -1,0 +1,160 @@
+package sanitizer
+
+import (
+	"fmt"
+
+	"dqemu/internal/isa"
+)
+
+// Static IR lint passes. These run at translate time over each decoded
+// block, so they see exactly the code the engine is about to execute and
+// cost nothing per executed instruction. All passes are block-local and
+// deliberately conservative about cross-block state: an LL at the end of
+// one block legitimately pairs with an SC at the top of the next, so the
+// pairing checks only fire on contradictions visible within a single block.
+
+// LintBlock runs the lint passes over one decoded block and records any
+// findings as diagnostics. pcs[i] is the guest PC of insns[i]; isCode
+// reports whether a guest address lies in a translated code page.
+func (n *Node) LintBlock(insns []isa.Instruction, pcs []uint64, isCode func(uint64) bool) {
+	if len(insns) == 0 || len(insns) != len(pcs) {
+		return
+	}
+	lintLLSC(n, insns, pcs)
+	lintFences(n, insns, pcs)
+	lintConst(n, insns, pcs, isCode)
+}
+
+// lintLLSC flags LL/SC pairing contradictions inside a block: a second LL
+// while one is already open abandons the first monitor, and a second SC
+// after one already consumed the monitor can never succeed. The first SC in
+// a block is never flagged — its LL may sit in the preceding block.
+func lintLLSC(n *Node, insns []isa.Instruction, pcs []uint64) {
+	const (
+		stUnknown = iota // block entry: an LL may be pending from elsewhere
+		stOpen           // an LL in this block opened the monitor
+		stClosed         // an SC in this block consumed the monitor
+	)
+	state := stUnknown
+	var openPC uint64
+	for i, in := range insns {
+		switch in.Op {
+		case isa.OpLL:
+			if state == stOpen {
+				n.Report(Diag{Kind: "unpaired-ll", PC: openPC,
+					Detail: fmt.Sprintf("ll result discarded by second ll at %#x", pcs[i])})
+			}
+			state, openPC = stOpen, pcs[i]
+		case isa.OpSC:
+			if state == stClosed {
+				n.Report(Diag{Kind: "unpaired-sc", PC: pcs[i],
+					Detail: "sc without a preceding ll in this block cannot succeed"})
+			}
+			state = stClosed
+		case isa.OpCAS, isa.OpAMOADD, isa.OpAMOSWAP, isa.OpSVC:
+			// These clobber or may clobber the monitor; reset to unknown
+			// rather than guessing.
+			state = stUnknown
+		}
+	}
+}
+
+// lintFences flags a fence with no memory or atomic operation since the
+// previous fence — it orders nothing and is pure cost.
+func lintFences(n *Node, insns []isa.Instruction, pcs []uint64) {
+	sawFence := false // a fence earlier in this block
+	sawMem := false   // a memory op since that fence
+	for i, in := range insns {
+		switch in.Op {
+		case isa.OpFENCE:
+			if sawFence && !sawMem {
+				n.Report(Diag{Kind: "redundant-fence", PC: pcs[i],
+					Detail: "no memory access since previous fence"})
+			}
+			sawFence, sawMem = true, false
+		case isa.OpLB, isa.OpLBU, isa.OpLH, isa.OpLHU, isa.OpLW, isa.OpLWU, isa.OpLD,
+			isa.OpSB, isa.OpSH, isa.OpSW, isa.OpSD, isa.OpFLD, isa.OpFSD,
+			isa.OpLL, isa.OpSC, isa.OpCAS, isa.OpAMOADD, isa.OpAMOSWAP, isa.OpSVC:
+			sawMem = true
+		}
+	}
+}
+
+// lintConst runs a block-local constant propagation over the integer
+// registers and uses it for two checks: atomics whose address is statically
+// misaligned (the ISA requires 8-byte alignment for LL/SC/CAS/AMO), and
+// plain stores aimed at a translated code page (self-modifying or corrupted
+// code — legal, but worth flagging since it forces retranslation).
+func lintConst(n *Node, insns []isa.Instruction, pcs []uint64, isCode func(uint64) bool) {
+	known := map[uint8]uint64{}
+	val := func(r uint8) (uint64, bool) {
+		if r == 0 {
+			return 0, true // X0 is hardwired zero
+		}
+		v, ok := known[r]
+		return v, ok
+	}
+	set := func(r uint8, v uint64) {
+		if r != 0 { // writes to X0 are discarded
+			known[r] = v
+		}
+	}
+	for i, in := range insns {
+		switch in.Op {
+		case isa.OpLL, isa.OpCAS, isa.OpAMOADD, isa.OpAMOSWAP, isa.OpSC:
+			if a, ok := val(in.Rs1); ok && a%8 != 0 {
+				n.Report(Diag{Kind: "misaligned-atomic", PC: pcs[i],
+					Detail: fmt.Sprintf("atomic address %#x is not 8-byte aligned", a)})
+			}
+		case isa.OpSB, isa.OpSH, isa.OpSW, isa.OpSD, isa.OpFSD:
+			if base, ok := val(in.Rs1); ok && isCode != nil {
+				addr := base + uint64(in.Imm)
+				if isCode(addr) {
+					n.Report(Diag{Kind: "store-to-code", PC: pcs[i],
+						Detail: fmt.Sprintf("store to translated code page at %#x", addr)})
+				}
+			}
+		}
+		// Transfer function: track the few ops the guest toolchain uses to
+		// materialise addresses; anything else writing rd kills the fact.
+		switch in.Op {
+		case isa.OpMOVID, isa.OpMOVIW:
+			set(in.Rd, uint64(in.Imm))
+		case isa.OpADDI:
+			if v, ok := val(in.Rs1); ok {
+				set(in.Rd, v+uint64(in.Imm))
+			} else {
+				delete(known, in.Rd)
+			}
+		case isa.OpSLLI:
+			if v, ok := val(in.Rs1); ok {
+				set(in.Rd, v<<(uint64(in.Imm)&63))
+			} else {
+				delete(known, in.Rd)
+			}
+		case isa.OpORI:
+			if v, ok := val(in.Rs1); ok {
+				set(in.Rd, v|uint64(in.Imm))
+			} else {
+				delete(known, in.Rd)
+			}
+		case isa.OpADD:
+			a, okA := val(in.Rs1)
+			b, okB := val(in.Rs2)
+			if okA && okB {
+				set(in.Rd, a+b)
+			} else {
+				delete(known, in.Rd)
+			}
+		case isa.OpSB, isa.OpSH, isa.OpSW, isa.OpSD, isa.OpFSD,
+			isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU,
+			isa.OpFENCE, isa.OpNOP, isa.OpHINT, isa.OpHALT, isa.OpEBREAK:
+			// No integer destination register.
+		case isa.OpSVC:
+			// Syscalls clobber the return register and may change memory.
+			known = map[uint8]uint64{}
+		default:
+			delete(known, in.Rd)
+		}
+	}
+}

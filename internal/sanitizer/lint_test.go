@@ -1,0 +1,154 @@
+package sanitizer
+
+import (
+	"testing"
+
+	"dqemu/internal/isa"
+)
+
+// lintRun runs the passes over insns with synthetic consecutive PCs and
+// returns the diagnostics.
+func lintRun(insns []isa.Instruction, isCode func(uint64) bool) []Diag {
+	n := New(0, testPage)
+	pcs := make([]uint64, len(insns))
+	for i := range pcs {
+		pcs[i] = 0x1000 + uint64(4*i)
+	}
+	n.LintBlock(insns, pcs, isCode)
+	return n.Diags()
+}
+
+func kinds(ds []Diag) map[string]int {
+	m := map[string]int{}
+	for _, d := range ds {
+		m[d.Kind]++
+	}
+	return m
+}
+
+func TestLintUnpairedLL(t *testing.T) {
+	ds := lintRun([]isa.Instruction{
+		{Op: isa.OpLL, Rd: 5, Rs1: 6},
+		{Op: isa.OpADDI, Rd: 5, Rs1: 5, Imm: 1},
+		{Op: isa.OpLL, Rd: 5, Rs1: 6}, // abandons the first monitor
+		{Op: isa.OpSC, Rd: 7, Rs1: 6, Rs2: 5},
+	}, nil)
+	if kinds(ds)["unpaired-ll"] != 1 {
+		t.Errorf("diags = %+v", ds)
+	}
+
+	// A clean LL/SC pair is silent.
+	if ds := lintRun([]isa.Instruction{
+		{Op: isa.OpLL, Rd: 5, Rs1: 6},
+		{Op: isa.OpADDI, Rd: 5, Rs1: 5, Imm: 1},
+		{Op: isa.OpSC, Rd: 7, Rs1: 6, Rs2: 5},
+	}, nil); len(ds) != 0 {
+		t.Errorf("clean pair flagged: %+v", ds)
+	}
+}
+
+func TestLintUnpairedSC(t *testing.T) {
+	ds := lintRun([]isa.Instruction{
+		{Op: isa.OpLL, Rd: 5, Rs1: 6},
+		{Op: isa.OpSC, Rd: 7, Rs1: 6, Rs2: 5},
+		{Op: isa.OpSC, Rd: 8, Rs1: 6, Rs2: 5}, // monitor already consumed
+	}, nil)
+	if kinds(ds)["unpaired-sc"] != 1 {
+		t.Errorf("diags = %+v", ds)
+	}
+
+	// The first SC in a block never fires: its LL may be in the prior block.
+	if ds := lintRun([]isa.Instruction{
+		{Op: isa.OpSC, Rd: 7, Rs1: 6, Rs2: 5},
+	}, nil); len(ds) != 0 {
+		t.Errorf("cross-block SC flagged: %+v", ds)
+	}
+}
+
+func TestLintRedundantFence(t *testing.T) {
+	ds := lintRun([]isa.Instruction{
+		{Op: isa.OpFENCE},
+		{Op: isa.OpADD, Rd: 1, Rs1: 2, Rs2: 3}, // no memory op
+		{Op: isa.OpFENCE},
+	}, nil)
+	if kinds(ds)["redundant-fence"] != 1 {
+		t.Errorf("diags = %+v", ds)
+	}
+
+	if ds := lintRun([]isa.Instruction{
+		{Op: isa.OpFENCE},
+		{Op: isa.OpLD, Rd: 1, Rs1: 2},
+		{Op: isa.OpFENCE},
+	}, nil); len(ds) != 0 {
+		t.Errorf("useful fence flagged: %+v", ds)
+	}
+}
+
+func TestLintMisalignedAtomic(t *testing.T) {
+	ds := lintRun([]isa.Instruction{
+		{Op: isa.OpMOVID, Rd: 6, Imm: 0x2004}, // not 8-aligned
+		{Op: isa.OpLL, Rd: 5, Rs1: 6},
+		{Op: isa.OpSC, Rd: 7, Rs1: 6, Rs2: 5},
+	}, nil)
+	if kinds(ds)["misaligned-atomic"] != 2 { // both LL and SC
+		t.Errorf("diags = %+v", ds)
+	}
+
+	// Aligned, or unknown base: silent.
+	if ds := lintRun([]isa.Instruction{
+		{Op: isa.OpMOVID, Rd: 6, Imm: 0x2008},
+		{Op: isa.OpCAS, Rd: 5, Rs1: 6, Rs2: 7},
+		{Op: isa.OpAMOADD, Rd: 5, Rs1: 9, Rs2: 7}, // x9 unknown
+	}, nil); len(ds) != 0 {
+		t.Errorf("aligned/unknown atomic flagged: %+v", ds)
+	}
+}
+
+func TestLintConstPropagation(t *testing.T) {
+	// addi/slli/add chains must track; a syscall must clobber everything.
+	ds := lintRun([]isa.Instruction{
+		{Op: isa.OpMOVID, Rd: 6, Imm: 0x100},
+		{Op: isa.OpADDI, Rd: 6, Rs1: 6, Imm: 4}, // 0x104
+		{Op: isa.OpSLLI, Rd: 6, Rs1: 6, Imm: 1}, // 0x208 — aligned? no: 0x208 % 8 == 0
+		{Op: isa.OpADDI, Rd: 6, Rs1: 6, Imm: 4}, // 0x20c misaligned
+		{Op: isa.OpAMOSWAP, Rd: 5, Rs1: 6, Rs2: 7},
+		{Op: isa.OpSVC},
+		{Op: isa.OpAMOADD, Rd: 5, Rs1: 6, Rs2: 7}, // x6 unknown after svc
+	}, nil)
+	if kinds(ds)["misaligned-atomic"] != 1 {
+		t.Errorf("diags = %+v", ds)
+	}
+}
+
+func TestLintStoreToCode(t *testing.T) {
+	isCode := func(a uint64) bool { return a >= 0x10000 && a < 0x11000 }
+	ds := lintRun([]isa.Instruction{
+		{Op: isa.OpMOVID, Rd: 6, Imm: 0x10000},
+		{Op: isa.OpSD, Rs1: 6, Rs2: 7, Imm: 0x20},
+		{Op: isa.OpSD, Rs1: 6, Rs2: 7, Imm: 0x2000}, // outside code
+	}, isCode)
+	if kinds(ds)["store-to-code"] != 1 {
+		t.Errorf("diags = %+v", ds)
+	}
+}
+
+func TestLintX0Hardwired(t *testing.T) {
+	// A write to x0 is discarded: x0 stays 0 and atomics through it are
+	// treated as address-0 (aligned), not the bogus written value.
+	ds := lintRun([]isa.Instruction{
+		{Op: isa.OpMOVID, Rd: 0, Imm: 0x2004},
+		{Op: isa.OpLL, Rd: 5, Rs1: 0},
+	}, nil)
+	if len(ds) != 0 {
+		t.Errorf("x0 poisoned the const prop: %+v", ds)
+	}
+}
+
+func TestLintMismatchedInputs(t *testing.T) {
+	n := New(0, testPage)
+	n.LintBlock([]isa.Instruction{{Op: isa.OpNOP}}, nil, nil) // len mismatch
+	n.LintBlock(nil, nil, nil)
+	if len(n.Diags()) != 0 {
+		t.Errorf("diags on degenerate input: %+v", n.Diags())
+	}
+}

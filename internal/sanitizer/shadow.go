@@ -1,0 +1,301 @@
+package sanitizer
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Shadow memory layout (see DESIGN.md): one cell per 8-byte guest word,
+// keyed by translated page number so shadow state follows pages through the
+// DSM — including split pages, whose accesses translate to shadow-page
+// addresses. Each cell records the last write and up to readSlots recent
+// reads as (tid, epoch, byte range, pc) tuples; the byte range makes the
+// race check exact under sub-word false sharing (two threads touching
+// different bytes of one word never conflict). A word that has ever been
+// the target of a guest atomic is marked atomic and leaves the plain-access
+// protocol: guest runtimes legitimately mix plain and atomic accesses to
+// sync words (test-and-test-and-set spins, barrier generation reads), and
+// flagging those would drown real races in noise.
+const readSlots = 4
+
+// access is one recorded guest access to a word.
+type access struct {
+	tid  int64
+	clk  uint32
+	off  uint8 // first byte within the word
+	size uint8 // bytes touched
+	pc   uint64
+}
+
+func (a access) overlaps(off, size uint8) bool {
+	return a.off < off+size && off < a.off+a.size
+}
+
+// cell is the shadow state of one 8-byte word.
+type cell struct {
+	write  access
+	reads  [readSlots]access
+	atomic bool
+	evict  uint8 // round-robin read-slot victim
+}
+
+func (c *cell) empty() bool {
+	if c.atomic || c.write.tid != 0 {
+		return false
+	}
+	for _, r := range c.reads {
+		if r.tid != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// recordRead stores a read access, preferring a slot already held by the
+// same thread with the same byte range, then an empty slot, then the
+// deterministic round-robin victim.
+func (c *cell) recordRead(a access) {
+	for i := range c.reads {
+		r := &c.reads[i]
+		if r.tid == a.tid && r.off == a.off && r.size == a.size {
+			*r = a
+			return
+		}
+	}
+	for i := range c.reads {
+		if c.reads[i].tid == 0 {
+			c.reads[i] = a
+			return
+		}
+	}
+	c.reads[c.evict%readSlots] = a
+	c.evict++
+}
+
+// pageShadow is the shadow of one guest page: a lazily-allocated cell per
+// word plus the release clocks of the page's sync words (atomic targets).
+type pageShadow struct {
+	cells []cell         // pageSize/8 entries
+	sync  map[uint64]*VC // word offset within page -> release clock
+}
+
+func newPageShadow(pageSize int) *pageShadow {
+	return &pageShadow{cells: make([]cell, pageSize/8), sync: map[uint64]*VC{}}
+}
+
+// syncClock returns the release clock of the word at byte offset off,
+// creating it when create is set.
+func (p *pageShadow) syncClock(off uint64, create bool) *VC {
+	if c, ok := p.sync[off]; ok {
+		return c
+	}
+	if !create {
+		return nil
+	}
+	c := &VC{}
+	p.sync[off] = c
+	return c
+}
+
+// ---- wire encoding ----
+//
+// Shadow pages ride the coherence protocol: KPageContent and KPush install
+// them at the recipient, KFetchReply and KInvAck carry them home to merge.
+// The format is deterministic (cells in index order, sync words in offset
+// order) because blob length feeds the simulated bandwidth model.
+
+// encode serialises the non-empty cells and sync clocks.
+func (p *pageShadow) encode() []byte {
+	var n uint32
+	for i := range p.cells {
+		if !p.cells[i].empty() {
+			n++
+		}
+	}
+	buf := binary.LittleEndian.AppendUint32(nil, n)
+	for i := range p.cells {
+		c := &p.cells[i]
+		if c.empty() {
+			continue
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(i))
+		var flags uint8
+		if c.atomic {
+			flags |= 1
+		}
+		buf = append(buf, flags)
+		buf = appendAccess(buf, c.write)
+		var nr uint8
+		for _, r := range c.reads {
+			if r.tid != 0 {
+				nr++
+			}
+		}
+		buf = append(buf, nr)
+		for _, r := range c.reads {
+			if r.tid != 0 {
+				buf = appendAccess(buf, r)
+			}
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.sync)))
+	for _, off := range sortedKeys(p.sync) {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(off))
+		buf = append(buf, p.sync[off].Encode()...)
+	}
+	return buf
+}
+
+func appendAccess(buf []byte, a access) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(a.tid))
+	buf = binary.LittleEndian.AppendUint32(buf, a.clk)
+	buf = append(buf, a.off, a.size)
+	return binary.LittleEndian.AppendUint64(buf, a.pc)
+}
+
+func decodeAccess(b []byte) (access, []byte, error) {
+	if len(b) < 22 {
+		return access{}, nil, fmt.Errorf("sanitizer: truncated access record")
+	}
+	a := access{
+		tid:  int64(binary.LittleEndian.Uint64(b)),
+		clk:  binary.LittleEndian.Uint32(b[8:]),
+		off:  b[12],
+		size: b[13],
+		pc:   binary.LittleEndian.Uint64(b[14:]),
+	}
+	return a, b[22:], nil
+}
+
+// decodePageShadow parses an encode blob.
+func decodePageShadow(blob []byte, pageSize int) (*pageShadow, error) {
+	p := newPageShadow(pageSize)
+	b := blob
+	if len(b) < 4 {
+		return nil, fmt.Errorf("sanitizer: truncated shadow page")
+	}
+	ncells := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	for i := 0; i < ncells; i++ {
+		if len(b) < 5 {
+			return nil, fmt.Errorf("sanitizer: truncated shadow cell")
+		}
+		idx := int(binary.LittleEndian.Uint32(b))
+		flags := b[4]
+		b = b[5:]
+		if idx >= len(p.cells) {
+			return nil, fmt.Errorf("sanitizer: shadow cell index %d out of range", idx)
+		}
+		c := &p.cells[idx]
+		c.atomic = flags&1 != 0
+		var err error
+		if c.write, b, err = decodeAccess(b); err != nil {
+			return nil, err
+		}
+		if len(b) < 1 {
+			return nil, fmt.Errorf("sanitizer: truncated read count")
+		}
+		nr := int(b[0])
+		b = b[1:]
+		if nr > readSlots {
+			return nil, fmt.Errorf("sanitizer: bad read-slot count %d", nr)
+		}
+		for j := 0; j < nr; j++ {
+			var r access
+			if r, b, err = decodeAccess(b); err != nil {
+				return nil, err
+			}
+			c.reads[j] = r
+		}
+	}
+	if len(b) < 4 {
+		return nil, fmt.Errorf("sanitizer: truncated sync-word count")
+	}
+	nsync := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	for i := 0; i < nsync; i++ {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("sanitizer: truncated sync word")
+		}
+		off := uint64(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+		v, rest, err := DecodeVC(b)
+		if err != nil {
+			return nil, err
+		}
+		b = rest
+		p.sync[off] = &v
+	}
+	return p, nil
+}
+
+// merge folds an incoming shadow copy into p. Write cells from the incoming
+// copy replace local ones: the sender was the page's owner, so its write
+// history is at least as new as the (stale) home copy. Reads are unioned —
+// sharers accumulate read history independently — and sync clocks join
+// component-wise, which is monotone and therefore order-insensitive.
+func (p *pageShadow) merge(in *pageShadow) {
+	for i := range in.cells {
+		ic := &in.cells[i]
+		if ic.empty() {
+			continue
+		}
+		c := &p.cells[i]
+		if ic.atomic {
+			c.atomic = true
+		}
+		if ic.write.tid != 0 {
+			c.write = ic.write
+		}
+		for _, r := range ic.reads {
+			if r.tid != 0 {
+				c.recordRead(r)
+			}
+		}
+	}
+	for off, v := range in.sync {
+		p.syncClock(off, true).Merge(*v)
+	}
+}
+
+// split redistributes p across len(shadows) shadow pages, mirroring
+// dsm.SplitHome: part i keeps its bytes at the same in-page offset of
+// shadow page i, so cell indices and sync-word offsets are preserved.
+func (p *pageShadow) split(parts int, pageSize int) []*pageShadow {
+	out := make([]*pageShadow, parts)
+	part := pageSize / parts
+	for i := range out {
+		out[i] = newPageShadow(pageSize)
+	}
+	for i := range p.cells {
+		if p.cells[i].empty() {
+			continue
+		}
+		who := i * 8 / part
+		if who >= parts {
+			who = parts - 1
+		}
+		out[who].cells[i] = p.cells[i]
+	}
+	for off, v := range p.sync {
+		who := int(off) / part
+		if who >= parts {
+			who = parts - 1
+		}
+		out[who].sync[off] = v
+	}
+	return out
+}
+
+func sortedKeys(m map[uint64]*VC) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

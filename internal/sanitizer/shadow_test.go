@@ -1,0 +1,240 @@
+package sanitizer
+
+import (
+	"reflect"
+	"testing"
+)
+
+const testPage = 4096
+
+func TestShadowEncodeDecodeRoundTrip(t *testing.T) {
+	p := newPageShadow(testPage)
+	p.cells[3].write = access{tid: 2, clk: 9, off: 0, size: 8, pc: 0x1000}
+	p.cells[3].recordRead(access{tid: 3, clk: 4, off: 2, size: 2, pc: 0x1010})
+	p.cells[3].recordRead(access{tid: 4, clk: 1, off: 0, size: 1, pc: 0x1020})
+	p.cells[17].atomic = true
+	sc := p.syncClock(17*8, true)
+	sc.Tick(2)
+	sc.Tick(5)
+
+	got, err := decodePageShadow(p.encode(), testPage)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.cells[3].write != p.cells[3].write {
+		t.Errorf("write cell: %+v != %+v", got.cells[3].write, p.cells[3].write)
+	}
+	if got.cells[3].reads[0] != p.cells[3].reads[0] || got.cells[3].reads[1] != p.cells[3].reads[1] {
+		t.Errorf("read slots differ")
+	}
+	if !got.cells[17].atomic {
+		t.Error("atomic flag lost")
+	}
+	gsc := got.syncClock(17*8, false)
+	if gsc == nil || !reflect.DeepEqual(*gsc, *sc) {
+		t.Errorf("sync clock: %v != %v", gsc, sc)
+	}
+	// Deterministic: encoding twice gives identical bytes.
+	if !reflect.DeepEqual(p.encode(), p.encode()) {
+		t.Error("encode not deterministic")
+	}
+}
+
+func TestShadowDecodeRejectsTruncation(t *testing.T) {
+	p := newPageShadow(testPage)
+	p.cells[1].write = access{tid: 1, clk: 1, size: 8}
+	p.syncClock(64, true).Tick(1)
+	blob := p.encode()
+	for cut := 0; cut < len(blob); cut++ {
+		if _, err := decodePageShadow(blob[:cut], testPage); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestShadowMerge(t *testing.T) {
+	home := newPageShadow(testPage)
+	home.cells[0].write = access{tid: 1, clk: 1, size: 8, pc: 0xa}
+	home.cells[0].recordRead(access{tid: 2, clk: 3, size: 8, pc: 0xb})
+	home.syncClock(0, true).Tick(1)
+
+	in := newPageShadow(testPage)
+	in.cells[0].write = access{tid: 3, clk: 7, size: 8, pc: 0xc} // owner's newer write
+	in.cells[0].recordRead(access{tid: 4, clk: 2, size: 8, pc: 0xd})
+	in.cells[1].atomic = true
+	in.syncClock(0, true).Tick(3)
+
+	home.merge(in)
+	if home.cells[0].write.tid != 3 {
+		t.Errorf("incoming write must replace home write: %+v", home.cells[0].write)
+	}
+	// Reads from both sides survive.
+	tids := map[int64]bool{}
+	for _, r := range home.cells[0].reads {
+		if r.tid != 0 {
+			tids[r.tid] = true
+		}
+	}
+	if !tids[2] || !tids[4] {
+		t.Errorf("read union lost a record: %v", tids)
+	}
+	if !home.cells[1].atomic {
+		t.Error("atomic flag not merged")
+	}
+	s := home.syncClock(0, false)
+	if s.Get(1) != 1 || s.Get(3) != 1 {
+		t.Errorf("sync clocks not joined: %v", *s)
+	}
+}
+
+func TestShadowSplitPreservesOffsets(t *testing.T) {
+	p := newPageShadow(testPage)
+	// One record in each quarter of the page.
+	idxs := []int{0, 200, 300, 500}
+	for _, i := range idxs {
+		p.cells[i].write = access{tid: 1, clk: 1, size: 8, pc: uint64(i)}
+	}
+	p.syncClock(200*8, true).Tick(2)
+
+	parts := p.split(4, testPage)
+	if len(parts) != 4 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	// dsm.SplitHome keeps bytes at their original in-page offset: part i owns
+	// byte range [i*1024, (i+1)*1024), i.e. cells [i*128, (i+1)*128).
+	for pi, want := range idxs {
+		for qi, q := range parts {
+			has := !q.cells[want].empty()
+			if (qi == pi) != has {
+				t.Errorf("cell %d: part %d has=%v", want, qi, has)
+			}
+		}
+	}
+	if parts[1].syncClock(200*8, false) == nil {
+		t.Error("sync clock not routed to owning part")
+	}
+	if parts[0].syncClock(200*8, false) != nil {
+		t.Error("sync clock duplicated into wrong part")
+	}
+}
+
+// TestNodeShadowTransfer drives the Node-level encode/merge/split API the
+// way the DSM does: record on one node, ship to home, split, and check the
+// record lands on the right shadow page.
+func TestNodeShadowTransfer(t *testing.T) {
+	owner := New(1, testPage)
+	owner.OnStore(2, 0x3000+1024+16, 8, 0x99) // page 3, second quarter
+
+	home := New(0, testPage)
+	home.MergePage(3, owner.EncodePage(3))
+	owner.DropPage(3)
+
+	// Migrate the record across a split: shadows 100..103.
+	home.SplitPage(3, []uint64{100, 101, 102, 103})
+	if home.EncodePage(3) != nil {
+		t.Error("original page shadow must be dropped after split")
+	}
+	blob := home.EncodePage(101)
+	if blob == nil {
+		t.Fatal("split lost the shadow record")
+	}
+	for _, empty := range []uint64{100, 102, 103} {
+		if home.EncodePage(empty) != nil {
+			t.Errorf("page %d should have no shadow", empty)
+		}
+	}
+
+	// A second node receiving the shadow must detect the cross-node race.
+	other := New(2, testPage)
+	other.MergePage(101, blob)
+	other.OnStore(5, 101*testPage+1024+16, 8, 0x77)
+	races := other.Races()
+	if len(races) != 1 {
+		t.Fatalf("races = %+v", races)
+	}
+	if races[0].Kind != "write-write" || races[0].PrevTID != 2 || races[0].TID != 5 {
+		t.Errorf("race = %+v", races[0])
+	}
+}
+
+// TestDetectorHappensBefore checks the core FastTrack property on one node:
+// unordered accesses race, sync-ordered ones do not.
+func TestDetectorHappensBefore(t *testing.T) {
+	n := New(0, testPage)
+	// t1 writes, t2 writes the same word with no edge: race.
+	n.OnStore(1, 0x100, 8, 0xa)
+	n.OnStore(2, 0x100, 8, 0xb)
+	if len(n.Races()) != 1 {
+		t.Fatalf("want 1 race, got %+v", n.Races())
+	}
+
+	// Lock-ordered accesses: t1 writes then releases (CAS success = release
+	// on the lock word); t2 acquires the lock word, then writes. No new race.
+	n2 := New(0, testPage)
+	n2.OnStore(1, 0x200, 8, 0xa)
+	n2.OnAtomic(1, 0x300, 8, 0xc, true) // t1 unlock: release
+	n2.OnAtomic(2, 0x300, 8, 0xd, true) // t2 lock: acquires t1's release
+	n2.OnStore(2, 0x200, 8, 0xb)
+	if len(n2.Races()) != 0 {
+		t.Errorf("sync-ordered accesses reported: %+v", n2.Races())
+	}
+
+	// Different bytes of one word never conflict.
+	n3 := New(0, testPage)
+	n3.OnStore(1, 0x400, 2, 0xa)
+	n3.OnStore(2, 0x404, 2, 0xb)
+	if len(n3.Races()) != 0 {
+		t.Errorf("disjoint sub-word accesses reported: %+v", n3.Races())
+	}
+
+	// Plain accesses to an atomic-marked word are exempt (TTAS idiom).
+	n4 := New(0, testPage)
+	n4.OnAtomic(1, 0x500, 8, 0xa, true)
+	n4.OnLoad(2, 0x500, 8, 0xb)  // spin read
+	n4.OnStore(1, 0x500, 8, 0xc) // runtime-internal plain reset
+	if len(n4.Races()) != 0 {
+		t.Errorf("atomic-word plain accesses reported: %+v", n4.Races())
+	}
+}
+
+// TestDetectorThreadLifecycle checks create and join edges via the
+// clock-blob plumbing used by the syscall path.
+func TestDetectorThreadLifecycle(t *testing.T) {
+	n := New(0, testPage)
+	// Creator writes, then creates a child carrying its clock.
+	n.OnStore(1, 0x800, 8, 0xa)
+	blob := n.SyscallClock(1)
+	n.InstallThread(2, blob)
+	n.OnStore(2, 0x800, 8, 0xb) // ordered by the create edge
+	if len(n.Races()) != 0 {
+		t.Fatalf("create edge missing: %+v", n.Races())
+	}
+
+	// Child writes, exits; parent joins and then writes: ordered.
+	n.OnStore(2, 0x900, 8, 0xc)
+	n.RecordExit(2, n.SyscallClock(2))
+	n.Acquire(1, n.JoinClock(2))
+	n.OnStore(1, 0x900, 8, 0xd)
+	if len(n.Races()) != 0 {
+		t.Errorf("join edge missing: %+v", n.Races())
+	}
+}
+
+// TestDetectorFutexEdge mirrors the master-side futex plumbing: a waker's
+// released clock reaches the waiter through FutexWake + FutexWaitClock.
+func TestDetectorFutexEdge(t *testing.T) {
+	m := New(0, testPage)
+	w := New(1, testPage)
+	// Waker (tid 1, node 1) writes, then its wake delegation carries its clock.
+	w.OnStore(1, 0x700, 8, 0xa)
+	m.FutexWake(0xf00, w.SyscallClock(1))
+	// Waiter (tid 2, also hosted on node 1) is released with the futex clock.
+	w.Acquire(2, m.FutexWaitClock(0xf00))
+	w.OnStore(2, 0x700, 8, 0xb)
+	if len(w.Races()) != 0 {
+		t.Errorf("futex edge missing: %+v", w.Races())
+	}
+	if m.FutexWaitClock(0xdead) != nil {
+		t.Error("unknown futex word must yield no clock")
+	}
+}

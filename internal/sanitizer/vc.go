@@ -1,0 +1,132 @@
+// Package sanitizer is DQSan, DQEMU's translation-time sanitizer framework.
+//
+// The dynamic half is a ThreadSanitizer-style happens-before race detector
+// for guest code: every guest thread carries a vector clock, every guest
+// word carries shadow state recording who last touched it and when, and
+// happens-before edges are drawn from the guest's synchronization actions —
+// futex wake/wait, LL/SC and CAS success, AMO operations, fences, thread
+// create/join/exit — including across nodes, by piggybacking encoded clocks
+// and shadow pages on the coherence and syscall-delegation messages of
+// internal/proto. Shadow state migrates, merges and splits along with the
+// pages it describes, so a race between threads on different nodes is
+// detected exactly like a local one.
+//
+// The static half (lint.go) is a set of translate-time IR lint passes over
+// decoded blocks: unpaired LL/SC, statically misaligned atomics, redundant
+// fences, and stores aimed at code pages, surfaced as structured Diags.
+//
+// Everything here is driven by the deterministic simulation, so reports are
+// reproducible: the same image and config produce byte-identical summaries.
+package sanitizer
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// VC is a vector clock indexed by guest thread id. Guest TIDs are small and
+// dense (they start at 1 and increment), so a slice beats a map. Index 0 is
+// unused. Epochs saturate at MaxUint32 instead of wrapping: a wrapped clock
+// would compare as "before" everything and manufacture false orderings,
+// while a saturated one only loses the ability to order *new* events after
+// the saturation point (false negatives, never false positives).
+type VC []uint32
+
+// Get returns the epoch of tid (0 when the clock has no entry).
+func (v VC) Get(tid int64) uint32 {
+	if tid < 0 || int(tid) >= len(v) {
+		return 0
+	}
+	return v[tid]
+}
+
+// grow extends v so index tid is addressable.
+func (v *VC) grow(tid int64) {
+	for int64(len(*v)) <= tid {
+		*v = append(*v, 0)
+	}
+}
+
+// Tick advances tid's own component, saturating at MaxUint32.
+func (v *VC) Tick(tid int64) {
+	if tid < 0 {
+		return
+	}
+	v.grow(tid)
+	if (*v)[tid] != math.MaxUint32 {
+		(*v)[tid]++
+	}
+}
+
+// Merge folds o into v component-wise (v = v ⊔ o).
+func (v *VC) Merge(o VC) {
+	if len(o) > len(*v) {
+		v.grow(int64(len(o)) - 1)
+	}
+	for i, c := range o {
+		if c > (*v)[i] {
+			(*v)[i] = c
+		}
+	}
+}
+
+// Leq reports v ≤ o component-wise: everything v has seen, o has seen.
+func (v VC) Leq(o VC) bool {
+	for i, c := range v {
+		if c > o.Get(int64(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (v VC) Clone() VC {
+	return append(VC(nil), v...)
+}
+
+// Encode serialises the nonzero components as (tid, epoch) pairs in tid
+// order. The encoding is deterministic — it feeds the bandwidth model.
+func (v VC) Encode() []byte {
+	n := 0
+	for _, c := range v {
+		if c != 0 {
+			n++
+		}
+	}
+	buf := make([]byte, 0, 4+8*n)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	for tid, c := range v {
+		if c == 0 {
+			continue
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(tid))
+		buf = binary.LittleEndian.AppendUint32(buf, c)
+	}
+	return buf
+}
+
+// DecodeVC parses an Encode blob and returns the remaining bytes (clock
+// encodings are embedded in larger shadow blobs).
+func DecodeVC(b []byte) (VC, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("sanitizer: truncated clock")
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if n > 1<<16 || len(b) < 8*n {
+		return nil, nil, fmt.Errorf("sanitizer: bad clock entry count %d", n)
+	}
+	var v VC
+	for i := 0; i < n; i++ {
+		tid := int64(binary.LittleEndian.Uint32(b))
+		c := binary.LittleEndian.Uint32(b[4:])
+		b = b[8:]
+		v.grow(tid)
+		if c > v[tid] {
+			v[tid] = c
+		}
+	}
+	return v, b, nil
+}

@@ -1,0 +1,99 @@
+package sanitizer
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestVCTickMergeCompare(t *testing.T) {
+	var a, b VC
+	a.Tick(1)
+	a.Tick(1)
+	b.Tick(2)
+	if got := a.Get(1); got != 2 {
+		t.Errorf("a[1] = %d, want 2", got)
+	}
+	if a.Leq(b) || b.Leq(a) {
+		t.Error("independent clocks must be incomparable")
+	}
+	m := a.Clone()
+	m.Merge(b)
+	if !a.Leq(m) || !b.Leq(m) {
+		t.Error("merge must dominate both inputs")
+	}
+	if m.Get(1) != 2 || m.Get(2) != 1 {
+		t.Errorf("merge = %v", m)
+	}
+	// Merge is idempotent and commutative.
+	m2 := b.Clone()
+	m2.Merge(a)
+	m3 := m.Clone()
+	m3.Merge(m)
+	if !reflect.DeepEqual(m, m2) || !reflect.DeepEqual(m, m3) {
+		t.Errorf("merge not commutative/idempotent: %v %v %v", m, m2, m3)
+	}
+	// The zero clock precedes everything.
+	var z VC
+	if !z.Leq(a) || !z.Leq(z) {
+		t.Error("zero clock ordering broken")
+	}
+}
+
+func TestVCOverflowSaturates(t *testing.T) {
+	v := VC{0, math.MaxUint32 - 1}
+	v.Tick(1)
+	if v.Get(1) != math.MaxUint32 {
+		t.Fatalf("v[1] = %d", v.Get(1))
+	}
+	v.Tick(1) // must saturate, not wrap to 0
+	if v.Get(1) != math.MaxUint32 {
+		t.Errorf("epoch wrapped: v[1] = %d", v.Get(1))
+	}
+	// A wrapped clock would order before everything — a saturated one still
+	// dominates all earlier epochs.
+	old := VC{0, 12345}
+	if !old.Leq(v) {
+		t.Error("saturated clock no longer dominates earlier epochs")
+	}
+}
+
+func TestVCEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []VC{
+		nil,
+		{},
+		{0, 1},
+		{0, 0, 0, 7},
+		{0, 5, 0, 9, math.MaxUint32},
+	}
+	for _, v := range cases {
+		blob := v.Encode()
+		tail := []byte{0xaa, 0xbb}
+		got, rest, err := DecodeVC(append(blob, tail...))
+		if err != nil {
+			t.Errorf("decode %v: %v", v, err)
+			continue
+		}
+		if len(rest) != 2 || rest[0] != 0xaa {
+			t.Errorf("decode %v: remainder %v", v, rest)
+		}
+		for tid := int64(0); tid < int64(len(v))+2; tid++ {
+			if got.Get(tid) != v.Get(tid) {
+				t.Errorf("round-trip %v -> %v (tid %d)", v, got, tid)
+			}
+		}
+	}
+}
+
+func TestVCDecodeRejectsGarbage(t *testing.T) {
+	if _, _, err := DecodeVC(nil); err == nil {
+		t.Error("nil blob accepted")
+	}
+	if _, _, err := DecodeVC([]byte{1, 2}); err == nil {
+		t.Error("short blob accepted")
+	}
+	// Absurd count must be rejected, not allocated.
+	if _, _, err := DecodeVC([]byte{0xff, 0xff, 0xff, 0xff}); err == nil {
+		t.Error("absurd count accepted")
+	}
+}

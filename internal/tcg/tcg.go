@@ -119,6 +119,19 @@ type block struct {
 	sb         *superblock
 }
 
+// SanHook receives DQSan instrumentation events and translate-time lint
+// callbacks. All addresses are translated (post-remap) so shadow state is
+// keyed the same way the DSM keys pages. nil disables instrumentation with
+// zero per-instruction cost on the interpreter tier and no extra uops on
+// the superblock tier.
+type SanHook interface {
+	OnLoad(tid int64, taddr uint64, size int, pc uint64)
+	OnStore(tid int64, taddr uint64, size int, pc uint64)
+	OnAtomic(tid int64, taddr uint64, size int, pc uint64, release bool)
+	OnFence(tid int64)
+	LintBlock(insns []isa.Instruction, pcs []uint64, isCode func(uint64) bool)
+}
+
 // Engine translates and executes guest code against one node's Space.
 type Engine struct {
 	Mem  *mem.Space
@@ -127,6 +140,9 @@ type Engine struct {
 	Mon Monitor
 	// OnHint, if set, observes HINT instructions as they execute.
 	OnHint func(tid, group int64)
+	// San, if set, is the DQSan sanitizer: guest memory accesses are
+	// instrumented and freshly-translated blocks are linted.
+	San SanHook
 
 	// NoCache disables the translation cache (every block entry
 	// retranslates) and NoChain disables block chaining; both exist for the
@@ -341,7 +357,17 @@ func (e *Engine) lookup(pc uint64, spent *int64) (*block, error) {
 			e.codePages[p] = struct{}{}
 		}
 	}
+	if e.San != nil {
+		e.San.LintBlock(b.ops, b.pcs, e.isCodeAddr)
+	}
 	return b, nil
+}
+
+// isCodeAddr reports whether a guest virtual address falls in a page that
+// holds code translated in the current generation.
+func (e *Engine) isCodeAddr(addr uint64) bool {
+	_, ok := e.codePages[e.Mem.PageOf(e.Mem.Translate(addr))]
+	return ok
 }
 
 // lookupFast is lookup behind the indirect-branch target cache: a
@@ -507,6 +533,9 @@ func (e *Engine) execBlock(cpu *CPU, b *block, spent *int64) (next *block, res R
 			if fault != nil {
 				return e.fault(cpu, pc, fault, spent)
 			}
+			if e.San != nil {
+				e.San.OnLoad(cpu.TID, mmu.Translate(addr), size, pc)
+			}
 			switch ins.Op {
 			case isa.OpLB:
 				v = uint64(int64(int8(v)))
@@ -526,11 +555,17 @@ func (e *Engine) execBlock(cpu *CPU, b *block, spent *int64) (next *block, res R
 			if !e.Mon.Empty() {
 				e.Mon.OnStore(cpu.TID, mmu.Translate(addr))
 			}
+			if e.San != nil {
+				e.San.OnStore(cpu.TID, mmu.Translate(addr), size, pc)
+			}
 
 		case isa.OpFLD:
 			v, fault := mmu.LoadF64(x[ins.Rs1] + uint64(ins.Imm))
 			if fault != nil {
 				return e.fault(cpu, pc, fault, spent)
+			}
+			if e.San != nil {
+				e.San.OnLoad(cpu.TID, mmu.Translate(x[ins.Rs1]+uint64(ins.Imm)), 8, pc)
 			}
 			f[ins.Rd] = v
 		case isa.OpFSD:
@@ -539,6 +574,9 @@ func (e *Engine) execBlock(cpu *CPU, b *block, spent *int64) (next *block, res R
 			}
 			if !e.Mon.Empty() {
 				e.Mon.OnStore(cpu.TID, mmu.Translate(x[ins.Rs1]+uint64(ins.Imm)))
+			}
+			if e.San != nil {
+				e.San.OnStore(cpu.TID, mmu.Translate(x[ins.Rs1]+uint64(ins.Imm)), 8, pc)
 			}
 
 		case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU:
@@ -572,6 +610,9 @@ func (e *Engine) execBlock(cpu *CPU, b *block, spent *int64) (next *block, res R
 				return e.fault(cpu, pc, fault, spent)
 			}
 			e.Mon.OnLL(cpu.TID, mmu.Translate(addr))
+			if e.San != nil {
+				e.San.OnAtomic(cpu.TID, mmu.Translate(addr), 8, pc, false)
+			}
 			wr(x, ins.Rd, v)
 
 		case isa.OpSC:
@@ -587,8 +628,14 @@ func (e *Engine) execBlock(cpu *CPU, b *block, spent *int64) (next *block, res R
 				if fault := mmu.Store(addr, x[ins.Rs2], 8); fault != nil {
 					return e.fault(cpu, pc, fault, spent)
 				}
+				if e.San != nil {
+					e.San.OnAtomic(cpu.TID, taddr, 8, pc, true)
+				}
 				wr(x, ins.Rd, 0)
 			} else {
+				if e.San != nil {
+					e.San.OnAtomic(cpu.TID, taddr, 8, pc, false)
+				}
 				wr(x, ins.Rd, 1)
 				if e.StopAtomic {
 					cpu.PC = pc + 4
@@ -628,6 +675,9 @@ func (e *Engine) execBlock(cpu *CPU, b *block, spent *int64) (next *block, res R
 					e.Mon.OnStore(cpu.TID, taddr)
 				}
 			}
+			if e.San != nil {
+				e.San.OnAtomic(cpu.TID, taddr, 8, pc, doStore)
+			}
 			wr(x, ins.Rd, old)
 			if e.StopAtomic && ins.Op == isa.OpCAS && !doStore {
 				// Contended CAS: yield the core like a failed spinner.
@@ -638,6 +688,9 @@ func (e *Engine) execBlock(cpu *CPU, b *block, spent *int64) (next *block, res R
 		case isa.OpFENCE:
 			// Full barrier. Within a node execution is already sequential;
 			// cross-node ordering is enforced by the page protocol (§3.3).
+			if e.San != nil {
+				e.San.OnFence(cpu.TID)
+			}
 
 		case isa.OpSVC:
 			e.Stats.Syscalls++

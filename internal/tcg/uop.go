@@ -60,6 +60,13 @@ const (
 	uFLoad
 	uFStore
 
+	// DQSan instrumentation, emitted immediately before the memory uop they
+	// shadow (the address registers are still live there — the load itself
+	// may clobber its own base). Zero cost, zero retired instructions: the
+	// *virtual* machine is unaffected by sanitizing, only host time is.
+	uSanRead
+	uSanWrite
+
 	// Control flow. Guards keep execution on the trace: a guard evaluates
 	// its branch and side-exits when the outcome differs from the direction
 	// the trace followed. Exit uops end the trace unconditionally.
@@ -222,30 +229,43 @@ func (e *Engine) lowerInsn(ops []uop, ins *isa.Instruction, pc uint64) []uop {
 		u = alu(uLi)
 
 	case isa.OpLB:
+		ops = e.lowerSan(ops, ins, pc, uSanRead, 1)
 		u.kind, u.size, u.sh = uLoad, 1, 56
 	case isa.OpLBU:
+		ops = e.lowerSan(ops, ins, pc, uSanRead, 1)
 		u.kind, u.size = uLoad, 1
 	case isa.OpLH:
+		ops = e.lowerSan(ops, ins, pc, uSanRead, 2)
 		u.kind, u.size, u.sh = uLoad, 2, 48
 	case isa.OpLHU:
+		ops = e.lowerSan(ops, ins, pc, uSanRead, 2)
 		u.kind, u.size = uLoad, 2
 	case isa.OpLW:
+		ops = e.lowerSan(ops, ins, pc, uSanRead, 4)
 		u.kind, u.size, u.sh = uLoad, 4, 32
 	case isa.OpLWU:
+		ops = e.lowerSan(ops, ins, pc, uSanRead, 4)
 		u.kind, u.size = uLoad, 4
 	case isa.OpLD:
+		ops = e.lowerSan(ops, ins, pc, uSanRead, 8)
 		u.kind, u.size = uLoad, 8
 	case isa.OpSB:
+		ops = e.lowerSan(ops, ins, pc, uSanWrite, 1)
 		u.kind, u.size = uStore, 1
 	case isa.OpSH:
+		ops = e.lowerSan(ops, ins, pc, uSanWrite, 2)
 		u.kind, u.size = uStore, 2
 	case isa.OpSW:
+		ops = e.lowerSan(ops, ins, pc, uSanWrite, 4)
 		u.kind, u.size = uStore, 4
 	case isa.OpSD:
+		ops = e.lowerSan(ops, ins, pc, uSanWrite, 8)
 		u.kind, u.size = uStore, 8
 	case isa.OpFLD:
+		ops = e.lowerSan(ops, ins, pc, uSanRead, 8)
 		u.kind = uFLoad
 	case isa.OpFSD:
+		ops = e.lowerSan(ops, ins, pc, uSanWrite, 8)
 		u.kind = uFStore
 
 	case isa.OpLL:
@@ -314,6 +334,17 @@ func (e *Engine) lowerInsn(ops []uop, ins *isa.Instruction, pc uint64) []uop {
 		u.pc = pc
 	}
 	return append(ops, u)
+}
+
+// lowerSan emits the DQSan instrumentation uop for a memory instruction.
+// It precedes the memory uop (the access may clobber its own base register)
+// and carries no cost and no retired instructions, so segment accounting
+// and fault-refund arithmetic are unaffected.
+func (e *Engine) lowerSan(ops []uop, ins *isa.Instruction, pc uint64, kind uopKind, size uint8) []uop {
+	if e.San == nil {
+		return ops
+	}
+	return append(ops, uop{kind: kind, pc: pc, rs1: ins.Rs1, imm: ins.Imm, size: size, exit: -1, exit2: -1})
 }
 
 // segBoundary reports whether k ends a cost segment: every uop that can
@@ -455,7 +486,23 @@ func (e *Engine) execSuperRun(cpu *CPU, sb *superblock, spent *int64, budgetNs i
 			executed += uint64(u.insns)
 		}
 		switch u.kind {
-		case uNop, uFence:
+		case uNop:
+
+		case uFence:
+			if e.San != nil {
+				e.San.OnFence(cpu.TID)
+			}
+
+		case uSanRead:
+			if e.San != nil {
+				addr := x[u.rs1] + uint64(u.imm)
+				e.San.OnLoad(cpu.TID, mmu.Translate(addr), int(u.size), u.pc)
+			}
+		case uSanWrite:
+			if e.San != nil {
+				addr := x[u.rs1] + uint64(u.imm)
+				e.San.OnStore(cpu.TID, mmu.Translate(addr), int(u.size), u.pc)
+			}
 
 		case uAdd:
 			x[u.rd] = x[u.rs1] + x[u.rs2]
@@ -663,6 +710,9 @@ func (e *Engine) execSuperRun(cpu *CPU, sb *superblock, spent *int64, budgetNs i
 				return e.superFault(cpu, sb, i, fault, spent, executed)
 			}
 			e.Mon.OnLL(cpu.TID, mmu.Translate(addr))
+			if e.San != nil {
+				e.San.OnAtomic(cpu.TID, mmu.Translate(addr), 8, u.pc, false)
+			}
 			monEmpty = false
 			wr(x, u.rd, v)
 		case uSC:
@@ -678,8 +728,14 @@ func (e *Engine) execSuperRun(cpu *CPU, sb *superblock, spent *int64, budgetNs i
 				if fault := mmu.Store(addr, x[u.rs2], 8); fault != nil {
 					return e.superFault(cpu, sb, i, fault, spent, executed)
 				}
+				if e.San != nil {
+					e.San.OnAtomic(cpu.TID, taddr, 8, u.pc, true)
+				}
 				wr(x, u.rd, 0)
 			} else {
+				if e.San != nil {
+					e.San.OnAtomic(cpu.TID, taddr, 8, u.pc, false)
+				}
 				wr(x, u.rd, 1)
 				if e.StopAtomic {
 					cpu.PC = u.pc + 4
@@ -717,6 +773,9 @@ func (e *Engine) execSuperRun(cpu *CPU, sb *superblock, spent *int64, budgetNs i
 				if !e.Mon.Empty() {
 					e.Mon.OnStore(cpu.TID, taddr)
 				}
+			}
+			if e.San != nil {
+				e.San.OnAtomic(cpu.TID, taddr, 8, u.pc, doStore)
 			}
 			wr(x, u.rd, old)
 			if e.StopAtomic && u.kind == uCAS && !doStore {

@@ -1,0 +1,69 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dqemu/internal/image"
+)
+
+// Racy is DQSan's validation workload: threads deliberately race on guest
+// memory in three distinct ways — an unlocked read-modify-write counter, a
+// message-passing flag/payload pair with no fence or atomic, and seeded
+// scatter writes into a shared table — while a mutex-protected control
+// counter exercises the same cache lines with proper synchronization and
+// must stay silent. The seed parametrizes the scatter pattern (and is
+// spliced into the payload), so a given (threads, rounds, seed) triple
+// produces a reproducible report under the deterministic simulator.
+func Racy(threads, rounds int, seed int64) (*image.Image, error) {
+	if threads < 2 || threads > 32 {
+		return nil, fmt.Errorf("workloads: racy supports 2..32 threads")
+	}
+	src := fmt.Sprintf(`
+long THREADS = %d;
+long ROUNDS  = %d;
+long SEED    = %d;
+
+long lock;
+long locked;     // control: mutex-protected, the sanitizer must stay silent
+long counter;    // race 1: unlocked read-modify-write
+long flag;       // race 2: message passing without a fence or atomic
+long data;       // race 2: payload published through the unsynchronized flag
+long seen;
+long table[256]; // race 3: seeded scatter writes
+long tids[32];
+
+long worker(long idx) {
+	long r = SEED + idx * 2654435761;
+	for (long i = 0; i < ROUNDS; i++) {
+		counter = counter + 1;
+
+		mutex_lock(&lock);
+		locked = locked + 1;
+		mutex_unlock(&lock);
+
+		r = r * 1103515245 + 12345;
+		long j = (r >> 16) & 255;
+		table[j] = table[j] + idx + 1;
+	}
+	if (idx == 0) {
+		data = SEED + 7;
+		flag = 1;
+	}
+	if (idx == 1) {
+		long spin = 0;
+		while (flag == 0 && spin < 64) { spin = spin + 1; yield(); }
+		seen = data;
+	}
+	return 0;
+}
+
+long main() {
+	for (long i = 0; i < THREADS; i++) tids[i] = thread_create((long)worker, i);
+	for (long i = 0; i < THREADS; i++) thread_join(tids[i]);
+	print_str("counter="); print_long(counter); print_char('\n');
+	print_str("locked=");  print_long(locked);  print_char('\n');
+	print_str("seen=");    print_long(seen);    print_char('\n');
+	return 0;
+}`, threads, rounds, seed)
+	return build("racy.mc", src)
+}
