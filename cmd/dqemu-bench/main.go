@@ -22,11 +22,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig5, fig6, table1, fig7, fig8, singlenode, sanitizer, chaos, or all")
+	exp := flag.String("exp", "all", "experiment to run: fig5, fig6, table1, fig7, fig8, singlenode, sanitizer, wire, chaos, or all")
 	full := flag.Bool("full", false, "use inputs close to the paper's sizes (slow)")
 	slaves := flag.Int("slaves", 6, "maximum number of slave nodes to sweep")
 	quiet := flag.Bool("q", false, "suppress per-run progress")
-	jsonOut := flag.String("json", "", "write singlenode/sanitizer results as JSON to this file")
+	jsonOut := flag.String("json", "", "write singlenode/sanitizer/wire results as JSON to this file")
 	noSuper := flag.Bool("nosuperblock", false, "disable hot-trace superblocks (ablation)")
 	noJC := flag.Bool("nojumpcache", false, "disable the indirect-branch target cache (ablation)")
 	seed := flag.Int64("seed", 0, "chaos: run a single fault plan with this seed (0 = full battery)")
@@ -111,6 +111,32 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[sanitizer took %.1fs host time]\n\n", time.Since(start).Seconds())
 		if sr.Fails() > 0 {
+			os.Exit(1)
+		}
+	}
+
+	if want("wire") {
+		start := time.Now()
+		wr, err := experiments.RunWire(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dqemu-bench: wire: %v\n", err)
+			os.Exit(1)
+		}
+		wr.Print(os.Stdout)
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dqemu-bench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := wr.WriteJSON(f); err != nil {
+				fmt.Fprintf(os.Stderr, "dqemu-bench: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+		fmt.Fprintf(os.Stderr, "[wire took %.1fs host time]\n\n", time.Since(start).Seconds())
+		if wr.Fails() > 0 {
 			os.Exit(1)
 		}
 	}

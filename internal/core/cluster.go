@@ -42,6 +42,11 @@ type Cluster struct {
 
 	trampoline uint64
 
+	// wireStats accumulates wire-efficiency-layer activity from both the
+	// master (encoding choices, batching) and the nodes (mismatch resends,
+	// dropped pushes). Zero when the layer is fully ablated.
+	wireStats WireStats
+
 	done     bool
 	exitCode int64
 	err      error
@@ -66,6 +71,8 @@ type Result struct {
 	OS     guestos.Stats
 	// Migrations counts dynamic thread migrations (Config.RebalanceNs).
 	Migrations uint64
+	// Wire reports the wire-efficiency layer (delta transfers, coalescing).
+	Wire WireStats
 	// San holds the DQSan report (races, lint diagnostics, instrumentation
 	// counts) when Config.Sanitizer is on; nil otherwise.
 	San *sanitizer.Summary
@@ -222,6 +229,7 @@ func (c *Cluster) result() *Result {
 		Faults:     c.net.FaultStats,
 		OS:         c.os.Stats,
 		Migrations: c.master.migrations,
+		Wire:       c.wireStats,
 	}
 	if c.rel != nil {
 		r.Rel = c.rel.Stats

@@ -73,6 +73,22 @@ type Config struct {
 	// (ablation; default off = quanta end at atomics like QEMU translation
 	// blocks, so lock hand-offs interleave at instruction granularity).
 	NoAtomicPreempt bool
+	// NoDelta disables delta page transfers (ablation): coherence messages
+	// carry full pages, nodes keep no twins, and no version information is
+	// exchanged. With NoCoalesce also set, the wire layer is fully off and
+	// message framing matches the pre-wire-layer baseline byte for byte.
+	NoDelta bool
+	// NoCoalesce disables invalidation multicast coalescing, ack
+	// aggregation and push piggybacking (ablation): every invalidation is a
+	// separate unicast with its own ack, and grants/pushes go one page per
+	// message.
+	NoCoalesce bool
+	// CoalesceWindowNs is how long the master holds invalidations for one
+	// sharer before flushing them as a single KInvBatch, letting
+	// invalidations from back-to-back coherence events share a message.
+	// Zero selects the default (12 µs — small next to the ~410 µs remote
+	// fault, large enough to capture barrier-release storms).
+	CoalesceWindowNs int64
 
 	// Faults, when set to an active plan, injects deterministic seeded
 	// faults (drop/dup/jitter/reorder, node stalls and crashes) into the
@@ -141,5 +157,8 @@ func (c *Config) normalize() {
 	}
 	if c.MaxTimeNs <= 0 {
 		c.MaxTimeNs = int64(3600) * 1_000_000_000
+	}
+	if c.CoalesceWindowNs <= 0 {
+		c.CoalesceWindowNs = 12_000
 	}
 }

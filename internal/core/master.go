@@ -20,6 +20,11 @@ type master struct {
 
 	dir *dsm.Directory
 
+	// wire is the wire-efficiency layer (delta transfers, invalidation
+	// coalescing, push piggybacking). nil when both ablations are set, which
+	// keeps every Env method on its legacy framing.
+	wire *masterWire
+
 	// helperWait parks manager-thread continuations needing a page at home.
 	helperWait map[uint64][]func()
 
@@ -61,7 +66,18 @@ func newMaster(n *node) *master {
 		split = dsm.NewSplitter(cfg.PageSize, cfg.SplitFactor, cfg.SplitThreshold)
 	}
 	m.dir = dsm.New(m, fwd, split)
+	m.wire = newMasterWire(m)
 	return m
+}
+
+// sendNow flushes any buffered grants/pushes for the target before an
+// immediate send, so buffering can never reorder the master's messages on
+// one link relative to the unbuffered protocol.
+func (m *master) sendNow(msg *proto.Msg) {
+	if m.wire != nil {
+		m.wire.flushTarget(msg.To)
+	}
+	m.cl.send(msg)
 }
 
 // handle dispatches master-bound messages: directory traffic and delegated
@@ -71,24 +87,61 @@ func (m *master) handle(msg *proto.Msg) {
 	if m.cl.done && msg.Kind != proto.KShutdown {
 		return
 	}
+	if m.wire != nil {
+		// Grants and pushes queued while handling this message flush as
+		// (at most) one message per target once the directory settles.
+		defer m.wire.flushAll()
+	}
 	switch msg.Kind {
 	case proto.KPageReq:
+		full := msg.Flags&proto.FlagFullResend != 0
+		if m.wire != nil {
+			if full {
+				m.wire.stats.Resends++
+			}
+			m.wire.noteRequest(msg.From, msg.Page, msg.Ver, full)
+		}
 		m.dir.OnRequest(dsm.Request{
 			Node:  int(msg.From),
 			TID:   msg.TID,
 			Page:  msg.Page,
 			Addr:  msg.Addr,
 			Write: msg.Write,
+			Full:  full,
 		})
 	case proto.KFetchReply:
+		data, san := msg.Data, msg.San
+		if msg.Flags&proto.FlagCoh != 0 {
+			var err error
+			data, san, err = m.wire.materializeFetchReply(msg.From, msg)
+			if err != nil {
+				m.cl.fail(err)
+				return
+			}
+		}
 		if m.node.san != nil {
 			// Fold the owner's shadow history into the home copy before the
 			// directory acts on the reply: a synchronous local grant reads
 			// the merged state.
-			m.node.san.MergePage(msg.Page, msg.San)
+			m.node.san.MergePage(msg.Page, san)
 		}
-		if err := m.dir.OnFetchReply(int(msg.From), msg.Page, msg.Data, msg.Write); err != nil {
+		if err := m.dir.OnFetchReply(int(msg.From), msg.Page, data, msg.Write); err != nil {
 			m.cl.fail(err)
+		}
+	case proto.KInvAckBatch:
+		acks, err := proto.DecodeAckBatch(msg.Data)
+		if err != nil {
+			m.cl.fail(err)
+			return
+		}
+		for _, a := range acks {
+			if m.node.san != nil {
+				m.node.san.MergePage(a.Page, a.San)
+			}
+			if err := m.dir.OnInvAck(int(msg.From), a.Page); err != nil {
+				m.cl.fail(err)
+				return
+			}
 		}
 	case proto.KInvAck:
 		if m.node.san != nil {
@@ -130,7 +183,7 @@ func (m *master) onMigrateCtx(msg *proto.Msg) {
 		m.node.addThread(cpu)
 		return
 	}
-	m.cl.send(&proto.Msg{
+	m.sendNow(&proto.Msg{
 		Kind: proto.KThreadStart, From: 0, To: int32(target),
 		TID: msg.TID, CPU: msg.CPU, San: msg.San,
 	})
@@ -235,7 +288,7 @@ func (m *master) onSyscallReq(msg *proto.Msg) {
 		if attach != nil {
 			rm.San = attach()
 		}
-		m.cl.send(rm)
+		m.sendNow(rm)
 	}
 	m.cl.os.Global(tid, msg.Num, msg.Args, reply)
 	m.createSan = nil
@@ -255,9 +308,18 @@ func (m *master) osExit(tid int64) {
 // M — the in-flight-grant race).
 func (m *master) SendContent(to int, page uint64, perm mem.Perm) {
 	if to == dsm.Master {
+		if m.wire != nil && perm == mem.PermReadWrite {
+			// The home copy is about to be modified in place: snapshot it
+			// (sharers keep twins at this version) and open a new version.
+			m.wire.openLocalEpoch(page)
+		}
 		m.space.EnsurePage(page, perm)
 		m.space.SetPerm(page, perm)
 		m.node.contentArrived(page, perm)
+		return
+	}
+	if m.wire != nil {
+		m.wire.queueGrant(int32(to), page, perm)
 		return
 	}
 	data := m.space.EnsurePage(page, m.space.PermOf(page))
@@ -283,18 +345,28 @@ func (m *master) SendReaffirm(to int, page uint64, perm mem.Perm) {
 		m.node.contentArrived(page, perm)
 		return
 	}
-	m.cl.send(&proto.Msg{
+	m.sendNow(&proto.Msg{
 		Kind: proto.KPageContent, From: 0, To: int32(to),
 		Page: page, Perm: uint8(perm),
 	})
 }
 
 func (m *master) SendInvalidate(to int, page uint64) {
-	m.cl.send(&proto.Msg{Kind: proto.KInvalidate, From: 0, To: int32(to), Page: page})
+	if m.wire != nil && m.wire.coalesce {
+		m.wire.queueInvalidate(int32(to), page)
+		return
+	}
+	m.sendNow(&proto.Msg{Kind: proto.KInvalidate, From: 0, To: int32(to), Page: page})
 }
 
 func (m *master) SendFetch(owner int, page uint64, invalidate bool) {
-	m.cl.send(&proto.Msg{Kind: proto.KFetch, From: 0, To: int32(owner), Page: page, Write: invalidate})
+	msg := &proto.Msg{Kind: proto.KFetch, From: 0, To: int32(owner), Page: page, Write: invalidate}
+	if m.wire != nil && m.wire.delta {
+		// Stamp the epoch naming the owner's content so the reply's diff
+		// carries the version the page will be known by.
+		msg.Ver = m.wire.fetchEpoch(page)
+	}
+	m.sendNow(msg)
 }
 
 func (m *master) SendRetry(to int, page uint64, tid int64) {
@@ -303,7 +375,7 @@ func (m *master) SendRetry(to int, page uint64, tid int64) {
 		m.node.retryArrived(page)
 		return
 	}
-	m.cl.send(&proto.Msg{Kind: proto.KRetry, From: 0, To: int32(to), Page: page, TID: tid})
+	m.sendNow(&proto.Msg{Kind: proto.KRetry, From: 0, To: int32(to), Page: page, TID: tid})
 }
 
 func (m *master) HomeWriteback(page uint64, data []byte) {
@@ -329,6 +401,10 @@ func (m *master) BroadcastRemap(orig uint64, shadows []uint64) {
 		return
 	}
 	m.llsc.InvalidatePage(orig, m.space.PageSize())
+	if m.wire != nil {
+		m.wire.broadcastRemap(orig, shadows)
+		return
+	}
 	for id := 1; id < m.cl.cfg.Nodes(); id++ {
 		m.cl.send(&proto.Msg{
 			Kind: proto.KRemap, From: 0, To: int32(id),
@@ -338,6 +414,10 @@ func (m *master) BroadcastRemap(orig uint64, shadows []uint64) {
 }
 
 func (m *master) PushPage(to int, page uint64) {
+	if m.wire != nil {
+		m.wire.queuePush(int32(to), page)
+		return
+	}
 	data := m.space.EnsurePage(page, m.space.PermOf(page))
 	push := &proto.Msg{
 		Kind: proto.KPush, From: 0, To: int32(to),
@@ -464,7 +544,7 @@ func (m *master) StartThread(tid int64, fn, arg, stackTop uint64, hint int64) {
 		m.node.addThread(cpu)
 		return
 	}
-	m.cl.send(&proto.Msg{
+	m.sendNow(&proto.Msg{
 		Kind: proto.KThreadStart, From: 0, To: int32(target),
 		TID: tid, CPU: proto.EncodeCPU(cpu), San: m.createSan,
 	})

@@ -36,6 +36,13 @@ type node struct {
 	waiting   map[uint64][]*thread
 	requested map[uint64]uint8
 
+	// Delta-transfer state (nil when Config.NoDelta, and on the master, whose
+	// grants are local): twins hold the last coherent content of each page at
+	// its directory version; resend marks pages whose grant mismatched and is
+	// being re-requested in full.
+	twins  map[uint64]*pageTwin
+	resend map[uint64]bool
+
 	// Outstanding timer wakeups etc. keep the node referenced.
 	stats NodeStats
 }
@@ -83,6 +90,10 @@ func newNode(id int, cl *Cluster) *node {
 	if cl.cfg.Sanitizer {
 		n.san = sanitizer.New(id, cl.cfg.PageSize)
 		engine.San = n.san
+	}
+	if !cl.cfg.NoDelta && id != 0 {
+		n.twins = map[uint64]*pageTwin{}
+		n.resend = map[uint64]bool{}
 	}
 	return n
 }
@@ -231,7 +242,7 @@ func (n *node) requestPage(page uint64, addr uint64, write bool, tid int64) {
 		return
 	}
 	n.requested[page] |= bit
-	n.cl.send(&proto.Msg{
+	msg := &proto.Msg{
 		Kind:  proto.KPageReq,
 		From:  int32(n.id),
 		To:    0,
@@ -239,7 +250,15 @@ func (n *node) requestPage(page uint64, addr uint64, write bool, tid int64) {
 		Page:  page,
 		Addr:  addr,
 		Write: write,
-	})
+	}
+	if n.twins != nil {
+		// Advertise the twin version so the grant can be a diff against it
+		// (or a bare reaffirmation when it is still current).
+		if tw := n.twins[page]; tw != nil {
+			msg.Ver = tw.ver
+		}
+	}
+	n.cl.send(msg)
 }
 
 // wakePageWaiters releases threads whose page need is now satisfied.
@@ -458,6 +477,8 @@ func (n *node) handle(m *proto.Msg) {
 		n.onPageContent(m)
 	case proto.KInvalidate:
 		n.onInvalidate(m)
+	case proto.KInvBatch:
+		n.onInvBatch(m)
 	case proto.KFetch:
 		n.onFetch(m)
 	case proto.KRetry:
@@ -480,6 +501,10 @@ func (n *node) handle(m *proto.Msg) {
 }
 
 func (n *node) onPageContent(m *proto.Msg) {
+	if m.Flags&proto.FlagCoh != 0 {
+		n.onCohFrame(m)
+		return
+	}
 	perm := mem.Perm(m.Perm)
 	if m.Data == nil {
 		// Permission-only reaffirmation: keep the local (freshest) copy.
@@ -515,20 +540,31 @@ func (n *node) contentArrived(page uint64, perm mem.Perm) {
 }
 
 func (n *node) onInvalidate(m *proto.Msg) {
-	n.space.DropPage(m.Page)
-	n.llsc.InvalidatePage(m.Page, n.space.PageSize())
-	n.engine.InvalidatePage(m.Page)
-	ack := &proto.Msg{Kind: proto.KInvAck, From: int32(n.id), To: 0, Page: m.Page}
+	san := n.dropForInvalidate(m.Page)
+	n.cl.send(&proto.Msg{Kind: proto.KInvAck, From: int32(n.id), To: 0, Page: m.Page, San: san})
+}
+
+// dropForInvalidate revokes the local copy of page and returns the shadow
+// history the ack must carry home: the next owner must see this node's
+// accesses, and keeping the history here would detach it from the page. The
+// twin survives the invalidation — that is the whole point of twins.
+func (n *node) dropForInvalidate(page uint64) []byte {
+	n.space.DropPage(page)
+	n.llsc.InvalidatePage(page, n.space.PageSize())
+	n.engine.InvalidatePage(page)
+	var san []byte
 	if n.san != nil {
-		// Ship the shadow history home with the ack so the next owner sees
-		// this node's accesses; keeping it here would detach it from the page.
-		ack.San = n.san.EncodePage(m.Page)
-		n.san.DropPage(m.Page)
+		san = n.san.EncodePage(page)
+		n.san.DropPage(page)
 	}
-	n.cl.send(ack)
+	return san
 }
 
 func (n *node) onFetch(m *proto.Msg) {
+	if n.twins != nil {
+		n.onFetchDelta(m)
+		return
+	}
 	data := n.space.PageData(m.Page)
 	if data == nil {
 		n.cl.fail(fmt.Errorf("node %d: fetch for non-resident page %#x", n.id, m.Page))
@@ -563,6 +599,7 @@ func (n *node) onRetry(m *proto.Msg) {
 // waited on it; their retried accesses go through the new remap.
 func (n *node) retryArrived(page uint64) {
 	delete(n.requested, page)
+	delete(n.resend, page) // the page was split; the full re-grant is moot
 	waiters := n.waiting[page]
 	delete(n.waiting, page)
 	for _, t := range waiters {
@@ -574,21 +611,49 @@ func (n *node) retryArrived(page uint64) {
 }
 
 func (n *node) onRemap(m *proto.Msg) {
-	if err := n.space.AddRemap(m.Page, m.Shadows); err != nil {
+	n.applyRemap(m.Page, m.Shadows, m.Ver)
+}
+
+// applyRemap installs a page split. ver, when nonzero, is the home version
+// of the original page at split time: a twin at exactly that version holds
+// the coherent pre-split content and is split along with the page, so the
+// first transfers of the shadows can already be diffs.
+func (n *node) applyRemap(orig uint64, shadows []uint64, ver uint64) {
+	if err := n.space.AddRemap(orig, shadows); err != nil {
 		n.cl.fail(fmt.Errorf("node %d: remap: %w", n.id, err))
 		return
 	}
-	n.llsc.InvalidatePage(m.Page, n.space.PageSize())
-	n.engine.InvalidatePage(m.Page)
+	n.llsc.InvalidatePage(orig, n.space.PageSize())
+	n.engine.InvalidatePage(orig)
 	if n.san != nil {
 		// Accesses now translate to the shadow pages; any leftover shadow
 		// state keyed by the original page is unreachable (the home split
 		// its own copy via SplitHome before broadcasting the remap).
-		n.san.DropPage(m.Page)
+		n.san.DropPage(orig)
+	}
+	if n.twins == nil {
+		return
+	}
+	tw := n.twins[orig]
+	delete(n.twins, orig)
+	delete(n.resend, orig)
+	if tw == nil || ver == 0 || tw.ver != ver {
+		return
+	}
+	ps := n.space.PageSize()
+	part := ps / len(shadows)
+	for i, sh := range shadows {
+		buf := make([]byte, ps)
+		copy(buf[i*part:(i+1)*part], tw.data[i*part:(i+1)*part])
+		n.twins[sh] = &pageTwin{ver: 1, data: buf}
 	}
 }
 
 func (n *node) onPush(m *proto.Msg) {
+	if m.Flags&proto.FlagCoh != 0 {
+		n.onCohFrame(m)
+		return
+	}
 	// Install a forwarded page in Shared state unless we already hold (or
 	// are upgrading) it.
 	if n.space.PermOf(m.Page) != mem.PermNone || n.requested[m.Page]&reqWrite != 0 {

@@ -1,0 +1,778 @@
+package core
+
+import (
+	"fmt"
+
+	"dqemu/internal/mem"
+	"dqemu/internal/proto"
+)
+
+// This file is the wire-efficiency layer of the DSM protocol (delta page
+// transfers, invalidation multicast coalescing, ack aggregation and push
+// piggybacking). It lives entirely between the directory's Env calls and the
+// network: dsm stays pure protocol logic, and live mode (internal/live),
+// which implements its own Env, keeps the legacy full-page framing.
+//
+// Versioning (TreadMarks-style twins): the master assigns every page a
+// monotonically increasing version. homeVer names the content of the home
+// copy; a write grant opens a new epoch that names whatever the owner will
+// write, and the fetch that eventually revokes the owner stamps that epoch
+// onto the returned diff. Every node keeps a twin — data plus version — of
+// the last coherent content it held; content-carrying messages then ship a
+// word-granular diff against the version the master believes the receiver
+// holds, falling back to a full page (or a zero-run encoding for sparse
+// pages) when no usable base exists or the diff grows past ~half a page.
+// Diffs carry absolute words, so a retransmitted or duplicated diff applies
+// idempotently. A receiver whose twin does not match simply discards it and
+// requests a full re-grant (proto.FlagFullResend); dsm.Request.Full turns
+// that into a content grant even where the directory would reaffirm.
+
+// WireStats counts wire-layer activity (Result.Wire).
+type WireStats struct {
+	// Per-encoding page transfer counts (grants, pushes and fetch replies).
+	SamePages  uint64 // header-only: the receiver's twin was current
+	DeltaPages uint64
+	RLEPages   uint64
+	FullPages  uint64
+
+	DeltaMisses    uint64 // wanted a delta but had no usable base version
+	DeltaOverflows uint64 // diff exceeded the fallback threshold
+	Resends        uint64 // receiver-side twin mismatches (full re-grant)
+	PushDrops      uint64 // forwarded diffs dropped for a stale twin
+
+	PiggyPushes   uint64 // pushes that rode a grant message
+	InvBatches    uint64
+	InvBatchPages uint64
+
+	// BodyBytes is what the container payload bodies actually shipped;
+	// RawBytes is what the same transfers would have cost as full pages.
+	BodyBytes uint64
+	RawBytes  uint64
+}
+
+// pageTwin is a node's copy of the last coherent content of a page, kept
+// across invalidations so the next transfer can be a diff against it.
+type pageTwin struct {
+	ver  uint64
+	data []byte
+}
+
+type nodePage struct {
+	node int32
+	page uint64
+}
+
+type wireSnap struct {
+	ver  uint64
+	data []byte
+}
+
+// wireSnapKeep bounds the per-page ring of retained home-copy versions.
+const wireSnapKeep = 4
+
+type grantBuf struct {
+	pls []proto.PagePayload
+}
+
+type invBuf struct {
+	pages  []uint64
+	remaps []proto.RemapEntry
+}
+
+// masterWire is the master-side half of the layer: version bookkeeping,
+// per-target grant/push buffering within one message handle, and the
+// windowed invalidation batches.
+type masterWire struct {
+	m        *master
+	delta    bool
+	coalesce bool
+	windowNs int64
+	limit    int // encoded-delta fallback threshold in bytes
+
+	lastVer map[uint64]uint64 // highest version assigned so far
+	homeVer map[uint64]uint64 // version of the current home-copy content
+	epoch   map[uint64]uint64 // open epoch of a remote owner's content
+	snaps   map[uint64][]wireSnap
+	// remote is the twin version the master believes each node holds: the
+	// max of what the node last advertised (KPageReq.Ver) and what the
+	// master last shipped on a guaranteed-apply path (grants and fetches —
+	// never pushes, which a node may ignore).
+	remote map[nodePage]uint64
+
+	grants   map[int32]*grantBuf
+	pendPush map[int32][]proto.PagePayload
+	order    []int32 // flush order for determinism (map iteration is not)
+	pendInv  map[int32]*invBuf
+
+	stats *WireStats
+}
+
+func newMasterWire(m *master) *masterWire {
+	cfg := m.cl.cfg
+	if cfg.NoDelta && cfg.NoCoalesce {
+		return nil // layer fully off: legacy framing everywhere
+	}
+	return &masterWire{
+		m:        m,
+		delta:    !cfg.NoDelta,
+		coalesce: !cfg.NoCoalesce,
+		windowNs: cfg.CoalesceWindowNs,
+		limit:    cfg.PageSize / 2,
+		lastVer:  map[uint64]uint64{},
+		homeVer:  map[uint64]uint64{},
+		epoch:    map[uint64]uint64{},
+		snaps:    map[uint64][]wireSnap{},
+		remote:   map[nodePage]uint64{},
+		grants:   map[int32]*grantBuf{},
+		pendPush: map[int32][]proto.PagePayload{},
+		pendInv:  map[int32]*invBuf{},
+		stats:    &m.cl.wireStats,
+	}
+}
+
+// ---- version bookkeeping ----
+
+// homeVerOf returns the version of the home copy, initializing untouched
+// pages to version 1 (version 0 means "no twin" on the wire).
+func (w *masterWire) homeVerOf(page uint64) uint64 {
+	if v, ok := w.homeVer[page]; ok {
+		return v
+	}
+	w.homeVer[page] = 1
+	if w.lastVer[page] < 1 {
+		w.lastVer[page] = 1
+	}
+	return 1
+}
+
+// snapshotHome retains data (a frozen copy of the home page at its current
+// version) so future grants to nodes with twins at that version can diff.
+func (w *masterWire) snapshotHome(page uint64, data []byte) {
+	v := w.homeVerOf(page)
+	ss := w.snaps[page]
+	for _, s := range ss {
+		if s.ver == v {
+			return
+		}
+	}
+	ss = append(ss, wireSnap{ver: v, data: data})
+	if len(ss) > wireSnapKeep {
+		ss = ss[len(ss)-wireSnapKeep:]
+	}
+	w.snaps[page] = ss
+}
+
+func (w *masterWire) snapOf(page, ver uint64) []byte {
+	if ver == w.homeVerOf(page) {
+		return w.m.space.PageData(page)
+	}
+	for _, s := range w.snaps[page] {
+		if s.ver == ver {
+			return s.data
+		}
+	}
+	return nil
+}
+
+// openLocalEpoch runs when the master itself takes a write grant: the home
+// copy is about to change in place, so its current content is snapshotted
+// (sharers were invalidated but keep twins at this version) and the page
+// moves to a fresh version.
+func (w *masterWire) openLocalEpoch(page uint64) {
+	if !w.delta {
+		return
+	}
+	data := append([]byte(nil), w.m.space.EnsurePage(page, w.m.space.PermOf(page))...)
+	w.snapshotHome(page, data)
+	w.lastVer[page]++
+	w.homeVer[page] = w.lastVer[page]
+}
+
+// fetchEpoch returns (opening if necessary) the version naming the remote
+// owner's content; KFetch carries it so the reply's diff is stamped with it.
+func (w *masterWire) fetchEpoch(page uint64) uint64 {
+	if w.epoch[page] == 0 {
+		w.homeVerOf(page)
+		w.lastVer[page]++
+		w.epoch[page] = w.lastVer[page]
+	}
+	return w.epoch[page]
+}
+
+// noteRequest folds a KPageReq's advertised twin version into the belief
+// map. A FlagFullResend request is authoritative (the node just discarded
+// its twin); otherwise the belief can only grow — a stale advertisement
+// composed before an in-flight grant landed must not roll it back.
+func (w *masterWire) noteRequest(from int32, page, ver uint64, full bool) {
+	if !w.delta {
+		return
+	}
+	np := nodePage{from, page}
+	if full {
+		if ver == 0 {
+			delete(w.remote, np)
+		} else {
+			w.remote[np] = ver
+		}
+		return
+	}
+	if ver > w.remote[np] {
+		w.remote[np] = ver
+	}
+}
+
+// ---- payload construction ----
+
+// buildPayload encodes the current home copy for one receiver, choosing
+// header-only (twin current), delta, zero-run or full encoding.
+func (w *masterWire) buildPayload(to int32, page uint64, perm mem.Perm, push bool) proto.PagePayload {
+	data := w.m.space.EnsurePage(page, w.m.space.PermOf(page))
+	pl := proto.PagePayload{Page: page, Perm: uint8(perm), Push: push}
+	if w.m.node.san != nil {
+		pl.San = w.m.node.san.EncodePage(page)
+	}
+	hv := w.homeVerOf(page)
+	pl.Ver = hv
+	if !w.delta {
+		pl.Enc = proto.EncFull
+		pl.Body = append([]byte(nil), data...)
+	} else {
+		base := w.remote[nodePage{to, page}]
+		switch {
+		case base != 0 && base == hv:
+			pl.Enc = proto.EncSame
+		case base != 0 && w.snapOf(page, base) != nil:
+			if d, ok := proto.EncodeDelta(w.snapOf(page, base), data, w.limit); ok {
+				pl.Enc, pl.BaseVer, pl.Body = proto.EncDelta, base, d
+			} else {
+				w.stats.DeltaOverflows++
+				pl.Enc, pl.Body = fullOrRLE(data)
+			}
+		default:
+			if base != 0 {
+				w.stats.DeltaMisses++
+			}
+			pl.Enc, pl.Body = fullOrRLE(data)
+		}
+	}
+	w.stats.countPayload(&pl, len(data))
+	return pl
+}
+
+// fullOrRLE picks the zero-run encoding when it is cheaper than the raw
+// page (freshly touched sparse pages), else ships the page whole.
+func fullOrRLE(data []byte) (uint8, []byte) {
+	if d, ok := proto.EncodeDelta(nil, data, len(data)-proto.HeaderSize); ok {
+		return proto.EncRLE, d
+	}
+	return proto.EncFull, append([]byte(nil), data...)
+}
+
+func (s *WireStats) countPayload(pl *proto.PagePayload, pageSize int) {
+	s.BodyBytes += uint64(len(pl.Body))
+	s.RawBytes += uint64(pageSize)
+	switch pl.Enc {
+	case proto.EncSame:
+		s.SamePages++
+	case proto.EncDelta:
+		s.DeltaPages++
+	case proto.EncRLE:
+		s.RLEPages++
+	default:
+		s.FullPages++
+	}
+}
+
+// ---- grant/push buffering (per message handle) ----
+
+func (w *masterWire) touch(to int32) {
+	for _, t := range w.order {
+		if t == to {
+			return
+		}
+	}
+	w.order = append(w.order, to)
+}
+
+// queueGrant buffers a demand grant for flushing at the end of the current
+// handle (pushes can then piggyback on it). A write grant opens a new epoch
+// for the owner's upcoming modifications.
+func (w *masterWire) queueGrant(to int32, page uint64, perm mem.Perm) {
+	pl := w.buildPayload(to, page, perm, false)
+	if w.delta {
+		if perm == mem.PermReadWrite {
+			w.homeVerOf(page)
+			w.lastVer[page]++
+			w.epoch[page] = w.lastVer[page]
+		}
+		w.remote[nodePage{to, page}] = pl.Ver
+	}
+	g := w.grants[to]
+	if g == nil {
+		g = &grantBuf{}
+		w.grants[to] = g
+		w.touch(to)
+	}
+	g.pls = append(g.pls, pl)
+	if !w.coalesce {
+		w.flushTarget(to)
+	}
+}
+
+// queuePush buffers a forwarded page. Pushes never update the belief map:
+// the receiver is free to ignore them.
+func (w *masterWire) queuePush(to int32, page uint64) {
+	pl := w.buildPayload(to, page, mem.PermRead, true)
+	w.pendPush[to] = append(w.pendPush[to], pl)
+	w.touch(to)
+	if !w.coalesce {
+		w.flushTarget(to)
+	}
+}
+
+// piggyBudget bounds how many push body bytes may ride a grant message so
+// piggybacking never doubles the demand grant's serialization time.
+func (w *masterWire) piggyBudget() int { return w.m.cl.cfg.PageSize }
+
+// flushTarget emits the buffered grant (with pushes piggybacked up to the
+// budget) followed by any remaining pushes for one node. It must run before
+// any other immediate master->to send so link-FIFO ordering matches the
+// unbuffered protocol (master.sendNow does this).
+func (w *masterWire) flushTarget(to int32) {
+	g := w.grants[to]
+	pushes := w.pendPush[to]
+	if g == nil && len(pushes) == 0 {
+		return
+	}
+	delete(w.grants, to)
+	delete(w.pendPush, to)
+	if w.m.cl.done {
+		return
+	}
+	if g != nil {
+		if w.coalesce && len(pushes) > 0 {
+			budget := w.piggyBudget()
+			used := 0
+			var rest []proto.PagePayload
+			for _, pl := range pushes {
+				if used+len(pl.Body) <= budget {
+					used += len(pl.Body)
+					g.pls = append(g.pls, pl)
+					w.stats.PiggyPushes++
+				} else {
+					rest = append(rest, pl)
+				}
+			}
+			pushes = rest
+		}
+		w.sendContainer(proto.KPageContent, to, g.pls)
+	}
+	if len(pushes) == 0 {
+		return
+	}
+	if w.coalesce {
+		w.sendContainer(proto.KPush, to, pushes)
+	} else {
+		for _, pl := range pushes {
+			w.sendContainer(proto.KPush, to, []proto.PagePayload{pl})
+		}
+	}
+}
+
+// sendContainer ships payloads under FlagCoh framing. In delta-off mode a
+// lone full-page payload regresses to the legacy raw framing so the
+// coalescing ablation never costs bytes over the baseline.
+func (w *masterWire) sendContainer(kind proto.Kind, to int32, pls []proto.PagePayload) {
+	if !w.delta && len(pls) == 1 && pls[0].Enc == proto.EncFull {
+		w.m.cl.send(&proto.Msg{
+			Kind: kind, From: 0, To: to,
+			Page: pls[0].Page, Perm: pls[0].Perm,
+			Data: pls[0].Body, San: pls[0].San,
+		})
+		return
+	}
+	w.m.cl.send(&proto.Msg{
+		Kind: kind, From: 0, To: to,
+		Page: pls[0].Page, Perm: pls[0].Perm, Flags: proto.FlagCoh,
+		Data: proto.EncodePayloads(pls),
+	})
+}
+
+// flushAll runs at the end of every master handle.
+func (w *masterWire) flushAll() {
+	for len(w.order) > 0 {
+		to := w.order[0]
+		w.order = w.order[1:]
+		w.flushTarget(to)
+	}
+}
+
+// ---- invalidation coalescing ----
+
+// queueInvalidate holds an invalidation for its target's current batch,
+// arming the flush timer on the batch's first page.
+func (w *masterWire) queueInvalidate(to int32, page uint64) {
+	b := w.pendInv[to]
+	if b == nil {
+		b = &invBuf{}
+		w.pendInv[to] = b
+		w.m.cl.k.Post(w.windowNs, func() { w.flushInv(to) })
+	}
+	b.pages = append(b.pages, page)
+}
+
+// flushInv emits one KInvBatch for the target. A batch holding a single
+// page and no remap regresses to the legacy unicast so coalescing never
+// costs bytes when there is nothing to merge.
+func (w *masterWire) flushInv(to int32) {
+	b := w.pendInv[to]
+	if b == nil {
+		return
+	}
+	delete(w.pendInv, to)
+	if w.m.cl.done {
+		return
+	}
+	if len(b.pages) == 1 && len(b.remaps) == 0 {
+		w.m.cl.send(&proto.Msg{Kind: proto.KInvalidate, From: 0, To: to, Page: b.pages[0]})
+		return
+	}
+	w.stats.InvBatches++
+	w.stats.InvBatchPages += uint64(len(b.pages))
+	w.m.cl.send(&proto.Msg{
+		Kind: proto.KInvBatch, From: 0, To: to,
+		Data: proto.EncodeInvBatch(b.pages, b.remaps),
+	})
+}
+
+// ---- split / remap interplay ----
+
+// broadcastRemap distributes a page split. A target with a pending
+// invalidation batch gets the remap folded into it (flushed immediately —
+// the directory sends retries right after, and the remap must win the
+// race); everyone else gets a legacy KRemap stamped with the split-time
+// home version so matching twins can be split in place.
+func (w *masterWire) broadcastRemap(orig uint64, shadows []uint64) {
+	var ver uint64
+	if w.delta {
+		ver = w.homeVerOf(orig)
+	}
+	for id := 1; id < w.m.cl.cfg.Nodes(); id++ {
+		to := int32(id)
+		if b := w.pendInv[to]; b != nil {
+			b.remaps = append(b.remaps, proto.RemapEntry{Orig: orig, Ver: ver, Shadows: shadows})
+			w.flushInv(to)
+			continue
+		}
+		w.flushTarget(to)
+		w.m.cl.send(&proto.Msg{
+			Kind: proto.KRemap, From: 0, To: to,
+			Page: orig, Shadows: shadows, Ver: ver,
+		})
+	}
+	if !w.delta {
+		return
+	}
+	for id := 1; id < w.m.cl.cfg.Nodes(); id++ {
+		np := nodePage{int32(id), orig}
+		if ver != 0 && w.remote[np] == ver {
+			for _, sh := range shadows {
+				w.remote[nodePage{int32(id), sh}] = 1
+			}
+		}
+		delete(w.remote, np)
+	}
+	for _, sh := range shadows {
+		w.homeVer[sh] = 1
+		if w.lastVer[sh] < 1 {
+			w.lastVer[sh] = 1
+		}
+		delete(w.snaps, sh)
+	}
+	delete(w.snaps, orig)
+	delete(w.epoch, orig)
+}
+
+// ---- fetch replies ----
+
+// materializeFetchReply decodes the owner's (possibly diffed) reply into
+// full page bytes against the still-intact home copy, retains the old home
+// content for future deltas, and advances the page to the reply's version.
+func (w *masterWire) materializeFetchReply(from int32, msg *proto.Msg) (data, san []byte, err error) {
+	pls, derr := proto.DecodePayloads(msg.Data)
+	if derr != nil {
+		return nil, nil, derr
+	}
+	if len(pls) != 1 {
+		return nil, nil, fmt.Errorf("core: fetch reply with %d payloads", len(pls))
+	}
+	pl := pls[0]
+	ps := w.m.cl.cfg.PageSize
+	old := append([]byte(nil), w.m.space.EnsurePage(pl.Page, w.m.space.PermOf(pl.Page))...)
+	switch pl.Enc {
+	case proto.EncFull:
+		if len(pl.Body) != ps {
+			return nil, nil, fmt.Errorf("core: fetch reply body %d bytes", len(pl.Body))
+		}
+		data = pl.Body
+	case proto.EncDelta:
+		if pl.BaseVer != w.homeVerOf(pl.Page) {
+			return nil, nil, fmt.Errorf("core: fetch reply diff for page %#x against version %d, home is %d",
+				pl.Page, pl.BaseVer, w.homeVerOf(pl.Page))
+		}
+		buf := append([]byte(nil), old...)
+		if aerr := proto.ApplyDelta(buf, pl.Body); aerr != nil {
+			return nil, nil, aerr
+		}
+		data = buf
+	case proto.EncRLE:
+		buf := make([]byte, ps)
+		if aerr := proto.ApplyDelta(buf, pl.Body); aerr != nil {
+			return nil, nil, aerr
+		}
+		data = buf
+	case proto.EncSame:
+		// The owner never materialized its grant (a resend is in flight):
+		// the home copy is still the authoritative content.
+		data = old
+	default:
+		return nil, nil, fmt.Errorf("core: fetch reply encoding %d", pl.Enc)
+	}
+	w.snapshotHome(pl.Page, old)
+	if pl.Ver != 0 {
+		w.homeVer[pl.Page] = pl.Ver
+		if pl.Ver > w.lastVer[pl.Page] {
+			w.lastVer[pl.Page] = pl.Ver
+		}
+	}
+	delete(w.epoch, pl.Page)
+	np := nodePage{from, pl.Page}
+	if pl.Enc == proto.EncSame {
+		delete(w.remote, np) // the owner holds no twin
+	} else {
+		w.remote[np] = pl.Ver
+	}
+	return data, pl.San, nil
+}
+
+// ---- node-side receive paths ----
+
+// setTwin retains data (copied — InstallPage does not adopt the slice, but
+// the caller may) as the page's last coherent content.
+func (n *node) setTwin(page uint64, data []byte, ver uint64) {
+	if n.twins == nil || ver == 0 {
+		return
+	}
+	n.twins[page] = &pageTwin{ver: ver, data: append([]byte(nil), data...)}
+}
+
+// materialize reconstructs full page bytes from a payload. ok=false means
+// the payload needed a twin this node no longer has (or has at the wrong
+// version) — the content cannot be recovered locally and the caller must
+// fall back to a full re-transfer. Deltas carry absolute words, so applying
+// a duplicated payload (ARQ retransmit) is idempotent.
+func (n *node) materialize(pl *proto.PagePayload) (data []byte, ok bool, err error) {
+	ps := n.space.PageSize()
+	switch pl.Enc {
+	case proto.EncFull:
+		if len(pl.Body) != ps {
+			return nil, false, fmt.Errorf("node %d: full payload of %d bytes for page %#x", n.id, len(pl.Body), pl.Page)
+		}
+		return pl.Body, true, nil
+	case proto.EncRLE:
+		buf := make([]byte, ps)
+		if aerr := proto.ApplyDelta(buf, pl.Body); aerr != nil {
+			return nil, false, aerr
+		}
+		return buf, true, nil
+	case proto.EncDelta:
+		tw := n.twins[pl.Page]
+		if tw == nil || tw.ver != pl.BaseVer {
+			return nil, false, nil
+		}
+		buf := append([]byte(nil), tw.data...)
+		if aerr := proto.ApplyDelta(buf, pl.Body); aerr != nil {
+			return nil, false, aerr
+		}
+		return buf, true, nil
+	case proto.EncSame:
+		tw := n.twins[pl.Page]
+		if tw == nil || tw.ver != pl.Ver {
+			return nil, false, nil
+		}
+		return append([]byte(nil), tw.data...), true, nil
+	}
+	return nil, false, fmt.Errorf("node %d: unknown payload encoding %d", n.id, pl.Enc)
+}
+
+// onCohFrame unpacks a FlagCoh container (KPageContent or KPush): demand
+// grants plus any pushes that rode along.
+func (n *node) onCohFrame(m *proto.Msg) {
+	pls, err := proto.DecodePayloads(m.Data)
+	if err != nil {
+		n.cl.fail(fmt.Errorf("node %d: %v payload container: %w", n.id, m.Kind, err))
+		return
+	}
+	for i := range pls {
+		if pls[i].Push || m.Kind == proto.KPush {
+			n.applyPush(&pls[i])
+		} else {
+			n.applyGrant(&pls[i])
+		}
+	}
+}
+
+// applyGrant installs a demand grant. A twin mismatch discards the twin and
+// re-requests the page in full; the waiting threads stay parked (their
+// request bookkeeping is untouched) until the full grant lands.
+func (n *node) applyGrant(pl *proto.PagePayload) {
+	perm := mem.Perm(pl.Perm)
+	data, ok, err := n.materialize(pl)
+	if err != nil {
+		n.cl.fail(err)
+		return
+	}
+	if !ok {
+		n.cl.wireStats.Resends++
+		delete(n.twins, pl.Page)
+		n.resend[pl.Page] = true
+		n.cl.send(&proto.Msg{
+			Kind: proto.KPageReq, From: int32(n.id), To: 0, TID: -1,
+			Page:  pl.Page,
+			Write: perm == mem.PermReadWrite || n.requested[pl.Page]&reqWrite != 0,
+			Flags: proto.FlagFullResend,
+		})
+		return
+	}
+	delete(n.resend, pl.Page)
+	n.space.InstallPage(pl.Page, data, perm)
+	n.engine.InvalidatePage(pl.Page)
+	if n.san != nil {
+		n.san.MergePage(pl.Page, pl.San)
+	}
+	n.setTwin(pl.Page, data, pl.Ver)
+	n.contentArrived(pl.Page, perm)
+}
+
+// applyPush installs a forwarded page under the legacy push rules (ignored
+// if resident or a write upgrade is in flight). A diff against a twin this
+// node no longer holds cannot install — but the directory already recorded
+// this node as a sharer when it forwarded, so the content is re-requested
+// in full unless a demand request is already outstanding.
+func (n *node) applyPush(pl *proto.PagePayload) {
+	if n.space.PermOf(pl.Page) != mem.PermNone || n.requested[pl.Page]&reqWrite != 0 {
+		return
+	}
+	data, ok, err := n.materialize(pl)
+	if err != nil {
+		n.cl.fail(err)
+		return
+	}
+	if !ok {
+		n.cl.wireStats.PushDrops++
+		delete(n.twins, pl.Page)
+		if n.requested[pl.Page] == 0 {
+			n.requested[pl.Page] = reqRead
+			n.cl.send(&proto.Msg{
+				Kind: proto.KPageReq, From: int32(n.id), To: 0, TID: -1,
+				Page: pl.Page, Flags: proto.FlagFullResend,
+			})
+		}
+		return
+	}
+	n.space.InstallPage(pl.Page, data, mem.PermRead)
+	n.engine.InvalidatePage(pl.Page)
+	if n.san != nil {
+		n.san.MergePage(pl.Page, pl.San)
+	}
+	n.setTwin(pl.Page, data, pl.Ver)
+	n.requested[pl.Page] &^= reqRead
+	if n.requested[pl.Page] == 0 {
+		delete(n.requested, pl.Page)
+	}
+	n.wakePageWaiters(pl.Page, mem.PermRead)
+}
+
+// onFetchDelta answers a KFetch with a diff against the twin laid down when
+// this node received the page, stamped with the epoch (m.Ver) the master
+// opened for this ownership. A fetch for a page whose grant mismatched and
+// was never installed answers EncSame: the home copy is still current.
+func (n *node) onFetchDelta(m *proto.Msg) {
+	data := n.space.PageData(m.Page)
+	if data == nil {
+		if !n.resend[m.Page] {
+			n.cl.fail(fmt.Errorf("node %d: fetch for non-resident page %#x", n.id, m.Page))
+			return
+		}
+		pl := proto.PagePayload{Page: m.Page, Ver: m.Ver, Enc: proto.EncSame}
+		if n.san != nil {
+			pl.San = n.san.EncodePage(m.Page)
+			if m.Write {
+				n.san.DropPage(m.Page)
+			}
+		}
+		n.cl.wireStats.countPayload(&pl, n.space.PageSize())
+		n.cl.send(&proto.Msg{
+			Kind: proto.KFetchReply, From: int32(n.id), To: 0,
+			Page: m.Page, Write: m.Write, Flags: proto.FlagCoh,
+			Data: proto.EncodePayloads([]proto.PagePayload{pl}),
+		})
+		return
+	}
+	cur := append([]byte(nil), data...)
+	pl := proto.PagePayload{Page: m.Page, Ver: m.Ver}
+	encoded := false
+	if tw := n.twins[m.Page]; tw != nil {
+		if d, ok := proto.EncodeDelta(tw.data, cur, n.space.PageSize()/2); ok {
+			pl.Enc, pl.BaseVer, pl.Body = proto.EncDelta, tw.ver, d
+			encoded = true
+		} else {
+			n.cl.wireStats.DeltaOverflows++
+		}
+	}
+	if !encoded {
+		pl.Enc, pl.Body = fullOrRLE(cur)
+	}
+	if n.san != nil {
+		pl.San = n.san.EncodePage(m.Page)
+	}
+	if m.Write { // invalidate
+		n.space.DropPage(m.Page)
+		n.llsc.InvalidatePage(m.Page, n.space.PageSize())
+		n.engine.InvalidatePage(m.Page)
+		if n.san != nil {
+			n.san.DropPage(m.Page)
+		}
+	} else { // downgrade to shared
+		n.space.SetPerm(m.Page, mem.PermRead)
+	}
+	// The shipped content is now the coherent version m.Ver everywhere.
+	n.setTwin(m.Page, cur, m.Ver)
+	n.cl.wireStats.countPayload(&pl, n.space.PageSize())
+	n.cl.send(&proto.Msg{
+		Kind: proto.KFetchReply, From: int32(n.id), To: 0,
+		Page: m.Page, Write: m.Write, Flags: proto.FlagCoh,
+		Data: proto.EncodePayloads([]proto.PagePayload{pl}),
+	})
+}
+
+// onInvBatch handles a coalesced invalidation: all pages drop, remaps (page
+// splits that rode along) apply, and one aggregated ack answers everything.
+func (n *node) onInvBatch(m *proto.Msg) {
+	pages, remaps, err := proto.DecodeInvBatch(m.Data)
+	if err != nil {
+		n.cl.fail(fmt.Errorf("node %d: inv batch: %w", n.id, err))
+		return
+	}
+	acks := make([]proto.AckEntry, 0, len(pages))
+	for _, page := range pages {
+		acks = append(acks, proto.AckEntry{Page: page, San: n.dropForInvalidate(page)})
+	}
+	for _, re := range remaps {
+		n.applyRemap(re.Orig, re.Shadows, re.Ver)
+	}
+	n.cl.send(&proto.Msg{
+		Kind: proto.KInvAckBatch, From: int32(n.id), To: 0,
+		Data: proto.EncodeAckBatch(acks),
+	})
+}

@@ -30,6 +30,11 @@ type Request struct {
 	Page  uint64
 	Addr  uint64 // exact faulting address (drives the false-sharing detector)
 	Write bool
+	// Full asks for content even where the directory would normally answer
+	// with a reaffirmation or suppress the grant: the requester holds the
+	// access right but lost the data (the wire layer's delta transfer could
+	// not be applied against its twin and was discarded).
+	Full bool
 }
 
 // Env is what the directory needs from its host (the master node).
@@ -77,6 +82,7 @@ type Stats struct {
 	Retries     uint64
 	Queued      uint64
 	Suppressed  uint64 // demand reads answered by an in-flight push
+	FullResends uint64 // full-content re-grants after a delta mismatch
 }
 
 type entry struct {
@@ -175,6 +181,14 @@ func (d *Directory) serve(e *entry, r Request) {
 
 func (d *Directory) serveWrite(e *entry, r Request) {
 	if e.owner == r.Node {
+		if r.Full {
+			// The owner lost the grant's data (delta mismatch): re-ship the
+			// home copy, which still holds the grant-time content — the
+			// owner never applied anything on top of it.
+			d.Stats.FullResends++
+			d.env.SendContent(r.Node, r.Page, mem.PermReadWrite)
+			return
+		}
 		// Benign race: the owner re-requested (e.g. read and write faults
 		// raced). Its copy is the freshest — never overwrite it.
 		d.env.SendReaffirm(r.Node, r.Page, mem.PermReadWrite)
@@ -210,6 +224,13 @@ func (d *Directory) serveWrite(e *entry, r Request) {
 
 func (d *Directory) serveRead(e *entry, r Request) {
 	if e.owner == r.Node && r.Node != Master {
+		if r.Full {
+			// Same as the write-side resend: the home copy is exactly the
+			// content the owner was granted and failed to materialize.
+			d.Stats.FullResends++
+			d.env.SendContent(r.Node, r.Page, mem.PermReadWrite)
+			return
+		}
 		// The requester owns the only fresh copy; keep it (M satisfies R).
 		d.env.SendReaffirm(r.Node, r.Page, mem.PermReadWrite)
 		return
@@ -223,13 +244,16 @@ func (d *Directory) serveRead(e *entry, r Request) {
 		d.env.SendFetch(e.owner, r.Page, false)
 		return
 	}
-	if e.sharers.Has(r.Node) {
+	if e.sharers.Has(r.Node) && !r.Full {
 		// The requester already has the content or a push is in flight to
 		// it (sharers are only cleared by acked invalidations, which run
 		// under busy). Re-shipping would add a full fault round trip for a
 		// page that is about to arrive; the push/content wakes the waiter.
 		d.Stats.Suppressed++
 		return
+	}
+	if r.Full {
+		d.Stats.FullResends++
 	}
 	d.grantRead(e, r)
 }

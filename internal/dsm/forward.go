@@ -53,6 +53,11 @@ func (f *Forwarder) Record(tid int64, page uint64) []uint64 {
 		st.pushedTo > 0 && page > st.lastPage && page <= st.pushedTo+1:
 		st.runLen++
 	case page == st.lastPage:
+		// Re-fault on the same page (e.g. the page was invalidated under the
+		// stream): the stream neither advances nor resets, and nothing new is
+		// pushed — without this the armed block below would double the window
+		// and push ever further ahead on zero progress.
+		return nil
 	default:
 		st.runLen = 1
 		st.pushedTo = 0

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"dqemu/internal/core"
 )
 
 // smoke runs every experiment at Smoke scale on a 2-slave sweep, checking
@@ -119,6 +121,49 @@ func TestFig8Smoke(t *testing.T) {
 	f.Print(&buf)
 	if !strings.Contains(buf.String(), "fluidanimate") {
 		t.Error("print output missing benchmark")
+	}
+}
+
+func TestWireSmoke(t *testing.T) {
+	wr, err := RunWire(smokeOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wr.Benches) != 2 {
+		t.Fatalf("benches: %d", len(wr.Benches))
+	}
+	for _, b := range wr.Benches {
+		if len(b.Rows) != 4 {
+			t.Fatalf("%s rows: %d", b.Name, len(b.Rows))
+		}
+		base, full := b.row("baseline"), b.row("full")
+		if base.CohPayloadBytes == 0 || base.CohMsgs == 0 {
+			t.Errorf("%s baseline shipped nothing: %+v", b.Name, base)
+		}
+		// The byte ordering must hold even at smoke scale; the 40% stencil
+		// gate is only enforced at Quick/Full (the CI smoke job runs Quick).
+		if full.CohWireBytes > base.CohWireBytes {
+			t.Errorf("%s: full layer shipped more wire bytes than baseline: %d > %d",
+				b.Name, full.CohWireBytes, base.CohWireBytes)
+		}
+		if base.Wire != (core.WireStats{}) {
+			t.Errorf("%s baseline has wire stats: %+v", b.Name, base.Wire)
+		}
+		if full.Wire.SamePages+full.Wire.DeltaPages+full.Wire.RLEPages+full.Wire.FullPages == 0 {
+			t.Errorf("%s full row counted no payloads", b.Name)
+		}
+	}
+	var buf bytes.Buffer
+	wr.Print(&buf)
+	if !strings.Contains(buf.String(), "Wire efficiency") {
+		t.Error("print output missing header")
+	}
+	buf.Reset()
+	if err := wr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"coh_payload_bytes\"") {
+		t.Error("json output missing coh_payload_bytes")
 	}
 }
 

@@ -45,12 +45,17 @@ func DefaultConfig() Config {
 	}
 }
 
-// Stats counts network activity.
+// Stats counts network activity. The per-kind tables are sized from
+// proto.KindCount, so a new message kind can never silently fall off the end
+// (netsim_test.go additionally checks every kind is counted).
 type Stats struct {
-	Msgs     uint64
-	Bytes    uint64
-	ByKind   [32]uint64
-	BusyTxNs int64
+	Msgs  uint64
+	Bytes uint64
+	// ByKind / BytesByKind count messages and wire bytes per message kind;
+	// payload bytes for kind k are BytesByKind[k] - proto.HeaderSize*ByKind[k].
+	ByKind      [proto.KindCount]uint64
+	BytesByKind [proto.KindCount]uint64
+	BusyTxNs    int64
 }
 
 // Handler receives delivered messages.
@@ -122,9 +127,11 @@ func (nw *Network) Send(m *proto.Msg) {
 	}
 	nw.Stats.Msgs++
 	nw.Stats.Bytes += uint64(m.WireSize())
-	if int(m.Kind) < len(nw.Stats.ByKind) {
-		nw.Stats.ByKind[m.Kind]++
+	if int(m.Kind) >= len(nw.Stats.ByKind) {
+		panic(fmt.Sprintf("netsim: message kind %d outside [0, KindCount)", m.Kind))
 	}
+	nw.Stats.ByKind[m.Kind]++
+	nw.Stats.BytesByKind[m.Kind] += uint64(m.WireSize())
 	if m.From == m.To {
 		nw.k.Post(nw.cfg.LocalNs, func() { nw.deliver(m) })
 		return

@@ -170,3 +170,43 @@ func TestStats(t *testing.T) {
 		t.Error("byte/tx stats empty")
 	}
 }
+
+// The per-kind tables are sized from proto.KindCount; if a new kind were
+// added past the array a Send would silently fall off the old fixed size.
+// This locks every defined kind to a counted slot with byte accounting.
+var _ [proto.KindCount]uint64 = Stats{}.ByKind
+
+func TestStatsCoverEveryKind(t *testing.T) {
+	k := sim.NewKernel()
+	nw := New(k, DefaultConfig(), 2)
+	nw.Register(0, func(m *proto.Msg) {})
+	nw.Register(1, func(m *proto.Msg) {})
+	for kind := proto.Kind(0); kind < proto.KindCount; kind++ {
+		nw.Send(&proto.Msg{Kind: kind, From: 0, To: 1, Data: make([]byte, 16)})
+	}
+	k.Run()
+	for kind := proto.Kind(0); kind < proto.KindCount; kind++ {
+		if nw.Stats.ByKind[kind] != 1 {
+			t.Errorf("kind %v counted %d times", kind, nw.Stats.ByKind[kind])
+		}
+		if want := uint64(proto.HeaderSize + 16); nw.Stats.BytesByKind[kind] != want {
+			t.Errorf("kind %v bytes = %d, want %d", kind, nw.Stats.BytesByKind[kind], want)
+		}
+	}
+	if nw.Stats.Msgs != uint64(proto.KindCount) {
+		t.Errorf("msgs = %d, want %d", nw.Stats.Msgs, proto.KindCount)
+	}
+}
+
+func TestSendPanicsOnOutOfRangeKind(t *testing.T) {
+	k := sim.NewKernel()
+	nw := New(k, DefaultConfig(), 2)
+	nw.Register(0, func(m *proto.Msg) {})
+	nw.Register(1, func(m *proto.Msg) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("kind outside [0, KindCount) accepted silently")
+		}
+	}()
+	nw.Send(&proto.Msg{Kind: proto.KindCount, From: 0, To: 1})
+}

@@ -1,0 +1,215 @@
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Coherence payload containers for the wire-efficiency layer. A message with
+// FlagCoh set carries one or more PagePayloads in Data: a KPageContent holds
+// the demand grant first plus any pushes piggybacked onto it, a KPush holds
+// a batch of forwarded pages, and a KFetchReply holds the owner's single
+// diff. KInvBatch/KInvAckBatch have their own formats below.
+
+// Page content encodings.
+const (
+	// EncFull: Body is the raw page.
+	EncFull uint8 = iota
+	// EncDelta: Body is a delta (delta.go) against the receiver's twin at
+	// version BaseVer.
+	EncDelta
+	// EncRLE: Body is a delta against the all-zero page (zero-run encoding
+	// for freshly touched sparse pages).
+	EncRLE
+	// EncSame: no body. The receiver already holds the content — its twin at
+	// version Ver for grants and pushes, the home copy for a fetch reply
+	// whose sender never installed the page.
+	EncSame
+)
+
+func encName(enc uint8) string {
+	switch enc {
+	case EncFull:
+		return "full"
+	case EncDelta:
+		return "delta"
+	case EncRLE:
+		return "rle"
+	case EncSame:
+		return "same"
+	}
+	return fmt.Sprintf("enc(%d)", enc)
+}
+
+// PagePayload is one page transfer inside a FlagCoh container.
+type PagePayload struct {
+	Page uint64
+	// Ver is the directory version of the carried content; the receiver's
+	// twin adopts it.
+	Ver uint64
+	// BaseVer is the twin version an EncDelta body applies against.
+	BaseVer uint64
+	Enc     uint8
+	// Perm is the permission to install with (mem.Perm).
+	Perm uint8
+	// Push marks a piggybacked forwarded page: the receiver applies its
+	// push rules (ignore if resident or upgrading) instead of treating it
+	// as the demand grant.
+	Push bool
+	Body []byte
+	// San is the per-page DQSan shadow piggyback.
+	San []byte
+}
+
+// EncodePayloads serializes a payload container for Msg.Data.
+func EncodePayloads(ps []PagePayload) []byte {
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(ps)))
+	for _, p := range ps {
+		buf = binary.LittleEndian.AppendUint64(buf, p.Page)
+		buf = binary.LittleEndian.AppendUint64(buf, p.Ver)
+		buf = binary.LittleEndian.AppendUint64(buf, p.BaseVer)
+		var push byte
+		if p.Push {
+			push = 1
+		}
+		buf = append(buf, p.Enc, p.Perm, push)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.Body)))
+		buf = append(buf, p.Body...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.San)))
+		buf = append(buf, p.San...)
+	}
+	return buf
+}
+
+// DecodePayloads parses a container produced by EncodePayloads.
+func DecodePayloads(b []byte) ([]PagePayload, error) {
+	r := &reader{buf: b}
+	n := int(r.u16())
+	if n > 1<<12 {
+		return nil, fmt.Errorf("proto: absurd payload count %d", n)
+	}
+	ps := make([]PagePayload, 0, n)
+	for i := 0; i < n; i++ {
+		var p PagePayload
+		p.Page = r.u64()
+		p.Ver = r.u64()
+		p.BaseVer = r.u64()
+		p.Enc = r.u8()
+		p.Perm = r.u8()
+		p.Push = r.u8() != 0
+		p.Body = r.blob()
+		p.San = r.blob()
+		ps = append(ps, p)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("proto: decode payloads: %w", r.err)
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("proto: %d trailing bytes after payloads", len(b)-r.off)
+	}
+	return ps, nil
+}
+
+// RemapEntry is a page-splitting remap riding in a KInvBatch: nodes whose
+// twin of Orig is at version Ver split it along the shadows.
+type RemapEntry struct {
+	Orig    uint64
+	Ver     uint64
+	Shadows []uint64
+}
+
+// EncodeInvBatch serializes a KInvBatch body: the pages being revoked from
+// the receiver plus any remaps riding along.
+func EncodeInvBatch(pages []uint64, remaps []RemapEntry) []byte {
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(pages)))
+	for _, p := range pages {
+		buf = binary.LittleEndian.AppendUint64(buf, p)
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(remaps)))
+	for _, rm := range remaps {
+		buf = binary.LittleEndian.AppendUint64(buf, rm.Orig)
+		buf = binary.LittleEndian.AppendUint64(buf, rm.Ver)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(rm.Shadows)))
+		for _, sh := range rm.Shadows {
+			buf = binary.LittleEndian.AppendUint64(buf, sh)
+		}
+	}
+	return buf
+}
+
+// DecodeInvBatch parses a KInvBatch body.
+func DecodeInvBatch(b []byte) (pages []uint64, remaps []RemapEntry, err error) {
+	r := &reader{buf: b}
+	np := int(r.u16())
+	if np > 1<<16 {
+		return nil, nil, fmt.Errorf("proto: absurd inv-batch page count %d", np)
+	}
+	for i := 0; i < np; i++ {
+		pages = append(pages, r.u64())
+	}
+	nr := int(r.u16())
+	for i := 0; i < nr; i++ {
+		var rm RemapEntry
+		rm.Orig = r.u64()
+		rm.Ver = r.u64()
+		ns := int(r.u16())
+		if ns > 1<<12 {
+			return nil, nil, fmt.Errorf("proto: absurd remap shadow count %d", ns)
+		}
+		for j := 0; j < ns; j++ {
+			rm.Shadows = append(rm.Shadows, r.u64())
+		}
+		remaps = append(remaps, rm)
+	}
+	if r.err != nil {
+		return nil, nil, fmt.Errorf("proto: decode inv-batch: %w", r.err)
+	}
+	if r.off != len(b) {
+		return nil, nil, fmt.Errorf("proto: %d trailing bytes after inv-batch", len(b)-r.off)
+	}
+	return pages, remaps, nil
+}
+
+// AckEntry is one page's acknowledgement inside a KInvAckBatch, carrying the
+// dropped page's DQSan shadow history home.
+type AckEntry struct {
+	Page uint64
+	San  []byte
+}
+
+// EncodeAckBatch serializes a KInvAckBatch body.
+func EncodeAckBatch(acks []AckEntry) []byte {
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(acks)))
+	for _, a := range acks {
+		buf = binary.LittleEndian.AppendUint64(buf, a.Page)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(a.San)))
+		buf = append(buf, a.San...)
+	}
+	return buf
+}
+
+// DecodeAckBatch parses a KInvAckBatch body.
+func DecodeAckBatch(b []byte) ([]AckEntry, error) {
+	r := &reader{buf: b}
+	n := int(r.u16())
+	if n > 1<<16 {
+		return nil, fmt.Errorf("proto: absurd ack-batch count %d", n)
+	}
+	acks := make([]AckEntry, 0, n)
+	for i := 0; i < n; i++ {
+		var a AckEntry
+		a.Page = r.u64()
+		a.San = r.blob()
+		acks = append(acks, a)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("proto: decode ack-batch: %w", r.err)
+	}
+	if r.off != len(b) {
+		return nil, fmt.Errorf("proto: %d trailing bytes after ack-batch", len(b)-r.off)
+	}
+	return acks, nil
+}

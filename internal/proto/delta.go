@@ -1,0 +1,111 @@
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Delta codec: word-granular page diffs for the wire-efficiency layer.
+//
+// A delta is a sequence of runs, each (wordOff u16, wordCount u16, then
+// wordCount little-endian 64-bit words). Words carry ABSOLUTE values, not
+// XOR masks, so applying the same delta twice is idempotent — a duplicated
+// or retransmitted diff cannot corrupt the page. Encoding against a nil
+// base diffs against the all-zero page, which doubles as the zero-run (RLE)
+// encoding for freshly touched sparse pages: only the nonzero words ship.
+
+// deltaWord is the diff granularity in bytes.
+const deltaWord = 8
+
+// runHeader is the per-run overhead (offset + count, both u16). A one-word
+// gap already costs more to ship (8 bytes) than a fresh header, so runs are
+// never merged across equal words.
+const runHeader = 4
+
+// EncodeDelta diffs cur against base (nil base = all zeros) and returns the
+// encoded runs. It reports false when the encoding would exceed limit bytes
+// — the caller falls back to a full-page transfer — or when the pages are
+// not same-sized whole multiples of the word size.
+func EncodeDelta(base, cur []byte, limit int) ([]byte, bool) {
+	if len(cur) == 0 || len(cur)%deltaWord != 0 || len(cur)/deltaWord > 0xffff {
+		return nil, false
+	}
+	if base != nil && len(base) != len(cur) {
+		return nil, false
+	}
+	words := len(cur) / deltaWord
+	differs := func(w int) bool {
+		off := w * deltaWord
+		if base == nil {
+			for _, b := range cur[off : off+deltaWord] {
+				if b != 0 {
+					return true
+				}
+			}
+			return false
+		}
+		for i := 0; i < deltaWord; i++ {
+			if cur[off+i] != base[off+i] {
+				return true
+			}
+		}
+		return false
+	}
+	var out []byte
+	for w := 0; w < words; {
+		if !differs(w) {
+			w++
+			continue
+		}
+		start := w
+		end := w + 1
+		for end < words && differs(end) {
+			end++
+		}
+		out = binary.LittleEndian.AppendUint16(out, uint16(start))
+		out = binary.LittleEndian.AppendUint16(out, uint16(end-start))
+		out = append(out, cur[start*deltaWord:end*deltaWord]...)
+		if len(out) > limit {
+			return nil, false
+		}
+		w = end
+	}
+	return out, true
+}
+
+// ApplyDelta patches dst in place with the encoded runs. Every run is
+// bounds-checked against dst before any byte is written, so a truncated or
+// corrupt delta leaves dst untouched and returns an error rather than
+// panicking. Applying the same delta again is a no-op (absolute values).
+func ApplyDelta(dst, delta []byte) error {
+	words := len(dst) / deltaWord
+	if len(dst)%deltaWord != 0 {
+		return fmt.Errorf("proto: delta target size %d not word-aligned", len(dst))
+	}
+	// Validate first: a run that fails halfway must not leave a torn page.
+	for off := 0; off < len(delta); {
+		if off+runHeader > len(delta) {
+			return fmt.Errorf("proto: truncated delta run header at %d", off)
+		}
+		start := int(binary.LittleEndian.Uint16(delta[off:]))
+		count := int(binary.LittleEndian.Uint16(delta[off+2:]))
+		if count == 0 {
+			return fmt.Errorf("proto: empty delta run at %d", off)
+		}
+		if start+count > words {
+			return fmt.Errorf("proto: delta run [%d,+%d) beyond %d-word page", start, count, words)
+		}
+		off += runHeader + count*deltaWord
+		if off > len(delta) {
+			return fmt.Errorf("proto: truncated delta run body")
+		}
+	}
+	for off := 0; off < len(delta); {
+		start := int(binary.LittleEndian.Uint16(delta[off:]))
+		count := int(binary.LittleEndian.Uint16(delta[off+2:]))
+		off += runHeader
+		copy(dst[start*deltaWord:(start+count)*deltaWord], delta[off:off+count*deltaWord])
+		off += count * deltaWord
+	}
+	return nil
+}

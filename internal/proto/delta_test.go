@@ -1,0 +1,196 @@
+package proto
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// refPage builds a deterministic pseudo-random page.
+func refPage(seed int64, n int) []byte {
+	r := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+func TestDeltaRoundtrip(t *testing.T) {
+	const ps = 4096
+	base := refPage(1, ps)
+	for _, touched := range []int{0, 1, 7, 64, 200} {
+		cur := append([]byte(nil), base...)
+		r := rand.New(rand.NewSource(int64(touched) + 2))
+		for i := 0; i < touched; i++ {
+			cur[r.Intn(ps)] ^= byte(r.Intn(255) + 1)
+		}
+		d, ok := EncodeDelta(base, cur, ps)
+		if !ok {
+			t.Fatalf("touched=%d: encode failed", touched)
+		}
+		got := append([]byte(nil), base...)
+		if err := ApplyDelta(got, d); err != nil {
+			t.Fatalf("touched=%d: apply: %v", touched, err)
+		}
+		// The reference transfer is a full-page copy.
+		if !bytes.Equal(got, cur) {
+			t.Fatalf("touched=%d: roundtrip mismatch", touched)
+		}
+	}
+}
+
+func TestDeltaIdempotent(t *testing.T) {
+	const ps = 1024
+	base := refPage(3, ps)
+	cur := append([]byte(nil), base...)
+	copy(cur[100:], []byte("delta transfers carry absolute words"))
+	d, ok := EncodeDelta(base, cur, ps)
+	if !ok {
+		t.Fatal("encode failed")
+	}
+	got := append([]byte(nil), base...)
+	for i := 0; i < 3; i++ { // an ARQ duplicate must not corrupt the page
+		if err := ApplyDelta(got, d); err != nil {
+			t.Fatalf("apply %d: %v", i, err)
+		}
+	}
+	if !bytes.Equal(got, cur) {
+		t.Fatal("repeated apply diverged")
+	}
+}
+
+func TestDeltaRLE(t *testing.T) {
+	const ps = 4096
+	cur := make([]byte, ps)
+	copy(cur[512:], []byte("sparse first touch"))
+	d, ok := EncodeDelta(nil, cur, ps/2)
+	if !ok {
+		t.Fatal("sparse page did not fit the RLE budget")
+	}
+	if len(d) >= ps/2 {
+		t.Fatalf("RLE encoding too large: %d", len(d))
+	}
+	got := make([]byte, ps)
+	if err := ApplyDelta(got, d); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, cur) {
+		t.Fatal("RLE roundtrip mismatch")
+	}
+}
+
+func TestDeltaLimit(t *testing.T) {
+	const ps = 4096
+	base := make([]byte, ps)
+	cur := refPage(4, ps) // every word differs
+	if _, ok := EncodeDelta(base, cur, ps/2); ok {
+		t.Fatal("fully-rewritten page fit a half-page budget")
+	}
+	if d, ok := EncodeDelta(base, cur, 2*ps); !ok {
+		t.Fatal("encode with generous budget failed")
+	} else {
+		got := make([]byte, ps)
+		if err := ApplyDelta(got, d); err != nil || !bytes.Equal(got, cur) {
+			t.Fatalf("full-diff roundtrip: %v", err)
+		}
+	}
+}
+
+func TestDeltaRejectsBadShapes(t *testing.T) {
+	if _, ok := EncodeDelta(make([]byte, 64), make([]byte, 72), 1024); ok {
+		t.Error("mismatched base length accepted")
+	}
+	if _, ok := EncodeDelta(nil, make([]byte, 65), 1024); ok {
+		t.Error("misaligned page length accepted")
+	}
+	if _, ok := EncodeDelta(nil, nil, 1024); ok {
+		t.Error("empty page accepted")
+	}
+}
+
+func TestApplyDeltaCorrupt(t *testing.T) {
+	const ps = 512
+	base := refPage(5, ps)
+	cur := append([]byte(nil), base...)
+	cur[8] ^= 0xff
+	cur[ps-1] ^= 0xff
+	d, ok := EncodeDelta(base, cur, ps)
+	if !ok {
+		t.Fatal("encode failed")
+	}
+	cases := map[string][]byte{
+		"truncated header": d[:len(d)-1],
+		"lone header":      d[:3],
+		"out of range":     {0xff, 0xff, 0x01, 0x00, 1, 2, 3, 4, 5, 6, 7, 8},
+		"zero-word run":    {0x00, 0x00, 0x00, 0x00},
+		"truncated body":   {0x00, 0x00, 0x02, 0x00, 1, 2, 3},
+	}
+	for name, bad := range cases {
+		dst := append([]byte(nil), base...)
+		if err := ApplyDelta(dst, bad); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+		// Validation happens before any write: a rejected delta must not
+		// leave a torn page.
+		if !bytes.Equal(dst, base) {
+			t.Errorf("%s: destination modified by rejected delta", name)
+		}
+	}
+}
+
+func TestPayloadContainerRoundtrip(t *testing.T) {
+	pls := []PagePayload{
+		{Page: 0x40, Ver: 7, BaseVer: 5, Enc: EncDelta, Perm: 2, Body: []byte{0, 0, 1, 0, 1, 2, 3, 4, 5, 6, 7, 8}},
+		{Page: 0x41, Ver: 3, Enc: EncSame, Perm: 1, Push: true, San: []byte{9, 9}},
+		{Page: 0x42, Ver: 1, Enc: EncFull, Body: bytes.Repeat([]byte{0xaa}, 128)},
+	}
+	got, err := DecodePayloads(EncodePayloads(pls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pls) {
+		t.Fatalf("got %d payloads", len(got))
+	}
+	for i := range pls {
+		a, b := pls[i], got[i]
+		if a.Page != b.Page || a.Ver != b.Ver || a.BaseVer != b.BaseVer ||
+			a.Enc != b.Enc || a.Perm != b.Perm || a.Push != b.Push ||
+			!bytes.Equal(a.Body, b.Body) || !bytes.Equal(a.San, b.San) {
+			t.Errorf("payload %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+	if _, err := DecodePayloads(append(EncodePayloads(pls), 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+func TestInvBatchRoundtrip(t *testing.T) {
+	pages := []uint64{1, 2, 0xdeadbeef}
+	remaps := []RemapEntry{{Orig: 0x99, Ver: 4, Shadows: []uint64{0x100, 0x101}}}
+	gp, gr, err := DecodeInvBatch(EncodeInvBatch(pages, remaps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gp) != 3 || gp[2] != 0xdeadbeef {
+		t.Errorf("pages: %v", gp)
+	}
+	if len(gr) != 1 || gr[0].Orig != 0x99 || gr[0].Ver != 4 || len(gr[0].Shadows) != 2 {
+		t.Errorf("remaps: %+v", gr)
+	}
+	if _, _, err := DecodeInvBatch([]byte{1}); err == nil {
+		t.Error("truncated batch accepted")
+	}
+}
+
+func TestAckBatchRoundtrip(t *testing.T) {
+	acks := []AckEntry{{Page: 5, San: []byte{1, 2, 3}}, {Page: 6}}
+	got, err := DecodeAckBatch(EncodeAckBatch(acks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Page != 5 || !bytes.Equal(got[0].San, []byte{1, 2, 3}) || got[1].San != nil {
+		t.Errorf("acks: %+v", got)
+	}
+	if _, err := DecodeAckBatch(append(EncodeAckBatch(acks), 7)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}

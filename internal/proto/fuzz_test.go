@@ -43,3 +43,73 @@ func FuzzDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDeltaCodec exercises the page-diff codec with adversarial inputs.
+// Properties:
+//
+//  1. Encode∘apply equals the reference transfer (a full-page copy), both
+//     against a twin and against the zero page (RLE mode).
+//  2. ApplyDelta never panics on arbitrary (truncated, corrupt) deltas, and
+//     a rejected delta leaves the destination untouched.
+//  3. Any delta that applies is idempotent — a retransmitted duplicate must
+//     not corrupt the page.
+func FuzzDeltaCodec(f *testing.F) {
+	page := func(seed []byte, n int) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			if len(seed) > 0 {
+				b[i] = seed[i%len(seed)] ^ byte(i)
+			}
+		}
+		return b
+	}
+	d0, _ := EncodeDelta(page([]byte{1}, 256), page([]byte{1, 9}, 256), 512)
+	d1, _ := EncodeDelta(nil, page([]byte{0, 0, 5}, 256), 512)
+	f.Add([]byte{1, 2, 3}, d0)
+	f.Add([]byte{7}, d1)
+	f.Add([]byte{}, []byte{0x00, 0x00, 0x01, 0x00, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0xff}, []byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, seed, delta []byte) {
+		const ps = 256
+		base := page(seed, ps)
+		cur := page(append(seed, 0x5a), ps)
+
+		// Roundtrip vs the reference full-page copy.
+		if d, ok := EncodeDelta(base, cur, 4*ps); ok {
+			got := append([]byte(nil), base...)
+			if err := ApplyDelta(got, d); err != nil {
+				t.Fatalf("own delta rejected: %v", err)
+			}
+			if !bytes.Equal(got, cur) {
+				t.Fatal("delta roundtrip != full-page copy")
+			}
+		}
+		if d, ok := EncodeDelta(nil, cur, 8*ps); ok {
+			got := make([]byte, ps)
+			if err := ApplyDelta(got, d); err != nil {
+				t.Fatalf("own RLE delta rejected: %v", err)
+			}
+			if !bytes.Equal(got, cur) {
+				t.Fatal("RLE roundtrip != full-page copy")
+			}
+		}
+
+		// Arbitrary deltas: no panic; rejection leaves dst untouched;
+		// acceptance is idempotent.
+		dst := append([]byte(nil), base...)
+		if err := ApplyDelta(dst, delta); err != nil {
+			if !bytes.Equal(dst, base) {
+				t.Fatal("rejected delta modified the page")
+			}
+			return
+		}
+		once := append([]byte(nil), dst...)
+		if err := ApplyDelta(dst, delta); err != nil {
+			t.Fatalf("second apply of accepted delta failed: %v", err)
+		}
+		if !bytes.Equal(dst, once) {
+			t.Fatal("delta application not idempotent")
+		}
+	})
+}

@@ -54,6 +54,18 @@ const (
 	// for the per-link sequence space. Acks themselves are sent unreliably;
 	// they are idempotent and a later ack subsumes a lost one.
 	KAck // node -> node: Seq = highest contiguous sequence delivered
+
+	// Wire-efficient coherence (delta transfers + multicast coalescing):
+	// the master batches every page it revokes from one sharer during a
+	// coherence event into a single message, and the sharer acknowledges all
+	// of them in one reply. Page-splitting remaps ride along in the batch.
+	KInvBatch    // master -> sharer: Data = InvBatch (pages + remap entries)
+	KInvAckBatch // sharer -> master: Data = ack entries (page + shadow blob)
+
+	// KindCount is one past the highest message kind. Fixed-size per-kind
+	// tables (netsim.Stats.ByKind and friends) are sized from it, so adding a
+	// kind above this line grows them automatically.
+	KindCount
 )
 
 var kindNames = [...]string{
@@ -64,7 +76,7 @@ var kindNames = [...]string{
 	KThreadStart: "thread-start", KHintNote: "hint", KShutdown: "shutdown",
 	KInit: "init", KInitAck: "init-ack",
 	KMigrate: "migrate", KMigrateCtx: "migrate-ctx",
-	KAck: "ack",
+	KAck: "ack", KInvBatch: "inv-batch", KInvAckBatch: "inv-ack-batch",
 }
 
 func (k Kind) String() string {
@@ -88,6 +100,13 @@ type Msg struct {
 	Addr    uint64
 	Write   bool
 	Perm    uint8
+	// Flags carries wire-layer framing bits (FlagCoh, FlagFullResend).
+	Flags uint8
+	// Ver is a per-page directory version: on KPageReq the requester's twin
+	// version (0 = no usable twin), on KFetch the epoch the owner's content
+	// will be known as, on KRemap the home version of the original page at
+	// split time (nodes whose twin matches split it along the shadows).
+	Ver     uint64
 	Num     int64 // syscall number / hint group
 	Ret     uint64
 	Args    [6]uint64
@@ -101,12 +120,31 @@ type Msg struct {
 	San []byte
 }
 
-// headerSize approximates the fixed header cost on the wire.
-const headerSize = 64
+// Msg.Flags bits.
+const (
+	// FlagCoh marks Data as an encoded payload container ([]PagePayload)
+	// rather than raw page bytes (KPageContent, KFetchReply, KPush).
+	FlagCoh uint8 = 1 << iota
+	// FlagFullResend on a KPageReq asks for a full-page grant: the
+	// requester's twin proved unusable (a delta mismatched), so the
+	// directory must ship content even where it would normally reaffirm.
+	FlagFullResend
+)
+
+// HeaderSize approximates the fixed per-message header cost on the wire;
+// everything beyond it (Data, CPU, Shadows, San) is payload.
+const HeaderSize = 64
 
 // WireSize returns the message size in bytes for the bandwidth model.
 func (m *Msg) WireSize() int64 {
-	return int64(headerSize + len(m.Data) + len(m.CPU) + 8*len(m.Shadows) + len(m.San))
+	return int64(HeaderSize + m.PayloadSize())
+}
+
+// PayloadSize is the variable-length portion of the message: page data or
+// payload containers, serialized CPU contexts, shadow lists and the DQSan
+// piggyback.
+func (m *Msg) PayloadSize() int {
+	return len(m.Data) + len(m.CPU) + 8*len(m.Shadows) + len(m.San)
 }
 
 // Encode serialises the message (length-prefixed frame).
@@ -123,7 +161,8 @@ func (m *Msg) Encode() []byte {
 	if m.Write {
 		w = 1
 	}
-	buf = append(buf, w, m.Perm)
+	buf = append(buf, w, m.Perm, m.Flags)
+	buf = binary.LittleEndian.AppendUint64(buf, m.Ver)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.Num))
 	buf = binary.LittleEndian.AppendUint64(buf, m.Ret)
 	for _, a := range m.Args {
@@ -157,6 +196,8 @@ func Decode(buf []byte) (*Msg, error) {
 	m.Addr = r.u64()
 	m.Write = r.u8() != 0
 	m.Perm = r.u8()
+	m.Flags = r.u8()
+	m.Ver = r.u64()
 	m.Num = int64(r.u64())
 	m.Ret = r.u64()
 	for i := range m.Args {
@@ -199,6 +240,7 @@ func (r *reader) take(n int) []byte {
 }
 
 func (r *reader) u8() byte    { return r.take(1)[0] }
+func (r *reader) u16() uint16 { return binary.LittleEndian.Uint16(r.take(2)) }
 func (r *reader) u32() uint32 { return binary.LittleEndian.Uint32(r.take(4)) }
 func (r *reader) u64() uint64 { return binary.LittleEndian.Uint64(r.take(8)) }
 

@@ -84,10 +84,62 @@ func TestDecodeTruncated(t *testing.T) {
 	}
 }
 
+// TestWireSize pins the bandwidth model's size accounting: a message costs
+// the fixed header plus exactly its variable payload (Data, CPU, Shadows,
+// San) — derived, not a magic window, so codec changes that silently alter
+// billing fail here.
 func TestWireSize(t *testing.T) {
-	m := &Msg{Kind: KPageContent, Data: make([]byte, 4096)}
-	if m.WireSize() < 4096 || m.WireSize() > 4300 {
-		t.Errorf("WireSize = %d", m.WireSize())
+	cases := []struct {
+		m       *Msg
+		payload int
+	}{
+		{&Msg{Kind: KPageReq, Page: 0x44, Ver: 9}, 0},
+		{&Msg{Kind: KPageContent, Data: make([]byte, 4096)}, 4096},
+		{&Msg{Kind: KPageContent, Data: make([]byte, 4096), San: make([]byte, 40)}, 4136},
+		{&Msg{Kind: KRemap, Shadows: make([]uint64, 4)}, 4 * 8},
+		{&Msg{Kind: KThreadStart, CPU: make([]byte, 544)}, 544},
+		{
+			&Msg{Kind: KPageContent, Flags: FlagCoh,
+				Data: EncodePayloads([]PagePayload{{Page: 1, Ver: 2, Enc: EncSame}})},
+			2 + 3*8 + 3 + 2*4,
+		},
+		{
+			&Msg{Kind: KInvBatch, Data: EncodeInvBatch([]uint64{1, 2, 3}, nil)},
+			2 + 3*8 + 2,
+		},
+		{
+			&Msg{Kind: KInvAckBatch, Data: EncodeAckBatch([]AckEntry{{Page: 1}, {Page: 2}})},
+			2 + 2*(8+4),
+		},
+	}
+	for _, c := range cases {
+		if c.m.PayloadSize() != c.payload {
+			t.Errorf("%v: PayloadSize = %d, want %d", c.m.Kind, c.m.PayloadSize(), c.payload)
+		}
+		if want := int64(HeaderSize + c.payload); c.m.WireSize() != want {
+			t.Errorf("%v: WireSize = %d, want %d", c.m.Kind, c.m.WireSize(), want)
+		}
+	}
+	// A header-only EncSame grant must be dramatically cheaper than the full
+	// page it replaces — the wire layer's accounting depends on it.
+	same := &Msg{Kind: KPageContent, Flags: FlagCoh,
+		Data: EncodePayloads([]PagePayload{{Page: 1, Ver: 2, Enc: EncSame}})}
+	full := &Msg{Kind: KPageContent, Data: make([]byte, 4096)}
+	if same.WireSize()*10 > full.WireSize() {
+		t.Errorf("EncSame frame (%d bytes) not ≪ full page (%d bytes)", same.WireSize(), full.WireSize())
+	}
+}
+
+// TestKindNamesComplete locks the name table to KindCount so a new kind
+// cannot ship without a printable name.
+func TestKindNamesComplete(t *testing.T) {
+	if len(kindNames) != int(KindCount) {
+		t.Fatalf("kindNames has %d entries, want %d", len(kindNames), KindCount)
+	}
+	for k := Kind(1); k < KindCount; k++ {
+		if kindNames[k] == "" {
+			t.Errorf("kind %d has no name", k)
+		}
 	}
 }
 
