@@ -379,8 +379,9 @@ func (w *masterWire) flushTarget(to int32) {
 	}
 }
 
-// sendContainer ships payloads under FlagCoh framing. In delta-off mode a
-// lone full-page payload regresses to the legacy raw framing so the
+// sendContainer ships payloads under FlagCoh framing, splitting across
+// messages when a batch outgrows the wire format's count field. In delta-off
+// mode a lone full-page payload regresses to the legacy raw framing so the
 // coalescing ablation never costs bytes over the baseline.
 func (w *masterWire) sendContainer(kind proto.Kind, to int32, pls []proto.PagePayload) {
 	if !w.delta && len(pls) == 1 && pls[0].Enc == proto.EncFull {
@@ -391,11 +392,15 @@ func (w *masterWire) sendContainer(kind proto.Kind, to int32, pls []proto.PagePa
 		})
 		return
 	}
-	w.m.cl.send(&proto.Msg{
-		Kind: kind, From: 0, To: to,
-		Page: pls[0].Page, Perm: pls[0].Perm, Flags: proto.FlagCoh,
-		Data: proto.EncodePayloads(pls),
-	})
+	for len(pls) > 0 {
+		n := min(len(pls), proto.MaxBatchEntries)
+		w.m.cl.send(&proto.Msg{
+			Kind: kind, From: 0, To: to,
+			Page: pls[0].Page, Perm: pls[0].Perm, Flags: proto.FlagCoh,
+			Data: proto.EncodePayloads(pls[:n]),
+		})
+		pls = pls[n:]
+	}
 }
 
 // flushAll runs at the end of every master handle.
@@ -421,9 +426,10 @@ func (w *masterWire) queueInvalidate(to int32, page uint64) {
 	b.pages = append(b.pages, page)
 }
 
-// flushInv emits one KInvBatch for the target. A batch holding a single
-// page and no remap regresses to the legacy unicast so coalescing never
-// costs bytes when there is nothing to merge.
+// flushInv emits the target's KInvBatch, split across messages when it
+// outgrows the wire format's count field. A batch holding a single page and
+// no remap regresses to the legacy unicast so coalescing never costs bytes
+// when there is nothing to merge.
 func (w *masterWire) flushInv(to int32) {
 	b := w.pendInv[to]
 	if b == nil {
@@ -437,12 +443,18 @@ func (w *masterWire) flushInv(to int32) {
 		w.m.cl.send(&proto.Msg{Kind: proto.KInvalidate, From: 0, To: to, Page: b.pages[0]})
 		return
 	}
-	w.stats.InvBatches++
-	w.stats.InvBatchPages += uint64(len(b.pages))
-	w.m.cl.send(&proto.Msg{
-		Kind: proto.KInvBatch, From: 0, To: to,
-		Data: proto.EncodeInvBatch(b.pages, b.remaps),
-	})
+	pages, remaps := b.pages, b.remaps
+	for len(pages) > 0 || len(remaps) > 0 {
+		np := min(len(pages), proto.MaxBatchEntries)
+		nr := min(len(remaps), proto.MaxBatchEntries)
+		w.stats.InvBatches++
+		w.stats.InvBatchPages += uint64(np)
+		w.m.cl.send(&proto.Msg{
+			Kind: proto.KInvBatch, From: 0, To: to,
+			Data: proto.EncodeInvBatch(pages[:np], remaps[:nr]),
+		})
+		pages, remaps = pages[np:], remaps[nr:]
+	}
 }
 
 // ---- split / remap interplay ----
@@ -658,7 +670,11 @@ func (n *node) applyGrant(pl *proto.PagePayload) {
 // if resident or a write upgrade is in flight). A diff against a twin this
 // node no longer holds cannot install — but the directory already recorded
 // this node as a sharer when it forwarded, so the content is re-requested
-// in full unless a demand request is already outstanding.
+// in full. The re-request goes out even when a plain demand read is already
+// outstanding: the directory suppresses reads from a node it just forwarded
+// a push to (the push was supposed to answer them), so after a drop only a
+// FlagFullResend request — which bypasses the suppression — is guaranteed a
+// reply. Skipping it would strand the read's waiters forever.
 func (n *node) applyPush(pl *proto.PagePayload) {
 	if n.space.PermOf(pl.Page) != mem.PermNone || n.requested[pl.Page]&reqWrite != 0 {
 		return
@@ -671,13 +687,11 @@ func (n *node) applyPush(pl *proto.PagePayload) {
 	if !ok {
 		n.cl.wireStats.PushDrops++
 		delete(n.twins, pl.Page)
-		if n.requested[pl.Page] == 0 {
-			n.requested[pl.Page] = reqRead
-			n.cl.send(&proto.Msg{
-				Kind: proto.KPageReq, From: int32(n.id), To: 0, TID: -1,
-				Page: pl.Page, Flags: proto.FlagFullResend,
-			})
-		}
+		n.requested[pl.Page] |= reqRead
+		n.cl.send(&proto.Msg{
+			Kind: proto.KPageReq, From: int32(n.id), To: 0, TID: -1,
+			Page: pl.Page, Flags: proto.FlagFullResend,
+		})
 		return
 	}
 	n.space.InstallPage(pl.Page, data, mem.PermRead)

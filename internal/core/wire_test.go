@@ -5,6 +5,7 @@ import (
 
 	"dqemu/internal/mem"
 	"dqemu/internal/netsim"
+	"dqemu/internal/proto"
 )
 
 // wireShareSrc is a sharing-heavy guest: a mutex-protected counter page
@@ -177,6 +178,102 @@ func TestWireForcedMismatchHeals(t *testing.T) {
 	}
 	if res.Wire.Resends == 0 && res.Wire.PushDrops == 0 {
 		t.Errorf("corrupted %d twins but no resend/push-drop recorded: %+v", corrupted, res.Wire)
+	}
+}
+
+// TestWirePushDropAlwaysRerequests pins the push-drop contract: a forwarded
+// diff that cannot materialize must re-request the page with FlagFullResend
+// even when a plain demand read is already outstanding. The directory
+// suppresses plain reads from a node it just forwarded a push to (the push
+// is supposed to answer them), so the outstanding read may never get a
+// reply — without the unconditional full re-request the read's waiters
+// would park until the virtual-time limit.
+func TestWirePushDropAlwaysRerequests(t *testing.T) {
+	im := build(t, wireShareSrc)
+	cfg := DefaultConfig()
+	cfg.Slaves = 2
+	c, err := NewCluster(im, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := c.nodes[1]
+	const page = uint64(0x123456)
+	fullReqs := 0
+	c.net.Trace = func(now int64, m *proto.Msg) {
+		if m.Kind == proto.KPageReq && m.From == 1 && m.Page == page &&
+			m.Flags&proto.FlagFullResend != 0 {
+			fullReqs++
+		}
+	}
+
+	// A demand read is outstanding — exactly the shape the directory
+	// suppresses. The dropped delta (no twin to apply it against) must
+	// still trigger a full re-request.
+	n.requested[page] = reqRead
+	pl := proto.PagePayload{Page: page, Ver: 7, BaseVer: 3, Enc: proto.EncDelta, Push: true}
+	n.applyPush(&pl)
+	if fullReqs != 1 {
+		t.Fatalf("push drop with outstanding read sent %d full re-requests, want 1", fullReqs)
+	}
+	if n.requested[page]&reqRead == 0 {
+		t.Errorf("read request bookkeeping lost after push drop")
+	}
+
+	// Without an outstanding read, and for the header-only encoding (which
+	// also depends on a twin this node no longer holds).
+	delete(n.requested, page)
+	same := proto.PagePayload{Page: page, Ver: 7, Enc: proto.EncSame, Push: true}
+	n.applyPush(&same)
+	if fullReqs != 2 {
+		t.Fatalf("header-only push drop sent %d full re-requests, want 2", fullReqs)
+	}
+	if got := c.wireStats.PushDrops; got != 2 {
+		t.Errorf("PushDrops = %d, want 2", got)
+	}
+}
+
+// TestWireForwardingMismatchHeals is the integration companion: with the
+// forwarder pushing read-ahead pages, mid-run twin corruption makes pushes
+// drop while the demand reads they raced are suppressed at the directory.
+// The run must still terminate with the correct output.
+func TestWireForwardingMismatchHeals(t *testing.T) {
+	im := build(t, wireShareSrc)
+	cfg := DefaultConfig()
+	cfg.Slaves = 3
+	cfg.Forwarding = true
+
+	ref, err := Run(im, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := NewCluster(im, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range []int64{2_000_000, 5_000_000, 9_000_000} {
+		at := at
+		c.k.Post(at, func() {
+			for _, n := range c.nodes {
+				if n.id == 0 {
+					continue
+				}
+				for page, tw := range n.twins {
+					if n.space.PermOf(page) == mem.PermReadWrite {
+						continue
+					}
+					tw.ver += 1000
+				}
+			}
+		})
+	}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Console != ref.Console || res.ExitCode != ref.ExitCode {
+		t.Errorf("forwarding heal diverged: got %q (exit %d), want %q (exit %d)",
+			res.Console, res.ExitCode, ref.Console, ref.ExitCode)
 	}
 }
 

@@ -11,6 +11,23 @@ import (
 // a batch of forwarded pages, and a KFetchReply holds the owner's single
 // diff. KInvBatch/KInvAckBatch have their own formats below.
 
+// MaxBatchEntries bounds the entry count of every length-prefixed list on
+// the wire: payload containers, invalidation-batch pages and remaps, remap
+// shadow lists, and ack batches. All counts are serialized as uint16, so
+// without a bound a large batch would silently truncate its count while
+// still appending every entry's bytes — decoding to a trailing-bytes error
+// that fails the whole cluster. Encoders panic past the bound (callers must
+// split oversized batches into multiple messages); decoders reject anything
+// larger as corrupt.
+const MaxBatchEntries = 1 << 12
+
+func checkBatchLen(what string, n int) {
+	if n > MaxBatchEntries {
+		panic(fmt.Sprintf("proto: %s of %d entries exceeds MaxBatchEntries (%d); split into multiple messages",
+			what, n, MaxBatchEntries))
+	}
+}
+
 // Page content encodings.
 const (
 	// EncFull: Body is the raw page.
@@ -63,6 +80,7 @@ type PagePayload struct {
 
 // EncodePayloads serializes a payload container for Msg.Data.
 func EncodePayloads(ps []PagePayload) []byte {
+	checkBatchLen("payload batch", len(ps))
 	var buf []byte
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(ps)))
 	for _, p := range ps {
@@ -86,7 +104,7 @@ func EncodePayloads(ps []PagePayload) []byte {
 func DecodePayloads(b []byte) ([]PagePayload, error) {
 	r := &reader{buf: b}
 	n := int(r.u16())
-	if n > 1<<12 {
+	if n > MaxBatchEntries {
 		return nil, fmt.Errorf("proto: absurd payload count %d", n)
 	}
 	ps := make([]PagePayload, 0, n)
@@ -122,6 +140,8 @@ type RemapEntry struct {
 // EncodeInvBatch serializes a KInvBatch body: the pages being revoked from
 // the receiver plus any remaps riding along.
 func EncodeInvBatch(pages []uint64, remaps []RemapEntry) []byte {
+	checkBatchLen("inv-batch page list", len(pages))
+	checkBatchLen("inv-batch remap list", len(remaps))
 	var buf []byte
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(pages)))
 	for _, p := range pages {
@@ -129,6 +149,7 @@ func EncodeInvBatch(pages []uint64, remaps []RemapEntry) []byte {
 	}
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(remaps)))
 	for _, rm := range remaps {
+		checkBatchLen("remap shadow list", len(rm.Shadows))
 		buf = binary.LittleEndian.AppendUint64(buf, rm.Orig)
 		buf = binary.LittleEndian.AppendUint64(buf, rm.Ver)
 		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(rm.Shadows)))
@@ -143,19 +164,22 @@ func EncodeInvBatch(pages []uint64, remaps []RemapEntry) []byte {
 func DecodeInvBatch(b []byte) (pages []uint64, remaps []RemapEntry, err error) {
 	r := &reader{buf: b}
 	np := int(r.u16())
-	if np > 1<<16 {
+	if np > MaxBatchEntries {
 		return nil, nil, fmt.Errorf("proto: absurd inv-batch page count %d", np)
 	}
 	for i := 0; i < np; i++ {
 		pages = append(pages, r.u64())
 	}
 	nr := int(r.u16())
+	if nr > MaxBatchEntries {
+		return nil, nil, fmt.Errorf("proto: absurd inv-batch remap count %d", nr)
+	}
 	for i := 0; i < nr; i++ {
 		var rm RemapEntry
 		rm.Orig = r.u64()
 		rm.Ver = r.u64()
 		ns := int(r.u16())
-		if ns > 1<<12 {
+		if ns > MaxBatchEntries {
 			return nil, nil, fmt.Errorf("proto: absurd remap shadow count %d", ns)
 		}
 		for j := 0; j < ns; j++ {
@@ -181,6 +205,7 @@ type AckEntry struct {
 
 // EncodeAckBatch serializes a KInvAckBatch body.
 func EncodeAckBatch(acks []AckEntry) []byte {
+	checkBatchLen("ack batch", len(acks))
 	var buf []byte
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(acks)))
 	for _, a := range acks {
@@ -195,7 +220,7 @@ func EncodeAckBatch(acks []AckEntry) []byte {
 func DecodeAckBatch(b []byte) ([]AckEntry, error) {
 	r := &reader{buf: b}
 	n := int(r.u16())
-	if n > 1<<16 {
+	if n > MaxBatchEntries {
 		return nil, fmt.Errorf("proto: absurd ack-batch count %d", n)
 	}
 	acks := make([]AckEntry, 0, n)

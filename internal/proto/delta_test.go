@@ -2,7 +2,9 @@ package proto
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -178,6 +180,49 @@ func TestInvBatchRoundtrip(t *testing.T) {
 	}
 	if _, _, err := DecodeInvBatch([]byte{1}); err == nil {
 		t.Error("truncated batch accepted")
+	}
+}
+
+// TestBatchCountLimits pins the MaxBatchEntries contract on both sides of
+// the wire: every batch count travels as a uint16, so an unchecked encoder
+// would silently truncate the count while still appending every entry —
+// decoding to a trailing-bytes error that fails the whole cluster. Encoders
+// must refuse oversized batches loudly, and decoders must reject counts
+// past the bound (which a u16 can represent: 65535 > MaxBatchEntries).
+func TestBatchCountLimits(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: oversized batch did not panic", name)
+			}
+		}()
+		f()
+	}
+	over := MaxBatchEntries + 1
+	mustPanic("payloads", func() { EncodePayloads(make([]PagePayload, over)) })
+	mustPanic("inv pages", func() { EncodeInvBatch(make([]uint64, over), nil) })
+	mustPanic("inv remaps", func() { EncodeInvBatch(nil, make([]RemapEntry, over)) })
+	mustPanic("shadows", func() { EncodeInvBatch(nil, []RemapEntry{{Shadows: make([]uint64, over)}}) })
+	mustPanic("acks", func() { EncodeAckBatch(make([]AckEntry, over)) })
+
+	// A count field just past the bound must be rejected as absurd, not
+	// misparsed into a huge allocation or a trailing-bytes error.
+	hdr := binary.LittleEndian.AppendUint16(nil, uint16(over))
+	if _, err := DecodePayloads(hdr); err == nil || !strings.Contains(err.Error(), "absurd") {
+		t.Errorf("payload count %d: got %v, want absurd-count error", over, err)
+	}
+	if _, _, err := DecodeInvBatch(hdr); err == nil || !strings.Contains(err.Error(), "absurd") {
+		t.Errorf("inv-batch count %d: got %v, want absurd-count error", over, err)
+	}
+	if _, err := DecodeAckBatch(hdr); err == nil || !strings.Contains(err.Error(), "absurd") {
+		t.Errorf("ack-batch count %d: got %v, want absurd-count error", over, err)
+	}
+	// At the bound everything round-trips.
+	pages := make([]uint64, MaxBatchEntries)
+	gp, _, err := DecodeInvBatch(EncodeInvBatch(pages, nil))
+	if err != nil || len(gp) != MaxBatchEntries {
+		t.Errorf("bound-sized inv batch: %d pages, err %v", len(gp), err)
 	}
 }
 
