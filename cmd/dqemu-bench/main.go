@@ -29,12 +29,13 @@ func main() {
 	jsonOut := flag.String("json", "", "write singlenode/sanitizer/wire results as JSON to this file")
 	noSuper := flag.Bool("nosuperblock", false, "disable hot-trace superblocks (ablation)")
 	noJC := flag.Bool("nojumpcache", false, "disable the indirect-branch target cache (ablation)")
+	chromeTrace := flag.String("chrome-trace", "", "write a Chrome trace_event timeline of the first singlenode run to this file")
 	seed := flag.Int64("seed", 0, "chaos: run a single fault plan with this seed (0 = full battery)")
 	runs := flag.Int("runs", 50, "chaos: battery size when -seed is 0")
 	broken := flag.String("broken", "", "chaos: transport ablation to inject (noretry or nodedup)")
 	flag.Parse()
 
-	opts := experiments.Options{MaxSlaves: *slaves}
+	opts := experiments.Options{MaxSlaves: *slaves, ChromeTrace: *chromeTrace}
 	if *full {
 		opts.Scale = experiments.Full
 	}

@@ -1,0 +1,126 @@
+// Command dqemu-trace-check validates the observability artifacts written
+// by dqemu -profile / -chrome-trace (and dqemu-bench -json -chrome-trace).
+// CI runs it in the profile-smoke job; it exits non-zero with a diagnostic
+// when a metrics snapshot is internally inconsistent or a Chrome trace has
+// unbalanced begin/end span pairs.
+//
+//	dqemu-trace-check -metrics profile.json -trace trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dqemu/internal/core"
+	"dqemu/internal/metrics"
+)
+
+func main() {
+	metricsPath := flag.String("metrics", "", "metrics snapshot JSON to validate")
+	tracePath := flag.String("trace", "", "Chrome trace_event JSON to validate")
+	flag.Parse()
+
+	if *metricsPath == "" && *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "usage: dqemu-trace-check [-metrics FILE] [-trace FILE]")
+		os.Exit(2)
+	}
+	if *metricsPath != "" {
+		if err := checkMetrics(*metricsPath); err != nil {
+			fatal("metrics", *metricsPath, err)
+		}
+		fmt.Printf("dqemu-trace-check: %s: metrics snapshot ok\n", *metricsPath)
+	}
+	if *tracePath != "" {
+		n, err := checkTrace(*tracePath)
+		if err != nil {
+			fatal("trace", *tracePath, err)
+		}
+		fmt.Printf("dqemu-trace-check: %s: %d events, all span pairs matched\n", *tracePath, n)
+	}
+}
+
+func fatal(kind, path string, err error) {
+	fmt.Fprintf(os.Stderr, "dqemu-trace-check: %s %s: %v\n", kind, path, err)
+	os.Exit(1)
+}
+
+// checkMetrics decodes a snapshot and runs the structural validator,
+// requiring the phase-split fault histograms every cluster run records.
+func checkMetrics(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var s metrics.Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("decode: %w", err)
+	}
+	return s.Validate(core.MetricFaultE2E, core.MetricFaultDirWait,
+		core.MetricFaultTransfer, core.MetricFaultApply, core.MetricMigrate)
+}
+
+// chromeEvent mirrors the trace_event fields the checker cares about.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	PID  int64   `json:"pid"`
+	TID  int64   `json:"tid"`
+}
+
+// checkTrace verifies the file is a JSON array of trace events whose B/E
+// pairs balance per (pid, tid) track with matching names and monotonic
+// timestamps within each track.
+func checkTrace(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var evs []chromeEvent
+	if err := json.Unmarshal(data, &evs); err != nil {
+		return 0, fmt.Errorf("decode: %w", err)
+	}
+	if len(evs) == 0 {
+		return 0, fmt.Errorf("empty trace")
+	}
+	type track struct{ pid, tid int64 }
+	stacks := make(map[track][]chromeEvent)
+	lastTS := make(map[track]float64)
+	for i, e := range evs {
+		tr := track{e.PID, e.TID}
+		if e.TS < lastTS[tr] {
+			return 0, fmt.Errorf("event %d: ts %.3f goes backwards on pid=%d tid=%d (prev %.3f)",
+				i, e.TS, e.PID, e.TID, lastTS[tr])
+		}
+		lastTS[tr] = e.TS
+		switch e.Ph {
+		case "B":
+			stacks[tr] = append(stacks[tr], e)
+		case "E":
+			st := stacks[tr]
+			if len(st) == 0 {
+				return 0, fmt.Errorf("event %d: E %q on pid=%d tid=%d with no open span",
+					i, e.Name, e.PID, e.TID)
+			}
+			open := st[len(st)-1]
+			if open.Name != e.Name {
+				return 0, fmt.Errorf("event %d: E %q closes open span %q on pid=%d tid=%d",
+					i, e.Name, open.Name, e.PID, e.TID)
+			}
+			stacks[tr] = st[:len(st)-1]
+		case "i":
+			// instants carry no pairing obligation
+		default:
+			return 0, fmt.Errorf("event %d: unknown phase %q", i, e.Ph)
+		}
+	}
+	for tr, st := range stacks {
+		if len(st) > 0 {
+			return 0, fmt.Errorf("pid=%d tid=%d: %d unclosed span(s), first %q",
+				tr.pid, tr.tid, len(st), st[0].Name)
+		}
+	}
+	return len(evs), nil
+}

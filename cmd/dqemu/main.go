@@ -9,8 +9,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -27,6 +29,9 @@ func main() {
 	hints := flag.Bool("hints", false, "enable hint-based locality-aware scheduling (paper §5.3)")
 	stats := flag.Bool("stats", false, "print run statistics to stderr")
 	traceFlag := flag.Bool("trace", false, "stream cluster events (messages, faults, syscalls) to stderr")
+	rebalance := flag.Int64("rebalance", 0, "rebalance period in virtual ns (0 = no dynamic migration)")
+	profile := flag.String("profile", "", "enable the metrics registry and write the JSON snapshot to this file (- for stderr)")
+	chromeTrace := flag.String("chrome-trace", "", "record typed spans and write a Chrome trace_event timeline (Perfetto-loadable) to this file")
 	var files fileFlags
 	flag.Var(&files, "file", "guest VFS file as guestpath=hostpath (repeatable)")
 	flag.Parse()
@@ -49,8 +54,16 @@ func main() {
 	cfg.Splitting = *split
 	cfg.HintSched = *hints
 	cfg.Stdout = os.Stdout
+	cfg.RebalanceNs = *rebalance
 	if *traceFlag {
 		cfg.Tracer = trace.New(0, os.Stderr)
+	}
+	if *chromeTrace != "" && cfg.Tracer == nil {
+		// Span recording needs a tracer even without -trace streaming.
+		cfg.Tracer = trace.New(0, nil)
+	}
+	if *profile != "" {
+		cfg.Metrics = true
 	}
 
 	cluster, err := dqemu.NewCluster(im, cfg)
@@ -71,7 +84,46 @@ func main() {
 	if *stats {
 		printStats(res)
 	}
+	if *profile != "" {
+		if err := writeProfile(*profile, res); err != nil {
+			fatal(err)
+		}
+	}
+	if *chromeTrace != "" {
+		if err := writeChromeTrace(*chromeTrace, cfg.Tracer); err != nil {
+			fatal(err)
+		}
+	}
 	os.Exit(int(res.ExitCode))
+}
+
+// writeProfile dumps the run's metrics snapshot as indented JSON.
+func writeProfile(path string, res *dqemu.Result) error {
+	var w io.Writer = os.Stderr
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res.Metrics)
+}
+
+// writeChromeTrace exports the recorded spans as a Chrome trace_event file.
+func writeChromeTrace(path string, tr *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func loadProgram(path string) (*dqemu.Image, error) {

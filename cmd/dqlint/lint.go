@@ -37,6 +37,14 @@ var wallclockFuncs = map[string]bool{
 // constructors for explicitly-seeded generators.
 var seededRandFuncs = map[string]bool{"New": true, "NewSource": true}
 
+// eagerFormatFuncs are the fmt entry points that build a string whether or
+// not anyone consumes it. Inside a Record-style hot path they charge every
+// caller the formatting cost even when the event will be dropped; the
+// formatting must happen after the keep/drop decision (see trace.Tracer).
+var eagerFormatFuncs = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
+}
+
 type finding struct {
 	pos  token.Position
 	rule string
@@ -68,7 +76,7 @@ func lintSource(path string, src []byte) ([]finding, error) {
 		fset:          fset,
 		deterministic: inDirs(path, deterministicDirs),
 		protocol:      inDirs(path, protocolDirs),
-		timeName:      "-", randName: "-", syncName: "-",
+		timeName:      "-", randName: "-", syncName: "-", fmtName: "-",
 	}
 	for _, imp := range file.Imports {
 		ipath := strings.Trim(imp.Path.Value, `"`)
@@ -83,6 +91,8 @@ func lintSource(path string, src []byte) ([]finding, error) {
 			l.randName = name
 		case "sync":
 			l.syncName = name
+		case "fmt":
+			l.fmtName = name
 		}
 	}
 	for _, decl := range file.Decls {
@@ -93,6 +103,7 @@ func lintSource(path string, src []byte) ([]finding, error) {
 		}
 		l.checkSignature(fn)
 		inHandler := l.protocol && isHandlerName(fn.Name.Name)
+		inRecorder := l.deterministic && isRecorderName(fn.Name.Name)
 		if fn.Body != nil {
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
 				if inHandler {
@@ -100,6 +111,17 @@ func lintSource(path string, src []byte) ([]finding, error) {
 						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
 							l.report(call.Pos(), "nakedpanic",
 								"protocol handler %s panics; return an error or drop the message", fn.Name.Name)
+						}
+					}
+				}
+				if inRecorder {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+							if pkg, ok := sel.X.(*ast.Ident); ok &&
+								pkg.Name == l.fmtName && eagerFormatFuncs[sel.Sel.Name] {
+								l.report(call.Pos(), "hotsprintf",
+									"fmt.%s in hot-path recorder %s formats before the keep/drop decision; defer formatting past the limit check", sel.Sel.Name, fn.Name.Name)
+							}
 						}
 					}
 				}
@@ -116,7 +138,7 @@ type linter struct {
 	protocol      bool
 	// Local import names of the packages the rules watch; "-" when the file
 	// does not import them (never a valid identifier, so lookups just miss).
-	timeName, randName, syncName string
+	timeName, randName, syncName, fmtName string
 
 	findings []finding
 }
@@ -199,4 +221,10 @@ func (l *linter) byValueMutex(t ast.Expr) (string, bool) {
 func isHandlerName(name string) bool {
 	return strings.HasPrefix(name, "handle") ||
 		strings.HasPrefix(name, "on") || strings.HasPrefix(name, "On")
+}
+
+// isRecorderName matches per-event recording entry points (Record*,
+// record*): functions every instrumented hot path calls once per event.
+func isRecorderName(name string) bool {
+	return strings.HasPrefix(name, "Record") || strings.HasPrefix(name, "record")
 }

@@ -12,6 +12,10 @@
 //   - nakedpanic: protocol handler methods (handle*/on*/On* in core, live,
 //     netsim) must not panic — a malformed or replayed message has to produce
 //     a structured error or be dropped, never take the node down.
+//   - hotsprintf: per-event recorder functions (Record*/record* in the
+//     deterministic packages) must not call fmt.Sprintf and friends — those
+//     format before the keep/drop decision, charging every caller even when
+//     the tracer is saturated. Defer formatting past the limit check.
 //
 // Usage: dqlint [./... | dir ...]   (default ./...)
 // Test files are skipped: property tests legitimately use their own RNG

@@ -99,6 +99,38 @@ func (x *m) helper() { panic("internal invariant, allowed") }
 	}
 }
 
+func TestHotSprintfRule(t *testing.T) {
+	src := `package trace
+import "fmt"
+func (t *T) Record(format string, args ...interface{}) {
+	t.events = append(t.events, fmt.Sprintf(format, args...))
+}
+func (t *T) recordOne(v int) string { return fmt.Sprint(v) }
+func (t *T) Dump() string { return fmt.Sprintf("%d events", len(t.events)) }
+`
+	got := lint(t, "internal/trace/x.go", src)
+	if len(got) != 2 {
+		t.Errorf("eager formatting in recorders: %v", got)
+	}
+	for _, r := range got {
+		if r != "hotsprintf" {
+			t.Errorf("wrong rule: %v", got)
+		}
+	}
+	// Outside the deterministic packages recorders may format freely.
+	if got := lint(t, "internal/experiments/x.go", src); len(got) != 0 {
+		t.Errorf("non-deterministic package flagged: %v", got)
+	}
+	// Renamed fmt imports are still caught.
+	renamed := `package trace
+import format "fmt"
+func Record(msg string) string { return format.Errorf("x %s", msg).Error() }
+`
+	if got := lint(t, "internal/trace/x.go", renamed); len(got) != 1 || got[0] != "hotsprintf" {
+		t.Errorf("renamed import: %v", got)
+	}
+}
+
 // TestRepoIsClean runs every rule over the real tree: the linter gates CI,
 // so the tree it gates must pass it.
 func TestRepoIsClean(t *testing.T) {

@@ -11,6 +11,7 @@ import (
 	"dqemu/internal/guestos"
 	"dqemu/internal/image"
 	"dqemu/internal/mem"
+	"dqemu/internal/metrics"
 	"dqemu/internal/netsim"
 	"dqemu/internal/proto"
 	"dqemu/internal/sanitizer"
@@ -47,6 +48,10 @@ type Cluster struct {
 	// dropped pushes). Zero when the layer is fully ablated.
 	wireStats WireStats
 
+	// prof is the metrics recorder (Config.Metrics); nil when disabled,
+	// which makes every instrumentation hook a zero-allocation no-op.
+	prof *clusterProf
+
 	done     bool
 	exitCode int64
 	err      error
@@ -76,6 +81,10 @@ type Result struct {
 	// San holds the DQSan report (races, lint diagnostics, instrumentation
 	// counts) when Config.Sanitizer is on; nil otherwise.
 	San *sanitizer.Summary
+	// Metrics is the observability snapshot (fault-latency histograms,
+	// page heat, lock contention, per-thread breakdowns) when
+	// Config.Metrics is on; nil otherwise.
+	Metrics *metrics.Snapshot
 }
 
 // NewCluster loads the image into a fresh cluster. Text and read-only data
@@ -87,6 +96,9 @@ func NewCluster(im *image.Image, cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("core: at most 63 slaves supported")
 	}
 	c := &Cluster{cfg: cfg, k: sim.NewKernel(), im: im, lostNodes: map[int32]bool{}}
+	if cfg.Metrics {
+		c.prof = newClusterProf()
+	}
 	c.net = netsim.New(c.k, cfg.Net, cfg.Nodes())
 	if cfg.Tracer != nil {
 		c.net.Trace = func(now int64, m *proto.Msg) {
@@ -139,6 +151,11 @@ func NewCluster(im *image.Image, cfg Config) (*Cluster, error) {
 
 	brkStart := (im.End() + 0xffff) &^ 0xffff
 	c.os = guestos.New(c.master, guestos.NewVFS(), brkStart, mmapBase, image.ShadowBase)
+	if c.prof != nil {
+		// The futex layer records contention (wait/hold/queue depth) per
+		// guest lock word straight into the registry's lock table.
+		c.os.Futex().SetProfile(c.prof.futexProfile(), c.k.Now)
+	}
 
 	// The main thread boots on the master.
 	cpu := &tcg.CPU{PC: im.Entry, TID: guestos.MainTID}
@@ -260,6 +277,7 @@ func (c *Cluster) result() *Result {
 		}
 		r.San = sanitizer.Summarize(sans)
 	}
+	r.Metrics = c.prof.snapshot(c, r)
 	return r
 }
 

@@ -117,8 +117,17 @@ type Config struct {
 	RebalanceNs int64
 
 	// Tracer, if set, records protocol messages, faults, syscalls and
-	// scheduling events for debugging (see internal/trace).
+	// scheduling events for debugging (see internal/trace). With a tracer
+	// attached the cluster also records typed begin/end spans (exec quanta,
+	// page stalls, syscall waits) for the Chrome trace exporter.
 	Tracer *trace.Tracer
+
+	// Metrics enables the cluster observability layer (internal/metrics):
+	// fault-latency histograms split by phase, per-page heat maps, futex
+	// contention profiles and per-thread time breakdowns, reported in
+	// Result.Metrics. Off by default; when off the instrumented hot paths
+	// cost zero allocations (every hook no-ops on the nil profiler).
+	Metrics bool
 }
 
 // DefaultConfig mirrors the paper's testbed: quad-core nodes on gigabit

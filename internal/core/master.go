@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"dqemu/internal/abi"
 	"dqemu/internal/dsm"
@@ -94,6 +95,7 @@ func (m *master) handle(msg *proto.Msg) {
 	}
 	switch msg.Kind {
 	case proto.KPageReq:
+		m.cl.prof.reqArrived(int(msg.From), msg.Page, msg.Write, m.cl.k.Now())
 		full := msg.Flags&proto.FlagFullResend != 0
 		if m.wire != nil {
 			if full {
@@ -219,8 +221,18 @@ func (m *master) rebalance() {
 			counts[node]++
 		}
 	}
+	// Pick extremes by ascending node id with strict comparisons, so ties
+	// always resolve to the lowest id. Iterating the counts map directly
+	// would randomize tie-breaks (Go map order), making identically-seeded
+	// runs migrate different threads.
+	nodes := make([]int, 0, len(counts))
+	for node := range counts {
+		nodes = append(nodes, node)
+	}
+	sort.Ints(nodes)
 	maxNode, minNode := -1, -1
-	for node, c := range counts {
+	for _, node := range nodes {
+		c := counts[node]
 		if maxNode < 0 || c > counts[maxNode] {
 			maxNode = node
 		}
@@ -231,6 +243,9 @@ func (m *master) rebalance() {
 	if maxNode < 0 || counts[maxNode]-counts[minNode] < 2 {
 		return
 	}
+	// Same determinism requirement for the victim: the lowest-tid movable
+	// thread on the loaded node, not whichever the map yields first.
+	var victims []int64
 	for tid, node := range m.placement {
 		if node != maxNode || tid == 1 {
 			continue
@@ -238,10 +253,16 @@ func (m *master) rebalance() {
 		if _, inFlight := m.migrating[tid]; inFlight {
 			continue
 		}
-		m.migrating[tid] = minNode
-		m.cl.send(&proto.Msg{Kind: proto.KMigrate, From: 0, To: int32(maxNode), TID: tid, Num: int64(minNode)})
+		victims = append(victims, tid)
+	}
+	if len(victims) == 0 {
 		return
 	}
+	sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
+	tid := victims[0]
+	m.migrating[tid] = minNode
+	m.cl.send(&proto.Msg{Kind: proto.KMigrate, From: 0, To: int32(maxNode), TID: tid, Num: int64(minNode)})
+	m.cl.prof.migStarted(tid, m.cl.k.Now())
 }
 
 // onSyscallReq runs a delegated syscall on the manager thread for msg.From.
@@ -307,6 +328,7 @@ func (m *master) osExit(tid int64) {
 // write transaction that revokes the master's access, leaving two nodes in
 // M — the in-flight-grant race).
 func (m *master) SendContent(to int, page uint64, perm mem.Perm) {
+	m.cl.prof.grantSent(to, page, m.cl.k.Now())
 	if to == dsm.Master {
 		if m.wire != nil && perm == mem.PermReadWrite {
 			// The home copy is about to be modified in place: snapshot it
@@ -339,6 +361,7 @@ func (m *master) SendContent(to int, page uint64, perm mem.Perm) {
 // SendReaffirm grants permission without data: the target already holds the
 // freshest copy (KPageContent with an empty payload keeps local content).
 func (m *master) SendReaffirm(to int, page uint64, perm mem.Perm) {
+	m.cl.prof.grantSent(to, page, m.cl.k.Now())
 	if to == dsm.Master {
 		m.space.EnsurePage(page, perm)
 		m.space.SetPerm(page, perm)
@@ -352,6 +375,7 @@ func (m *master) SendReaffirm(to int, page uint64, perm mem.Perm) {
 }
 
 func (m *master) SendInvalidate(to int, page uint64) {
+	m.cl.prof.invalidated(page)
 	if m.wire != nil && m.wire.coalesce {
 		m.wire.queueInvalidate(int32(to), page)
 		return
@@ -370,6 +394,7 @@ func (m *master) SendFetch(owner int, page uint64, invalidate bool) {
 }
 
 func (m *master) SendRetry(to int, page uint64, tid int64) {
+	m.cl.prof.requestDropped(to, page)
 	if to == dsm.Master {
 		// Synchronous for the same reason as SendContent.
 		m.node.retryArrived(page)

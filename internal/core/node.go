@@ -102,6 +102,9 @@ func newNode(id int, cl *Cluster) *node {
 func (n *node) addThread(cpu *tcg.CPU) *thread {
 	t := &thread{tid: cpu.TID, cpu: cpu, node: n, state: tRunnable}
 	n.threads[cpu.TID] = t
+	// Closes the migration-transit measurement when this arrival is the
+	// landing of an in-flight migration (no-op for brand-new threads).
+	n.cl.prof.migArrived(cpu.TID, n.cl.k.Now())
 	n.enqueue(t)
 	return t
 }
@@ -181,6 +184,7 @@ func (n *node) schedule() {
 // simulation, see DESIGN.md).
 func (n *node) dispatch(t *thread) {
 	t.state = tRunning
+	n.cl.cfg.Tracer.Begin(n.cl.k.Now(), trace.EvSched, n.id, t.tid, "exec")
 	res := n.engine.Exec(t.cpu, n.cl.cfg.QuantumNs)
 	t.execNs += res.TimeNs
 	n.cl.k.Post(res.TimeNs, func() { n.complete(t, res) })
@@ -189,6 +193,7 @@ func (n *node) dispatch(t *thread) {
 // complete handles the end of a quantum.
 func (n *node) complete(t *thread, res tcg.Result) {
 	n.busy--
+	n.cl.cfg.Tracer.End(n.cl.k.Now(), trace.EvSched, n.id, t.tid, "exec")
 	if n.cl.done {
 		return
 	}
@@ -228,6 +233,7 @@ func (n *node) blockOnPage(t *thread, page, addr uint64, write bool) {
 	t.needWrite = write
 	t.waitPage = page
 	t.blockStart = n.cl.k.Now()
+	n.cl.cfg.Tracer.Begin(t.blockStart, trace.EvFault, n.id, t.tid, "page-stall")
 	n.waiting[page] = append(n.waiting[page], t)
 	n.requestPage(page, addr, write, t.tid)
 }
@@ -288,9 +294,12 @@ func (n *node) wakePageWaiters(page uint64, perm mem.Perm) {
 // unblockPage finishes a page stall: account the wait, then either resume
 // guest execution or retry the parked local-syscall handler.
 func (n *node) unblockPage(t *thread) {
-	wait := n.cl.k.Now() - t.blockStart
+	now := n.cl.k.Now()
+	wait := now - t.blockStart
 	t.faultNs += wait
 	n.stats.PageWaitNs += wait
+	n.cl.cfg.Tracer.End(now, trace.EvFault, n.id, t.tid, "page-stall")
+	n.cl.prof.faultResolved(n.id, t.waitPage, wait, now)
 	if t.syscallRetry != nil {
 		retry := t.syscallRetry
 		t.syscallRetry = nil
@@ -334,6 +343,7 @@ func (n *node) delegate(t *thread, num int64) {
 	default:
 		t.state = tBlockedSyscall
 		t.blockStart = n.cl.k.Now()
+		n.cl.cfg.Tracer.Begin(t.blockStart, trace.EvSyscall, n.id, t.tid, "syscall-wait")
 	}
 	msg := &proto.Msg{
 		Kind: proto.KSyscallReq,
@@ -462,6 +472,7 @@ func (n *node) retryOnFault(t *thread, addr uint64, write bool, handler func(*no
 	t.needWrite = write
 	t.waitPage = page
 	t.blockStart = n.cl.k.Now()
+	n.cl.cfg.Tracer.Begin(t.blockStart, trace.EvFault, n.id, t.tid, "page-stall")
 	n.waiting[page] = append(n.waiting[page], t)
 	n.requestPage(page, addr, write, t.tid)
 }
@@ -533,6 +544,7 @@ func (n *node) contentArrived(page uint64, perm mem.Perm) {
 			delete(n.requested, page)
 		}
 	}
+	n.cl.prof.contentApplied(n.id, page, n.cl.k.Now())
 	n.wakePageWaiters(page, perm)
 	if n.id == 0 {
 		n.cl.master.wakeHelpers(page)
@@ -676,6 +688,7 @@ func (n *node) onSyscallReply(m *proto.Msg) {
 		n.cl.fail(fmt.Errorf("node %d: stray syscall reply for tid %d", n.id, m.TID))
 		return
 	}
+	n.cl.cfg.Tracer.End(n.cl.k.Now(), trace.EvSyscall, n.id, t.tid, "syscall-wait")
 	t.syscallNs += n.cl.k.Now() - t.blockStart
 	t.cpu.X[10] = m.Ret
 	if n.san != nil {

@@ -38,6 +38,10 @@ type Options struct {
 	MaxSlaves int
 	// Progress, if non-nil, receives one line per completed run.
 	Progress io.Writer
+	// ChromeTrace, if set, writes a Chrome trace_event timeline of the
+	// first run of the experiment (currently honored by singlenode) to this
+	// path; load it in Perfetto or chrome://tracing.
+	ChromeTrace string
 }
 
 func (o *Options) normalize() {

@@ -4,9 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"dqemu/internal/image"
+	"dqemu/internal/metrics"
+	"dqemu/internal/trace"
 	"dqemu/internal/workloads"
 )
 
@@ -42,6 +45,10 @@ type SingleNodeRow struct {
 	SuperblockInsns uint64 `json:"superblock_insns"`
 	FusedUops       uint64 `json:"fused_uops"`
 	JumpCacheHits   uint64 `json:"jump_cache_hits"`
+
+	// Metrics is the run's full observability snapshot (fault-latency
+	// histograms, page heat top-N, lock contention, per-thread breakdown).
+	Metrics *metrics.Snapshot `json:"metrics"`
 }
 
 // singleNodeBench is one workload in the fixed suite.
@@ -108,6 +115,13 @@ func RunSingleNode(o Options, noSuper, noJC bool) (*SingleNode, error) {
 		cfg := baseConfig(0)
 		cfg.NoSuperblock = noSuper
 		cfg.NoJumpCache = noJC
+		cfg.Metrics = true
+		var tr *trace.Tracer
+		if o.ChromeTrace != "" && len(out.Rows) == 0 {
+			// Trace the suite's first bench for the Chrome timeline.
+			tr = trace.New(0, nil)
+			cfg.Tracer = tr
+		}
 
 		start := time.Now()
 		res, err := run(im, cfg)
@@ -115,8 +129,14 @@ func RunSingleNode(o Options, noSuper, noJC bool) (*SingleNode, error) {
 		if err != nil {
 			return nil, fmt.Errorf("singlenode %s: %w", b.name, err)
 		}
+		if tr != nil {
+			if err := writeChromeTrace(o.ChromeTrace, tr); err != nil {
+				return nil, fmt.Errorf("singlenode %s: %w", b.name, err)
+			}
+			o.logf("singlenode: wrote Chrome trace to %s", o.ChromeTrace)
+		}
 
-		row := SingleNodeRow{Bench: b.name, HostNs: hostNs}
+		row := SingleNodeRow{Bench: b.name, HostNs: hostNs, Metrics: res.Metrics}
 		for _, n := range res.Nodes {
 			row.GuestInsns += n.Engine.ExecInsns
 			row.TranslateNs += n.Engine.TranslateNs
@@ -158,4 +178,17 @@ func (s *SingleNode) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(s)
+}
+
+// writeChromeTrace dumps tr as a Chrome trace_event file at path.
+func writeChromeTrace(path string, tr *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,5 +1,7 @@
 package guestos
 
+import "dqemu/internal/metrics"
+
 // FutexTable is the distributed futex of §4.4: "a wait queue is maintained
 // in OS to record the status of threads waiting for the futex semaphore. To
 // emulate this functionality in a distributed environment, we have
@@ -10,11 +12,20 @@ type FutexTable struct {
 	// Waits and Wakes count operations for the statistics report.
 	Waits uint64
 	Wakes uint64
+
+	// prof, when armed via SetProfile, records per-word contention (wait
+	// time, queue depth, contended hold time) into the cluster's metrics
+	// registry; now supplies virtual time. Both nil when metrics are off —
+	// every recording call no-ops on the nil profile.
+	prof *metrics.LockProfile
+	now  func() int64
 }
 
 type futexWaiter struct {
 	tid  int64
 	wake func()
+	// since is the virtual park time, kept for the contention profile.
+	since int64
 }
 
 // NewFutexTable returns an empty table.
@@ -22,11 +33,30 @@ func NewFutexTable() *FutexTable {
 	return &FutexTable{waiters: map[uint64][]futexWaiter{}}
 }
 
+// SetProfile arms contention profiling: p receives wait/wake/release events
+// stamped with now(). Pass a nil profile to disarm.
+func (t *FutexTable) SetProfile(p *metrics.LockProfile, now func() int64) {
+	t.prof = p
+	t.now = now
+}
+
+func (t *FutexTable) clock() int64 {
+	if t.now == nil {
+		return 0
+	}
+	return t.now()
+}
+
 // Wait parks tid on addr; wake fires when a FUTEX_WAKE releases it. The
 // *addr == val check belongs to the caller (it needs guest memory access).
 func (t *FutexTable) Wait(addr uint64, tid int64, wake func()) {
 	t.Waits++
-	t.waiters[addr] = append(t.waiters[addr], futexWaiter{tid: tid, wake: wake})
+	w := futexWaiter{tid: tid, wake: wake}
+	if t.prof != nil {
+		w.since = t.clock()
+		t.prof.Wait(addr, len(t.waiters[addr])+1)
+	}
+	t.waiters[addr] = append(t.waiters[addr], w)
 }
 
 // Wake releases up to n waiters on addr and returns how many woke.
@@ -48,9 +78,21 @@ func (t *FutexTable) Wake(addr uint64, n int64) int64 {
 		t.waiters[addr] = append([]futexWaiter(nil), rest...)
 	}
 	for _, w := range released {
+		if t.prof != nil {
+			now := t.clock()
+			t.prof.Woke(addr, w.tid, now-w.since, now)
+		}
 		w.wake()
 	}
 	return count
+}
+
+// NoteRelease records tid issuing FUTEX_WAKE on addr before the wake runs:
+// if tid was the last contended acquirer of the word, the span since its
+// own wake is charged as hold time. Uncontended acquire/release pairs never
+// trap to the futex, so the profile covers contended critical sections only.
+func (t *FutexTable) NoteRelease(addr uint64, tid int64) {
+	t.prof.Release(addr, tid, t.clock())
 }
 
 // Waiting returns the number of threads parked on addr.

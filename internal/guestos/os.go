@@ -288,6 +288,7 @@ func (o *OS) sysFutex(tid int64, args [6]uint64, reply func(uint64)) {
 			o.futex.Wait(addr, tid, func() { reply(0) })
 		})
 	case abi.FutexWake:
+		o.futex.NoteRelease(addr, tid)
 		reply(uint64(o.futex.Wake(addr, int64(val))))
 	default:
 		reply(errno(abi.EINVAL))

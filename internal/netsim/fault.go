@@ -150,6 +150,10 @@ func (f *faultState) send(nw *Network, m *proto.Msg) {
 			dupJitter = f.rng.Int63n(f.plan.JitterNs + 1)
 		}
 		c := *m
+		// The duplicate is a real wire copy: account it exactly like the
+		// original (Send counted only the first copy), sharing the same
+		// overflow-bucket clamp.
+		nw.Stats.count(&c)
 		nw.transmit(&c, dupJitter)
 	}
 }

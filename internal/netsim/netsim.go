@@ -45,17 +45,41 @@ func DefaultConfig() Config {
 	}
 }
 
+// OverflowKind is the shared per-kind bucket for messages whose Kind falls
+// outside [0, proto.KindCount). Every accounting path — plain sends and
+// fault-injected duplicate copies alike — clamps to this bucket instead of
+// panicking or silently skipping, so a malformed kind shows up in the stats
+// it would otherwise corrupt.
+const OverflowKind = int(proto.KindCount)
+
 // Stats counts network activity. The per-kind tables are sized from
-// proto.KindCount, so a new message kind can never silently fall off the end
-// (netsim_test.go additionally checks every kind is counted).
+// proto.KindCount plus the shared overflow bucket, so a new message kind can
+// never silently fall off the end (netsim_test.go additionally checks every
+// kind is counted).
 type Stats struct {
 	Msgs  uint64
 	Bytes uint64
 	// ByKind / BytesByKind count messages and wire bytes per message kind;
 	// payload bytes for kind k are BytesByKind[k] - proto.HeaderSize*ByKind[k].
-	ByKind      [proto.KindCount]uint64
-	BytesByKind [proto.KindCount]uint64
+	// Index OverflowKind collects out-of-range kinds.
+	ByKind      [proto.KindCount + 1]uint64
+	BytesByKind [proto.KindCount + 1]uint64
 	BusyTxNs    int64
+}
+
+// count records one wire copy of m. It is the single accounting point shared
+// by Send and the fault injector's duplicate path, so their overflow
+// handling cannot drift apart again.
+func (s *Stats) count(m *proto.Msg) {
+	size := uint64(m.WireSize())
+	s.Msgs++
+	s.Bytes += size
+	k := int(m.Kind)
+	if k < 0 || k >= OverflowKind {
+		k = OverflowKind
+	}
+	s.ByKind[k]++
+	s.BytesByKind[k] += size
 }
 
 // Handler receives delivered messages.
@@ -125,13 +149,7 @@ func (nw *Network) Send(m *proto.Msg) {
 	if nw.Trace != nil {
 		nw.Trace(nw.k.Now(), m)
 	}
-	nw.Stats.Msgs++
-	nw.Stats.Bytes += uint64(m.WireSize())
-	if int(m.Kind) >= len(nw.Stats.ByKind) {
-		panic(fmt.Sprintf("netsim: message kind %d outside [0, KindCount)", m.Kind))
-	}
-	nw.Stats.ByKind[m.Kind]++
-	nw.Stats.BytesByKind[m.Kind] += uint64(m.WireSize())
+	nw.Stats.count(m)
 	if m.From == m.To {
 		nw.k.Post(nw.cfg.LocalNs, func() { nw.deliver(m) })
 		return

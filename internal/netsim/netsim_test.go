@@ -171,10 +171,11 @@ func TestStats(t *testing.T) {
 	}
 }
 
-// The per-kind tables are sized from proto.KindCount; if a new kind were
-// added past the array a Send would silently fall off the old fixed size.
-// This locks every defined kind to a counted slot with byte accounting.
-var _ [proto.KindCount]uint64 = Stats{}.ByKind
+// The per-kind tables are sized from proto.KindCount plus the overflow
+// bucket; if a new kind were added past the array a Send would silently fall
+// off the old fixed size. This locks every defined kind to a counted slot
+// with byte accounting, and reserves the last slot for out-of-range kinds.
+var _ [proto.KindCount + 1]uint64 = Stats{}.ByKind
 
 func TestStatsCoverEveryKind(t *testing.T) {
 	k := sim.NewKernel()
@@ -198,15 +199,75 @@ func TestStatsCoverEveryKind(t *testing.T) {
 	}
 }
 
-func TestSendPanicsOnOutOfRangeKind(t *testing.T) {
+func TestSendRoutesOutOfRangeKindToOverflowBucket(t *testing.T) {
 	k := sim.NewKernel()
 	nw := New(k, DefaultConfig(), 2)
 	nw.Register(0, func(m *proto.Msg) {})
 	nw.Register(1, func(m *proto.Msg) {})
-	defer func() {
-		if recover() == nil {
-			t.Error("kind outside [0, KindCount) accepted silently")
+	nw.Send(&proto.Msg{Kind: proto.KindCount, From: 0, To: 1, Data: make([]byte, 8)})
+	nw.Send(&proto.Msg{Kind: proto.KindCount + 9, From: 0, To: 1})
+	k.Run()
+	if nw.Stats.ByKind[OverflowKind] != 2 {
+		t.Errorf("overflow bucket = %d, want 2", nw.Stats.ByKind[OverflowKind])
+	}
+	if want := uint64(2*proto.HeaderSize + 8); nw.Stats.BytesByKind[OverflowKind] != want {
+		t.Errorf("overflow bytes = %d, want %d", nw.Stats.BytesByKind[OverflowKind], want)
+	}
+	if nw.Stats.Msgs != 2 {
+		t.Errorf("msgs = %d, want 2", nw.Stats.Msgs)
+	}
+	for kind := proto.Kind(0); kind < proto.KindCount; kind++ {
+		if nw.Stats.ByKind[kind] != 0 {
+			t.Errorf("kind %v polluted by overflow routing", kind)
 		}
-	}()
-	nw.Send(&proto.Msg{Kind: proto.KindCount, From: 0, To: 1})
+	}
+}
+
+// The fault injector's duplicate path creates a second wire copy; its
+// accounting must mirror Send's — same counters, same overflow clamp —
+// otherwise Stats.Bytes diverges from the traffic transmit actually models.
+func TestFaultDuplicateCopiesAreCounted(t *testing.T) {
+	k := sim.NewKernel()
+	nw := New(k, DefaultConfig(), 2)
+	delivered := 0
+	nw.Register(0, func(m *proto.Msg) {})
+	nw.Register(1, func(m *proto.Msg) { delivered++ })
+	nw.SetFaults(&FaultPlan{Seed: 1, DupRate: 1.0})
+	nw.Send(&proto.Msg{Kind: proto.KPageReq, From: 0, To: 1, Data: make([]byte, 32)})
+	k.Run()
+	if delivered != 2 {
+		t.Fatalf("delivered = %d, want original + duplicate", delivered)
+	}
+	if nw.FaultStats.Duplicated != 1 {
+		t.Fatalf("duplicated = %d", nw.FaultStats.Duplicated)
+	}
+	if nw.Stats.Msgs != 2 {
+		t.Errorf("msgs = %d, want 2 (both wire copies)", nw.Stats.Msgs)
+	}
+	if nw.Stats.ByKind[proto.KPageReq] != 2 {
+		t.Errorf("ByKind[KPageReq] = %d, want 2", nw.Stats.ByKind[proto.KPageReq])
+	}
+	if want := uint64(2 * (proto.HeaderSize + 32)); nw.Stats.Bytes != want {
+		t.Errorf("bytes = %d, want %d", nw.Stats.Bytes, want)
+	}
+	if nw.Stats.BytesByKind[proto.KPageReq] != nw.Stats.Bytes {
+		t.Errorf("per-kind bytes %d != total %d",
+			nw.Stats.BytesByKind[proto.KPageReq], nw.Stats.Bytes)
+	}
+}
+
+// An out-of-range kind surviving fault injection must land in the overflow
+// bucket on the duplicate path too (the "mirror guard" of the Send one).
+func TestFaultDuplicateOverflowKind(t *testing.T) {
+	k := sim.NewKernel()
+	nw := New(k, DefaultConfig(), 2)
+	nw.Register(0, func(m *proto.Msg) {})
+	nw.Register(1, func(m *proto.Msg) {})
+	nw.SetFaults(&FaultPlan{Seed: 1, DupRate: 1.0})
+	nw.Send(&proto.Msg{Kind: proto.KindCount + 3, From: 0, To: 1})
+	k.Run()
+	if nw.Stats.ByKind[OverflowKind] != 2 {
+		t.Errorf("overflow bucket = %d, want 2 (original + duplicate)",
+			nw.Stats.ByKind[OverflowKind])
+	}
 }

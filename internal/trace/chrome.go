@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace_event JSON-array format
+// (loadable in Perfetto / chrome://tracing). ts is microseconds; the sim's
+// virtual nanoseconds are emitted with fractional precision so nothing
+// collapses to zero-width.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	PID  int               `json:"pid"`
+	TID  int64             `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type track struct {
+	pid int
+	tid int64
+}
+
+// WriteChrome exports the recorded events as a Chrome trace_event JSON
+// array: PhBegin/PhEnd pairs become "B"/"E" duration events on a
+// (pid=node, tid=thread) track and instants become "i" events. The output
+// is guaranteed well-formed for the viewer even from a truncated tracer:
+// stray E events (whose B fell past the event limit) are dropped, and
+// still-open B spans are closed with synthetic E events at the trace's end
+// timestamp — so every emitted B has a matching E.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("trace: nil tracer")
+	}
+	events := t.Events()
+
+	var endNs int64
+	for _, e := range events {
+		if e.TimeNs > endNs {
+			endNs = e.TimeNs
+		}
+	}
+
+	out := make([]chromeEvent, 0, len(events))
+	// Per-track stack of open span names, to drop unmatched E and to
+	// synthesize closing E for unmatched B.
+	open := map[track][]string{}
+	for _, e := range events {
+		tr := track{pid: e.Node, tid: e.TID}
+		ce := chromeEvent{
+			Cat: e.Kind.String(),
+			TS:  float64(e.TimeNs) / 1e3,
+			PID: e.Node,
+			TID: e.TID,
+		}
+		switch e.Phase {
+		case PhBegin:
+			ce.Ph, ce.Name = "B", e.Name
+			open[tr] = append(open[tr], e.Name)
+		case PhEnd:
+			stack := open[tr]
+			if len(stack) == 0 {
+				continue // B was dropped by the event limit
+			}
+			// trace_event E events close the innermost open span; name
+			// mismatches (interleaved rather than nested spans) are a
+			// recorder bug — close the innermost anyway so the viewer
+			// stays consistent.
+			ce.Ph, ce.Name = "E", stack[len(stack)-1]
+			open[tr] = stack[:len(stack)-1]
+		default:
+			ce.Ph, ce.Name = "i", e.Kind.String()
+			if e.Detail != "" {
+				ce.Args = map[string]string{"detail": e.Detail}
+			}
+		}
+		if e.Phase != PhInstant && e.Detail != "" {
+			ce.Args = map[string]string{"detail": e.Detail}
+		}
+		out = append(out, ce)
+	}
+
+	// Close anything still open at the final timestamp, deepest first,
+	// in deterministic track order.
+	tracks := make([]track, 0, len(open))
+	for tr, stack := range open {
+		if len(stack) > 0 {
+			tracks = append(tracks, tr)
+		}
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		if tracks[i].pid != tracks[j].pid {
+			return tracks[i].pid < tracks[j].pid
+		}
+		return tracks[i].tid < tracks[j].tid
+	})
+	for _, tr := range tracks {
+		stack := open[tr]
+		for i := len(stack) - 1; i >= 0; i-- {
+			out = append(out, chromeEvent{
+				Name: stack[i], Cat: "truncated", Ph: "E",
+				TS: float64(endNs) / 1e3, PID: tr.pid, TID: tr.tid,
+			})
+		}
+	}
+
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	for i, ce := range out {
+		if i > 0 {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		blob, err := json.Marshal(ce)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(blob); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]\n")
+	return err
+}

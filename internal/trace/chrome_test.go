@@ -1,0 +1,212 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+type chromeRow struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	PID  int     `json:"pid"`
+	TID  int64   `json:"tid"`
+}
+
+func parseChrome(t *testing.T, blob []byte) []chromeRow {
+	t.Helper()
+	var rows []chromeRow
+	if err := json.Unmarshal(blob, &rows); err != nil {
+		t.Fatalf("chrome trace is not a JSON array: %v", err)
+	}
+	return rows
+}
+
+// checkMatched verifies every B has a matching E per (pid,tid) track.
+func checkMatched(t *testing.T, rows []chromeRow) {
+	t.Helper()
+	depth := map[track]int{}
+	for i, r := range rows {
+		tr := track{pid: r.PID, tid: r.TID}
+		switch r.Ph {
+		case "B":
+			depth[tr]++
+		case "E":
+			depth[tr]--
+			if depth[tr] < 0 {
+				t.Fatalf("row %d: E without open B on track %+v", i, tr)
+			}
+		case "i":
+		default:
+			t.Fatalf("row %d: unknown phase %q", i, r.Ph)
+		}
+	}
+	for tr, d := range depth {
+		if d != 0 {
+			t.Fatalf("track %+v left %d spans open", tr, d)
+		}
+	}
+}
+
+func TestWriteChromeSpansAndInstants(t *testing.T) {
+	tr := New(0, nil)
+	tr.Begin(1000, EvSched, 0, 1, "exec")
+	tr.Record(1500, EvFault, 0, 1, "page=%d", 7)
+	tr.End(2000, EvSched, 0, 1, "exec")
+	tr.Begin(2500, EvFault, 1, 2, "page-stall")
+	tr.End(4000, EvFault, 1, 2, "page-stall")
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseChrome(t, buf.Bytes())
+	checkMatched(t, rows)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	if rows[0].Ph != "B" || rows[0].Name != "exec" || rows[0].TS != 1.0 || rows[0].PID != 0 || rows[0].TID != 1 {
+		t.Fatalf("row0 = %+v", rows[0])
+	}
+	if rows[1].Ph != "i" || rows[1].Cat != "fault" {
+		t.Fatalf("row1 = %+v", rows[1])
+	}
+	if rows[2].Ph != "E" || rows[2].Name != "exec" {
+		t.Fatalf("row2 = %+v", rows[2])
+	}
+	if rows[4].TS != 4.0 {
+		t.Fatalf("row4 ts = %v, want 4.0 (ns -> us)", rows[4].TS)
+	}
+}
+
+func TestWriteChromeNesting(t *testing.T) {
+	tr := New(0, nil)
+	tr.Begin(0, EvSched, 0, 1, "outer")
+	tr.Begin(10, EvFault, 0, 1, "inner")
+	tr.End(20, EvFault, 0, 1, "inner")
+	tr.End(30, EvSched, 0, 1, "outer")
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseChrome(t, buf.Bytes())
+	checkMatched(t, rows)
+	if rows[2].Name != "inner" || rows[3].Name != "outer" {
+		t.Fatalf("nesting broken: %+v", rows)
+	}
+}
+
+func TestWriteChromeHealsTruncation(t *testing.T) {
+	// Limit 2: the B events land, the E events are dropped; the exporter
+	// must synthesize closing E rows so the viewer still loads the trace.
+	tr := New(2, nil)
+	tr.Begin(100, EvSched, 0, 1, "exec")
+	tr.Begin(200, EvFault, 0, 1, "page-stall")
+	tr.End(300, EvFault, 0, 1, "page-stall")
+	tr.End(400, EvSched, 0, 1, "exec")
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d", tr.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseChrome(t, buf.Bytes())
+	checkMatched(t, rows)
+	// 2 recorded B + 2 synthetic E, innermost first.
+	if len(rows) != 4 || rows[2].Name != "page-stall" || rows[3].Name != "exec" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[2].Cat != "truncated" {
+		t.Fatalf("synthetic E not marked truncated: %+v", rows[2])
+	}
+}
+
+func TestWriteChromeDropsStrayEnd(t *testing.T) {
+	// An E whose B was dropped (e.g. limit hit mid-span) must not emit.
+	tr := New(1, nil)
+	tr.Record(0, EvMsg, 0, 0, "filler")
+	tr.End(100, EvSched, 0, 1, "exec")
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseChrome(t, buf.Bytes())
+	checkMatched(t, rows)
+	if len(rows) != 1 || rows[0].Ph != "i" {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestWriteChromeNilTracer(t *testing.T) {
+	var tr *Tracer
+	if err := tr.WriteChrome(&bytes.Buffer{}); err == nil {
+		t.Fatal("nil tracer must error, not emit an empty array silently")
+	}
+}
+
+func TestRecordLazyFormatting(t *testing.T) {
+	// Once the limit is hit, Record must not format (and so not allocate).
+	tr := New(1, nil)
+	tr.Record(0, EvMsg, 0, 0, "first")
+	if n := testing.AllocsPerRun(100, func() {
+		tr.Record(1, EvMsg, 0, 0, "dropped %d %s", 42, "event")
+	}); n != 0 {
+		t.Fatalf("saturated Record allocated %v per run, want 0", n)
+	}
+	if tr.Dropped() == 0 {
+		t.Fatal("events should have been dropped")
+	}
+}
+
+func TestRecordNoArgsPassthrough(t *testing.T) {
+	tr := New(0, nil)
+	tr.Record(0, EvMsg, 0, 0, "100% literal")
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].Detail != "100% literal" {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestSinkWrittenOutsideLock(t *testing.T) {
+	// A sink that re-enters the tracer would deadlock if Fprintln ran under
+	// the admission mutex; with the fix it must complete.
+	tr := New(0, nil)
+	tr.sink = reentrantSink{tr: tr}
+	done := make(chan struct{})
+	go func() {
+		tr.Record(0, EvMsg, 0, 0, "outer")
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Record deadlocked writing to a re-entrant sink")
+	}
+	if got := len(tr.Events()); got != 2 {
+		t.Fatalf("events = %d, want 2 (outer + sink re-entry)", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "outer") {
+		t.Fatalf("dump missing event: %q", buf.String())
+	}
+}
+
+type reentrantSink struct{ tr *Tracer }
+
+func (s reentrantSink) Write(p []byte) (int, error) {
+	// Reads the tracer state, which takes t.mu — the old code held t.mu
+	// across this call.
+	if s.tr.Dropped() == 0 && len(s.tr.Events()) == 1 {
+		s.tr.sink = nil // avoid infinite recursion
+		s.tr.Record(1, EvMsg, 0, 0, "from-sink")
+	}
+	return len(p), nil
+}

@@ -1,8 +1,9 @@
 // Package trace records cluster events — protocol messages, scheduling
 // decisions, page faults, syscalls — as timestamped entries that can be
-// rendered as a human-readable log or filtered programmatically. The
-// simulation driver attaches a Tracer through core.Config.Tracer; the
-// dqemu CLI exposes it as -trace.
+// rendered as a human-readable log, filtered programmatically, or exported
+// as a Chrome trace_event timeline (see WriteChrome). The simulation driver
+// attaches a Tracer through core.Config.Tracer; the dqemu CLI exposes it as
+// -trace and -chrome-trace.
 package trace
 
 import (
@@ -44,12 +45,29 @@ func (k Kind) String() string {
 	}
 }
 
+// Phase distinguishes instantaneous events from begin/end span pairs. Spans
+// carry a Name (the span type, e.g. "exec" or "page-stall") and nest per
+// (node, tid) track, mapping 1:1 onto Chrome trace_event "B"/"E" phases.
+type Phase uint8
+
+const (
+	// PhInstant is a point event (the default for Record).
+	PhInstant Phase = iota
+	// PhBegin opens a span on the event's (node, tid) track.
+	PhBegin
+	// PhEnd closes the most recent open span on the track.
+	PhEnd
+)
+
 // Event is one recorded occurrence.
 type Event struct {
 	TimeNs int64
 	Kind   Kind
+	Phase  Phase
 	Node   int
 	TID    int64
+	// Name is the span type for PhBegin/PhEnd events ("" for instants).
+	Name   string
 	Detail string
 }
 
@@ -62,7 +80,11 @@ type Tracer struct {
 	limit  int
 	// dropped counts events discarded after the limit was hit.
 	dropped uint64
-	sink    io.Writer
+	// sinkMu serializes sink writes without blocking recorders: event
+	// admission happens under mu only; the I/O happens under sinkMu so a
+	// slow sink never stalls other nodes' Record calls.
+	sinkMu sync.Mutex
+	sink   io.Writer
 }
 
 // New returns a tracer keeping at most limit events (0 means 1<<20).
@@ -74,28 +96,67 @@ func New(limit int, sink io.Writer) *Tracer {
 	return &Tracer{limit: limit, sink: sink}
 }
 
-// Record appends an event.
+// Record appends an instantaneous event.
 func (t *Tracer) Record(timeNs int64, kind Kind, node int, tid int64, format string, args ...interface{}) {
 	if t == nil {
 		return
 	}
-	detail := fmt.Sprintf(format, args...)
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if len(t.events) >= t.limit {
-		t.dropped++
+	t.emit(timeNs, kind, PhInstant, node, tid, "", format, args)
+}
+
+// Begin opens a named span on the (node, tid) track. Pair with End; spans
+// on one track must nest (close in reverse open order), matching the
+// Chrome trace_event B/E contract.
+func (t *Tracer) Begin(timeNs int64, kind Kind, node int, tid int64, name string) {
+	if t == nil {
 		return
 	}
-	ev := Event{TimeNs: timeNs, Kind: kind, Node: node, TID: tid, Detail: detail}
+	t.emit(timeNs, kind, PhBegin, node, tid, name, "", nil)
+}
+
+// End closes the most recent open span named name on the (node, tid) track.
+func (t *Tracer) End(timeNs int64, kind Kind, node int, tid int64, name string) {
+	if t == nil {
+		return
+	}
+	t.emit(timeNs, kind, PhEnd, node, tid, name, "", nil)
+}
+
+// emit admits one event. The limit check runs before any formatting so a
+// saturated tracer costs neither allocation nor Sprintf work, and the sink
+// write happens outside the admission lock.
+func (t *Tracer) emit(timeNs int64, kind Kind, phase Phase, node int, tid int64, name, format string, args []interface{}) {
+	t.mu.Lock()
+	if len(t.events) >= t.limit {
+		t.dropped++
+		t.mu.Unlock()
+		return
+	}
+	detail := format
+	if len(args) > 0 {
+		detail = fmt.Sprintf(format, args...)
+	}
+	ev := Event{TimeNs: timeNs, Kind: kind, Phase: phase, Node: node, TID: tid, Name: name, Detail: detail}
 	t.events = append(t.events, ev)
-	if t.sink != nil {
-		fmt.Fprintln(t.sink, ev.String())
+	sink := t.sink
+	t.mu.Unlock()
+	if sink != nil {
+		t.sinkMu.Lock()
+		fmt.Fprintln(sink, ev.String())
+		t.sinkMu.Unlock()
 	}
 }
 
 // String renders one event line.
 func (e Event) String() string {
-	return fmt.Sprintf("%12dns node%d %-7s tid=%-4d %s", e.TimeNs, e.Node, e.Kind, e.TID, e.Detail)
+	switch e.Phase {
+	case PhBegin:
+		return fmt.Sprintf("%12dns node%d %-7s tid=%-4d B:%s %s", e.TimeNs, e.Node, e.Kind, e.TID, e.Name, e.Detail)
+	case PhEnd:
+		return fmt.Sprintf("%12dns node%d %-7s tid=%-4d E:%s %s", e.TimeNs, e.Node, e.Kind, e.TID, e.Name, e.Detail)
+	default:
+		return fmt.Sprintf("%12dns node%d %-7s tid=%-4d %s", e.TimeNs, e.Node, e.Kind, e.TID, e.Detail)
+	}
 }
 
 // Events returns a snapshot of the recorded events.
