@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -29,13 +30,31 @@ func main() {
 	jsonOut := flag.String("json", "", "write singlenode/sanitizer/wire results as JSON to this file")
 	noSuper := flag.Bool("nosuperblock", false, "disable hot-trace superblocks (ablation)")
 	noJC := flag.Bool("nojumpcache", false, "disable the indirect-branch target cache (ablation)")
+	noT3 := flag.Bool("notier3", false, "disable closure compilation of hot superblocks (ablation)")
+	noPeep := flag.Bool("nopeephole", false, "disable mined peephole rules (ablation)")
+	ablate := flag.Bool("ablate", false, "singlenode: run the tier ablation matrix (full ladder, -nopeephole, -notier3) in one invocation")
+	benchSel := flag.String("bench", "", "singlenode: run only this workload (pi, blackscholes, swaptions, x264)")
 	chromeTrace := flag.String("chrome-trace", "", "write a Chrome trace_event timeline of the first singlenode run to this file")
 	seed := flag.Int64("seed", 0, "chaos: run a single fault plan with this seed (0 = full battery)")
 	runs := flag.Int("runs", 50, "chaos: battery size when -seed is 0")
 	broken := flag.String("broken", "", "chaos: transport ablation to inject (noretry or nodedup)")
+	cpuProf := flag.String("cpuprofile", "", "write a host CPU profile of the whole run to this file")
 	flag.Parse()
 
-	opts := experiments.Options{MaxSlaves: *slaves, ChromeTrace: *chromeTrace}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dqemu-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dqemu-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	opts := experiments.Options{MaxSlaves: *slaves, ChromeTrace: *chromeTrace, Bench: *benchSel}
 	if *full {
 		opts.Scale = experiments.Full
 	}
@@ -144,19 +163,40 @@ func main() {
 
 	if want("singlenode") {
 		start := time.Now()
-		sn, err := experiments.RunSingleNode(opts, *noSuper, *noJC)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "dqemu-bench: singlenode: %v\n", err)
-			os.Exit(1)
+		var out interface {
+			Print(w io.Writer)
+			WriteJSON(w io.Writer) error
 		}
-		sn.Print(os.Stdout)
+		if *ablate {
+			m, err := experiments.RunSingleNodeMatrix(opts, []experiments.TierConfig{
+				{}, // full ladder
+				{NoPeephole: true},
+				{NoTier3: true},
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dqemu-bench: singlenode: %v\n", err)
+				os.Exit(1)
+			}
+			out = m
+		} else {
+			sn, err := experiments.RunSingleNode(opts, experiments.TierConfig{
+				NoSuperblock: *noSuper, NoJumpCache: *noJC,
+				NoTier3: *noT3, NoPeephole: *noPeep,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dqemu-bench: singlenode: %v\n", err)
+				os.Exit(1)
+			}
+			out = sn
+		}
+		out.Print(os.Stdout)
 		if *jsonOut != "" {
 			f, err := os.Create(*jsonOut)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "dqemu-bench: %v\n", err)
 				os.Exit(1)
 			}
-			if err := sn.WriteJSON(f); err != nil {
+			if err := out.WriteJSON(f); err != nil {
 				fmt.Fprintf(os.Stderr, "dqemu-bench: %v\n", err)
 				os.Exit(1)
 			}

@@ -1,0 +1,215 @@
+// dqemu-peep mines peephole rules from micro-op sequence profiles and
+// proves them sound before they are allowed into the checked-in rules file.
+//
+// The mine -> prove -> apply workflow:
+//
+//  1. Mine: run the single-node suite with peephole rules disabled (or read
+//     an existing -profile JSON dump) and aggregate the execution-weighted
+//     uopseq.* n-gram counters.
+//  2. Select: a rule schema from the engine's catalog is a candidate when
+//     its trigger sequence actually occurs in the mined profile (weight >=
+//     -minweight). Schemas that never fire on real workloads stay out of
+//     the rules file rather than padding it.
+//  3. Prove: every candidate must survive tcg.ProveRule — randomized
+//     differential state replay of the original uop sequence against the
+//     rewritten form. A single diverging register file refutes the rule
+//     and fails the run.
+//  4. Write: the surviving set, with its mined weights, is written as
+//     internal/tcg/rules/peep.rules and embedded into the engine.
+//
+// Usage:
+//
+//	dqemu-peep -run -out internal/tcg/rules/peep.rules   # mine + prove + write
+//	dqemu-peep -run -profile prof.json -out ...          # mine from a dump
+//	dqemu-peep -check internal/tcg/rules/peep.rules      # re-prove checked-in set
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"dqemu/internal/experiments"
+	"dqemu/internal/tcg"
+)
+
+func main() {
+	run := flag.Bool("run", false, "mine rules from a profile and write the proven set")
+	check := flag.String("check", "", "parse this rules file and re-prove every enabled rule")
+	profile := flag.String("profile", "", "mine from this JSON profile dump instead of running the suite")
+	out := flag.String("out", "", "write the mined rules file here (default stdout)")
+	trials := flag.Int("trials", 4096, "randomized differential replay trials per rule")
+	seed := flag.Int64("seed", 1, "replay RNG seed")
+	minWeight := flag.Uint64("minweight", 1, "minimum mined trigger-sequence weight for a rule to be emitted")
+	flag.Parse()
+
+	switch {
+	case *check != "":
+		if err := checkRules(*check, *trials, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "dqemu-peep: %v\n", err)
+			os.Exit(1)
+		}
+	case *run:
+		if err := mineRules(*profile, *out, *trials, *seed, *minWeight); err != nil {
+			fmt.Fprintf(os.Stderr, "dqemu-peep: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// checkRules re-proves every rule enabled in the checked-in file. CI runs
+// this so a schema edit that silently breaks a proven rewrite fails loudly.
+func checkRules(path string, trials int, seed int64) error {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	rules, err := tcg.ParsePeepRules(string(text))
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(rules))
+	for name := range rules {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := tcg.ProveRule(name, trials, seed); err != nil {
+			return err
+		}
+		fmt.Printf("proved %-12s (%d trials)\n", name, trials)
+	}
+	fmt.Printf("%s: %d rules proved\n", path, len(names))
+	return nil
+}
+
+// mineRules aggregates uopseq.* weights, selects catalog schemas whose
+// trigger sequence occurs, proves each, and writes the rules file.
+func mineRules(profilePath, outPath string, trials int, seed int64, minWeight uint64) error {
+	var weights map[string]uint64
+	var source string
+	var err error
+	if profilePath != "" {
+		weights, err = mineFromDump(profilePath)
+		source = profilePath
+	} else {
+		weights, err = mineFromSuite()
+		source = "singlenode suite, peephole disabled"
+	}
+	if err != nil {
+		return err
+	}
+
+	type mined struct {
+		info   tcg.PeepRuleInfo
+		weight uint64
+	}
+	var keep []mined
+	for _, info := range tcg.PeepRuleCatalog() {
+		w := weights["uopseq."+info.Seq]
+		if w < minWeight {
+			fmt.Fprintf(os.Stderr, "skip  %-12s trigger %q weight %d < %d\n", info.Name, info.Seq, w, minWeight)
+			continue
+		}
+		if err := tcg.ProveRule(info.Name, trials, seed); err != nil {
+			return fmt.Errorf("candidate %s refuted: %w", info.Name, err)
+		}
+		fmt.Fprintf(os.Stderr, "keep  %-12s trigger %q weight %d, proved (%d trials)\n", info.Name, info.Seq, w, trials)
+		keep = append(keep, mined{info, w})
+	}
+
+	var b strings.Builder
+	b.WriteString(`# dqemu peephole rules — mined from -profile uopseq counters by
+# cmd/dqemu-peep and proven sound by randomized differential state replay
+# (tcg.ProveRule; see EXPERIMENTS.md for the mine -> prove -> apply
+# workflow). Regenerate with:
+#
+#   go run ./cmd/dqemu-peep -run -out internal/tcg/rules/peep.rules
+#
+# Verify without rewriting:
+#
+#   go run ./cmd/dqemu-peep -check internal/tcg/rules/peep.rules
+#
+# weight is the execution-weighted occurrence count of the rule's trigger
+# sequence in the mining run (`)
+	b.WriteString(source)
+	b.WriteString(").\n")
+	for _, m := range keep {
+		fmt.Fprintf(&b, "rule %s weight=%d\n", m.info.Name, m.weight)
+	}
+	if _, err := tcg.ParsePeepRules(b.String()); err != nil {
+		return fmt.Errorf("generated file does not round-trip: %w", err)
+	}
+	if outPath == "" {
+		fmt.Print(b.String())
+		return nil
+	}
+	return os.WriteFile(outPath, []byte(b.String()), 0o644)
+}
+
+// mineFromSuite runs the single-node suite with peephole rules ablated off
+// (so the mined stream is the raw lowered form) and aggregates uopseq.*
+// counters across every row's metrics snapshot.
+func mineFromSuite() (map[string]uint64, error) {
+	sn, err := experiments.RunSingleNode(
+		experiments.Options{Progress: os.Stderr},
+		experiments.TierConfig{NoPeephole: true})
+	if err != nil {
+		return nil, err
+	}
+	weights := map[string]uint64{}
+	for _, row := range sn.Rows {
+		if row.Metrics == nil {
+			continue
+		}
+		for k, v := range row.Metrics.Counters {
+			if strings.HasPrefix(k, "uopseq.") {
+				weights[k] += v
+			}
+		}
+	}
+	return weights, nil
+}
+
+// mineFromDump walks an arbitrary JSON profile dump (a -profile metrics
+// snapshot, a singlenode -json file, or anything nesting them) and sums
+// every numeric field keyed uopseq.*.
+func mineFromDump(path string) (map[string]uint64, error) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var root interface{}
+	if err := json.Unmarshal(text, &root); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	weights := map[string]uint64{}
+	var walk func(interface{})
+	walk = func(v interface{}) {
+		switch t := v.(type) {
+		case map[string]interface{}:
+			for k, v := range t {
+				if n, ok := v.(float64); ok && strings.HasPrefix(k, "uopseq.") {
+					weights[k] += uint64(n)
+					continue
+				}
+				walk(v)
+			}
+		case []interface{}:
+			for _, v := range t {
+				walk(v)
+			}
+		}
+	}
+	walk(root)
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("%s: no uopseq.* counters found (run with metrics/-profile enabled)", path)
+	}
+	return weights, nil
+}

@@ -1,0 +1,174 @@
+// dqemu-trend gates translator-throughput regressions across the checked-in
+// BENCH_*.json history. It extracts the full-ladder (no ablation flags)
+// insns/sec per workload from every prior file, takes the best prior figure
+// per workload, and fails when the candidate file regresses any workload by
+// more than -max-regress (default 10%).
+//
+// Three BENCH schemas exist in the tree; the tool understands the two
+// single-node ones and skips the rest:
+//
+//   - {"configs": [...]}  — singlenode ablation matrix (dqemu-bench -exp
+//     singlenode -ablate -json); the full-ladder config is the one with
+//     every no_* flag false.
+//   - {"rows": [...]}     — a single singlenode config at top level; used
+//     only when its own no_* flags say the full ladder was on.
+//   - {"benches": [...]}  — wire-efficiency results (BENCH_pr4.json); no
+//     throughput rows, skipped with a note.
+//
+// Usage:
+//
+//	dqemu-trend -candidate BENCH_pr6.json BENCH_*.json
+//
+// The candidate may also appear in the prior list (the glob above includes
+// it); it is excluded from the baseline automatically.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// benchFile mirrors the union of the two single-node BENCH schemas.
+type benchFile struct {
+	// Matrix schema.
+	Configs []benchConfig `json:"configs"`
+	// Flat schema: one config at top level.
+	benchConfig
+	// Wire schema marker; presence means "not a throughput file".
+	Benches json.RawMessage `json:"benches"`
+}
+
+type benchConfig struct {
+	NoSuperblock bool       `json:"no_superblock"`
+	NoJumpCache  bool       `json:"no_jump_cache"`
+	NoTier3      bool       `json:"no_tier3"`
+	NoPeephole   bool       `json:"no_peephole"`
+	Rows         []benchRow `json:"rows"`
+}
+
+func (c benchConfig) fullLadder() bool {
+	return !c.NoSuperblock && !c.NoJumpCache && !c.NoTier3 && !c.NoPeephole
+}
+
+type benchRow struct {
+	Bench       string  `json:"bench"`
+	InsnsPerSec float64 `json:"insns_per_sec"`
+}
+
+func main() {
+	candidate := flag.String("candidate", "", "BENCH file under test (required)")
+	maxRegress := flag.Float64("max-regress", 0.10, "maximum allowed fractional insns/sec drop vs the best prior figure")
+	flag.Parse()
+	if *candidate == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: dqemu-trend -candidate BENCH_new.json BENCH_*.json")
+		os.Exit(2)
+	}
+
+	cand, err := loadFullLadder(*candidate)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dqemu-trend: %s: %v\n", *candidate, err)
+		os.Exit(2)
+	}
+	if len(cand) == 0 {
+		fmt.Fprintf(os.Stderr, "dqemu-trend: %s has no full-ladder rows\n", *candidate)
+		os.Exit(2)
+	}
+
+	// Best prior figure per workload across every comparable file.
+	best := map[string]float64{}
+	bestFrom := map[string]string{}
+	for _, path := range flag.Args() {
+		if sameFile(path, *candidate) {
+			continue
+		}
+		rows, err := loadFullLadder(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dqemu-trend: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		if rows == nil {
+			fmt.Printf("skip %s: no single-node throughput rows\n", path)
+			continue
+		}
+		for bench, ips := range rows {
+			if ips > best[bench] {
+				best[bench], bestFrom[bench] = ips, path
+			}
+		}
+	}
+	if len(best) == 0 {
+		fmt.Println("no comparable prior files; nothing to gate")
+		return
+	}
+
+	benches := make([]string, 0, len(cand))
+	for bench := range cand {
+		benches = append(benches, bench)
+	}
+	sort.Strings(benches)
+	failed := 0
+	for _, bench := range benches {
+		prior, ok := best[bench]
+		if !ok {
+			fmt.Printf("%-14s %12.1f M/s  (new workload, no prior)\n", bench, cand[bench]/1e6)
+			continue
+		}
+		ratio := cand[bench] / prior
+		status := "ok"
+		if ratio < 1-*maxRegress {
+			status = "REGRESSION"
+			failed++
+		}
+		fmt.Printf("%-14s %12.1f M/s  vs best prior %12.1f M/s (%s)  %+.1f%%  %s\n",
+			bench, cand[bench]/1e6, prior/1e6, bestFrom[bench], (ratio-1)*100, status)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "dqemu-trend: %d workload(s) regressed more than %.0f%%\n",
+			failed, *maxRegress*100)
+		os.Exit(1)
+	}
+}
+
+// loadFullLadder returns bench -> insns/sec for the full-ladder config in
+// path, or nil (no error) when the file holds no single-node throughput
+// data (e.g. the wire-efficiency schema).
+func loadFullLadder(path string) (map[string]float64, error) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(text, &f); err != nil {
+		return nil, err
+	}
+	configs := f.Configs
+	if configs == nil && f.Rows != nil {
+		configs = []benchConfig{f.benchConfig}
+	}
+	if configs == nil {
+		return nil, nil // wire schema or empty: not comparable
+	}
+	rows := map[string]float64{}
+	for _, c := range configs {
+		if !c.fullLadder() {
+			continue
+		}
+		for _, r := range c.Rows {
+			rows[r.Bench] = r.InsnsPerSec
+		}
+	}
+	if len(rows) == 0 {
+		return nil, nil // only ablated configs recorded (e.g. the seed file)
+	}
+	return rows, nil
+}
+
+func sameFile(a, b string) bool {
+	aa, err1 := filepath.Abs(a)
+	bb, err2 := filepath.Abs(b)
+	return err1 == nil && err2 == nil && aa == bb
+}

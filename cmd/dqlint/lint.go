@@ -25,6 +25,11 @@ var deterministicDirs = []string{
 // protocolDirs hold message handlers that must degrade gracefully.
 var protocolDirs = []string{"internal/core", "internal/live", "internal/netsim"}
 
+// tier3Dirs hold closure compilers whose returned closures run on the
+// guest-instruction hot path: one allocation inside a closure body is one
+// allocation per executed micro-op, not per compilation.
+var tier3Dirs = []string{"internal/tcg"}
+
 // wallclockFuncs are the time package entry points that read or depend on
 // the host clock.
 var wallclockFuncs = map[string]bool{
@@ -76,6 +81,7 @@ func lintSource(path string, src []byte) ([]finding, error) {
 		fset:          fset,
 		deterministic: inDirs(path, deterministicDirs),
 		protocol:      inDirs(path, protocolDirs),
+		tier3:         inDirs(path, tier3Dirs),
 		timeName:      "-", randName: "-", syncName: "-", fmtName: "-",
 	}
 	for _, imp := range file.Imports {
@@ -104,6 +110,9 @@ func lintSource(path string, src []byte) ([]finding, error) {
 		l.checkSignature(fn)
 		inHandler := l.protocol && isHandlerName(fn.Name.Name)
 		inRecorder := l.deterministic && isRecorderName(fn.Name.Name)
+		if l.tier3 && isCompilerName(fn.Name.Name) {
+			l.checkClosureAllocs(fn)
+		}
 		if fn.Body != nil {
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
 				if inHandler {
@@ -136,6 +145,7 @@ type linter struct {
 	fset          *token.FileSet
 	deterministic bool
 	protocol      bool
+	tier3         bool
 	// Local import names of the packages the rules watch; "-" when the file
 	// does not import them (never a valid identifier, so lookups just miss).
 	timeName, randName, syncName, fmtName string
@@ -214,6 +224,57 @@ func (l *linter) byValueMutex(t ast.Expr) (string, bool) {
 		return sel.Sel.Name, true
 	}
 	return "", false
+}
+
+// checkClosureAllocs flags per-execution allocations inside the closures a
+// compile* function returns (the t3alloc rule). The closures run once per
+// guest micro-op; anything they allocate must be hoisted to compile time,
+// where it happens once per translation. Flagged shapes: make/new/append
+// calls, address-of composite literals, and nested closure creation (a
+// closure built inside a closure is itself a per-execution allocation).
+func (l *linter) checkClosureAllocs(fn *ast.FuncDecl) {
+	if fn.Body == nil {
+		return
+	}
+	var inClosure func(n ast.Node) bool
+	inClosure = func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			l.report(e.Pos(), "t3alloc",
+				"closure created inside a %s execution closure allocates per execution; build it at compile time", fn.Name.Name)
+			// Keep walking: its body is also per-execution code.
+			return true
+		case *ast.CallExpr:
+			if id, ok := e.Fun.(*ast.Ident); ok {
+				switch id.Name {
+				case "make", "new", "append":
+					l.report(e.Pos(), "t3alloc",
+						"%s inside a %s execution closure allocates per execution; hoist it to compile time", id.Name, fn.Name.Name)
+				}
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := e.X.(*ast.CompositeLit); ok {
+					l.report(e.Pos(), "t3alloc",
+						"&composite literal inside a %s execution closure allocates per execution; hoist it to compile time", fn.Name.Name)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, inClosure)
+			return false // inClosure already walked the body, nested lits included
+		}
+		return true
+	})
+}
+
+// isCompilerName matches the closure-compiler naming convention in the
+// translation engine: compile* functions return per-micro-op closures.
+func isCompilerName(name string) bool {
+	return strings.HasPrefix(name, "compile")
 }
 
 // isHandlerName matches the protocol-handler naming convention: handle*,

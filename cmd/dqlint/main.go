@@ -16,6 +16,12 @@
 //     deterministic packages) must not call fmt.Sprintf and friends — those
 //     format before the keep/drop decision, charging every caller even when
 //     the tracer is saturated. Defer formatting past the limit check.
+//   - t3alloc: closure-compiler functions (compile* in internal/tcg) must
+//     not allocate inside the closures they return — make/new/append,
+//     &composite-literal, and nested closure creation there run once per
+//     executed micro-op, not once per translation, and break the tier-3
+//     zero-alloc steady-state guarantee. Hoist the allocation to compile
+//     time and capture the result.
 //
 // Usage: dqlint [./... | dir ...]   (default ./...)
 // Test files are skipped: property tests legitimately use their own RNG

@@ -131,6 +131,43 @@ func Record(msg string) string { return format.Errorf("x %s", msg).Error() }
 	}
 }
 
+func TestT3AllocRule(t *testing.T) {
+	src := `package tcg
+func compileOp(n int) func() int {
+	tbl := make([]int, n) // compile time: fine
+	return func() int {
+		s := make([]int, 4)        // per execution: flagged
+		s = append(s, n)           // per execution: flagged
+		p := &point{x: 1}          // per execution: flagged
+		f := func() int { return p.x } // per execution: flagged
+		return len(tbl) + len(s) + f()
+	}
+}
+func compileClean(n int) func() int {
+	buf := make([]int, n)
+	p := &point{x: n}
+	return func() int { return len(buf) + p.x }
+}
+func helper() func() int {
+	return func() int { s := make([]int, 1); return len(s) } // not a compiler
+}
+type point struct{ x int }
+`
+	got := lint(t, "internal/tcg/x.go", src)
+	if len(got) != 4 {
+		t.Errorf("t3alloc findings: %v", got)
+	}
+	for _, r := range got {
+		if r != "t3alloc" {
+			t.Errorf("wrong rule: %v", got)
+		}
+	}
+	// Outside the translation engine the rule is off.
+	if got := lint(t, "internal/core/x.go", src); len(got) != 0 {
+		t.Errorf("non-tcg package flagged: %v", got)
+	}
+}
+
 // TestRepoIsClean runs every rule over the real tree: the linter gates CI,
 // so the tree it gates must pass it.
 func TestRepoIsClean(t *testing.T) {

@@ -67,6 +67,15 @@ type Config struct {
 	NoChain bool
 	// NoSuperblock disables hot-trace superblock promotion (ablation).
 	NoSuperblock bool
+	// NoTier3 disables closure compilation of hot superblocks (ablation):
+	// superblocks stay on the tier-2 micro-op dispatch loop forever.
+	NoTier3 bool
+	// NoPeephole disables the mined peephole rewrite rules at superblock
+	// lowering (ablation).
+	NoPeephole bool
+	// Tier3Threshold overrides the tier-2 entry count at which a superblock
+	// is closure-compiled (default tcg.DefaultTier3Threshold).
+	Tier3Threshold uint32
 	// NoJumpCache disables the indirect-branch target cache (ablation).
 	NoJumpCache bool
 	// NoAtomicPreempt keeps running the quantum across write-atomics

@@ -62,6 +62,22 @@ func TestDifferentialRandomPrograms(t *testing.T) {
 		cfg.NoJumpCache = true
 		variants = append(variants, cfg)
 	}
+	// Tier-3 closure compilation distributed across nodes, with and without
+	// the mined peephole rules; the low threshold makes short random
+	// programs actually reach the compiled tier.
+	{
+		cfg := DefaultConfig()
+		cfg.Slaves = 2
+		cfg.Tier3Threshold = 2
+		variants = append(variants, cfg)
+	}
+	{
+		cfg := DefaultConfig()
+		cfg.Slaves = 3
+		cfg.Tier3Threshold = 2
+		cfg.NoPeephole = true
+		variants = append(variants, cfg)
+	}
 
 	const programs = 8
 	for p := 0; p < programs; p++ {
@@ -89,10 +105,23 @@ func TestDifferentialRandomPrograms(t *testing.T) {
 	}
 }
 
-// tierConfigs returns the three translation tiers on a single node:
-// superblocks (the default), plain chained blocks, and the pure interpreter.
+// tierConfigs returns every rung of the translation ladder on a single
+// node: the pure interpreter, plain chained blocks, tier-2 superblocks with
+// the upper tier off, tier-3 closure compilation, and tier-3 with the mined
+// peephole rules — the four-way differential matrix (plus the chained rung)
+// for the tiered-translation work. The tier-3 rungs force a low promotion
+// threshold so short test programs actually reach the compiled tier.
 func tierConfigs() map[string]Config {
 	super := DefaultConfig()
+	super.NoTier3 = true
+	super.NoPeephole = true
+
+	tier3 := DefaultConfig()
+	tier3.NoPeephole = true
+	tier3.Tier3Threshold = 2
+
+	tier3peep := DefaultConfig()
+	tier3peep.Tier3Threshold = 2
 
 	chained := DefaultConfig()
 	chained.NoSuperblock = true
@@ -104,19 +133,24 @@ func tierConfigs() map[string]Config {
 	interp.NoSuperblock = true
 	interp.NoJumpCache = true
 
-	return map[string]Config{"superblock": super, "chained": chained, "interp": interp}
+	return map[string]Config{
+		"superblock": super, "tier3": tier3, "tier3+peep": tier3peep,
+		"chained": chained, "interp": interp,
+	}
 }
 
 // tierState is the architecturally visible outcome of a run: console bytes,
 // exit code, the main thread's final registers, and every writable image
 // segment's memory.
 type tierState struct {
-	console  string
-	exitCode int64
-	x        [32]uint64
-	f        [32]float64
-	pc       uint64
-	mem      []byte
+	console    string
+	exitCode   int64
+	x          [32]uint64
+	f          [32]float64
+	pc         uint64
+	mem        []byte
+	tier3Insns uint64
+	peeps      uint64
 }
 
 // runTier executes im under cfg and captures the final architectural state
@@ -136,6 +170,10 @@ func runTier(t *testing.T, im *image.Image, cfg Config) tierState {
 	}
 	st := tierState{console: res.Console, exitCode: res.ExitCode,
 		x: mainCPU.X, f: mainCPU.F, pc: mainCPU.PC}
+	for _, n := range res.Nodes {
+		st.tier3Insns += n.Engine.Tier3Insns
+		st.peeps += n.Engine.PeepApplied
+	}
 	for _, seg := range im.Segments {
 		if !seg.Writable {
 			continue
@@ -149,10 +187,12 @@ func runTier(t *testing.T, im *image.Image, cfg Config) tierState {
 	return st
 }
 
-// TestDifferentialTiers proves the tentpole's coherence claim end to end:
-// the superblock tier, the chained-block tier and the interpreter leave
-// bit-identical architectural state — registers and memory — for the same
-// guest program, not just identical console output.
+// TestDifferentialTiers proves the ladder's coherence claim end to end:
+// the interpreter, chained blocks, tier-2 superblocks, tier-3 closures, and
+// tier-3 with mined peephole rules all leave bit-identical architectural
+// state — registers and memory — for the same guest program, not just
+// identical console output. The tier-3 rungs must also demonstrably run on
+// the compiled tier rather than silently falling back to tier-2.
 func TestDifferentialTiers(t *testing.T) {
 	r := rand.New(rand.NewSource(4242))
 	const programs = 4
@@ -166,6 +206,9 @@ func TestDifferentialTiers(t *testing.T) {
 				continue
 			}
 			got := runTier(t, im, cfg)
+			if (name == "tier3" || name == "tier3+peep") && got.tier3Insns == 0 {
+				t.Errorf("program %d tier %s never executed tier-3 closures", p, name)
+			}
 			if got.console != want.console || got.exitCode != want.exitCode {
 				t.Fatalf("program %d tier %s output diverged:\n got %q (exit %d)\nwant %q (exit %d)\nsource:\n%s",
 					p, name, got.console, got.exitCode, want.console, want.exitCode, src)

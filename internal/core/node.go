@@ -75,6 +75,9 @@ func newNode(id int, cl *Cluster) *node {
 	engine.NoCache = cl.cfg.Interp
 	engine.NoChain = cl.cfg.NoChain
 	engine.NoSuperblock = cl.cfg.NoSuperblock
+	engine.NoTier3 = cl.cfg.NoTier3
+	engine.NoPeephole = cl.cfg.NoPeephole
+	engine.Tier3Threshold = cl.cfg.Tier3Threshold
 	engine.NoJumpCache = cl.cfg.NoJumpCache
 	engine.StopAtomic = !cl.cfg.NoAtomicPreempt
 	n := &node{

@@ -209,6 +209,28 @@ func (p *clusterProf) snapshot(c *Cluster, r *Result) *metrics.Snapshot {
 		reg.Gauge("wire.delta_ratio").Set(1 - float64(r.Wire.BodyBytes)/float64(r.Wire.RawBytes))
 	}
 
+	// Tier-3 / peephole translation counters (summed across nodes).
+	var t3ns int64
+	var t3insns, t3demote, peep uint64
+	for _, ns := range r.Nodes {
+		t3ns += ns.Engine.Tier3TranslateNs
+		t3insns += ns.Engine.Tier3Insns
+		t3demote += ns.Engine.Tier3Demotions
+		peep += ns.Engine.PeepApplied
+	}
+	reg.Counter("translate.tier3_ns").Add(uint64(t3ns) - reg.Counter("translate.tier3_ns").Value())
+	reg.Counter("exec.tier3_insns").Add(t3insns - reg.Counter("exec.tier3_insns").Value())
+	reg.Counter("tier3.demotions").Add(t3demote - reg.Counter("tier3.demotions").Value())
+	reg.Counter("peep.rules_applied").Add(peep - reg.Counter("peep.rules_applied").Value())
+
+	// Hot micro-op sequences (the raw material cmd/dqemu-peep mines): one
+	// counter per execution-weighted n-gram, keys already uopseq.-prefixed.
+	for _, n := range c.nodes {
+		n.engine.UopSeqProfile(func(seq string, weight uint64) {
+			reg.Counter(seq).Add(weight)
+		})
+	}
+
 	s := reg.Snapshot(metrics.DefaultHeatTopN)
 	for _, ts := range r.Threads {
 		s.Threads = append(s.Threads, metrics.ThreadRow{

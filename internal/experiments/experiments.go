@@ -42,6 +42,8 @@ type Options struct {
 	// first run of the experiment (currently honored by singlenode) to this
 	// path; load it in Perfetto or chrome://tracing.
 	ChromeTrace string
+	// Bench, if set, restricts the singlenode suite to this one workload.
+	Bench string
 }
 
 func (o *Options) normalize() {

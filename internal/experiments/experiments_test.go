@@ -171,11 +171,11 @@ func TestSingleNodeSmoke(t *testing.T) {
 	// Both tiers must run every bench and produce well-formed rows; the
 	// superblock tier must actually build superblocks and retire guest
 	// instructions inside them.
-	super, err := RunSingleNode(smokeOpts(), false, false)
+	super, err := RunSingleNode(smokeOpts(), TierConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	seed, err := RunSingleNode(smokeOpts(), true, true)
+	seed, err := RunSingleNode(smokeOpts(), TierConfig{NoSuperblock: true, NoJumpCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}

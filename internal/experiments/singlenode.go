@@ -23,8 +23,20 @@ type SingleNode struct {
 	// self-describing.
 	NoSuperblock bool `json:"no_superblock"`
 	NoJumpCache  bool `json:"no_jump_cache"`
+	NoTier3      bool `json:"no_tier3"`
+	NoPeephole   bool `json:"no_peephole"`
 
 	Rows []SingleNodeRow `json:"rows"`
+}
+
+// TierConfig selects which rungs of the translation ladder a suite run
+// ablates off. The zero value is the full ladder (interpreter, chained
+// blocks, superblocks, tier-3 closures, peephole rules).
+type TierConfig struct {
+	NoSuperblock bool
+	NoJumpCache  bool
+	NoTier3      bool
+	NoPeephole   bool
 }
 
 // SingleNodeRow is one benchmark's measurement.
@@ -41,10 +53,14 @@ type SingleNodeRow struct {
 	SyscallNs   int64 `json:"syscall_ns"`
 
 	// Tier counters (zero when the tier is ablated off).
-	Superblocks     uint64 `json:"superblocks"`
-	SuperblockInsns uint64 `json:"superblock_insns"`
-	FusedUops       uint64 `json:"fused_uops"`
-	JumpCacheHits   uint64 `json:"jump_cache_hits"`
+	Superblocks      uint64 `json:"superblocks"`
+	SuperblockInsns  uint64 `json:"superblock_insns"`
+	FusedUops        uint64 `json:"fused_uops"`
+	JumpCacheHits    uint64 `json:"jump_cache_hits"`
+	Tier3Superblocks uint64 `json:"tier3_superblocks"`
+	Tier3Insns       uint64 `json:"tier3_insns"`
+	Tier3Demotions   uint64 `json:"tier3_demotions"`
+	PeepApplied      uint64 `json:"peep_applied"`
 
 	// Metrics is the run's full observability snapshot (fault-latency
 	// histograms, page heat top-N, lock contention, per-thread breakdown).
@@ -103,18 +119,26 @@ func singleNodeSuite() []singleNodeBench {
 }
 
 // RunSingleNode runs the single-node throughput suite with the given tier
-// ablation. noSuper && noJC is the seed baseline (plain chained blocks).
-func RunSingleNode(o Options, noSuper, noJC bool) (*SingleNode, error) {
+// ablation. NoSuperblock && NoJumpCache is the seed baseline (plain
+// chained blocks). Options.Bench, when non-empty, restricts the suite to
+// that one workload.
+func RunSingleNode(o Options, tc TierConfig) (*SingleNode, error) {
 	o.normalize()
-	out := &SingleNode{NoSuperblock: noSuper, NoJumpCache: noJC}
+	out := &SingleNode{NoSuperblock: tc.NoSuperblock, NoJumpCache: tc.NoJumpCache,
+		NoTier3: tc.NoTier3, NoPeephole: tc.NoPeephole}
 	for _, b := range singleNodeSuite() {
+		if o.Bench != "" && b.name != o.Bench {
+			continue
+		}
 		im, err := b.build(o.Scale)
 		if err != nil {
 			return nil, fmt.Errorf("singlenode %s: %w", b.name, err)
 		}
 		cfg := baseConfig(0)
-		cfg.NoSuperblock = noSuper
-		cfg.NoJumpCache = noJC
+		cfg.NoSuperblock = tc.NoSuperblock
+		cfg.NoJumpCache = tc.NoJumpCache
+		cfg.NoTier3 = tc.NoTier3
+		cfg.NoPeephole = tc.NoPeephole
 		cfg.Metrics = true
 		var tr *trace.Tracer
 		if o.ChromeTrace != "" && len(out.Rows) == 0 {
@@ -144,6 +168,10 @@ func RunSingleNode(o Options, noSuper, noJC bool) (*SingleNode, error) {
 			row.SuperblockInsns += n.Engine.SuperblockInsns
 			row.FusedUops += n.Engine.FusedUops
 			row.JumpCacheHits += n.Engine.JumpCacheHits
+			row.Tier3Superblocks += n.Engine.Tier3Superblocks
+			row.Tier3Insns += n.Engine.Tier3Insns
+			row.Tier3Demotions += n.Engine.Tier3Demotions
+			row.PeepApplied += n.Engine.PeepApplied
 		}
 		for _, t := range res.Threads {
 			row.ExecNs += t.ExecNs
@@ -162,14 +190,15 @@ func RunSingleNode(o Options, noSuper, noJC bool) (*SingleNode, error) {
 
 // Print renders the suite as a table.
 func (s *SingleNode) Print(w io.Writer) {
-	fmt.Fprintf(w, "Single-node translator throughput (superblocks=%v, jump cache=%v)\n",
-		!s.NoSuperblock, !s.NoJumpCache)
-	fmt.Fprintf(w, "%-14s %-12s %-12s %-14s %-12s %-10s\n",
-		"bench", "insns(M)", "host(s)", "insns/s(M)", "superblocks", "fused")
+	fmt.Fprintf(w, "Single-node translator throughput (superblocks=%v, jump cache=%v, tier3=%v, peephole=%v)\n",
+		!s.NoSuperblock, !s.NoJumpCache, !s.NoTier3, !s.NoPeephole)
+	fmt.Fprintf(w, "%-14s %-12s %-12s %-14s %-12s %-8s %-8s %-8s\n",
+		"bench", "insns(M)", "host(s)", "insns/s(M)", "superblocks", "tier3", "t3insnsM", "peep")
 	for _, r := range s.Rows {
-		fmt.Fprintf(w, "%-14s %-12.1f %-12.2f %-14.1f %-12d %-10d\n",
+		fmt.Fprintf(w, "%-14s %-12.1f %-12.2f %-14.1f %-12d %-8d %-8.1f %-8d\n",
 			r.Bench, float64(r.GuestInsns)/1e6, float64(r.HostNs)/1e9,
-			r.InsnsPerSec/1e6, r.Superblocks, r.FusedUops)
+			r.InsnsPerSec/1e6, r.Superblocks, r.Tier3Superblocks,
+			float64(r.Tier3Insns)/1e6, r.PeepApplied)
 	}
 }
 
@@ -191,4 +220,40 @@ func writeChromeTrace(path string, tr *trace.Tracer) error {
 		return err
 	}
 	return f.Close()
+}
+
+// SingleNodeMatrix is several suite runs under different tier ablations,
+// committed together as one BENCH_*.json (the `configs` schema).
+type SingleNodeMatrix struct {
+	Configs []*SingleNode `json:"configs"`
+}
+
+// RunSingleNodeMatrix runs the suite once per tier configuration.
+func RunSingleNodeMatrix(o Options, tcs []TierConfig) (*SingleNodeMatrix, error) {
+	m := &SingleNodeMatrix{}
+	for _, tc := range tcs {
+		sn, err := RunSingleNode(o, tc)
+		if err != nil {
+			return nil, err
+		}
+		m.Configs = append(m.Configs, sn)
+	}
+	return m, nil
+}
+
+// Print renders every configuration's table.
+func (m *SingleNodeMatrix) Print(w io.Writer) {
+	for i, sn := range m.Configs {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		sn.Print(w)
+	}
+}
+
+// WriteJSON emits the machine-readable form.
+func (m *SingleNodeMatrix) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
 }

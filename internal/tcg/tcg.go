@@ -95,6 +95,13 @@ type Stats struct {
 	JumpCacheHits   uint64
 	JumpCacheMisses uint64
 	Flushes         uint64 // translation cache flushes (generation bumps)
+
+	// Tier-3 (closure compilation) and mined-peephole counters.
+	Tier3Superblocks uint64 // superblocks compiled to closures
+	Tier3Insns       uint64 // guest instructions retired on the compiled tier
+	Tier3TranslateNs int64  // virtual time charged for closure compilation
+	Tier3Demotions   uint64 // mid-trace generation-guard trips back to tier-2
+	PeepApplied      uint64 // mined peephole rules applied at trace lowering
 }
 
 // MaxBlockInsns bounds translation block length.
@@ -148,14 +155,25 @@ type Engine struct {
 	// retranslates) and NoChain disables block chaining; both exist for the
 	// ablation benchmarks. NoSuperblock disables hot-trace promotion and
 	// NoJumpCache disables the indirect-branch target cache, so the speedup
-	// ladder interp -> chained -> superblock can be measured.
+	// ladder interp -> chained -> superblock can be measured. NoTier3
+	// disables closure compilation of hot superblocks and NoPeephole
+	// disables the mined peephole rules, extending the ladder to
+	// superblock -> tier-3 -> tier-3+peephole.
 	NoCache      bool
 	NoChain      bool
 	NoSuperblock bool
 	NoJumpCache  bool
+	NoTier3      bool
+	NoPeephole   bool
 
-	// HotThreshold overrides DefaultHotThreshold when nonzero (tests).
-	HotThreshold uint32
+	// HotThreshold overrides DefaultHotThreshold when nonzero (tests);
+	// Tier3Threshold likewise overrides DefaultTier3Threshold.
+	HotThreshold   uint32
+	Tier3Threshold uint32
+
+	// PeepRules selects which mined peephole schemas are enabled; nil uses
+	// the checked-in rules file (internal/tcg/rules/peep.rules).
+	PeepRules map[string]bool
 
 	// StopAtomic ends the scheduling quantum after a CONTENDED atomic (a
 	// CAS whose comparison failed or an SC that lost its reservation), the
@@ -200,6 +218,15 @@ type Engine struct {
 	wrTLB     [accelTLBSize]mem.AccelEntry
 	pageMask  uint64 // Space page size - 1
 	pageShift uint
+
+	// Tier-3 execution contexts: a tiny stack-shaped pool so the trampoline
+	// never allocates in steady state yet tolerates hint-hook re-entry.
+	t3pool  [4]t3ctx
+	t3depth int32
+
+	// Enabled peephole schemas, resolved lazily from PeepRules.
+	peepOn   []*peepSchema
+	peepInit bool
 }
 
 const accelTLBSize = 64 // power of two
@@ -412,7 +439,21 @@ func (e *Engine) Exec(cpu *CPU, budgetNs int64) Result {
 		var res Result
 		var stop bool
 		if sb := blk.sb; sb != nil && !e.NoSuperblock && sb.gen == e.gen {
-			next, res, stop = e.execSuper(cpu, sb, &spent, budgetNs)
+			if t3 := sb.t3; t3 != nil && !e.NoTier3 {
+				next, res, stop = e.execTier3(cpu, t3, &spent, budgetNs)
+			} else {
+				if !e.NoTier3 && sb.t3 == nil && !sb.t3fail {
+					sb.execs++
+					if sb.execs >= e.tier3Threshold() {
+						if t3 := e.compileTier3(sb, &spent); t3 != nil {
+							sb.t3 = t3
+							continue
+						}
+						sb.t3fail = true
+					}
+				}
+				next, res, stop = e.execSuper(cpu, sb, &spent, budgetNs)
+			}
 		} else {
 			if !e.NoSuperblock && !e.NoCache && blk.sb == nil && blk.gen == e.gen {
 				blk.count++

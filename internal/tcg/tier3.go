@@ -1,0 +1,1910 @@
+// Tier-3 IR-less translation: closure-compiled superblocks.
+//
+// A superblock that stays hot after promotion (its tier-2 entry count
+// crosses Tier3Threshold) is compiled once more, this time out of the
+// micro-op array entirely: every uop becomes a small specialized Go closure
+// with its operands, widths, sign shifts and branch polarity resolved at
+// compile time — no dispatch switch, no per-uop bounds checks, no per-uop
+// operand decode. This is the "foregoing the IR" model: the host program
+// *is* the translation.
+//
+// Execution is subroutine-threaded: the closures of one straight-line
+// segment are chained (`return next(c)`), so every indirect call site is
+// monomorphic — one caller, one target — and predicts perfectly. (A flat
+// dispatch loop calling ops[k](c) was measured 10-20% slower: its single
+// call site is megamorphic and mispredicts on nearly every op.) A tier3
+// is a flat array of chunks, each a chain of at most t3ChunkOps fused
+// closures (bounding the chain keeps the host's return-address stack from
+// overflowing on long straight-line segments). A segment's aggregate
+// virtual cost and guest-instruction count live on its first chunk and
+// are charged inline by the trampoline — branch-free adds, no charge
+// closure call.
+//
+// Memory closures keep a per-site TLB line in their environment: one
+// static load/store site overwhelmingly re-touches the page it touched
+// last, so the hit path is a page-number compare against a closure-local
+// cell instead of an index into the engine's shared TLB array. Misses
+// revalidate through the engine TLB / softmmu and refill the site line.
+//
+// Coherence: the trampoline revalidates the cache generation at trace
+// entry (Exec's dispatch check), at every back-edge, after HINT callbacks,
+// and before any segment that starts on a different guest code page than
+// its predecessor (the chunk's guard flag). A failed check abandons the
+// compiled form at an exact instruction boundary and falls back to
+// tier-2/tier-1 — counted in Stats.Tier3Demotions. Faults inside a segment
+// reuse the tier-2 refund arithmetic (refundTail) via the captured uop
+// index, so restart-at-faulting-instruction semantics are bit-identical
+// across tiers.
+//
+// Closures must allocate only at compile time: the execution path is
+// zero-alloc (enforced by the dqlint t3alloc rule and pinned by
+// TestTier3ExecAllocs).
+package tcg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dqemu/internal/isa"
+	"dqemu/internal/mem"
+)
+
+// DefaultTier3Threshold is the tier-2 entry count at which a superblock is
+// compiled to closures. It is deliberately lower than DefaultHotThreshold:
+// a superblock only exists because its head block was already hot.
+const DefaultTier3Threshold = 24
+
+func (e *Engine) tier3Threshold() uint32 {
+	if e.Tier3Threshold != 0 {
+		return e.Tier3Threshold
+	}
+	return DefaultTier3Threshold
+}
+
+// t3op is one compiled micro-op (possibly several fused guest ops): it
+// mutates guest state through the context and either calls the next
+// closure of the chain or returns a disposition to the trampoline.
+// Dispositions bubble up through the chain's returns, so a fault deep
+// inside a segment unwinds naturally.
+type t3op func(c *t3ctx) int32
+
+// Trampoline dispositions returned by the closure chain.
+const (
+	t3Next   int32 = iota // chunk ran off its end: advance to the next chunk
+	t3Loop                // back-edge: re-enter the head (budget/gen checked by the trampoline)
+	t3Exit                // trace exit: PC and c.next are set; resume in Exec
+	t3Switch              // jump-cache hit on a compiled target: tail-enter c.sw
+	t3Stop                // quantum ends: c.res/c.stop are set
+	t3Demote              // generation changed mid-trace: fall back to tier-2
+
+	// t3Cont is an internal sentinel returned by the shared fault/atomic
+	// helpers: "no disposition — continue down the chain". It never
+	// reaches the trampoline.
+	t3Cont int32 = -1
+)
+
+// t3ctx is the execution context threaded through the closure chain. One
+// context lives per trampoline activation; Engine keeps a small pool so
+// steady-state execution never allocates.
+type t3ctx struct {
+	e        *Engine
+	cpu      *CPU
+	x        *[32]uint64
+	f        *[32]float64
+	spent    *int64 // points at spentv; never at a caller's stack slot
+	spentv   int64  // keeps the caller's accumulator from escaping to the heap
+	budget   int64
+	executed uint64
+	monEmpty bool
+	next     *block
+	sw       *tier3
+	res      Result
+	stop     bool
+}
+
+// t3chunk is one trampoline step: a closure chain plus the charge the
+// trampoline applies inline before calling it. Only a segment's first
+// chunk carries a nonzero cost/insns (continuation chunks cut mid-segment
+// charge nothing); guard marks segments that start on a different guest
+// code page than their predecessor, revalidated against the translation
+// generation before entry.
+type t3chunk struct {
+	fn    t3op
+	cost  int64
+	insns uint64
+	pc    uint64 // segment-start PC: demotion resume point for the guard
+	guard bool
+}
+
+// tier3 is the closure-compiled form of a superblock: a flat chunk array
+// the trampoline walks on disposition codes.
+type tier3 struct {
+	entry  uint64
+	gen    uint64
+	chunks []t3chunk
+}
+
+// t3ChunkOps caps the closure-chain depth of one chunk, comfortably under
+// typical hardware return-address-stack depth (16) with room for the
+// trampoline and Exec frames beneath.
+const t3ChunkOps = 10
+
+// t3adv ends a chunk that was cut mid-segment: hand control back to the
+// trampoline, which calls the next chunk in the array.
+func t3adv(c *t3ctx) int32 { return t3Next }
+
+var errT3Fall = fmt.Errorf("tcg: tier-3 trace fell off the end")
+
+func (e *Engine) t3acquire() *t3ctx {
+	if int(e.t3depth) < len(e.t3pool) {
+		c := &e.t3pool[e.t3depth]
+		e.t3depth++
+		return c
+	}
+	// Pathological re-entrancy depth (hint hooks nested 4+ deep): fall back
+	// to an allocation rather than corrupting a live context.
+	return &t3ctx{}
+}
+
+func (e *Engine) t3release(c *t3ctx, spent *int64) {
+	*spent = c.spentv
+	e.Stats.Tier3Insns += c.executed
+	e.Stats.ExecInsns += c.executed
+	c.cpu, c.x, c.f, c.spent = nil, nil, nil, nil
+	c.next, c.sw = nil, nil
+	if e.t3depth > 0 && c == &e.t3pool[e.t3depth-1] {
+		e.t3depth--
+	}
+}
+
+// execTier3 is the trampoline: it walks the chunk array, applying each
+// chunk's charge and code-page generation guard inline, and handles the
+// dispositions that unwind out of the closure chains. Return convention
+// matches execSuper.
+func (e *Engine) execTier3(cpu *CPU, t3 *tier3, spent *int64, budgetNs int64) (*block, Result, bool) {
+	c := e.t3acquire()
+	c.e, c.cpu = e, cpu
+	c.x, c.f = &cpu.X, &cpu.F
+	// Accumulate into the pooled context, not through the caller's pointer:
+	// stashing spent itself in the (heap-resident) context would force the
+	// caller's accumulator to escape, costing one allocation per Exec.
+	c.spentv = *spent
+	c.spent, c.budget = &c.spentv, budgetNs
+	c.executed = 0
+	c.monEmpty = e.Mon.Empty()
+	c.next, c.sw, c.stop = nil, nil, false
+	c.res = Result{}
+
+	chunks := t3.chunks
+	ci := 0
+	for {
+		ch := &chunks[ci]
+		if ch.guard && t3.gen != e.gen {
+			// Everything before this boundary retired exactly once; resume
+			// at the segment's first instruction on tier-2/1.
+			cpu.PC = ch.pc
+			e.Stats.Tier3Demotions++
+			e.t3release(c, spent)
+			return nil, Result{}, false
+		}
+		c.spentv += ch.cost
+		c.executed += ch.insns
+		switch ch.fn(c) {
+		case t3Next:
+			ci++
+			continue
+		case t3Loop:
+			if c.spentv >= budgetNs || t3.gen != e.gen {
+				if t3.gen != e.gen {
+					e.Stats.Tier3Demotions++
+				}
+				cpu.PC = t3.entry
+				e.t3release(c, spent)
+				return nil, Result{}, false
+			}
+			ci = 0 // re-enter the head; the entry charge reapplies
+		case t3Switch:
+			if c.spentv >= budgetNs {
+				// Quantum exhausted at a trace boundary; PC is already at
+				// the target trace's entry.
+				c.sw = nil
+				e.t3release(c, spent)
+				return nil, Result{}, false
+			}
+			t3 = c.sw
+			c.sw = nil
+			chunks = t3.chunks
+			ci = 0
+		case t3Exit:
+			next := c.next
+			e.t3release(c, spent)
+			return next, Result{}, false
+		case t3Demote:
+			e.Stats.Tier3Demotions++
+			e.t3release(c, spent)
+			return nil, Result{}, false
+		default: // t3Stop
+			res := c.res
+			e.t3release(c, spent)
+			return nil, res, true
+		}
+	}
+}
+
+// compileTier3 compiles sb into a chunk array, charging translation time
+// like buildTrace. Each cost segment becomes one chunk: a fusion plan over
+// the straight-line mids (addi absorption, mem pairing) followed by one
+// leaf closure per plan unit plus the compiled tail. Returns nil when the
+// superblock contains a shape the closure compiler does not handle
+// (execution then stays on tier-2 permanently).
+func (e *Engine) compileTier3(sb *superblock, spent *int64) *tier3 {
+	ops := sb.ops
+	if len(ops) == 0 || !segBoundary(ops[len(ops)-1].kind) {
+		return nil
+	}
+	t3 := &tier3{entry: sb.entry, gen: sb.gen}
+
+	// Segment start indices.
+	var starts []int
+	segStart := 0
+	for i := range ops {
+		if segBoundary(ops[i].kind) {
+			starts = append(starts, segStart)
+			segStart = i + 1
+		}
+	}
+
+	// A final segment that is a bare back-edge gets folded into its
+	// predecessor's fall-through: charge + t3Loop in one closure (the
+	// trampoline revalidates the generation immediately after, so the
+	// page-boundary guard is redundant there).
+	nseg := len(starts)
+	fuseLoop := false
+	if nseg >= 2 {
+		lastFirst := starts[nseg-1]
+		if lastFirst == len(ops)-1 && ops[lastFirst].kind == uLoopBack {
+			fuseLoop = true
+		}
+	}
+
+	// The last compiled segment ends in a true exit, so its fall-through
+	// is never taken; give it a defensive stop.
+	tailNext := t3op(func(c *t3ctx) int32 {
+		c.cpu.PC = t3.entry
+		c.res = Result{Reason: StopError, Err: errT3Fall}
+		c.stop = true
+		return t3Stop
+	})
+	if fuseLoop {
+		u := &ops[len(ops)-1]
+		cost, insns := int64(u.cost), uint64(u.insns)
+		tailNext = func(c *t3ctx) int32 {
+			*c.spent += cost
+			c.executed += insns
+			return t3Loop
+		}
+		nseg--
+	}
+
+	// segChunks[s] is segment s's chunks in forward order.
+	segChunks := make([][]t3chunk, nseg)
+	for s := nseg - 1; s >= 0; s-- {
+		first := starts[s]
+		last := len(ops) - 1
+		if s+1 < len(starts) {
+			last = starts[s+1] - 1
+		}
+		var next t3op = t3adv
+		if s == nseg-1 {
+			next = tailNext
+		}
+		tail := e.compileTail(sb, last, next)
+		if tail == nil {
+			return nil
+		}
+		// Fusion plan for the straight-line mids: a greedy forward scan
+		// folds address-bump addis into their neighbouring memory ops (pre:
+		// addi right before the access, may feed the address; post: addi
+		// right after it) and pairs leftover adjacent addis. One unit = one
+		// compiled closure, so an addi-load-addi triple retires in a single
+		// call — these are the hottest sequences the uopseq profile mines.
+		var units []t3unit
+		for j := first; j < last; {
+			k := ops[j].kind
+			if k == uAddi && j+1 < last && memFusable(ops[j+1].kind) {
+				un := t3unit{op: j + 1, pre: j, post: -1, pair: -1}
+				j += 2
+				if j < last && ops[j].kind == uAddi {
+					un.post = j
+					j++
+				}
+				units = append(units, un)
+				continue
+			}
+			if memFusable(k) {
+				un := t3unit{op: j, pre: -1, post: -1, pair: -1}
+				j++
+				if j < last && ops[j].kind == uAddi {
+					un.post = j
+					j++
+				}
+				units = append(units, un)
+				continue
+			}
+			if k == uAddi && j+1 < last && ops[j+1].kind == uAddi {
+				units = append(units, t3unit{op: j, pre: -1, post: -1, pair: j + 1})
+				j += 2
+				continue
+			}
+			if k == uAddi && j+1 < last && addiMidable(ops[j+1].kind) {
+				units = append(units, t3unit{op: j + 1, pre: j, post: -1, pair: -1})
+				j += 2
+				continue
+			}
+			units = append(units, t3unit{op: j, pre: -1, post: -1, pair: -1})
+			j++
+		}
+		// Second-level fusion: runs of up to t3MemRun adjacent 8-byte
+		// loads/stores (integer or double FP, each keeping its own addi
+		// fusions and site TLB line) collapse into one closure — the
+		// load-load / store-addi-load / fload-fload runs the uopseq profile
+		// surfaces. Wider runs amortize the per-closure call overhead that
+		// dominates mem-heavy inner loops.
+		groups := make([]int, 0, len(units)) // group start indices
+		for k := 0; k < len(units); {
+			g := 1
+			if pair8able(ops, units[k]) {
+				for g < t3MemRun && k+g < len(units) && pair8able(ops, units[k+g]) {
+					g++
+				}
+			}
+			groups = append(groups, k)
+			k += g
+		}
+		var rev []t3op // cut chunk heads, segment-end first
+		fn := tail
+		n := 1
+		for gi := len(groups) - 1; gi >= 0; gi-- {
+			if n == t3ChunkOps {
+				rev = append(rev, fn)
+				fn = t3adv
+				n = 0
+			}
+			start := groups[gi]
+			end := len(units)
+			if gi+1 < len(groups) {
+				end = groups[gi+1]
+			}
+			if end-start > 1 {
+				fn = e.compileMemRun(sb, units[start:end], fn)
+				n++
+				continue
+			}
+			un := units[start]
+			switch {
+			case memFusable(ops[un.op].kind):
+				var pre, post *uop
+				if un.pre >= 0 {
+					pre = &ops[un.pre]
+				}
+				if un.post >= 0 {
+					post = &ops[un.post]
+				}
+				fn = e.compileMem(sb, un.op, fuseAddi(pre), fuseAddi(post), fn)
+			case un.pair >= 0:
+				fn = compileAddiPair(&ops[un.op], &ops[un.pair], fn)
+			case un.pre >= 0:
+				fn = compileAddiMid(&ops[un.pre], &ops[un.op], fn)
+			default:
+				fn = e.compileMid(sb, un.op, fn)
+			}
+			if fn == nil {
+				return nil
+			}
+			n++
+		}
+		guard := false
+		if s > 0 {
+			guard = e.Mem.PageOf(e.Mem.Translate(ops[first].pc)) !=
+				e.Mem.PageOf(e.Mem.Translate(ops[starts[s-1]].pc))
+		}
+		chunks := make([]t3chunk, 0, len(rev)+1)
+		chunks = append(chunks, t3chunk{fn: fn,
+			cost: int64(ops[first].cost), insns: uint64(ops[first].insns),
+			pc: ops[first].pc, guard: guard})
+		for k := len(rev) - 1; k >= 0; k-- {
+			chunks = append(chunks, t3chunk{fn: rev[k]})
+		}
+		segChunks[s] = chunks
+	}
+	for _, sc := range segChunks {
+		t3.chunks = append(t3.chunks, sc...)
+	}
+
+	t := int64(sb.ninsns) * e.Cost.TranslateNs
+	*spent += t
+	e.Stats.TranslateNs += t
+	e.Stats.Tier3TranslateNs += t
+	e.Stats.Tier3Superblocks++
+	return t3
+}
+
+// pageFault exits the compiled trace on a page fault: refund the
+// unexecuted tail of the segment and stop with PC at the faulting
+// instruction, exactly like superFault.
+func (c *t3ctx) pageFault(sb *superblock, i int, fl *mem.Fault) int32 {
+	refundTail(sb, i, c.spent, &c.executed)
+	c.cpu.PC = sb.ops[i].pc
+	c.e.Stats.Faults++
+	*c.spent += c.e.Cost.FaultNs
+	c.res = Result{Reason: StopPageFault, Fault: *fl}
+	c.stop = true
+	return t3Stop
+}
+
+// alignFault mirrors superAlign for the compiled tier.
+func (c *t3ctx) alignFault(sb *superblock, i int, addr uint64) int32 {
+	refundTail(sb, i, c.spent, &c.executed)
+	c.cpu.PC = sb.ops[i].pc
+	c.res = Result{Reason: StopError,
+		Err: fmt.Errorf("tcg: misaligned atomic %#x at %#x", addr, sb.ops[i].pc)}
+	c.stop = true
+	return t3Stop
+}
+
+// chainTo transfers control to the resolved exit block h. When h's
+// superblock is closure-compiled and current, execution switches straight
+// to that trace in the same context — no Exec round trip, no context
+// re-init; the trampoline re-checks the budget on the way. Otherwise the
+// trace exits to Exec with c.next = h.
+func (c *t3ctx) chainTo(h *block) int32 {
+	if h != nil {
+		if nsb := h.sb; nsb != nil && nsb.t3 != nil && nsb.gen == c.e.gen {
+			c.sw = nsb.t3
+			return t3Switch
+		}
+	}
+	c.next = h
+	return t3Exit
+}
+
+// t3unit is one entry of a segment's fusion plan: the uop at op, plus an
+// optional pre/post addi folded into a memory op, or a paired second addi.
+// Unused slots are -1.
+type t3unit struct{ op, pre, post, pair int }
+
+// memFusable reports whether k is a plain memory access that accepts
+// pre/post addi fusion (atomics and sanitizer probes are excluded — their
+// side-effect ordering is handled by the tail compiler).
+func memFusable(k uopKind) bool {
+	switch k {
+	case uLoad, uStore, uFLoad, uFStore:
+		return true
+	}
+	return false
+}
+
+// addiFuse is a neighbouring address-bump addi folded into a memory-op
+// closure. The pre addi executes before the access (its result may feed
+// the address); the post addi executes only after the access succeeds.
+// That preserves fault-restart semantics: a faulting access leaves the pre
+// addi retired and the post addi unexecuted — the architectural order.
+type addiFuse struct {
+	on  bool
+	rd  uint8
+	rs  uint8
+	imm uint64
+}
+
+func fuseAddi(u *uop) addiFuse {
+	if u == nil {
+		return addiFuse{}
+	}
+	return addiFuse{on: true, rd: u.rd, rs: u.rs1, imm: uint64(u.imm)}
+}
+
+// sitePageSize is the page size the per-site TLB lines assume. Holding the
+// page bytes as a fixed-size array pointer lets the compiler prove every
+// site-hit access in bounds from the `off+size <= sitePageSize` guard and
+// drop the bounds checks; spaces with a non-default page size simply never
+// fill site lines and stay on the engine-TLB/softmmu path.
+const sitePageSize = mem.DefaultPageSize
+
+// siteTLB is a memory closure's private TLB line: the page its static
+// load/store site touched last. One heap object per site, allocated at
+// compile time; validity matches the engine TLB (page number plus fill
+// epoch). The hit path is a compare against these fields — no index into
+// the engine's shared TLB array, and no cross-site eviction.
+type siteTLB struct {
+	page  uint64
+	epoch uint64
+	data  *[sitePageSize]byte
+}
+
+// fillRd refills the site line for pn from the engine read TLB after a
+// site miss (slowLoad installs qualifying pages there). Returns whether
+// the site line is now valid for pn.
+func (st *siteTLB) fillRd(en *Engine, mmu *mem.Space, pn uint64) bool {
+	if ln := &en.rdTLB[pn&(accelTLBSize-1)]; ln.PageNo == pn && ln.Epoch == mmu.Epoch() &&
+		len(ln.Data) == sitePageSize {
+		st.page, st.epoch, st.data = ln.PageNo, ln.Epoch, (*[sitePageSize]byte)(ln.Data)
+		return true
+	}
+	return false
+}
+
+// fillWr is fillRd for the write TLB.
+func (st *siteTLB) fillWr(en *Engine, mmu *mem.Space, pn uint64) bool {
+	if ln := &en.wrTLB[pn&(accelTLBSize-1)]; ln.PageNo == pn && ln.Epoch == mmu.Epoch() &&
+		len(ln.Data) == sitePageSize {
+		st.page, st.epoch, st.data = ln.PageNo, ln.Epoch, (*[sitePageSize]byte)(ln.Data)
+		return true
+	}
+	return false
+}
+
+// loadMiss8 is the outlined slow half of an 8-byte load site: revalidate
+// through the engine TLB, then the softmmu, refilling the site line on
+// the way out. The int32 is t3Cont on success or a fault disposition.
+func (c *t3ctx) loadMiss8(st *siteTLB, sb *superblock, i int, addr, pn, off uint64) (uint64, int32) {
+	en := c.e
+	mmu := en.Mem
+	if st.fillRd(en, mmu, pn) && off+8 <= sitePageSize {
+		return binary.LittleEndian.Uint64(st.data[off : off+8]), t3Cont
+	}
+	v, fault := en.slowLoad(addr, 8)
+	if fault != nil {
+		return 0, c.pageFault(sb, i, fault)
+	}
+	st.fillRd(en, mmu, pn)
+	return v, t3Cont
+}
+
+// loadMiss4 is loadMiss8 for 4-byte loads (zero-extended; the caller
+// applies any sign extension).
+func (c *t3ctx) loadMiss4(st *siteTLB, sb *superblock, i int, addr, pn, off uint64) (uint64, int32) {
+	en := c.e
+	mmu := en.Mem
+	if st.fillRd(en, mmu, pn) && off+4 <= sitePageSize {
+		return uint64(binary.LittleEndian.Uint32(st.data[off : off+4])), t3Cont
+	}
+	v, fault := en.slowLoad(addr, 4)
+	if fault != nil {
+		return 0, c.pageFault(sb, i, fault)
+	}
+	st.fillRd(en, mmu, pn)
+	return v, t3Cont
+}
+
+// storeMiss8 is the outlined slow half of an 8-byte store site.
+func (c *t3ctx) storeMiss8(st *siteTLB, sb *superblock, i int, addr, pn, off, val uint64) int32 {
+	en := c.e
+	mmu := en.Mem
+	if st.fillWr(en, mmu, pn) && off+8 <= sitePageSize {
+		binary.LittleEndian.PutUint64(st.data[off:off+8], val)
+		return t3Cont
+	}
+	if fault := en.slowStore(addr, val, 8); fault != nil {
+		return c.pageFault(sb, i, fault)
+	}
+	st.fillWr(en, mmu, pn)
+	return t3Cont
+}
+
+// storeMiss4 is storeMiss8 for 4-byte stores.
+func (c *t3ctx) storeMiss4(st *siteTLB, sb *superblock, i int, addr, pn, off, val uint64) int32 {
+	en := c.e
+	mmu := en.Mem
+	if st.fillWr(en, mmu, pn) && off+4 <= sitePageSize {
+		binary.LittleEndian.PutUint32(st.data[off:off+4], uint32(val))
+		return t3Cont
+	}
+	if fault := en.slowStore(addr, val, 4); fault != nil {
+		return c.pageFault(sb, i, fault)
+	}
+	st.fillWr(en, mmu, pn)
+	return t3Cont
+}
+
+// pair8able reports whether unit u is a plain 8-byte load or store —
+// integer (with rd live for loads) or double-precision FP — that can fuse
+// with an adjacent one. Units that already carry a second access or an
+// addi pair are excluded.
+func pair8able(ops []uop, u t3unit) bool {
+	if u.pair >= 0 {
+		return false
+	}
+	op := &ops[u.op]
+	switch op.kind {
+	case uLoad:
+		return op.size == 8 && op.rd != 0
+	case uStore:
+		return op.size == 8
+	case uFLoad, uFStore:
+		return true
+	}
+	return false
+}
+
+// t3MemRun caps the width of a fused memory-run closure.
+const t3MemRun = 6
+
+// memAcc is one access of a fused memory run, fully pre-decoded at compile
+// time: its addi fusions, operand registers, kind (integer/FP load/store,
+// all 8-byte) and private site TLB line.
+type memAcc struct {
+	pre, post addiFuse
+	rd        uint8
+	rs1       uint8
+	rs2       uint8
+	load      bool
+	fp        bool
+	imm       uint64
+	idx       int
+	st        *siteTLB
+}
+
+// compileMemRun compiles a run of 2..t3MemRun fused 8-byte accesses —
+// integer or double-precision FP, each with its own pre/post addi and its
+// own site TLB line — into one closure, amortizing the per-closure call
+// overhead across the whole run. Program order is preserved exactly: a
+// fault on access k leaves accesses 0..k-1 and their addi fusions retired,
+// with PC at access k's instruction (pageFault refunds from ac.idx).
+func (e *Engine) compileMemRun(sb *superblock, us []t3unit, next t3op) t3op {
+	ops := sb.ops
+	var accs [t3MemRun]memAcc
+	for k := range us {
+		un := us[k]
+		u := &ops[un.op]
+		ac := memAcc{rd: u.rd, rs1: u.rs1, rs2: u.rs2, imm: uint64(u.imm), idx: un.op,
+			load: u.kind == uLoad || u.kind == uFLoad,
+			fp:   u.kind == uFLoad || u.kind == uFStore,
+			st:   &siteTLB{page: ^uint64(0)}}
+		if un.pre >= 0 {
+			ac.pre = fuseAddi(&ops[un.pre])
+		}
+		if un.post >= 0 {
+			ac.post = fuseAddi(&ops[un.post])
+		}
+		accs[k] = ac
+	}
+	nacc := len(us)
+	shift, mask := e.pageShift, e.pageMask
+	mmu := e.Mem
+	return func(c *t3ctx) int32 {
+		x := c.x
+		{
+			ac := &accs[0]
+			if ac.pre.on {
+				x[ac.pre.rd] = x[ac.pre.rs] + ac.pre.imm
+			}
+			addr := x[ac.rs1] + ac.imm
+			pn := addr >> shift
+			off := addr & mask
+			st := ac.st
+			if ac.load {
+				var v uint64
+				if pn == st.page && st.epoch == mmu.Epoch() && off+8 <= sitePageSize {
+					v = binary.LittleEndian.Uint64(st.data[off : off+8])
+				} else {
+					var d int32
+					if v, d = c.loadMiss8(st, sb, ac.idx, addr, pn, off); d != t3Cont {
+						return d
+					}
+				}
+				if ac.fp {
+					c.f[ac.rd] = math.Float64frombits(v)
+				} else {
+					x[ac.rd] = v
+				}
+			} else {
+				val := x[ac.rs2]
+				if ac.fp {
+					val = math.Float64bits(c.f[ac.rs2])
+				}
+				if pn == st.page && st.epoch == mmu.Epoch() && off+8 <= sitePageSize {
+					binary.LittleEndian.PutUint64(st.data[off:off+8], val)
+				} else if d := c.storeMiss8(st, sb, ac.idx, addr, pn, off, val); d != t3Cont {
+					return d
+				}
+				if !c.monEmpty {
+					c.e.Mon.OnStore(c.cpu.TID, mmu.Translate(addr))
+				}
+			}
+			if ac.post.on {
+				x[ac.post.rd] = x[ac.post.rs] + ac.post.imm
+			}
+		}
+		{
+			ac := &accs[1]
+			if ac.pre.on {
+				x[ac.pre.rd] = x[ac.pre.rs] + ac.pre.imm
+			}
+			addr := x[ac.rs1] + ac.imm
+			pn := addr >> shift
+			off := addr & mask
+			st := ac.st
+			if ac.load {
+				var v uint64
+				if pn == st.page && st.epoch == mmu.Epoch() && off+8 <= sitePageSize {
+					v = binary.LittleEndian.Uint64(st.data[off : off+8])
+				} else {
+					var d int32
+					if v, d = c.loadMiss8(st, sb, ac.idx, addr, pn, off); d != t3Cont {
+						return d
+					}
+				}
+				if ac.fp {
+					c.f[ac.rd] = math.Float64frombits(v)
+				} else {
+					x[ac.rd] = v
+				}
+			} else {
+				val := x[ac.rs2]
+				if ac.fp {
+					val = math.Float64bits(c.f[ac.rs2])
+				}
+				if pn == st.page && st.epoch == mmu.Epoch() && off+8 <= sitePageSize {
+					binary.LittleEndian.PutUint64(st.data[off:off+8], val)
+				} else if d := c.storeMiss8(st, sb, ac.idx, addr, pn, off, val); d != t3Cont {
+					return d
+				}
+				if !c.monEmpty {
+					c.e.Mon.OnStore(c.cpu.TID, mmu.Translate(addr))
+				}
+			}
+			if ac.post.on {
+				x[ac.post.rd] = x[ac.post.rs] + ac.post.imm
+			}
+		}
+		if nacc > 2 {
+			{
+				ac := &accs[2]
+				if ac.pre.on {
+					x[ac.pre.rd] = x[ac.pre.rs] + ac.pre.imm
+				}
+				addr := x[ac.rs1] + ac.imm
+				pn := addr >> shift
+				off := addr & mask
+				st := ac.st
+				if ac.load {
+					var v uint64
+					if pn == st.page && st.epoch == mmu.Epoch() && off+8 <= sitePageSize {
+						v = binary.LittleEndian.Uint64(st.data[off : off+8])
+					} else {
+						var d int32
+						if v, d = c.loadMiss8(st, sb, ac.idx, addr, pn, off); d != t3Cont {
+							return d
+						}
+					}
+					if ac.fp {
+						c.f[ac.rd] = math.Float64frombits(v)
+					} else {
+						x[ac.rd] = v
+					}
+				} else {
+					val := x[ac.rs2]
+					if ac.fp {
+						val = math.Float64bits(c.f[ac.rs2])
+					}
+					if pn == st.page && st.epoch == mmu.Epoch() && off+8 <= sitePageSize {
+						binary.LittleEndian.PutUint64(st.data[off:off+8], val)
+					} else if d := c.storeMiss8(st, sb, ac.idx, addr, pn, off, val); d != t3Cont {
+						return d
+					}
+					if !c.monEmpty {
+						c.e.Mon.OnStore(c.cpu.TID, mmu.Translate(addr))
+					}
+				}
+				if ac.post.on {
+					x[ac.post.rd] = x[ac.post.rs] + ac.post.imm
+				}
+			}
+			if nacc > 3 {
+				{
+					ac := &accs[3]
+					if ac.pre.on {
+						x[ac.pre.rd] = x[ac.pre.rs] + ac.pre.imm
+					}
+					addr := x[ac.rs1] + ac.imm
+					pn := addr >> shift
+					off := addr & mask
+					st := ac.st
+					if ac.load {
+						var v uint64
+						if pn == st.page && st.epoch == mmu.Epoch() && off+8 <= sitePageSize {
+							v = binary.LittleEndian.Uint64(st.data[off : off+8])
+						} else {
+							var d int32
+							if v, d = c.loadMiss8(st, sb, ac.idx, addr, pn, off); d != t3Cont {
+								return d
+							}
+						}
+						if ac.fp {
+							c.f[ac.rd] = math.Float64frombits(v)
+						} else {
+							x[ac.rd] = v
+						}
+					} else {
+						val := x[ac.rs2]
+						if ac.fp {
+							val = math.Float64bits(c.f[ac.rs2])
+						}
+						if pn == st.page && st.epoch == mmu.Epoch() && off+8 <= sitePageSize {
+							binary.LittleEndian.PutUint64(st.data[off:off+8], val)
+						} else if d := c.storeMiss8(st, sb, ac.idx, addr, pn, off, val); d != t3Cont {
+							return d
+						}
+						if !c.monEmpty {
+							c.e.Mon.OnStore(c.cpu.TID, mmu.Translate(addr))
+						}
+					}
+					if ac.post.on {
+						x[ac.post.rd] = x[ac.post.rs] + ac.post.imm
+					}
+				}
+				if nacc > 4 {
+					{
+						ac := &accs[4]
+						if ac.pre.on {
+							x[ac.pre.rd] = x[ac.pre.rs] + ac.pre.imm
+						}
+						addr := x[ac.rs1] + ac.imm
+						pn := addr >> shift
+						off := addr & mask
+						st := ac.st
+						if ac.load {
+							var v uint64
+							if pn == st.page && st.epoch == mmu.Epoch() && off+8 <= sitePageSize {
+								v = binary.LittleEndian.Uint64(st.data[off : off+8])
+							} else {
+								var d int32
+								if v, d = c.loadMiss8(st, sb, ac.idx, addr, pn, off); d != t3Cont {
+									return d
+								}
+							}
+							if ac.fp {
+								c.f[ac.rd] = math.Float64frombits(v)
+							} else {
+								x[ac.rd] = v
+							}
+						} else {
+							val := x[ac.rs2]
+							if ac.fp {
+								val = math.Float64bits(c.f[ac.rs2])
+							}
+							if pn == st.page && st.epoch == mmu.Epoch() && off+8 <= sitePageSize {
+								binary.LittleEndian.PutUint64(st.data[off:off+8], val)
+							} else if d := c.storeMiss8(st, sb, ac.idx, addr, pn, off, val); d != t3Cont {
+								return d
+							}
+							if !c.monEmpty {
+								c.e.Mon.OnStore(c.cpu.TID, mmu.Translate(addr))
+							}
+						}
+						if ac.post.on {
+							x[ac.post.rd] = x[ac.post.rs] + ac.post.imm
+						}
+					}
+					if nacc > 5 {
+						{
+							ac := &accs[5]
+							if ac.pre.on {
+								x[ac.pre.rd] = x[ac.pre.rs] + ac.pre.imm
+							}
+							addr := x[ac.rs1] + ac.imm
+							pn := addr >> shift
+							off := addr & mask
+							st := ac.st
+							if ac.load {
+								var v uint64
+								if pn == st.page && st.epoch == mmu.Epoch() && off+8 <= sitePageSize {
+									v = binary.LittleEndian.Uint64(st.data[off : off+8])
+								} else {
+									var d int32
+									if v, d = c.loadMiss8(st, sb, ac.idx, addr, pn, off); d != t3Cont {
+										return d
+									}
+								}
+								if ac.fp {
+									c.f[ac.rd] = math.Float64frombits(v)
+								} else {
+									x[ac.rd] = v
+								}
+							} else {
+								val := x[ac.rs2]
+								if ac.fp {
+									val = math.Float64bits(c.f[ac.rs2])
+								}
+								if pn == st.page && st.epoch == mmu.Epoch() && off+8 <= sitePageSize {
+									binary.LittleEndian.PutUint64(st.data[off:off+8], val)
+								} else if d := c.storeMiss8(st, sb, ac.idx, addr, pn, off, val); d != t3Cont {
+									return d
+								}
+								if !c.monEmpty {
+									c.e.Mon.OnStore(c.cpu.TID, mmu.Translate(addr))
+								}
+							}
+							if ac.post.on {
+								x[ac.post.rd] = x[ac.post.rs] + ac.post.imm
+							}
+						}
+					}
+				}
+			}
+		}
+		return next(c)
+	}
+}
+
+// compileMem dispatches a (possibly fused) memory unit to the
+// width-specialized compilers.
+func (e *Engine) compileMem(sb *superblock, i int, pre, post addiFuse, next t3op) t3op {
+	switch sb.ops[i].kind {
+	case uLoad:
+		return e.compileLoad(sb, i, pre, post, next)
+	case uStore:
+		return e.compileStore(sb, i, pre, post, next)
+	case uFLoad:
+		return e.compileFLoad(sb, i, pre, post, next)
+	default:
+		return e.compileFStore(sb, i, pre, post, next)
+	}
+}
+
+// compileAddiPair fuses two adjacent addis into one closure.
+func compileAddiPair(u1, u2 *uop, next t3op) t3op {
+	rd1, rs1, i1 := u1.rd, u1.rs1, uint64(u1.imm)
+	rd2, rs2, i2 := u2.rd, u2.rs1, uint64(u2.imm)
+	return func(c *t3ctx) int32 {
+		x := c.x
+		x[rd1] = x[rs1] + i1
+		x[rd2] = x[rs2] + i2
+		return next(c)
+	}
+}
+
+// addiMidable gates the planner's addi absorption to exactly the op kinds
+// compileAddiMid implements.
+func addiMidable(k uopKind) bool {
+	switch k {
+	case uAdd, uSub, uMul, uAnd, uOr, uXor, uSltu, uSlt, uSlli, uSrli, uSrai,
+		uAndi, uOri, uXori, uLi, uFAdd, uFSub, uFMul, uFDiv, uFMovImm, uFMv:
+		return true
+	}
+	return false
+}
+
+// compileAddiMid fuses an addi into the following ALU/FP closure: the addi
+// retires first (program order), then the op — one call for the hottest
+// digram the uopseq profiles mine (`addi` precedes nearly everything in
+// loop bodies: induction bump then compute).
+func compileAddiMid(a, b *uop, next t3op) t3op {
+	ard, ars, ai := a.rd, a.rs1, uint64(a.imm)
+	rd, rs1, rs2 := b.rd, b.rs1, b.rs2
+	imm := b.imm
+	switch b.kind {
+	case uAdd:
+		return func(c *t3ctx) int32 { x := c.x; x[ard] = x[ars] + ai; x[rd] = x[rs1] + x[rs2]; return next(c) }
+	case uSub:
+		return func(c *t3ctx) int32 { x := c.x; x[ard] = x[ars] + ai; x[rd] = x[rs1] - x[rs2]; return next(c) }
+	case uMul:
+		return func(c *t3ctx) int32 { x := c.x; x[ard] = x[ars] + ai; x[rd] = x[rs1] * x[rs2]; return next(c) }
+	case uAnd:
+		return func(c *t3ctx) int32 { x := c.x; x[ard] = x[ars] + ai; x[rd] = x[rs1] & x[rs2]; return next(c) }
+	case uOr:
+		return func(c *t3ctx) int32 { x := c.x; x[ard] = x[ars] + ai; x[rd] = x[rs1] | x[rs2]; return next(c) }
+	case uXor:
+		return func(c *t3ctx) int32 { x := c.x; x[ard] = x[ars] + ai; x[rd] = x[rs1] ^ x[rs2]; return next(c) }
+	case uSltu:
+		return func(c *t3ctx) int32 { x := c.x; x[ard] = x[ars] + ai; x[rd] = b2u(x[rs1] < x[rs2]); return next(c) }
+	case uSlt:
+		return func(c *t3ctx) int32 {
+			x := c.x
+			x[ard] = x[ars] + ai
+			x[rd] = b2u(int64(x[rs1]) < int64(x[rs2]))
+			return next(c)
+		}
+	case uSlli:
+		sh := uint64(imm) & 63
+		return func(c *t3ctx) int32 { x := c.x; x[ard] = x[ars] + ai; x[rd] = x[rs1] << sh; return next(c) }
+	case uSrli:
+		sh := uint64(imm) & 63
+		return func(c *t3ctx) int32 { x := c.x; x[ard] = x[ars] + ai; x[rd] = x[rs1] >> sh; return next(c) }
+	case uSrai:
+		sh := uint64(imm) & 63
+		return func(c *t3ctx) int32 {
+			x := c.x
+			x[ard] = x[ars] + ai
+			x[rd] = uint64(int64(x[rs1]) >> sh)
+			return next(c)
+		}
+	case uAndi:
+		ui := uint64(imm)
+		return func(c *t3ctx) int32 { x := c.x; x[ard] = x[ars] + ai; x[rd] = x[rs1] & ui; return next(c) }
+	case uOri:
+		ui := uint64(imm)
+		return func(c *t3ctx) int32 { x := c.x; x[ard] = x[ars] + ai; x[rd] = x[rs1] | ui; return next(c) }
+	case uXori:
+		ui := uint64(imm)
+		return func(c *t3ctx) int32 { x := c.x; x[ard] = x[ars] + ai; x[rd] = x[rs1] ^ ui; return next(c) }
+	case uLi:
+		v := b.val
+		return func(c *t3ctx) int32 { x := c.x; x[ard] = x[ars] + ai; x[rd] = v; return next(c) }
+	case uFAdd:
+		return func(c *t3ctx) int32 {
+			c.x[ard] = c.x[ars] + ai
+			f := c.f
+			f[rd] = f[rs1] + f[rs2]
+			return next(c)
+		}
+	case uFSub:
+		return func(c *t3ctx) int32 {
+			c.x[ard] = c.x[ars] + ai
+			f := c.f
+			f[rd] = f[rs1] - f[rs2]
+			return next(c)
+		}
+	case uFMul:
+		return func(c *t3ctx) int32 {
+			c.x[ard] = c.x[ars] + ai
+			f := c.f
+			f[rd] = f[rs1] * f[rs2]
+			return next(c)
+		}
+	case uFDiv:
+		return func(c *t3ctx) int32 {
+			c.x[ard] = c.x[ars] + ai
+			f := c.f
+			f[rd] = f[rs1] / f[rs2]
+			return next(c)
+		}
+	case uFMovImm:
+		v := math.Float64frombits(b.val)
+		return func(c *t3ctx) int32 { c.x[ard] = c.x[ars] + ai; c.f[rd] = v; return next(c) }
+	case uFMv:
+		return func(c *t3ctx) int32 { c.x[ard] = c.x[ars] + ai; c.f[rd] = c.f[rs1]; return next(c) }
+	}
+	return nil
+}
+
+// compileMid compiles one straight-line (non-boundary) uop. All closures
+// capture their operands at compile time and allocate nothing at
+// execution time.
+func (e *Engine) compileMid(sb *superblock, i int, next t3op) t3op {
+	u := &sb.ops[i]
+	rd, rs1, rs2 := u.rd, u.rs1, u.rs2
+	imm := u.imm
+	switch u.kind {
+	case uNop:
+		return next
+
+	case uAdd:
+		return func(c *t3ctx) int32 { x := c.x; x[rd] = x[rs1] + x[rs2]; return next(c) }
+	case uSub:
+		return func(c *t3ctx) int32 { x := c.x; x[rd] = x[rs1] - x[rs2]; return next(c) }
+	case uMul:
+		return func(c *t3ctx) int32 { x := c.x; x[rd] = x[rs1] * x[rs2]; return next(c) }
+	case uDiv:
+		return func(c *t3ctx) int32 {
+			x := c.x
+			x[rd] = uint64(sdiv(int64(x[rs1]), int64(x[rs2])))
+			return next(c)
+		}
+	case uDivU:
+		return func(c *t3ctx) int32 {
+			x := c.x
+			if x[rs2] == 0 {
+				x[rd] = ^uint64(0)
+			} else {
+				x[rd] = x[rs1] / x[rs2]
+			}
+			return next(c)
+		}
+	case uRem:
+		return func(c *t3ctx) int32 {
+			x := c.x
+			x[rd] = uint64(srem(int64(x[rs1]), int64(x[rs2])))
+			return next(c)
+		}
+	case uRemU:
+		return func(c *t3ctx) int32 {
+			x := c.x
+			if x[rs2] == 0 {
+				x[rd] = x[rs1]
+			} else {
+				x[rd] = x[rs1] % x[rs2]
+			}
+			return next(c)
+		}
+	case uAnd:
+		return func(c *t3ctx) int32 { x := c.x; x[rd] = x[rs1] & x[rs2]; return next(c) }
+	case uOr:
+		return func(c *t3ctx) int32 { x := c.x; x[rd] = x[rs1] | x[rs2]; return next(c) }
+	case uXor:
+		return func(c *t3ctx) int32 { x := c.x; x[rd] = x[rs1] ^ x[rs2]; return next(c) }
+	case uSll:
+		return func(c *t3ctx) int32 { x := c.x; x[rd] = x[rs1] << (x[rs2] & 63); return next(c) }
+	case uSrl:
+		return func(c *t3ctx) int32 { x := c.x; x[rd] = x[rs1] >> (x[rs2] & 63); return next(c) }
+	case uSra:
+		return func(c *t3ctx) int32 {
+			x := c.x
+			x[rd] = uint64(int64(x[rs1]) >> (x[rs2] & 63))
+			return next(c)
+		}
+	case uSlt:
+		return func(c *t3ctx) int32 {
+			x := c.x
+			x[rd] = b2u(int64(x[rs1]) < int64(x[rs2]))
+			return next(c)
+		}
+	case uSltu:
+		return func(c *t3ctx) int32 { x := c.x; x[rd] = b2u(x[rs1] < x[rs2]); return next(c) }
+
+	case uAddi:
+		ui := uint64(imm)
+		return func(c *t3ctx) int32 { x := c.x; x[rd] = x[rs1] + ui; return next(c) }
+	case uAndi:
+		ui := uint64(imm)
+		return func(c *t3ctx) int32 { x := c.x; x[rd] = x[rs1] & ui; return next(c) }
+	case uOri:
+		ui := uint64(imm)
+		return func(c *t3ctx) int32 { x := c.x; x[rd] = x[rs1] | ui; return next(c) }
+	case uXori:
+		ui := uint64(imm)
+		return func(c *t3ctx) int32 { x := c.x; x[rd] = x[rs1] ^ ui; return next(c) }
+	case uSlli:
+		sh := uint64(imm) & 63
+		return func(c *t3ctx) int32 { x := c.x; x[rd] = x[rs1] << sh; return next(c) }
+	case uSrli:
+		sh := uint64(imm) & 63
+		return func(c *t3ctx) int32 { x := c.x; x[rd] = x[rs1] >> sh; return next(c) }
+	case uSrai:
+		sh := uint64(imm) & 63
+		return func(c *t3ctx) int32 {
+			x := c.x
+			x[rd] = uint64(int64(x[rs1]) >> sh)
+			return next(c)
+		}
+	case uSlti:
+		return func(c *t3ctx) int32 {
+			x := c.x
+			x[rd] = b2u(int64(x[rs1]) < imm)
+			return next(c)
+		}
+	case uLi:
+		v := u.val
+		return func(c *t3ctx) int32 { c.x[rd] = v; return next(c) }
+
+	case uLoad:
+		return e.compileLoad(sb, i, addiFuse{}, addiFuse{}, next)
+	case uStore:
+		return e.compileStore(sb, i, addiFuse{}, addiFuse{}, next)
+	case uFLoad:
+		return e.compileFLoad(sb, i, addiFuse{}, addiFuse{}, next)
+	case uFStore:
+		return e.compileFStore(sb, i, addiFuse{}, addiFuse{}, next)
+
+	case uSanRead:
+		size := int(u.size)
+		pc := u.pc
+		return func(c *t3ctx) int32 {
+			if s := c.e.San; s != nil {
+				addr := c.x[rs1] + uint64(imm)
+				s.OnLoad(c.cpu.TID, c.e.Mem.Translate(addr), size, pc)
+			}
+			return next(c)
+		}
+	case uSanWrite:
+		size := int(u.size)
+		pc := u.pc
+		return func(c *t3ctx) int32 {
+			if s := c.e.San; s != nil {
+				addr := c.x[rs1] + uint64(imm)
+				s.OnStore(c.cpu.TID, c.e.Mem.Translate(addr), size, pc)
+			}
+			return next(c)
+		}
+	case uFence:
+		return func(c *t3ctx) int32 {
+			if s := c.e.San; s != nil {
+				s.OnFence(c.cpu.TID)
+			}
+			return next(c)
+		}
+
+	case uLink:
+		v := u.val
+		if rd == 0 {
+			return next
+		}
+		return func(c *t3ctx) int32 { c.x[rd] = v; return next(c) }
+
+	case uFAdd:
+		return func(c *t3ctx) int32 { f := c.f; f[rd] = f[rs1] + f[rs2]; return next(c) }
+	case uFSub:
+		return func(c *t3ctx) int32 { f := c.f; f[rd] = f[rs1] - f[rs2]; return next(c) }
+	case uFMul:
+		return func(c *t3ctx) int32 { f := c.f; f[rd] = f[rs1] * f[rs2]; return next(c) }
+	case uFDiv:
+		return func(c *t3ctx) int32 { f := c.f; f[rd] = f[rs1] / f[rs2]; return next(c) }
+	case uFMin:
+		return func(c *t3ctx) int32 { f := c.f; f[rd] = math.Min(f[rs1], f[rs2]); return next(c) }
+	case uFMax:
+		return func(c *t3ctx) int32 { f := c.f; f[rd] = math.Max(f[rs1], f[rs2]); return next(c) }
+	case uFSqrt:
+		return func(c *t3ctx) int32 { f := c.f; f[rd] = math.Sqrt(f[rs1]); return next(c) }
+	case uFNeg:
+		return func(c *t3ctx) int32 { f := c.f; f[rd] = -f[rs1]; return next(c) }
+	case uFAbs:
+		return func(c *t3ctx) int32 { f := c.f; f[rd] = math.Abs(f[rs1]); return next(c) }
+	case uFExp:
+		return func(c *t3ctx) int32 { f := c.f; f[rd] = math.Exp(f[rs1]); return next(c) }
+	case uFLn:
+		return func(c *t3ctx) int32 { f := c.f; f[rd] = math.Log(f[rs1]); return next(c) }
+	case uFMovImm:
+		v := math.Float64frombits(u.val)
+		return func(c *t3ctx) int32 { c.f[rd] = v; return next(c) }
+	case uFMv:
+		return func(c *t3ctx) int32 { f := c.f; f[rd] = f[rs1]; return next(c) }
+	case uFMvXD:
+		return func(c *t3ctx) int32 { c.x[rd] = math.Float64bits(c.f[rs1]); return next(c) }
+	case uFMvDX:
+		return func(c *t3ctx) int32 { c.f[rd] = math.Float64frombits(c.x[rs1]); return next(c) }
+	case uFCvtDL:
+		return func(c *t3ctx) int32 { c.f[rd] = float64(int64(c.x[rs1])); return next(c) }
+	case uFCvtLD:
+		return func(c *t3ctx) int32 { c.x[rd] = uint64(int64(c.f[rs1])); return next(c) }
+	case uFEq:
+		return func(c *t3ctx) int32 { c.x[rd] = b2u(c.f[rs1] == c.f[rs2]); return next(c) }
+	case uFLt:
+		return func(c *t3ctx) int32 { c.x[rd] = b2u(c.f[rs1] < c.f[rs2]); return next(c) }
+	case uFLe:
+		return func(c *t3ctx) int32 { c.x[rd] = b2u(c.f[rs1] <= c.f[rs2]); return next(c) }
+	}
+	return nil
+}
+
+// compileLoad builds a width/sign-specialized load closure with the inline
+// softmmu fast path and the per-site TLB line baked in.
+func (e *Engine) compileLoad(sb *superblock, i int, pre, post addiFuse, next t3op) t3op {
+	u := &sb.ops[i]
+	rd, rs1, imm := u.rd, u.rs1, uint64(u.imm)
+	shift, mask := e.pageShift, e.pageMask
+	mmu := e.Mem
+	switch {
+	case rd == 0 || u.size < 4:
+		// Rare shapes share one generic closure (still TLB-accelerated).
+		size, sh := u.size, u.sh
+		return func(c *t3ctx) int32 {
+			if pre.on {
+				x := c.x
+				x[pre.rd] = x[pre.rs] + pre.imm
+			}
+			en := c.e
+			addr := c.x[rs1] + imm
+			pn := addr >> shift
+			off := addr & mask
+			var v uint64
+			if ln := &en.rdTLB[pn&(accelTLBSize-1)]; ln.PageNo == pn &&
+				ln.Epoch == mmu.Epoch() && off+uint64(size) <= mask+1 {
+				v = loadLE(ln.Data[off:], size)
+			} else {
+				var fault *mem.Fault
+				v, fault = en.slowLoad(addr, size)
+				if fault != nil {
+					return c.pageFault(sb, i, fault)
+				}
+			}
+			if sh != 0 {
+				v = uint64(int64(v<<sh) >> sh)
+			}
+			wr(c.x, rd, v)
+			if post.on {
+				x := c.x
+				x[post.rd] = x[post.rs] + post.imm
+			}
+			return next(c)
+		}
+	case u.size == 8:
+		st := &siteTLB{page: ^uint64(0)}
+		return func(c *t3ctx) int32 {
+			if pre.on {
+				x := c.x
+				x[pre.rd] = x[pre.rs] + pre.imm
+			}
+			addr := c.x[rs1] + imm
+			pn := addr >> shift
+			off := addr & mask
+			var v uint64
+			if pn == st.page && st.epoch == mmu.Epoch() && off+8 <= sitePageSize {
+				v = binary.LittleEndian.Uint64(st.data[off : off+8])
+			} else {
+				var d int32
+				if v, d = c.loadMiss8(st, sb, i, addr, pn, off); d != t3Cont {
+					return d
+				}
+			}
+			c.x[rd] = v
+			if post.on {
+				x := c.x
+				x[post.rd] = x[post.rs] + post.imm
+			}
+			return next(c)
+		}
+	case u.sh != 0: // LW: signed 32-bit
+		st := &siteTLB{page: ^uint64(0)}
+		return func(c *t3ctx) int32 {
+			if pre.on {
+				x := c.x
+				x[pre.rd] = x[pre.rs] + pre.imm
+			}
+			addr := c.x[rs1] + imm
+			pn := addr >> shift
+			off := addr & mask
+			var v uint64
+			if pn == st.page && st.epoch == mmu.Epoch() && off+4 <= sitePageSize {
+				v = uint64(binary.LittleEndian.Uint32(st.data[off : off+4]))
+			} else {
+				var d int32
+				if v, d = c.loadMiss4(st, sb, i, addr, pn, off); d != t3Cont {
+					return d
+				}
+			}
+			c.x[rd] = uint64(int64(int32(uint32(v))))
+			if post.on {
+				x := c.x
+				x[post.rd] = x[post.rs] + post.imm
+			}
+			return next(c)
+		}
+	default: // LWU
+		st := &siteTLB{page: ^uint64(0)}
+		return func(c *t3ctx) int32 {
+			if pre.on {
+				x := c.x
+				x[pre.rd] = x[pre.rs] + pre.imm
+			}
+			addr := c.x[rs1] + imm
+			pn := addr >> shift
+			off := addr & mask
+			var v uint64
+			if pn == st.page && st.epoch == mmu.Epoch() && off+4 <= sitePageSize {
+				v = uint64(binary.LittleEndian.Uint32(st.data[off : off+4]))
+			} else {
+				var d int32
+				if v, d = c.loadMiss4(st, sb, i, addr, pn, off); d != t3Cont {
+					return d
+				}
+			}
+			c.x[rd] = v
+			if post.on {
+				x := c.x
+				x[post.rd] = x[post.rs] + post.imm
+			}
+			return next(c)
+		}
+	}
+}
+
+// compileStore builds a width-specialized store closure with the inline
+// softmmu fast path, the per-site TLB line, and the hoisted LL/SC-monitor
+// emptiness check.
+func (e *Engine) compileStore(sb *superblock, i int, pre, post addiFuse, next t3op) t3op {
+	u := &sb.ops[i]
+	rs1, rs2, imm := u.rs1, u.rs2, uint64(u.imm)
+	shift, mask := e.pageShift, e.pageMask
+	mmu := e.Mem
+	switch u.size {
+	case 8:
+		st := &siteTLB{page: ^uint64(0)}
+		return func(c *t3ctx) int32 {
+			if pre.on {
+				x := c.x
+				x[pre.rd] = x[pre.rs] + pre.imm
+			}
+			addr := c.x[rs1] + imm
+			pn := addr >> shift
+			off := addr & mask
+			if pn == st.page && st.epoch == mmu.Epoch() && off+8 <= sitePageSize {
+				binary.LittleEndian.PutUint64(st.data[off:off+8], c.x[rs2])
+			} else if d := c.storeMiss8(st, sb, i, addr, pn, off, c.x[rs2]); d != t3Cont {
+				return d
+			}
+			if !c.monEmpty {
+				c.e.Mon.OnStore(c.cpu.TID, mmu.Translate(addr))
+			}
+			if post.on {
+				x := c.x
+				x[post.rd] = x[post.rs] + post.imm
+			}
+			return next(c)
+		}
+	case 4:
+		st := &siteTLB{page: ^uint64(0)}
+		return func(c *t3ctx) int32 {
+			if pre.on {
+				x := c.x
+				x[pre.rd] = x[pre.rs] + pre.imm
+			}
+			addr := c.x[rs1] + imm
+			pn := addr >> shift
+			off := addr & mask
+			if pn == st.page && st.epoch == mmu.Epoch() && off+4 <= sitePageSize {
+				binary.LittleEndian.PutUint32(st.data[off:off+4], uint32(c.x[rs2]))
+			} else if d := c.storeMiss4(st, sb, i, addr, pn, off, c.x[rs2]); d != t3Cont {
+				return d
+			}
+			if !c.monEmpty {
+				c.e.Mon.OnStore(c.cpu.TID, mmu.Translate(addr))
+			}
+			if post.on {
+				x := c.x
+				x[post.rd] = x[post.rs] + post.imm
+			}
+			return next(c)
+		}
+	default:
+		size := u.size
+		return func(c *t3ctx) int32 {
+			if pre.on {
+				x := c.x
+				x[pre.rd] = x[pre.rs] + pre.imm
+			}
+			en := c.e
+			addr := c.x[rs1] + imm
+			pn := addr >> shift
+			off := addr & mask
+			if ln := &en.wrTLB[pn&(accelTLBSize-1)]; ln.PageNo == pn &&
+				ln.Epoch == mmu.Epoch() && off+uint64(size) <= mask+1 {
+				storeLE(ln.Data[off:], c.x[rs2], size)
+			} else if fault := en.slowStore(addr, c.x[rs2], size); fault != nil {
+				return c.pageFault(sb, i, fault)
+			}
+			if !c.monEmpty {
+				en.Mon.OnStore(c.cpu.TID, mmu.Translate(addr))
+			}
+			if post.on {
+				x := c.x
+				x[post.rd] = x[post.rs] + post.imm
+			}
+			return next(c)
+		}
+	}
+}
+
+func (e *Engine) compileFLoad(sb *superblock, i int, pre, post addiFuse, next t3op) t3op {
+	u := &sb.ops[i]
+	rd, rs1, imm := u.rd, u.rs1, uint64(u.imm)
+	shift, mask := e.pageShift, e.pageMask
+	mmu := e.Mem
+	st := &siteTLB{page: ^uint64(0)}
+	return func(c *t3ctx) int32 {
+		if pre.on {
+			x := c.x
+			x[pre.rd] = x[pre.rs] + pre.imm
+		}
+		addr := c.x[rs1] + imm
+		pn := addr >> shift
+		off := addr & mask
+		var v uint64
+		if pn == st.page && st.epoch == mmu.Epoch() && off+8 <= sitePageSize {
+			v = binary.LittleEndian.Uint64(st.data[off : off+8])
+		} else {
+			var d int32
+			if v, d = c.loadMiss8(st, sb, i, addr, pn, off); d != t3Cont {
+				return d
+			}
+		}
+		c.f[rd] = math.Float64frombits(v)
+		if post.on {
+			x := c.x
+			x[post.rd] = x[post.rs] + post.imm
+		}
+		return next(c)
+	}
+}
+
+func (e *Engine) compileFStore(sb *superblock, i int, pre, post addiFuse, next t3op) t3op {
+	u := &sb.ops[i]
+	rs1, rs2, imm := u.rs1, u.rs2, uint64(u.imm)
+	shift, mask := e.pageShift, e.pageMask
+	mmu := e.Mem
+	st := &siteTLB{page: ^uint64(0)}
+	return func(c *t3ctx) int32 {
+		if pre.on {
+			x := c.x
+			x[pre.rd] = x[pre.rs] + pre.imm
+		}
+		addr := c.x[rs1] + imm
+		pn := addr >> shift
+		off := addr & mask
+		if pn == st.page && st.epoch == mmu.Epoch() && off+8 <= sitePageSize {
+			binary.LittleEndian.PutUint64(st.data[off:off+8], math.Float64bits(c.f[rs2]))
+		} else if d := c.storeMiss8(st, sb, i, addr, pn, off, math.Float64bits(c.f[rs2])); d != t3Cont {
+			return d
+		}
+		if !c.monEmpty {
+			c.e.Mon.OnStore(c.cpu.TID, mmu.Translate(addr))
+		}
+		if post.on {
+			x := c.x
+			x[post.rd] = x[post.rs] + post.imm
+		}
+		return next(c)
+	}
+}
+
+// negBranch returns the branch op with the opposite outcome.
+func negBranch(op isa.Op) isa.Op {
+	switch op {
+	case isa.OpBEQ:
+		return isa.OpBNE
+	case isa.OpBNE:
+		return isa.OpBEQ
+	case isa.OpBLT:
+		return isa.OpBGE
+	case isa.OpBGE:
+		return isa.OpBLT
+	case isa.OpBLTU:
+		return isa.OpBGEU
+	default: // OpBGEU
+		return isa.OpBLTU
+	}
+}
+
+// compileTail compiles a segment-boundary uop. Fall-through outcomes
+// (guard passes, successful atomics, hints) chain into next; everything
+// else returns a trampoline disposition.
+func (e *Engine) compileTail(sb *superblock, i int, next t3op) t3op {
+	u := &sb.ops[i]
+	rd, rs1, rs2 := u.rd, u.rs1, u.rs2
+	pc, npc, npc2 := u.pc, u.npc, u.npc2
+	exit, exit2 := u.exit, u.exit2
+	switch u.kind {
+	case uGuard:
+		// The trace stays on the closure chain while the branch goes the
+		// expected way; fold the polarity into the comparison so the exit
+		// condition is a single specialized compare.
+		xop := u.bop
+		if u.expectTaken {
+			xop = negBranch(xop)
+		}
+		switch xop {
+		case isa.OpBEQ:
+			return func(c *t3ctx) int32 {
+				if c.x[rs1] == c.x[rs2] {
+					c.cpu.PC = npc
+					return c.chainTo(c.e.exitVia(sb, exit))
+				}
+				return next(c)
+			}
+		case isa.OpBNE:
+			return func(c *t3ctx) int32 {
+				if c.x[rs1] != c.x[rs2] {
+					c.cpu.PC = npc
+					return c.chainTo(c.e.exitVia(sb, exit))
+				}
+				return next(c)
+			}
+		case isa.OpBLT:
+			return func(c *t3ctx) int32 {
+				if int64(c.x[rs1]) < int64(c.x[rs2]) {
+					c.cpu.PC = npc
+					return c.chainTo(c.e.exitVia(sb, exit))
+				}
+				return next(c)
+			}
+		case isa.OpBGE:
+			return func(c *t3ctx) int32 {
+				if int64(c.x[rs1]) >= int64(c.x[rs2]) {
+					c.cpu.PC = npc
+					return c.chainTo(c.e.exitVia(sb, exit))
+				}
+				return next(c)
+			}
+		case isa.OpBLTU:
+			return func(c *t3ctx) int32 {
+				if c.x[rs1] < c.x[rs2] {
+					c.cpu.PC = npc
+					return c.chainTo(c.e.exitVia(sb, exit))
+				}
+				return next(c)
+			}
+		default: // OpBGEU
+			return func(c *t3ctx) int32 {
+				if c.x[rs1] >= c.x[rs2] {
+					c.cpu.PC = npc
+					return c.chainTo(c.e.exitVia(sb, exit))
+				}
+				return next(c)
+			}
+		}
+
+	case uFusedCmpGuard:
+		// rd = slt(rs1, rs2); exit when rd lands on the off-trace value.
+		takenAt0 := u.bop == isa.OpBEQ // beqz taken when cmp == 0
+		exitVal := uint64(0)
+		if takenAt0 == u.expectTaken {
+			exitVal = 1
+		}
+		if u.cmpU {
+			return func(c *t3ctx) int32 {
+				v := b2u(c.x[rs1] < c.x[rs2])
+				c.x[rd] = v
+				if v == exitVal {
+					c.cpu.PC = npc
+					return c.chainTo(c.e.exitVia(sb, exit))
+				}
+				return next(c)
+			}
+		}
+		return func(c *t3ctx) int32 {
+			v := b2u(int64(c.x[rs1]) < int64(c.x[rs2]))
+			c.x[rd] = v
+			if v == exitVal {
+				c.cpu.PC = npc
+				return c.chainTo(c.e.exitVia(sb, exit))
+			}
+			return next(c)
+		}
+
+	case uBranchExit:
+		bop := u.bop
+		return func(c *t3ctx) int32 {
+			if takeBranch(bop, c.x[rs1], c.x[rs2]) {
+				c.cpu.PC = npc
+				return c.chainTo(c.e.exitVia(sb, exit))
+			}
+			c.cpu.PC = npc2
+			return c.chainTo(c.e.exitVia(sb, exit2))
+		}
+
+	case uFusedCmpExit:
+		takenAt1 := u.bop == isa.OpBNE // bnez taken when cmp == 1
+		cmpU := u.cmpU
+		return func(c *t3ctx) int32 {
+			var v uint64
+			if cmpU {
+				v = b2u(c.x[rs1] < c.x[rs2])
+			} else {
+				v = b2u(int64(c.x[rs1]) < int64(c.x[rs2]))
+			}
+			c.x[rd] = v
+			if (v == 1) == takenAt1 {
+				c.cpu.PC = npc
+				return c.chainTo(c.e.exitVia(sb, exit))
+			}
+			c.cpu.PC = npc2
+			return c.chainTo(c.e.exitVia(sb, exit2))
+		}
+
+	case uJalExit:
+		link := u.val
+		if rd == 0 {
+			return func(c *t3ctx) int32 {
+				c.cpu.PC = npc
+				return c.chainTo(c.e.exitVia(sb, exit))
+			}
+		}
+		return func(c *t3ctx) int32 {
+			c.x[rd] = link
+			c.cpu.PC = npc
+			return c.chainTo(c.e.exitVia(sb, exit))
+		}
+
+	case uJalrExit:
+		imm := uint64(u.imm)
+		link := u.val
+		return func(c *t3ctx) int32 {
+			en := c.e
+			target := (c.x[rs1] + imm) &^ 3
+			if rd != 0 {
+				c.x[rd] = link
+			}
+			c.cpu.PC = target
+			if !en.NoJumpCache && !en.NoCache {
+				if h := &en.jc[(target>>2)&(jcSize-1)]; h.pc == target && h.gen == en.gen {
+					en.Stats.JumpCacheHits++
+					if nsb := h.blk.sb; nsb != nil && nsb.gen == en.gen && *c.spent < c.budget {
+						// Tail-entry: stay on the compiled tier when the
+						// target is compiled too.
+						if nt3 := nsb.t3; nt3 != nil {
+							c.sw = nt3
+							return t3Switch
+						}
+					}
+					c.next = h.blk
+					return t3Exit
+				}
+			}
+			c.next = nil
+			return t3Exit
+		}
+
+	case uLoopBack:
+		return func(c *t3ctx) int32 { return t3Loop }
+
+	case uExit:
+		return func(c *t3ctx) int32 {
+			c.cpu.PC = npc
+			return c.chainTo(c.e.exitVia(sb, exit))
+		}
+
+	case uLL:
+		return func(c *t3ctx) int32 {
+			if d := c.doLL(sb, i); d != t3Cont {
+				return d
+			}
+			return next(c)
+		}
+	case uSC:
+		return func(c *t3ctx) int32 {
+			if d := c.doSC(sb, i); d != t3Cont {
+				return d
+			}
+			return next(c)
+		}
+	case uCAS, uAmoAdd, uAmoSwap:
+		return func(c *t3ctx) int32 {
+			if d := c.doAmo(sb, i); d != t3Cont {
+				return d
+			}
+			return next(c)
+		}
+
+	case uSvcExit:
+		return func(c *t3ctx) int32 {
+			e := c.e
+			e.Stats.Syscalls++
+			*c.spent += e.Cost.SyscallNs
+			c.cpu.PC = pc + 4
+			c.res = Result{Reason: StopSyscall}
+			c.stop = true
+			return t3Stop
+		}
+
+	case uHint:
+		group := u.imm
+		return func(c *t3ctx) int32 {
+			c.cpu.HintGroup = group
+			e := c.e
+			if e.OnHint != nil {
+				e.OnHint(c.cpu.TID, group)
+				c.monEmpty = e.Mon.Empty()
+				if sb.gen != e.gen {
+					// The hook flushed the translation cache: abandon the
+					// compiled trace at the next instruction boundary.
+					c.cpu.PC = pc + 4
+					return t3Demote
+				}
+			}
+			return next(c)
+		}
+
+	case uHaltExit:
+		return func(c *t3ctx) int32 {
+			c.cpu.PC = pc + 4
+			c.res = Result{Reason: StopHalt}
+			c.stop = true
+			return t3Stop
+		}
+	case uEbreakExit:
+		return func(c *t3ctx) int32 {
+			c.cpu.PC = pc
+			c.res = Result{Reason: StopEBreak}
+			c.stop = true
+			return t3Stop
+		}
+	}
+	return nil
+}
+
+// doLL/doSC/doAmo are the atomic boundary ops. They are rare enough that
+// sharing the tier-2 structure through context methods beats duplicating
+// it per closure; monEmpty is refreshed exactly like execSuperRun does.
+func (c *t3ctx) doLL(sb *superblock, i int) int32 {
+	u := &sb.ops[i]
+	e := c.e
+	mmu := e.Mem
+	addr := c.x[u.rs1]
+	if addr%8 != 0 {
+		return c.alignFault(sb, i, addr)
+	}
+	v, fault := mmu.Load(addr, 8)
+	if fault != nil {
+		return c.pageFault(sb, i, fault)
+	}
+	e.Mon.OnLL(c.cpu.TID, mmu.Translate(addr))
+	if e.San != nil {
+		e.San.OnAtomic(c.cpu.TID, mmu.Translate(addr), 8, u.pc, false)
+	}
+	c.monEmpty = false
+	wr(c.x, u.rd, v)
+	return t3Cont
+}
+
+func (c *t3ctx) doSC(sb *superblock, i int) int32 {
+	u := &sb.ops[i]
+	e := c.e
+	mmu := e.Mem
+	addr := c.x[u.rs1]
+	if addr%8 != 0 {
+		return c.alignFault(sb, i, addr)
+	}
+	taddr := mmu.Translate(addr)
+	if mmu.PermOf(mmu.PageOf(taddr)) != mem.PermReadWrite {
+		return c.pageFault(sb, i, &mem.Fault{Addr: taddr, Page: mmu.PageOf(taddr), Write: true})
+	}
+	if e.Mon.ValidateSC(c.cpu.TID, taddr) {
+		if fault := mmu.Store(addr, c.x[u.rs2], 8); fault != nil {
+			return c.pageFault(sb, i, fault)
+		}
+		if e.San != nil {
+			e.San.OnAtomic(c.cpu.TID, taddr, 8, u.pc, true)
+		}
+		wr(c.x, u.rd, 0)
+	} else {
+		if e.San != nil {
+			e.San.OnAtomic(c.cpu.TID, taddr, 8, u.pc, false)
+		}
+		wr(c.x, u.rd, 1)
+		if e.StopAtomic {
+			c.cpu.PC = u.pc + 4
+			c.res = Result{Reason: StopBudget}
+			c.stop = true
+			return t3Stop
+		}
+	}
+	return t3Cont
+}
+
+func (c *t3ctx) doAmo(sb *superblock, i int) int32 {
+	u := &sb.ops[i]
+	e := c.e
+	mmu := e.Mem
+	addr := c.x[u.rs1]
+	if addr%8 != 0 {
+		return c.alignFault(sb, i, addr)
+	}
+	taddr := mmu.Translate(addr)
+	if mmu.PermOf(mmu.PageOf(taddr)) != mem.PermReadWrite {
+		return c.pageFault(sb, i, &mem.Fault{Addr: taddr, Page: mmu.PageOf(taddr), Write: true})
+	}
+	old, fault := mmu.Load(addr, 8)
+	if fault != nil {
+		return c.pageFault(sb, i, fault)
+	}
+	var newVal uint64
+	doStore := true
+	switch u.kind {
+	case uCAS:
+		newVal = c.x[u.rs2]
+		doStore = old == c.x[u.rd]
+	case uAmoAdd:
+		newVal = old + c.x[u.rs2]
+	default: // uAmoSwap
+		newVal = c.x[u.rs2]
+	}
+	if doStore {
+		if fault := mmu.Store(addr, newVal, 8); fault != nil {
+			return c.pageFault(sb, i, fault)
+		}
+		if !e.Mon.Empty() {
+			e.Mon.OnStore(c.cpu.TID, taddr)
+		}
+	}
+	if e.San != nil {
+		e.San.OnAtomic(c.cpu.TID, taddr, 8, u.pc, doStore)
+	}
+	wr(c.x, u.rd, old)
+	if e.StopAtomic && u.kind == uCAS && !doStore {
+		c.cpu.PC = u.pc + 4
+		c.res = Result{Reason: StopBudget}
+		c.stop = true
+		return t3Stop
+	}
+	return t3Cont
+}

@@ -44,6 +44,13 @@ type superblock struct {
 	ops    []uop
 	exits  []exitSlot
 	ninsns uint32 // guest instructions lowered into the trace
+
+	// Tier-3 bookkeeping: tier-2 entry count toward closure compilation,
+	// the compiled form once promoted, and a sticky flag for superblocks the
+	// closure compiler refused (so the attempt is not repeated).
+	execs  uint32
+	t3     *tier3
+	t3fail bool
 }
 
 func (e *Engine) hotThreshold() uint32 {
@@ -266,6 +273,7 @@ loop:
 		}
 	}
 
+	sb.ops = e.peepPass(sb.ops)
 	segmentize(sb.ops)
 
 	t := int64(sb.ninsns) * e.Cost.TranslateNs

@@ -8,10 +8,10 @@ import (
 	"dqemu/internal/mem"
 )
 
-// benchHotLoop measures engine throughput on the shared hotLoop program,
-// with or without superblock promotion, reporting retired guest
+// benchHotLoop measures engine throughput on the shared hotLoop program
+// at one tier of the translation ladder, reporting retired guest
 // instructions per op so the tiers are directly comparable.
-func benchHotLoop(b *testing.B, noSuper bool) {
+func benchHotLoop(b *testing.B, noSuper bool, tune ...func(*Engine)) {
 	im, err := asm.Assemble(asm.Source{Name: "t.s", Text: hotLoop})
 	if err != nil {
 		b.Fatal(err)
@@ -20,7 +20,12 @@ func benchHotLoop(b *testing.B, noSuper bool) {
 	mem.InstallImage(space, im, mem.PermRead, mem.PermReadWrite)
 	e := NewEngine(space, DefaultCostModel())
 	e.NoSuperblock = noSuper
+	e.NoTier3 = true    // the ladder below turns tiers back on explicitly
 	e.HotThreshold = 20 // promote early, but with enough branch history for bias
+	e.Tier3Threshold = 10
+	for _, f := range tune {
+		f(e)
+	}
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
 		c := &CPU{PC: im.Entry, TID: 1}
@@ -40,3 +45,9 @@ func benchHotLoop(b *testing.B, noSuper bool) {
 
 func BenchmarkHotLoopSuperblock(b *testing.B) { benchHotLoop(b, false) }
 func BenchmarkHotLoopChained(b *testing.B)    { benchHotLoop(b, true) }
+func BenchmarkHotLoopTier3(b *testing.B) {
+	benchHotLoop(b, false, func(e *Engine) { e.NoTier3 = false; e.NoPeephole = true })
+}
+func BenchmarkHotLoopTier3Peep(b *testing.B) {
+	benchHotLoop(b, false, func(e *Engine) { e.NoTier3 = false })
+}

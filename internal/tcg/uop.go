@@ -678,11 +678,19 @@ func (e *Engine) execSuperRun(cpu *CPU, sb *superblock, spent *int64, budgetNs i
 					e.Stats.JumpCacheHits++
 					// Tail-call straight into the target's superblock when
 					// it has one, without bouncing through Exec's dispatch.
+					// A closure-compiled target instead bounces so Exec runs
+					// its tier-3 form (and call-heavy targets accrue entries
+					// toward compilation).
 					if nsb := h.blk.sb; nsb != nil && !e.NoSuperblock && nsb.gen == e.gen && *spent < budgetNs {
-						sb = nsb
-						ops = sb.ops
-						i = -1
-						continue
+						if nsb.t3 == nil || e.NoTier3 {
+							if !e.NoTier3 && !nsb.t3fail {
+								nsb.execs++
+							}
+							sb = nsb
+							ops = sb.ops
+							i = -1
+							continue
+						}
 					}
 					return h.blk, Result{}, false, executed
 				}
