@@ -8,6 +8,8 @@
 //	dqemu-bench -exp chaos -seed N            # reproduce one fault plan
 //	dqemu-bench -exp chaos -runs 200          # longer battery
 //	dqemu-bench -exp chaos -broken noretry    # prove the suite catches a broken transport
+//	dqemu-bench -exp scenario -spec scenarios # run every checked-in scenario spec
+//	dqemu-bench -exp scenario -spec scenarios -smoke -json out.json
 package main
 
 import (
@@ -20,10 +22,11 @@ import (
 	"time"
 
 	"dqemu/internal/experiments"
+	"dqemu/internal/scenario"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig5, fig6, table1, fig7, fig8, singlenode, sanitizer, wire, chaos, or all")
+	exp := flag.String("exp", "all", "experiment to run: fig5, fig6, table1, fig7, fig8, singlenode, sanitizer, wire, chaos, scenario, or all")
 	full := flag.Bool("full", false, "use inputs close to the paper's sizes (slow)")
 	slaves := flag.Int("slaves", 6, "maximum number of slave nodes to sweep")
 	quiet := flag.Bool("q", false, "suppress per-run progress")
@@ -38,6 +41,8 @@ func main() {
 	seed := flag.Int64("seed", 0, "chaos: run a single fault plan with this seed (0 = full battery)")
 	runs := flag.Int("runs", 50, "chaos: battery size when -seed is 0")
 	broken := flag.String("broken", "", "chaos: transport ablation to inject (noretry or nodedup)")
+	specPath := flag.String("spec", "", "scenario: spec file or directory of *.json specs (required for -exp scenario)")
+	smoke := flag.Bool("smoke", false, "scenario: divide scalable workload arguments down for a CI smoke run")
 	cpuProf := flag.String("cpuprofile", "", "write a host CPU profile of the whole run to this file")
 	flag.Parse()
 
@@ -103,6 +108,65 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	// scenario runs data-form specs (internal/scenario). Under -exp all it
+	// only runs when -spec names a file or directory; -exp scenario without
+	// -spec is an error.
+	explicitScenario := false
+	for _, s := range selected {
+		if s == "scenario" {
+			explicitScenario = true
+		}
+	}
+	if explicitScenario && *specPath == "" {
+		fmt.Fprintln(os.Stderr, "dqemu-bench: -exp scenario requires -spec <file|dir>")
+		os.Exit(2)
+	}
+	if want("scenario") && *specPath != "" {
+		start := time.Now()
+		var specs []*scenario.Spec
+		st, err := os.Stat(*specPath)
+		if err == nil && st.IsDir() {
+			specs, err = scenario.LoadDir(*specPath)
+		} else if err == nil {
+			var s *scenario.Spec
+			s, err = scenario.Load(*specPath)
+			specs = []*scenario.Spec{s}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dqemu-bench: scenario: %v\n", err)
+			os.Exit(1)
+		}
+		so := scenario.Options{}
+		if *smoke {
+			so.Scale = scenario.Smoke
+		}
+		if !*quiet {
+			so.Progress = os.Stderr
+		}
+		rep, err := scenario.RunAll(specs, so)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dqemu-bench: scenario: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Print(os.Stdout)
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dqemu-bench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				fmt.Fprintf(os.Stderr, "dqemu-bench: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+		fmt.Fprintf(os.Stderr, "[scenario took %.1fs host time]\n\n", time.Since(start).Seconds())
+		if rep.Fails() > 0 {
+			os.Exit(1)
+		}
+	}
+
 	runOne("fig5", func() (printer, error) { return experiments.RunFig5(opts) })
 	runOne("fig6", func() (printer, error) { return experiments.RunFig6(opts) })
 	runOne("table1", func() (printer, error) { return experiments.RunTable1(opts) })

@@ -4,14 +4,19 @@
 // per workload, and fails when the candidate file regresses any workload by
 // more than -max-regress (default 10%).
 //
-// Three BENCH schemas exist in the tree; the tool understands the two
-// single-node ones and skips the rest:
+// Four BENCH schemas exist in the tree; the tool understands the two
+// single-node ones and the scenario-suite one, and skips the rest:
 //
 //   - {"configs": [...]}  — singlenode ablation matrix (dqemu-bench -exp
 //     singlenode -ablate -json); the full-ladder config is the one with
 //     every no_* flag false.
 //   - {"rows": [...]}     — a single singlenode config at top level; used
-//     only when its own no_* flags say the full ladder was on.
+//     only when its own no_* flags say the full ladder was on. The
+//     scenario-suite report (dqemu-bench -exp scenario -json) is this
+//     schema with "time_base": "virtual": its insns/sec figures divide by
+//     virtual time, not host time, so they are only ever compared against
+//     other virtual-base files — mixing time bases would gate real code
+//     changes against a clock change.
 //   - {"benches": [...]}  — wire-efficiency results (BENCH_pr4.json); no
 //     throughput rows, skipped with a note.
 //
@@ -32,7 +37,7 @@ import (
 	"sort"
 )
 
-// benchFile mirrors the union of the two single-node BENCH schemas.
+// benchFile mirrors the union of the single-node BENCH schemas.
 type benchFile struct {
 	// Matrix schema.
 	Configs []benchConfig `json:"configs"`
@@ -40,6 +45,10 @@ type benchFile struct {
 	benchConfig
 	// Wire schema marker; presence means "not a throughput file".
 	Benches json.RawMessage `json:"benches"`
+	// TimeBase marks what insns_per_sec divides by: "" (host time, the
+	// singlenode suites) or "virtual" (scenario suites). Files are only
+	// comparable within one time base.
+	TimeBase string `json:"time_base"`
 }
 
 type benchConfig struct {
@@ -68,7 +77,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	cand, err := loadFullLadder(*candidate)
+	cand, candBase, err := loadFullLadder(*candidate)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dqemu-trend: %s: %v\n", *candidate, err)
 		os.Exit(2)
@@ -85,13 +94,18 @@ func main() {
 		if sameFile(path, *candidate) {
 			continue
 		}
-		rows, err := loadFullLadder(path)
+		rows, base, err := loadFullLadder(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dqemu-trend: %s: %v\n", path, err)
 			os.Exit(2)
 		}
 		if rows == nil {
 			fmt.Printf("skip %s: no single-node throughput rows\n", path)
+			continue
+		}
+		if base != candBase {
+			fmt.Printf("skip %s: time base %q does not match candidate %q\n",
+				path, baseName(base), baseName(candBase))
 			continue
 		}
 		for bench, ips := range rows {
@@ -134,23 +148,23 @@ func main() {
 }
 
 // loadFullLadder returns bench -> insns/sec for the full-ladder config in
-// path, or nil (no error) when the file holds no single-node throughput
-// data (e.g. the wire-efficiency schema).
-func loadFullLadder(path string) (map[string]float64, error) {
+// path plus the file's time base, or a nil map (no error) when the file
+// holds no single-node throughput data (e.g. the wire-efficiency schema).
+func loadFullLadder(path string) (map[string]float64, string, error) {
 	text, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	var f benchFile
 	if err := json.Unmarshal(text, &f); err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	configs := f.Configs
 	if configs == nil && f.Rows != nil {
 		configs = []benchConfig{f.benchConfig}
 	}
 	if configs == nil {
-		return nil, nil // wire schema or empty: not comparable
+		return nil, "", nil // wire schema or empty: not comparable
 	}
 	rows := map[string]float64{}
 	for _, c := range configs {
@@ -162,9 +176,17 @@ func loadFullLadder(path string) (map[string]float64, error) {
 		}
 	}
 	if len(rows) == 0 {
-		return nil, nil // only ablated configs recorded (e.g. the seed file)
+		return nil, "", nil // only ablated configs recorded (e.g. the seed file)
 	}
-	return rows, nil
+	return rows, f.TimeBase, nil
+}
+
+// baseName renders a time base for messages ("" means host time).
+func baseName(base string) string {
+	if base == "" {
+		return "host"
+	}
+	return base
 }
 
 func sameFile(a, b string) bool {

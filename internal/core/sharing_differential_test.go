@@ -1,0 +1,74 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"dqemu/internal/image"
+	"dqemu/internal/workloads"
+)
+
+// sharingImages builds tiny instances of the three sharing-pattern
+// workloads (canneal-like pointer chasing, dedup-like pipeline,
+// streamcluster-like barrier phases). The tier-3 closure compiler had
+// never executed pointer-chasing or barrier-storm traces before these; the
+// shapes are small enough for the interpreter rung but still reach the
+// compiled tier at the lowered promotion threshold.
+func sharingImages(t *testing.T) map[string]*image.Image {
+	t.Helper()
+	ims := map[string]*image.Image{}
+	var err error
+	if ims["canneal"], err = workloads.Canneal(4, 512, 60, 11); err != nil {
+		t.Fatal(err)
+	}
+	if ims["dedup"], err = workloads.Dedup(2, 2, 1, 40, 32, 8); err != nil {
+		t.Fatal(err)
+	}
+	if ims["streamcluster"], err = workloads.Streamcluster(4, 256, 4, 3); err != nil {
+		t.Fatal(err)
+	}
+	return ims
+}
+
+// TestDifferentialSharingWorkloads is the four-way differential state test
+// for the sharing-pattern workloads: the interpreter, tier-2 superblocks,
+// tier-3 closures, and tier-3 with mined peephole rules must leave
+// bit-identical registers, writable memory, and console output. Different
+// tiers retire instructions at different virtual-time costs, so the
+// interleavings (queue handoffs, barrier arrival orders, CAS winners)
+// genuinely differ between rungs — the workloads' commutative-update
+// design is what makes the final state comparable at all.
+func TestDifferentialSharingWorkloads(t *testing.T) {
+	tiers := tierConfigs()
+	for name, im := range sharingImages(t) {
+		want := runTier(t, im, tiers["superblock"])
+		for tier, cfg := range tiers {
+			if tier == "superblock" {
+				continue
+			}
+			got := runTier(t, im, cfg)
+			if (tier == "tier3" || tier == "tier3+peep") && got.tier3Insns == 0 {
+				t.Errorf("%s tier %s never executed tier-3 closures", name, tier)
+			}
+			if tier == "tier3+peep" && got.peeps == 0 {
+				t.Errorf("%s tier %s applied no peephole rules", name, tier)
+			}
+			if got.console != want.console || got.exitCode != want.exitCode {
+				t.Fatalf("%s tier %s output diverged:\n got %q (exit %d)\nwant %q (exit %d)",
+					name, tier, got.console, got.exitCode, want.console, want.exitCode)
+			}
+			if got.x != want.x || got.f != want.f || got.pc != want.pc {
+				t.Fatalf("%s tier %s registers diverged:\n got pc=%#x x=%v\nwant pc=%#x x=%v",
+					name, tier, got.pc, got.x, want.pc, want.x)
+			}
+			if !bytes.Equal(got.mem, want.mem) {
+				for i := range got.mem {
+					if got.mem[i] != want.mem[i] {
+						t.Fatalf("%s tier %s memory diverged at writable-segment offset %#x: got %#x want %#x",
+							name, tier, i, got.mem[i], want.mem[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -12,41 +12,80 @@ import (
 // Send order, so a given (seed, workload) pair replays the exact same fault
 // schedule. Local (From==To) messages are never faulted: they model
 // intra-node function calls, not the wire.
+// The JSON tags are the plan's stable wire form: scenario specs
+// (internal/scenario) embed fault plans as data, so renaming a field here
+// is a spec schema change and needs a migration note (EXPERIMENTS.md).
 type FaultPlan struct {
 	// Seed drives the per-message random draws.
-	Seed int64
+	Seed int64 `json:"seed"`
 	// DropRate is the probability a unicast message silently vanishes.
-	DropRate float64
+	DropRate float64 `json:"drop_rate,omitempty"`
 	// DupRate is the probability a message is delivered twice.
-	DupRate float64
+	DupRate float64 `json:"dup_rate,omitempty"`
 	// JitterNs adds a uniform extra delay in [0, JitterNs] to each message.
-	JitterNs int64
+	JitterNs int64 `json:"jitter_ns,omitempty"`
 	// ReorderRate is the probability a message is held back by an extra
 	// ReorderDelayNs, letting later messages on the same link overtake it.
-	ReorderRate float64
+	ReorderRate float64 `json:"reorder_rate,omitempty"`
 	// ReorderDelayNs is the hold-back for reordered messages. Defaults to
 	// 4×JitterNs or 200 µs, whichever is larger.
-	ReorderDelayNs int64
+	ReorderDelayNs int64 `json:"reorder_delay_ns,omitempty"`
 	// Stalls freeze a node's receive processing for a window of virtual
 	// time: messages arriving during the window are deferred to its end
 	// (GC pause / scheduling hiccup model).
-	Stalls []Window
+	Stalls []Window `json:"stalls,omitempty"`
 	// Crashes kill a node permanently at a point in virtual time: all
 	// traffic from it is dropped at the sender and to it at delivery.
-	Crashes []Crash
+	Crashes []Crash `json:"crashes,omitempty"`
 }
 
 // Window is a [FromNs, ToNs) interval of virtual time on one node.
 type Window struct {
-	Node   int32
-	FromNs int64
-	ToNs   int64
+	Node   int32 `json:"node"`
+	FromNs int64 `json:"from_ns"`
+	ToNs   int64 `json:"to_ns"`
 }
 
 // Crash is a permanent node failure at AtNs.
 type Crash struct {
-	Node int32
-	AtNs int64
+	Node int32 `json:"node"`
+	AtNs int64 `json:"at_ns"`
+}
+
+// Validate rejects plans that decoded from data (scenario specs) but make
+// no physical sense; hand-built plans in Go code are assumed well formed.
+func (p *FaultPlan) Validate(nodes int) error {
+	if p == nil {
+		return nil
+	}
+	for name, r := range map[string]float64{
+		"drop_rate": p.DropRate, "dup_rate": p.DupRate, "reorder_rate": p.ReorderRate,
+	} {
+		if r < 0 || r > 1 {
+			return fmt.Errorf("netsim: %s %v outside [0, 1]", name, r)
+		}
+	}
+	if p.JitterNs < 0 || p.ReorderDelayNs < 0 {
+		return fmt.Errorf("netsim: negative jitter/reorder delay")
+	}
+	for _, w := range p.Stalls {
+		if w.Node < 0 || int(w.Node) >= nodes {
+			return fmt.Errorf("netsim: stall on unknown node %d", w.Node)
+		}
+		if w.FromNs < 0 || w.ToNs < w.FromNs {
+			return fmt.Errorf("netsim: bad stall window [%d, %d)", w.FromNs, w.ToNs)
+		}
+	}
+	for _, c := range p.Crashes {
+		// The master (node 0) cannot crash: it owns the directory.
+		if c.Node <= 0 || int(c.Node) >= nodes {
+			return fmt.Errorf("netsim: crash on unknown or master node %d", c.Node)
+		}
+		if c.AtNs < 0 {
+			return fmt.Errorf("netsim: negative crash time %d", c.AtNs)
+		}
+	}
+	return nil
 }
 
 // CrashedAt reports whether the plan has node dead at time now.

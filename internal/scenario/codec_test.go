@@ -1,0 +1,245 @@
+package scenario
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dqemu/internal/netsim"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden spec fixtures under testdata/")
+
+// goldenSpecs are the fixtures pinned byte-for-byte under testdata/. A
+// change to the encoder or the field set changes these bytes, which is the
+// loud failure the versioning rule wants: bump SchemaVersion and write a
+// migration note in EXPERIMENTS.md ("Scenario suites") before regenerating
+// with `go test ./internal/scenario -run Golden -update`.
+func goldenSpecs() map[string]*Spec {
+	return map[string]*Spec{
+		"golden_minimal.json": {
+			Version:  SchemaVersion,
+			Name:     "minimal",
+			Workload: Workload{Kind: "pi"},
+		},
+		"golden_full.json": {
+			Version:     SchemaVersion,
+			Name:        "full-everything",
+			Description: "fixture exercising every spec field at once",
+			Workload: Workload{
+				Kind: "canneal",
+				Args: map[string]int64{"threads": 4, "elems": 512, "steps": 40, "seed": 3},
+			},
+			Cluster: Cluster{Slaves: 3, Cores: 2, QuantumNs: 250_000, PageSize: 1024},
+			Knobs: Knobs{
+				Forwarding: true, Splitting: true, HintSched: true, PlaceOnMaster: true,
+				Interp: false, NoChain: false, NoSuperblock: false, NoJumpCache: true,
+				NoTier3: false, NoPeephole: true, Tier3Threshold: 2,
+				NoDelta: true, NoCoalesce: true,
+				RebalanceNs: 4_000_000, Metrics: true, Sanitizer: true,
+			},
+			Faults: &netsim.FaultPlan{
+				Seed: 9, DropRate: 0.02, DupRate: 0.01, JitterNs: 30_000,
+				ReorderRate: 0.05, ReorderDelayNs: 40_000,
+				Stalls:  []netsim.Window{{Node: 1, FromNs: 1_000, ToNs: 2_000}},
+				Crashes: []netsim.Crash{{Node: 2, AtNs: 5_000_000}},
+			},
+			Gates: Gates{
+				ExitCode:        0,
+				ConsoleSHA256:   map[string]string{"quick": strings.Repeat("ab", 32)},
+				MinInsnsPerVSec: 1e6,
+				MaxTimeNs:       1e9,
+				MaxCohWireBytes: 1 << 20,
+				MinDeltaMisses:  1,
+				MinFutexWaits:   2,
+				MaxRaces:        3,
+			},
+		},
+	}
+}
+
+// TestGoldenSpecFixtures pins the canonical encoding of the fixture specs
+// and proves decoding the fixture reproduces the exact in-memory value.
+func TestGoldenSpecFixtures(t *testing.T) {
+	for name, want := range goldenSpecs() {
+		path := filepath.Join("testdata", name)
+		var buf bytes.Buffer
+		if err := want.Encode(&buf); err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		if *update {
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				t.Fatalf("%s: update: %v", name, err)
+			}
+		}
+		disk, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (run with -update to create)", name, err)
+		}
+		if !bytes.Equal(disk, buf.Bytes()) {
+			t.Errorf("%s: golden bytes differ from Encode output; if the schema changed on purpose, bump SchemaVersion, add a migration note, and re-run with -update\ngolden:\n%s\nencode:\n%s",
+				name, disk, buf.Bytes())
+		}
+		got, err := Decode(disk)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: decode(golden) != fixture value\ngot:  %+v\nwant: %+v", name, got, want)
+		}
+	}
+}
+
+// TestCheckedInSpecsCanonical requires every scenarios/*.json to be in the
+// canonical encoding (what Encode emits), so diffs stay mechanical and the
+// fuzz target's encode/decode fixpoint matches the files people edit.
+func TestCheckedInSpecsCanonical(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "scenarios", "*.json"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no checked-in specs found: %v", err)
+	}
+	for _, p := range paths {
+		disk, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Decode(disk)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		var buf bytes.Buffer
+		if err := s.Encode(&buf); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if !bytes.Equal(disk, buf.Bytes()) {
+			t.Errorf("%s is not in canonical form; re-encode it (Load + Encode)", p)
+		}
+	}
+}
+
+// TestSpecRoundTrip: decode → encode → decode is the identity, and encode
+// is a fixpoint, for every checked-in spec and golden fixture.
+func TestSpecRoundTrip(t *testing.T) {
+	var paths []string
+	for _, glob := range []string{
+		filepath.Join("..", "..", "scenarios", "*.json"),
+		filepath.Join("testdata", "golden_*.json"),
+	} {
+		m, err := filepath.Glob(glob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, m...)
+	}
+	if len(paths) < 12 {
+		t.Fatalf("expected at least 12 specs across scenarios/ and testdata/, found %d", len(paths))
+	}
+	for _, p := range paths {
+		s1, err := Load(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		var b1 bytes.Buffer
+		if err := s1.Encode(&b1); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		s2, err := Decode(b1.Bytes())
+		if err != nil {
+			t.Fatalf("%s: re-decode: %v", p, err)
+		}
+		if !reflect.DeepEqual(s1, s2) {
+			t.Errorf("%s: decode(encode(s)) != s", p)
+		}
+		var b2 bytes.Buffer
+		if err := s2.Encode(&b2); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Errorf("%s: encode is not a fixpoint", p)
+		}
+	}
+}
+
+// TestDecodeRejects exercises the strict-decoding and validation paths the
+// fuzz target relies on: all of these must error, never panic.
+func TestDecodeRejects(t *testing.T) {
+	valid := `{"version":1,"name":"ok","workload":{"kind":"pi"},"cluster":{"slaves":1}}`
+	if _, err := Decode([]byte(valid)); err != nil {
+		t.Fatalf("control spec rejected: %v", err)
+	}
+	cases := []struct {
+		name, in, wantSub string
+	}{
+		{"empty object", `{}`, "version"},
+		{"future version", `{"version":99,"name":"x","workload":{"kind":"pi"}}`, "migration"},
+		{"unknown top-level field", `{"version":1,"name":"x","workload":{"kind":"pi"},"bogus":1}`, "unknown field"},
+		{"unknown knob", `{"version":1,"name":"x","workload":{"kind":"pi"},"knobs":{"turbo":true}}`, "unknown field"},
+		{"trailing data", valid + `{"version":1}`, "trailing data"},
+		{"no name", `{"version":1,"workload":{"kind":"pi"}}`, "no name"},
+		{"bad name charset", `{"version":1,"name":"X/Y","workload":{"kind":"pi"}}`, "lowercase"},
+		{"unknown workload", `{"version":1,"name":"x","workload":{"kind":"doom"}}`, "unknown workload kind"},
+		{"unknown workload arg", `{"version":1,"name":"x","workload":{"kind":"pi","args":{"cows":1}}}`, "no argument"},
+		{"arg out of range", `{"version":1,"name":"x","workload":{"kind":"pi","args":{"threads":0}}}`, "outside"},
+		{"too many slaves", `{"version":1,"name":"x","workload":{"kind":"pi"},"cluster":{"slaves":64}}`, "slaves outside"},
+		{"odd page size", `{"version":1,"name":"x","workload":{"kind":"pi"},"cluster":{"slaves":1,"page_size":1000}}`, "power of two"},
+		{"bad hash length", `{"version":1,"name":"x","workload":{"kind":"pi"},"gates":{"console_sha256":{"quick":"abc"}}}`, "sha256"},
+		{"bad hash scale", `{"version":1,"name":"x","workload":{"kind":"pi"},"gates":{"console_sha256":{"fast":"` + strings.Repeat("a", 64) + `"}}}`, "not a scale"},
+		{"fault rate over 1", `{"version":1,"name":"x","workload":{"kind":"pi"},"cluster":{"slaves":1},"faults":{"seed":1,"drop_rate":1.5}}`, "drop_rate"},
+		{"crash on master", `{"version":1,"name":"x","workload":{"kind":"pi"},"cluster":{"slaves":1},"faults":{"seed":1,"crashes":[{"node":0,"at_ns":5}]}}`, "master"},
+		{"crash on unknown node", `{"version":1,"name":"x","workload":{"kind":"pi"},"cluster":{"slaves":1},"faults":{"seed":1,"crashes":[{"node":7,"at_ns":5}]}}`, "node"},
+		{"not json", `version: 1`, "invalid character"},
+	}
+	for _, tc := range cases {
+		_, err := Decode([]byte(tc.in))
+		if err == nil {
+			t.Errorf("%s: accepted, want error containing %q", tc.name, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+// TestLoadDir covers the suite loader: the checked-in directory parses,
+// names are unique, and duplicate names across files are rejected.
+func TestLoadDir(t *testing.T) {
+	specs, err := LoadDir(filepath.Join("..", "..", "scenarios"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) < 11 {
+		t.Fatalf("scenarios/ holds %d specs, want >= 11", len(specs))
+	}
+	byName := map[string]*Spec{}
+	for _, s := range specs {
+		byName[s.Name] = s
+	}
+	// The canneal spec must demonstrably stress the delta codec's degraded
+	// paths: its gate keeps that property from silently rotting.
+	canneal, ok := byName["canneal-4s"]
+	if !ok {
+		t.Fatal("scenarios/ has no canneal-4s spec")
+	}
+	if canneal.Gates.MinDeltaMisses < 1 {
+		t.Errorf("canneal-4s must gate on min_delta_misses >= 1, has %d", canneal.Gates.MinDeltaMisses)
+	}
+
+	dir := t.TempDir()
+	one := `{"version":1,"name":"twin","workload":{"kind":"pi"},"cluster":{"slaves":0}}`
+	for _, f := range []string{"a.json", "b.json"} {
+		if err := os.WriteFile(filepath.Join(dir, f), []byte(one), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := LoadDir(dir); err == nil || !strings.Contains(err.Error(), "already used") {
+		t.Errorf("duplicate names not rejected: %v", err)
+	}
+	if _, err := LoadDir(t.TempDir()); err == nil {
+		t.Error("empty suite directory not rejected")
+	}
+}

@@ -1,0 +1,144 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+
+	"dqemu/internal/core"
+	"dqemu/internal/netsim"
+	"dqemu/internal/trace"
+	"dqemu/internal/workloads"
+)
+
+// chaosSpec is the hardest determinism case: multiple slaves plus a seeded
+// fault plan, so retries, duplicates, jitter, and reordering all perturb
+// the event schedule. If this run is reproducible, the calm ones are too.
+func chaosSpec() *Spec {
+	return &Spec{
+		Version:  SchemaVersion,
+		Name:     "determinism-probe",
+		Workload: Workload{Kind: "canneal", Args: map[string]int64{"threads": 4, "elems": 512, "steps": 60, "seed": 5}},
+		Cluster:  Cluster{Slaves: 2},
+		Faults: &netsim.FaultPlan{
+			Seed: 11, DropRate: 0.02, DupRate: 0.02,
+			JitterNs: 20_000, ReorderRate: 0.05, ReorderDelayNs: 30_000,
+		},
+	}
+}
+
+func runTraced(t *testing.T, s *Spec) (rowJSON, traceDump []byte) {
+	t.Helper()
+	tr := trace.New(1<<18, nil)
+	row, err := Run(s, Options{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowJSON, err = json.MarshalIndent(row, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return rowJSON, buf.Bytes()
+}
+
+// TestRunnerDeterminism: the same spec at the same seed yields a
+// byte-identical result row AND a byte-identical full event trace — not
+// just equal summaries, the entire schedule replays.
+func TestRunnerDeterminism(t *testing.T) {
+	s := chaosSpec()
+	row1, trace1 := runTraced(t, s)
+	row2, trace2 := runTraced(t, s)
+	if !bytes.Equal(row1, row2) {
+		t.Errorf("result rows differ across identical runs:\nfirst:\n%s\nsecond:\n%s", row1, row2)
+	}
+	if len(trace1) == 0 {
+		t.Fatal("tracer recorded nothing")
+	}
+	if !bytes.Equal(trace1, trace2) {
+		t.Errorf("event traces differ across identical runs (%d vs %d bytes)", len(trace1), len(trace2))
+	}
+}
+
+// TestSuiteReportDeterminism: two smoke runs over the whole checked-in
+// suite serialize to byte-identical reports — the property CI relies on
+// when it diffs scenario JSON against history.
+func TestSuiteReportDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-suite run in -short mode")
+	}
+	specs, err := LoadDir(filepath.Join("..", "..", "scenarios"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	emit := func() []byte {
+		rep, err := RunAll(specs, Options{Scale: Smoke})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := rep.Fails(); n > 0 {
+			var buf bytes.Buffer
+			rep.Print(&buf)
+			t.Fatalf("%d gate(s) failed at smoke scale:\n%s", n, buf.String())
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first := emit()
+	second := emit()
+	if !bytes.Equal(first, second) {
+		t.Error("suite reports differ across identical runs")
+	}
+}
+
+// TestSpecMatchesDirectRun pins subsumption: running a spec must be the
+// same computation as hand-assembling the equivalent core.Config, so the
+// data form can replace code-form experiments without changing results.
+func TestSpecMatchesDirectRun(t *testing.T) {
+	s, err := Load(filepath.Join("..", "..", "scenarios", "wire-fluidanimate-full.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := Run(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same experiment, written the way experiments/wire.go would.
+	im, err := workloads.Fluidanimate(32, 192, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Slaves = 4
+	cfg.Forwarding = true
+	cfg.HintSched = true
+	res, err := core.Run(im, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if row.TimeNs != res.TimeNs {
+		t.Errorf("virtual time: spec run %d ns, direct run %d ns", row.TimeNs, res.TimeNs)
+	}
+	var insns uint64
+	for _, n := range res.Nodes {
+		insns += n.Engine.ExecInsns
+	}
+	if row.GuestInsns != insns {
+		t.Errorf("guest insns: spec run %d, direct run %d", row.GuestInsns, insns)
+	}
+	if row.ExitCode != res.ExitCode {
+		t.Errorf("exit code: spec run %d, direct run %d", row.ExitCode, res.ExitCode)
+	}
+	if row.TotalBytes != res.Net.Bytes {
+		t.Errorf("wire bytes: spec run %d, direct run %d", row.TotalBytes, res.Net.Bytes)
+	}
+}

@@ -1,0 +1,264 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dqemu/internal/abi"
+	"dqemu/internal/core"
+	"dqemu/internal/netsim"
+	"dqemu/internal/proto"
+	"dqemu/internal/trace"
+)
+
+// Options configure a suite run.
+type Options struct {
+	// Scale selects input sizes (Quick runs specs as written).
+	Scale Scale
+	// Progress, if non-nil, receives one line per finished scenario.
+	Progress io.Writer
+	// Tracer, if non-nil, is attached to every run; the determinism test
+	// uses it to pin the full event schedule, not just the result row.
+	Tracer *trace.Tracer
+}
+
+func (o *Options) logf(format string, args ...interface{}) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format+"\n", args...)
+	}
+}
+
+// Row is one scenario's result. Every field is virtual-time deterministic:
+// re-running the same spec at the same scale yields byte-identical JSON.
+// The `bench` / `insns_per_sec` pair is the schema dqemu-trend consumes.
+type Row struct {
+	Bench    string `json:"bench"`
+	Workload string `json:"workload"`
+	Scale    string `json:"scale"`
+
+	ExitCode   int64  `json:"exit_code"`
+	GuestInsns uint64 `json:"guest_insns"`
+	TimeNs     int64  `json:"time_ns"`
+	// InsnsPerSec is guest instructions per *virtual* second (time_base
+	// "virtual" in the report header), so the figure is deterministic.
+	InsnsPerSec float64 `json:"insns_per_sec"`
+
+	CohWireBytes uint64 `json:"coh_wire_bytes"`
+	CohMsgs      uint64 `json:"coh_msgs"`
+	TotalBytes   uint64 `json:"total_bytes"`
+	// DeltaMisses aggregates the delta codec's degraded paths: encode-side
+	// misses, receiver twin-mismatch resends, and directory full re-grants.
+	DeltaMisses uint64 `json:"delta_misses"`
+	FutexWaits  uint64 `json:"futex_waits"`
+	Migrations  uint64 `json:"migrations"`
+	Races       uint64 `json:"races"`
+
+	Wire   core.WireStats    `json:"wire"`
+	Faults netsim.FaultStats `json:"faults"`
+
+	ConsoleSHA256 string `json:"console_sha256"`
+
+	Gates []GateResult `json:"gates,omitempty"`
+}
+
+// GateResult is one evaluated gate.
+type GateResult struct {
+	Name   string `json:"name"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail"`
+}
+
+// Fails counts failed gates in the row.
+func (r *Row) Fails() int {
+	n := 0
+	for _, g := range r.Gates {
+		if !g.Pass {
+			n++
+		}
+	}
+	return n
+}
+
+// Report is a finished suite in the flat BENCH schema: `rows` holds the
+// full-ladder scenarios dqemu-trend gates, `ablated_rows` the rest. The
+// ladder flags stay false because ablated specs never land in `rows`.
+type Report struct {
+	// TimeBase marks every insns_per_sec figure as virtual-time derived;
+	// dqemu-trend refuses to compare rows across differing time bases.
+	TimeBase string `json:"time_base"`
+	Scale    string `json:"scale"`
+
+	NoSuperblock bool `json:"no_superblock"`
+	NoJumpCache  bool `json:"no_jump_cache"`
+	NoTier3      bool `json:"no_tier3"`
+	NoPeephole   bool `json:"no_peephole"`
+
+	Rows        []*Row `json:"rows"`
+	AblatedRows []*Row `json:"ablated_rows,omitempty"`
+}
+
+// cohKinds mirrors the experiments wire suite: the message kinds that make
+// up the DSM coherence protocol.
+var cohKinds = []proto.Kind{
+	proto.KPageReq, proto.KPageContent, proto.KInvalidate, proto.KInvAck,
+	proto.KFetch, proto.KFetchReply, proto.KRetry, proto.KRemap, proto.KPush,
+	proto.KInvBatch, proto.KInvAckBatch,
+}
+
+// Run executes one spec and evaluates its gates. A failed gate is reported
+// in the row, not as an error; errors mean the scenario could not run.
+func Run(s *Spec, o Options) (*Row, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	im, err := s.Workload.buildImage(o.Scale)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	cfg := s.config()
+	cfg.Tracer = o.Tracer
+	res, err := core.Run(im, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+
+	sum := sha256.Sum256([]byte(res.Console))
+	row := &Row{
+		Bench:         s.Name,
+		Workload:      s.Workload.Kind,
+		Scale:         o.Scale.String(),
+		ExitCode:      res.ExitCode,
+		TimeNs:        res.TimeNs,
+		TotalBytes:    res.Net.Bytes,
+		DeltaMisses:   res.Wire.DeltaMisses + res.Wire.Resends + res.Dir.FullResends,
+		Migrations:    res.Migrations,
+		Wire:          res.Wire,
+		Faults:        res.Faults,
+		ConsoleSHA256: hex.EncodeToString(sum[:]),
+	}
+	for _, n := range res.Nodes {
+		row.GuestInsns += n.Engine.ExecInsns
+	}
+	if res.TimeNs > 0 {
+		row.InsnsPerSec = float64(row.GuestInsns) / (float64(res.TimeNs) / 1e9)
+	}
+	for _, k := range cohKinds {
+		row.CohMsgs += res.Net.ByKind[k]
+		row.CohWireBytes += res.Net.BytesByKind[k]
+	}
+	if res.OS.ByNum != nil {
+		row.FutexWaits = res.OS.ByNum[abi.SysFutex]
+	}
+	if res.San != nil {
+		row.Races = uint64(len(res.San.Races))
+	}
+	row.Gates = evalGates(s, o.Scale, row)
+	status := "ok"
+	if n := row.Fails(); n > 0 {
+		status = fmt.Sprintf("%d GATE(S) FAILED", n)
+	}
+	o.logf("scenario %-28s %10.1fM insns  %8.3fs virtual  %8.1f KB coh  %s",
+		s.Name, float64(row.GuestInsns)/1e6, float64(row.TimeNs)/1e9,
+		float64(row.CohWireBytes)/1e3, status)
+	return row, nil
+}
+
+// evalGates judges the row against the spec's gates.
+func evalGates(s *Spec, scale Scale, row *Row) []GateResult {
+	g := s.Gates
+	var out []GateResult
+	add := func(name string, pass bool, format string, args ...interface{}) {
+		out = append(out, GateResult{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)})
+	}
+	add("exit_code", row.ExitCode == g.ExitCode, "got %d want %d", row.ExitCode, g.ExitCode)
+	if want, ok := g.ConsoleSHA256[scale.String()]; ok {
+		add("console_sha256", row.ConsoleSHA256 == want, "got %s want %s", row.ConsoleSHA256, want)
+	}
+	if g.MinInsnsPerVSec > 0 {
+		add("min_insns_per_vsec", row.InsnsPerSec >= g.MinInsnsPerVSec,
+			"got %.0f want >= %.0f", row.InsnsPerSec, g.MinInsnsPerVSec)
+	}
+	if g.MaxTimeNs > 0 {
+		add("max_time_ns", row.TimeNs <= g.MaxTimeNs, "got %d want <= %d", row.TimeNs, g.MaxTimeNs)
+	}
+	if g.MaxCohWireBytes > 0 {
+		add("max_coh_wire_bytes", row.CohWireBytes <= g.MaxCohWireBytes,
+			"got %d want <= %d", row.CohWireBytes, g.MaxCohWireBytes)
+	}
+	if g.MinDeltaMisses > 0 {
+		add("min_delta_misses", row.DeltaMisses >= g.MinDeltaMisses,
+			"got %d want >= %d", row.DeltaMisses, g.MinDeltaMisses)
+	}
+	if g.MinFutexWaits > 0 {
+		add("min_futex_waits", row.FutexWaits >= g.MinFutexWaits,
+			"got %d want >= %d", row.FutexWaits, g.MinFutexWaits)
+	}
+	if s.Knobs.Sanitizer {
+		add("max_races", row.Races <= g.MaxRaces, "got %d want <= %d", row.Races, g.MaxRaces)
+	}
+	return out
+}
+
+// RunAll executes a list of specs (LoadDir order) into one report.
+func RunAll(specs []*Spec, o Options) (*Report, error) {
+	rep := &Report{TimeBase: "virtual", Scale: o.Scale.String()}
+	for _, s := range specs {
+		row, err := Run(s, o)
+		if err != nil {
+			return nil, err
+		}
+		if s.fullLadder() {
+			rep.Rows = append(rep.Rows, row)
+		} else {
+			rep.AblatedRows = append(rep.AblatedRows, row)
+		}
+	}
+	return rep, nil
+}
+
+// Fails counts failed gates across the suite.
+func (rep *Report) Fails() int {
+	n := 0
+	for _, r := range rep.Rows {
+		n += r.Fails()
+	}
+	for _, r := range rep.AblatedRows {
+		n += r.Fails()
+	}
+	return n
+}
+
+// Print renders the suite as a table.
+func (rep *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "Scenario suite (%s scale, %s time base)\n", rep.Scale, rep.TimeBase)
+	fmt.Fprintf(w, "%-28s %-14s %-12s %-12s %-12s %-10s %-8s\n",
+		"scenario", "workload", "insns(M)", "virtual(s)", "coh(KB)", "dmisses", "gates")
+	all := append(append([]*Row{}, rep.Rows...), rep.AblatedRows...)
+	for _, r := range all {
+		gates := "ok"
+		if n := r.Fails(); n > 0 {
+			gates = fmt.Sprintf("%d FAIL", n)
+		}
+		fmt.Fprintf(w, "%-28s %-14s %-12.1f %-12.3f %-12.1f %-10d %-8s\n",
+			r.Bench, r.Workload, float64(r.GuestInsns)/1e6, float64(r.TimeNs)/1e9,
+			float64(r.CohWireBytes)/1e3, r.DeltaMisses, gates)
+		for _, g := range r.Gates {
+			if !g.Pass {
+				fmt.Fprintf(w, "    FAILED %s: %s\n", g.Name, g.Detail)
+			}
+		}
+	}
+	if n := rep.Fails(); n > 0 {
+		fmt.Fprintf(w, "SCENARIO GATES FAILED: %d\n", n)
+	}
+}
+
+// WriteJSON emits the machine-readable report (the dqemu-trend input).
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,323 @@
+// Package scenario makes experiments data instead of code: a versioned
+// JSON spec names a workload and its arguments, a cluster shape, the
+// core.Config knobs and ablations, an optional netsim fault plan, and a
+// set of acceptance gates; one runner loads the spec, assembles the
+// cluster, executes it deterministically under virtual time, evaluates
+// the gates, and emits rows in the BENCH schema `dqemu-trend` already
+// consumes. Adding a regression scenario is a new JSON file under
+// scenarios/, not new Go code.
+//
+// Schema versioning: SchemaVersion is bumped on any incompatible change
+// to the spec layout, with a migration note in EXPERIMENTS.md ("Scenario
+// suites"). Decoding is strict — unknown fields are errors — so schema
+// drift fails loudly in the golden-file tests rather than being silently
+// ignored at run time.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dqemu/internal/core"
+	"dqemu/internal/netsim"
+)
+
+// SchemaVersion is the current spec layout version.
+//
+// History:
+//
+//	1 — initial layout (workload/cluster/knobs/faults/gates).
+const SchemaVersion = 1
+
+// Spec is one scenario: everything needed to reproduce a run and judge it.
+type Spec struct {
+	// Version must equal SchemaVersion (see the package comment).
+	Version int `json:"version"`
+	// Name is the row label ("bench" in the emitted JSON). Required,
+	// unique within a suite directory.
+	Name string `json:"name"`
+	// Description says what the scenario pins, for humans.
+	Description string `json:"description,omitempty"`
+
+	Workload Workload `json:"workload"`
+	Cluster  Cluster  `json:"cluster"`
+	Knobs    Knobs    `json:"knobs,omitempty"`
+	// Faults, when present, is injected via Config.Faults; the reliable
+	// transport layers in automatically, exactly as `-exp chaos` does.
+	Faults *netsim.FaultPlan `json:"faults,omitempty"`
+	Gates  Gates             `json:"gates,omitempty"`
+}
+
+// Workload names a registered guest program and its build arguments.
+type Workload struct {
+	// Kind is a key of the workload registry (see Kinds).
+	Kind string `json:"kind"`
+	// Args overrides the kind's defaults; unknown names and out-of-range
+	// values are validation errors. Args marked scalable by the registry
+	// are divided down under Smoke scale.
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// Cluster is the machine shape.
+type Cluster struct {
+	// Slaves is the slave-node count (0 = single-node QEMU baseline).
+	Slaves int `json:"slaves"`
+	// Cores per node; 0 selects the default (4).
+	Cores int `json:"cores,omitempty"`
+	// QuantumNs is the node scheduler slice; 0 selects the default.
+	QuantumNs int64 `json:"quantum_ns,omitempty"`
+	// PageSize is the coherence granularity; 0 selects the default (4096).
+	PageSize int `json:"page_size,omitempty"`
+}
+
+// Knobs mirrors the core.Config feature toggles and ablations that
+// experiments vary. Field names are the stable data form of the knobs; a
+// rename is a schema change.
+type Knobs struct {
+	Forwarding    bool `json:"forwarding,omitempty"`
+	Splitting     bool `json:"splitting,omitempty"`
+	HintSched     bool `json:"hint_sched,omitempty"`
+	PlaceOnMaster bool `json:"place_on_master,omitempty"`
+
+	Interp         bool   `json:"interp,omitempty"`
+	NoChain        bool   `json:"no_chain,omitempty"`
+	NoSuperblock   bool   `json:"no_superblock,omitempty"`
+	NoJumpCache    bool   `json:"no_jump_cache,omitempty"`
+	NoTier3        bool   `json:"no_tier3,omitempty"`
+	NoPeephole     bool   `json:"no_peephole,omitempty"`
+	Tier3Threshold uint32 `json:"tier3_threshold,omitempty"`
+
+	NoDelta    bool `json:"no_delta,omitempty"`
+	NoCoalesce bool `json:"no_coalesce,omitempty"`
+
+	RebalanceNs int64 `json:"rebalance_ns,omitempty"`
+	Metrics     bool  `json:"metrics,omitempty"`
+	Sanitizer   bool  `json:"sanitizer,omitempty"`
+}
+
+// Gates are the acceptance checks evaluated on the finished run. Every
+// quantity gated here is virtual-time deterministic: two runs of the same
+// spec produce byte-identical gate outcomes.
+type Gates struct {
+	// ExitCode is the required guest exit code (default 0).
+	ExitCode int64 `json:"exit_code,omitempty"`
+	// ConsoleSHA256 pins the guest console output, keyed by run scale
+	// ("quick", "smoke"); scales without an entry skip the check.
+	ConsoleSHA256 map[string]string `json:"console_sha256,omitempty"`
+	// MinInsnsPerVSec is the minimum guest instructions retired per
+	// *virtual* second — a deterministic throughput floor tied to the cost
+	// model, not to host speed.
+	MinInsnsPerVSec float64 `json:"min_insns_per_vsec,omitempty"`
+	// MaxTimeNs bounds the guest's virtual completion time.
+	MaxTimeNs int64 `json:"max_time_ns,omitempty"`
+	// MaxCohWireBytes bounds the coherence protocol's billed wire bytes
+	// (headers included), the wire-efficiency figure of merit.
+	MaxCohWireBytes uint64 `json:"max_coh_wire_bytes,omitempty"`
+	// MinDeltaMisses requires the run to exercise the delta codec's
+	// miss/full-resend paths at least this often (delta misses + twin
+	// mismatch resends + directory full re-grants).
+	MinDeltaMisses uint64 `json:"min_delta_misses,omitempty"`
+	// MinFutexWaits requires at least this many futex syscalls — proof a
+	// lock/barrier-heavy scenario actually hit the delegated slow path.
+	MinFutexWaits uint64 `json:"min_futex_waits,omitempty"`
+	// MaxRaces bounds DQSan findings (only meaningful with the sanitizer
+	// knob on; zero means "no races allowed" when the sanitizer runs).
+	MaxRaces uint64 `json:"max_races,omitempty"`
+}
+
+// Scale selects input sizes for a suite run, mirroring experiments.Scale.
+type Scale int
+
+const (
+	// Quick runs the spec's arguments as written.
+	Quick Scale = iota
+	// Smoke divides scalable arguments down for CI smoke runs.
+	Smoke
+)
+
+// String names the scale as used in Gates.ConsoleSHA256 keys.
+func (s Scale) String() string {
+	if s == Smoke {
+		return "smoke"
+	}
+	return "quick"
+}
+
+// Decode parses and validates one spec. Unknown fields, version skew, an
+// unregistered workload kind, out-of-range arguments, and nonsensical
+// fault plans are all errors; hostile input must never panic the runner.
+func Decode(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	// Trailing garbage after the object is malformed input, not a suite.
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: trailing data after spec object")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Validate checks semantic constraints after decoding.
+func (s *Spec) Validate() error {
+	if s.Version != SchemaVersion {
+		return fmt.Errorf("scenario: spec version %d, runner speaks %d (see the migration notes in EXPERIMENTS.md)",
+			s.Version, SchemaVersion)
+	}
+	if s.Name == "" {
+		return fmt.Errorf("scenario: spec has no name")
+	}
+	for _, r := range s.Name {
+		if !(r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-' || r == '_') {
+			return fmt.Errorf("scenario: name %q: use lowercase, digits, '-', '_'", s.Name)
+		}
+	}
+	if s.Cluster.Slaves < 0 || s.Cluster.Slaves > 63 {
+		return fmt.Errorf("scenario: %d slaves outside [0, 63]", s.Cluster.Slaves)
+	}
+	if s.Cluster.Cores < 0 || s.Cluster.Cores > 256 {
+		return fmt.Errorf("scenario: %d cores outside [0, 256]", s.Cluster.Cores)
+	}
+	if s.Cluster.QuantumNs < 0 || s.Cluster.PageSize < 0 {
+		return fmt.Errorf("scenario: negative quantum or page size")
+	}
+	if ps := s.Cluster.PageSize; ps != 0 && (ps < 256 || ps > 65536 || ps&(ps-1) != 0) {
+		return fmt.Errorf("scenario: page size %d is not a power of two in [256, 65536]", ps)
+	}
+	if s.Knobs.RebalanceNs < 0 {
+		return fmt.Errorf("scenario: negative rebalance interval")
+	}
+	if s.Gates.MaxTimeNs < 0 || s.Gates.MinInsnsPerVSec < 0 {
+		return fmt.Errorf("scenario: negative gate bound")
+	}
+	for scale, h := range s.Gates.ConsoleSHA256 {
+		if scale != "quick" && scale != "smoke" {
+			return fmt.Errorf("scenario: console_sha256 key %q is not a scale", scale)
+		}
+		if len(h) != 64 {
+			return fmt.Errorf("scenario: console_sha256[%s] is not a hex sha256", scale)
+		}
+		for _, r := range h {
+			if !(r >= '0' && r <= '9' || r >= 'a' && r <= 'f') {
+				return fmt.Errorf("scenario: console_sha256[%s] is not lowercase hex", scale)
+			}
+		}
+	}
+	if err := s.Faults.Validate(s.Cluster.Slaves + 1); err != nil {
+		return err
+	}
+	if _, err := s.Workload.resolve(Quick); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Encode renders the spec in the canonical checked-in form (two-space
+// indent, trailing newline), the form the golden-file tests pin.
+func (s *Spec) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// config assembles the core.Config a spec describes.
+func (s *Spec) config() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Slaves = s.Cluster.Slaves
+	if s.Cluster.Cores > 0 {
+		cfg.Cores = s.Cluster.Cores
+	}
+	if s.Cluster.QuantumNs > 0 {
+		cfg.QuantumNs = s.Cluster.QuantumNs
+	}
+	if s.Cluster.PageSize > 0 {
+		cfg.PageSize = s.Cluster.PageSize
+	}
+	k := s.Knobs
+	cfg.Forwarding = k.Forwarding
+	cfg.Splitting = k.Splitting
+	cfg.HintSched = k.HintSched
+	cfg.PlaceOnMaster = k.PlaceOnMaster
+	cfg.Interp = k.Interp
+	cfg.NoChain = k.NoChain
+	cfg.NoSuperblock = k.NoSuperblock
+	cfg.NoJumpCache = k.NoJumpCache
+	cfg.NoTier3 = k.NoTier3
+	cfg.NoPeephole = k.NoPeephole
+	cfg.Tier3Threshold = k.Tier3Threshold
+	cfg.NoDelta = k.NoDelta
+	cfg.NoCoalesce = k.NoCoalesce
+	cfg.RebalanceNs = k.RebalanceNs
+	cfg.Metrics = k.Metrics
+	cfg.Sanitizer = k.Sanitizer
+	if s.Faults != nil {
+		plan := *s.Faults // the cluster must not alias the spec
+		cfg.Faults = &plan
+	}
+	return cfg
+}
+
+// fullLadder reports whether the spec runs the whole translation ladder,
+// which decides whether its row lands in the trend-gated `rows` list.
+func (s *Spec) fullLadder() bool {
+	k := s.Knobs
+	return !k.Interp && !k.NoChain && !k.NoSuperblock && !k.NoJumpCache &&
+		!k.NoTier3 && !k.NoPeephole
+}
+
+// Load reads and validates one spec file.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// LoadDir loads every *.json spec in dir, sorted by filename, and rejects
+// duplicate scenario names (rows must be uniquely labeled).
+func LoadDir(dir string) ([]*Spec, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("scenario: no *.json specs in %s", dir)
+	}
+	seen := map[string]string{}
+	var specs []*Spec
+	for _, p := range paths {
+		s, err := Load(p)
+		if err != nil {
+			return nil, err
+		}
+		if prev, dup := seen[s.Name]; dup {
+			return nil, fmt.Errorf("%s: scenario name %q already used by %s", p, s.Name, prev)
+		}
+		seen[s.Name] = p
+		specs = append(specs, s)
+	}
+	return specs, nil
+}

@@ -1,0 +1,210 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"dqemu/internal/image"
+	"dqemu/internal/workloads"
+)
+
+// argDef bounds one workload argument. Scalable arguments (iteration
+// counts, per-thread work) are divided by smokeDiv under Smoke scale and
+// clamped back to min, so CI smoke runs stay cheap without changing the
+// sharing pattern.
+type argDef struct {
+	name     string
+	def      int64
+	min, max int64
+	scalable bool
+}
+
+const smokeDiv = 4
+
+// workloadDef is a registry entry: the argument schema plus the builder.
+type workloadDef struct {
+	args  []argDef
+	build func(a map[string]int64) (*image.Image, error)
+}
+
+// registry maps Workload.Kind to its definition. Every workload of the
+// evaluation is here, so any hand-written experiment's guest is reachable
+// from a spec file.
+var registry = map[string]workloadDef{
+	"pi": {
+		args: []argDef{
+			{"threads", 8, 1, 256, false},
+			{"repeats", 400, 1, 1 << 20, true},
+			{"terms", 100, 1, 1 << 20, false},
+		},
+		build: func(a map[string]int64) (*image.Image, error) {
+			return workloads.Pi(int(a["threads"]), int(a["repeats"]), int(a["terms"]))
+		},
+	},
+	"lockbench": {
+		args: []argDef{
+			{"threads", 16, 1, 64, false},
+			{"acquires", 500, 1, 1 << 24, true},
+			{"private", 0, 0, 1, false},
+		},
+		build: func(a map[string]int64) (*image.Image, error) {
+			return workloads.LockBench(int(a["threads"]), int(a["acquires"]), a["private"] != 0)
+		},
+	},
+	"memwalk": {
+		args: []argDef{
+			{"bytes", 1 << 20, 4096, 1 << 28, true},
+		},
+		build: func(a map[string]int64) (*image.Image, error) {
+			return workloads.MemWalk(int(a["bytes"]))
+		},
+	},
+	"falseshare": {
+		args: []argDef{
+			{"threads", 16, 1, 32, false},
+			{"nodes", 4, 1, 63, false},
+			{"section", 128, 1, 4096, false},
+			{"rounds", 200, 1, 1 << 24, true},
+		},
+		build: func(a map[string]int64) (*image.Image, error) {
+			return workloads.FalseShare(int(a["threads"]), int(a["nodes"]), int(a["section"]), int(a["rounds"]))
+		},
+	},
+	"blackscholes": {
+		args: []argDef{
+			{"threads", 8, 1, 256, false},
+			{"options", 1024, 1, 1 << 20, true},
+			{"rounds", 10, 1, 1 << 16, true},
+			{"nodes", 1, 1, 63, false},
+		},
+		build: func(a map[string]int64) (*image.Image, error) {
+			return workloads.Blackscholes(int(a["threads"]), int(a["options"]), int(a["rounds"]), int(a["nodes"]))
+		},
+	},
+	"swaptions": {
+		args: []argDef{
+			{"threads", 8, 1, 256, false},
+			{"swaptions", 24, 1, 1 << 16, false},
+			{"trials", 120, 1, 1 << 20, true},
+			{"nodes", 1, 1, 63, false},
+		},
+		build: func(a map[string]int64) (*image.Image, error) {
+			return workloads.Swaptions(int(a["threads"]), int(a["swaptions"]), int(a["trials"]), int(a["nodes"]))
+		},
+	},
+	"x264": {
+		args: []argDef{
+			{"threads", 8, 1, 256, false},
+			{"group", 4, 1, 256, false},
+			{"frames", 24, 2, 1 << 16, true},
+		},
+		build: func(a map[string]int64) (*image.Image, error) {
+			return workloads.X264(int(a["threads"]), int(a["group"]), int(a["frames"]))
+		},
+	},
+	"fluidanimate": {
+		args: []argDef{
+			{"threads", 32, 1, 256, false},
+			{"grid", 192, 8, 4096, false},
+			{"iters", 6, 1, 1 << 16, true},
+			{"groups", 4, 1, 63, false},
+		},
+		build: func(a map[string]int64) (*image.Image, error) {
+			return workloads.Fluidanimate(int(a["threads"]), int(a["grid"]), int(a["iters"]), int(a["groups"]))
+		},
+	},
+	"canneal": {
+		args: []argDef{
+			{"threads", 8, 1, 64, false},
+			{"elems", 4096, 64, 1 << 22, false},
+			{"steps", 300, 1, 1 << 24, true},
+			{"seed", 1, 0, 1 << 30, false},
+		},
+		build: func(a map[string]int64) (*image.Image, error) {
+			return workloads.Canneal(int(a["threads"]), int(a["elems"]), int(a["steps"]), a["seed"])
+		},
+	},
+	"dedup": {
+		args: []argDef{
+			{"producers", 4, 1, 32, false},
+			{"consumers", 4, 1, 32, false},
+			{"writers", 2, 1, 32, false},
+			{"items", 300, 1, 1 << 24, true},
+			{"keyspace", 256, 2, 1 << 20, false},
+			{"qcap", 16, 2, 1 << 16, false},
+		},
+		build: func(a map[string]int64) (*image.Image, error) {
+			return workloads.Dedup(int(a["producers"]), int(a["consumers"]), int(a["writers"]),
+				int(a["items"]), int(a["keyspace"]), int(a["qcap"]))
+		},
+	},
+	"streamcluster": {
+		args: []argDef{
+			{"threads", 8, 1, 63, false},
+			{"points", 2048, 64, 1 << 22, false},
+			{"centers", 8, 1, 64, false},
+			{"iters", 8, 1, 1 << 16, true},
+		},
+		build: func(a map[string]int64) (*image.Image, error) {
+			return workloads.Streamcluster(int(a["threads"]), int(a["points"]), int(a["centers"]), int(a["iters"]))
+		},
+	},
+}
+
+// Kinds lists the registered workload kinds, sorted.
+func Kinds() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// resolve merges defaults with the spec's overrides, validates names and
+// ranges, and applies scale. It never builds the image (Validate calls it
+// on untrusted input).
+func (w *Workload) resolve(scale Scale) (map[string]int64, error) {
+	def, ok := registry[w.Kind]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown workload kind %q (have %v)", w.Kind, Kinds())
+	}
+	byName := map[string]argDef{}
+	merged := map[string]int64{}
+	for _, a := range def.args {
+		byName[a.name] = a
+		merged[a.name] = a.def
+	}
+	for name, v := range w.Args {
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("scenario: workload %s has no argument %q", w.Kind, name)
+		}
+		if v < a.min || v > a.max {
+			return nil, fmt.Errorf("scenario: %s.%s = %d outside [%d, %d]", w.Kind, name, v, a.min, a.max)
+		}
+		merged[name] = v
+	}
+	if scale == Smoke {
+		for _, a := range def.args {
+			if !a.scalable {
+				continue
+			}
+			v := merged[a.name] / smokeDiv
+			if v < a.min {
+				v = a.min
+			}
+			merged[a.name] = v
+		}
+	}
+	return merged, nil
+}
+
+// buildImage compiles the workload at the given scale.
+func (w *Workload) buildImage(scale Scale) (*image.Image, error) {
+	args, err := w.resolve(scale)
+	if err != nil {
+		return nil, err
+	}
+	return registry[w.Kind].build(args)
+}

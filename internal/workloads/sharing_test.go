@@ -1,0 +1,75 @@
+package workloads
+
+import (
+	"testing"
+
+	"dqemu/internal/abi"
+)
+
+// TestCannealDeterministicAcrossClusters checks the canneal-like kernel's
+// schedule independence: the commutative-update design must produce the
+// same totals on one node and distributed, and the distributed run must
+// actually stress the delta codec (misses or full re-grants).
+func TestCannealDeterministicAcrossClusters(t *testing.T) {
+	im, err := Canneal(8, 4096, 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1 := run(t, im, cfgWith(0))
+	res2 := run(t, im, cfgWith(4))
+	if res1.Console != res2.Console {
+		t.Fatalf("console diverged:\n single %q\n 4-slave %q", res1.Console, res2.Console)
+	}
+	if res2.Wire.DeltaMisses+res2.Wire.Resends+res2.Dir.FullResends == 0 {
+		t.Error("distributed canneal exercised no delta-miss/full-resend path")
+	}
+	if consoleValue(t, res1.Console, "walk") == 0 {
+		t.Error("pointer chase did no work")
+	}
+}
+
+// TestDedupPipeline checks the producer/consumer pipeline: out must equal
+// unique (every distinct key crosses the second queue exactly once), and
+// the queue handoff must be futex-heavy.
+func TestDedupPipeline(t *testing.T) {
+	im, err := Dedup(3, 3, 2, 60, 48, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1 := run(t, im, cfgWith(0))
+	res2 := run(t, im, cfgWith(2))
+	if res1.Console != res2.Console {
+		t.Fatalf("console diverged:\n single %q\n 2-slave %q", res1.Console, res2.Console)
+	}
+	unique := consoleValue(t, res1.Console, "unique")
+	out := consoleValue(t, res1.Console, "out")
+	if unique != out {
+		t.Errorf("unique=%v out=%v: stage-2 queue lost or duplicated keys", unique, out)
+	}
+	if unique < 2 || unique > 48 {
+		t.Errorf("implausible unique count %v", unique)
+	}
+	if res2.OS.ByNum[abi.SysFutex] == 0 {
+		t.Error("distributed dedup never hit the futex slow path")
+	}
+}
+
+// TestStreamclusterBarrierPhases checks the barrier-phase kernel: identical
+// results single-node and distributed, with the expected barrier traffic.
+func TestStreamclusterBarrierPhases(t *testing.T) {
+	im, err := Streamcluster(6, 480, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1 := run(t, im, cfgWith(0))
+	res2 := run(t, im, cfgWith(3))
+	if res1.Console != res2.Console {
+		t.Fatalf("console diverged:\n single %q\n 3-slave %q", res1.Console, res2.Console)
+	}
+	if consoleValue(t, res1.Console, "cost") <= 0 {
+		t.Error("zero clustering cost: kernel did no work")
+	}
+	if res2.OS.ByNum[abi.SysFutex] == 0 {
+		t.Error("distributed streamcluster's barriers never slept on the futex")
+	}
+}
