@@ -35,6 +35,7 @@ func main() {
 	noJC := flag.Bool("nojumpcache", false, "disable the indirect-branch target cache (ablation)")
 	noT3 := flag.Bool("notier3", false, "disable closure compilation of hot superblocks (ablation)")
 	noPeep := flag.Bool("nopeephole", false, "disable mined peephole rules (ablation)")
+	verify := flag.Bool("verify", false, "singlenode/scenario: symbolically prove every superblock translation and structurally check every tier-3 compilation; any failure exits nonzero")
 	ablate := flag.Bool("ablate", false, "singlenode: run the tier ablation matrix (full ladder, -nopeephole, -notier3) in one invocation")
 	benchSel := flag.String("bench", "", "singlenode: run only this workload (pi, blackscholes, swaptions, x264)")
 	chromeTrace := flag.String("chrome-trace", "", "write a Chrome trace_event timeline of the first singlenode run to this file")
@@ -136,7 +137,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dqemu-bench: scenario: %v\n", err)
 			os.Exit(1)
 		}
-		so := scenario.Options{}
+		so := scenario.Options{Verify: *verify}
 		if *smoke {
 			so.Scale = scenario.Smoke
 		}
@@ -230,12 +231,13 @@ func main() {
 		var out interface {
 			Print(w io.Writer)
 			WriteJSON(w io.Writer) error
+			VerifyFails() uint64
 		}
 		if *ablate {
 			m, err := experiments.RunSingleNodeMatrix(opts, []experiments.TierConfig{
-				{}, // full ladder
-				{NoPeephole: true},
-				{NoTier3: true},
+				{Verify: *verify}, // full ladder
+				{NoPeephole: true, Verify: *verify},
+				{NoTier3: true, Verify: *verify},
 			})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "dqemu-bench: singlenode: %v\n", err)
@@ -245,7 +247,7 @@ func main() {
 		} else {
 			sn, err := experiments.RunSingleNode(opts, experiments.TierConfig{
 				NoSuperblock: *noSuper, NoJumpCache: *noJC,
-				NoTier3: *noT3, NoPeephole: *noPeep,
+				NoTier3: *noT3, NoPeephole: *noPeep, Verify: *verify,
 			})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "dqemu-bench: singlenode: %v\n", err)
@@ -267,6 +269,10 @@ func main() {
 			f.Close()
 		}
 		fmt.Fprintf(os.Stderr, "[singlenode took %.1fs host time]\n\n", time.Since(start).Seconds())
+		if *verify && out.VerifyFails() > 0 {
+			fmt.Fprintf(os.Stderr, "dqemu-bench: singlenode: %d translation-validation failures\n", out.VerifyFails())
+			os.Exit(1)
+		}
 	}
 }
 

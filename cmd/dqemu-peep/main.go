@@ -10,18 +10,21 @@
 //     its trigger sequence actually occurs in the mined profile (weight >=
 //     -minweight). Schemas that never fire on real workloads stay out of
 //     the rules file rather than padding it.
-//  3. Prove: every candidate must survive tcg.ProveRule — randomized
-//     differential state replay of the original uop sequence against the
-//     rewritten form. A single diverging register file refutes the rule
-//     and fails the run.
-//  4. Write: the surviving set, with its mined weights, is written as
-//     internal/tcg/rules/peep.rules and embedded into the engine.
+//  3. Prove: every candidate must survive the symbolic equivalence engine
+//     (tcg.ProveRuleSymbolic — registers universally quantified, immediates
+//     swept across a boundary battery) AND randomized differential state
+//     replay (tcg.ProveRule) as a cross-check. A rule the symbolic engine
+//     cannot discharge for all inputs is rejected, not sampled.
+//  4. Write: the surviving set, with its mined weights and a `schema`
+//     version directive, is written as internal/tcg/rules/peep.rules and
+//     embedded into the engine.
 //
 // Usage:
 //
 //	dqemu-peep -run -out internal/tcg/rules/peep.rules   # mine + prove + write
 //	dqemu-peep -run -profile prof.json -out ...          # mine from a dump
 //	dqemu-peep -check internal/tcg/rules/peep.rules      # re-prove checked-in set
+//	dqemu-peep -prove=replay -check ...                  # randomized replay only
 package main
 
 import (
@@ -44,16 +47,22 @@ func main() {
 	trials := flag.Int("trials", 4096, "randomized differential replay trials per rule")
 	seed := flag.Int64("seed", 1, "replay RNG seed")
 	minWeight := flag.Uint64("minweight", 1, "minimum mined trigger-sequence weight for a rule to be emitted")
+	prove := flag.String("prove", "symbolic", "proof mode: symbolic (symbolic proof + replay cross-check) or replay (randomized replay only)")
 	flag.Parse()
+
+	if *prove != "symbolic" && *prove != "replay" {
+		fmt.Fprintf(os.Stderr, "dqemu-peep: -prove must be symbolic or replay, got %q\n", *prove)
+		os.Exit(2)
+	}
 
 	switch {
 	case *check != "":
-		if err := checkRules(*check, *trials, *seed); err != nil {
+		if err := checkRules(*check, *prove, *trials, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "dqemu-peep: %v\n", err)
 			os.Exit(1)
 		}
 	case *run:
-		if err := mineRules(*profile, *out, *trials, *seed, *minWeight); err != nil {
+		if err := mineRules(*profile, *out, *prove, *trials, *seed, *minWeight); err != nil {
 			fmt.Fprintf(os.Stderr, "dqemu-peep: %v\n", err)
 			os.Exit(1)
 		}
@@ -63,9 +72,30 @@ func main() {
 	}
 }
 
+// proveOne runs the selected proof pipeline for a single rule. Symbolic
+// mode proves for all register inputs and keeps the randomized replay as
+// an independent cross-check of the symbolic engine itself.
+func proveOne(name, mode string, trials int, seed int64) error {
+	if mode == "symbolic" {
+		if err := tcg.ProveRuleSymbolic(name, seed); err != nil {
+			return err
+		}
+	}
+	return tcg.ProveRule(name, trials, seed)
+}
+
+func proveDesc(mode string, trials int) string {
+	if mode == "symbolic" {
+		return fmt.Sprintf("symbolic + %d replay trials", trials)
+	}
+	return fmt.Sprintf("%d replay trials", trials)
+}
+
 // checkRules re-proves every rule enabled in the checked-in file. CI runs
 // this so a schema edit that silently breaks a proven rewrite fails loudly.
-func checkRules(path string, trials int, seed int64) error {
+// An empty rule set is an error: a catalog that parses but enables nothing
+// means the engine would silently run with the peephole off.
+func checkRules(path, mode string, trials int, seed int64) error {
 	text, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -74,16 +104,19 @@ func checkRules(path string, trials int, seed int64) error {
 	if err != nil {
 		return err
 	}
+	if len(rules) == 0 {
+		return fmt.Errorf("%s: catalog is empty — no rules enabled (re-mine with -run, or delete the file to disable the peephole explicitly)", path)
+	}
 	names := make([]string, 0, len(rules))
 	for name := range rules {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		if err := tcg.ProveRule(name, trials, seed); err != nil {
+		if err := proveOne(name, mode, trials, seed); err != nil {
 			return err
 		}
-		fmt.Printf("proved %-12s (%d trials)\n", name, trials)
+		fmt.Printf("proved %-12s (%s)\n", name, proveDesc(mode, trials))
 	}
 	fmt.Printf("%s: %d rules proved\n", path, len(names))
 	return nil
@@ -91,7 +124,7 @@ func checkRules(path string, trials int, seed int64) error {
 
 // mineRules aggregates uopseq.* weights, selects catalog schemas whose
 // trigger sequence occurs, proves each, and writes the rules file.
-func mineRules(profilePath, outPath string, trials int, seed int64, minWeight uint64) error {
+func mineRules(profilePath, outPath, mode string, trials int, seed int64, minWeight uint64) error {
 	var weights map[string]uint64
 	var source string
 	var err error
@@ -117,29 +150,32 @@ func mineRules(profilePath, outPath string, trials int, seed int64, minWeight ui
 			fmt.Fprintf(os.Stderr, "skip  %-12s trigger %q weight %d < %d\n", info.Name, info.Seq, w, minWeight)
 			continue
 		}
-		if err := tcg.ProveRule(info.Name, trials, seed); err != nil {
+		if err := proveOne(info.Name, mode, trials, seed); err != nil {
 			return fmt.Errorf("candidate %s refuted: %w", info.Name, err)
 		}
-		fmt.Fprintf(os.Stderr, "keep  %-12s trigger %q weight %d, proved (%d trials)\n", info.Name, info.Seq, w, trials)
+		fmt.Fprintf(os.Stderr, "keep  %-12s trigger %q weight %d, proved (%s)\n", info.Name, info.Seq, w, proveDesc(mode, trials))
 		keep = append(keep, mined{info, w})
 	}
 
 	var b strings.Builder
 	b.WriteString(`# dqemu peephole rules — mined from -profile uopseq counters by
-# cmd/dqemu-peep and proven sound by randomized differential state replay
-# (tcg.ProveRule; see EXPERIMENTS.md for the mine -> prove -> apply
-# workflow). Regenerate with:
+# cmd/dqemu-peep, proven sound for ALL register inputs by the symbolic
+# equivalence engine (tcg.ProveRuleSymbolic over internal/tcg/symeq) and
+# cross-checked by randomized differential state replay (tcg.ProveRule;
+# see EXPERIMENTS.md for the mine -> prove -> apply workflow).
+# Regenerate with:
 #
 #   go run ./cmd/dqemu-peep -run -out internal/tcg/rules/peep.rules
 #
 # Verify without rewriting:
 #
-#   go run ./cmd/dqemu-peep -check internal/tcg/rules/peep.rules
+#   go run ./cmd/dqemu-peep -prove=symbolic -check internal/tcg/rules/peep.rules
 #
 # weight is the execution-weighted occurrence count of the rule's trigger
 # sequence in the mining run (`)
 	b.WriteString(source)
 	b.WriteString(").\n")
+	fmt.Fprintf(&b, "schema %d\n", tcg.PeepRulesSchema)
 	for _, m := range keep {
 		fmt.Fprintf(&b, "rule %s weight=%d\n", m.info.Name, m.weight)
 	}

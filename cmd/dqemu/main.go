@@ -28,6 +28,7 @@ func main() {
 	split := flag.Bool("split", false, "enable page splitting (paper §5.1)")
 	hints := flag.Bool("hints", false, "enable hint-based locality-aware scheduling (paper §5.3)")
 	stats := flag.Bool("stats", false, "print run statistics to stderr")
+	verify := flag.Bool("verify", false, "prove every superblock translation symbolically and check every tier-3 compilation structurally; failures demote and are counted in -stats")
 	traceFlag := flag.Bool("trace", false, "stream cluster events (messages, faults, syscalls) to stderr")
 	rebalance := flag.Int64("rebalance", 0, "rebalance period in virtual ns (0 = no dynamic migration)")
 	profile := flag.String("profile", "", "enable the metrics registry and write the JSON snapshot to this file (- for stderr)")
@@ -55,6 +56,7 @@ func main() {
 	cfg.HintSched = *hints
 	cfg.Stdout = os.Stdout
 	cfg.RebalanceNs = *rebalance
+	cfg.Verify = *verify
 	if *traceFlag {
 		cfg.Tracer = trace.New(0, os.Stderr)
 	}
@@ -151,9 +153,18 @@ func printStats(res *dqemu.Result) {
 		res.Dir.Reads, res.Dir.Writes, res.Dir.Fetches, res.Dir.Invalidates, res.Dir.Pushes, res.Dir.Splits)
 	fmt.Fprintf(os.Stderr, "network:        %d msgs, %d bytes\n", res.Net.Msgs, res.Net.Bytes)
 	fmt.Fprintf(os.Stderr, "syscalls:       %d delegated\n", res.OS.Global)
+	var vSB, vDemote, vT3, vT3Fail uint64
 	for _, n := range res.Nodes {
 		fmt.Fprintf(os.Stderr, "node %d:         threads=%d exec-insns=%d faults=%d local-sys=%d global-sys=%d\n",
 			n.Node, n.Threads, n.Engine.ExecInsns, n.PageFaults, n.LocalSys, n.GlobalSys)
+		vSB += n.Engine.VerifiedSuperblocks
+		vDemote += n.Engine.VerifyDemotions
+		vT3 += n.Engine.VerifiedTier3
+		vT3Fail += n.Engine.Tier3CheckFailures
+	}
+	if vSB+vDemote+vT3+vT3Fail > 0 {
+		fmt.Fprintf(os.Stderr, "verify:         superblocks proved=%d demoted=%d tier3 checked=%d rejected=%d\n",
+			vSB, vDemote, vT3, vT3Fail)
 	}
 }
 

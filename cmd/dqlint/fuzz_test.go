@@ -18,6 +18,7 @@ func FuzzLint(f *testing.F) {
 	f.Add("package trace\nimport \"fmt\"\nfunc record(v int) string { return fmt.Sprint(v) }\n")
 	f.Add("package tcg\nfunc compileOp() func() int {\n\treturn func() int { s := make([]int, 4); return len(s) }\n}\n")
 	f.Add("package tcg\nfunc compileOp() func() {\n\treturn func() { _ = &struct{ x int }{1}; _ = func() {} }\n}\n")
+	f.Add("package tcg\ntype uop struct{ cost int }\nfunc scribble(ops []uop) { ops[0].cost = 7; ops[0] = uop{} }\n")
 	f.Add("package x\nimport clock \"time\"\nvar _ = clock.Now\n")
 	f.Add("package x\nfunc compile() {}\n")
 	f.Add("package x")

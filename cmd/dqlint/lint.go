@@ -50,6 +50,21 @@ var eagerFormatFuncs = map[string]bool{
 	"Sprintf": true, "Sprint": true, "Sprintln": true, "Errorf": true,
 }
 
+// uopMutAllowed are the translation-engine functions that own a uop slice
+// while it is still private — lowering builds it, the peephole rewrites it
+// through mergePair/rewriteTo, segmentize stamps the aggregate charges.
+// Everywhere else a uop slice reached by index is the cached superblock
+// form, shared across executions and (after publication) across threads;
+// mutating an element in place corrupts every later run of the block.
+var uopMutAllowed = map[string]bool{
+	"lowerInsn": true, "buildTrace": true, "peepPass": true,
+	"mergePair": true, "rewriteTo": true, "segmentize": true,
+}
+
+// uopSliceNames are the identifier names the uopmut rule treats as uop
+// slices (`ops[i]`, `sb.ops[i]`, `uops[i]`).
+var uopSliceNames = map[string]bool{"ops": true, "uops": true}
+
 type finding struct {
 	pos  token.Position
 	rule string
@@ -113,8 +128,12 @@ func lintSource(path string, src []byte) ([]finding, error) {
 		if l.tier3 && isCompilerName(fn.Name.Name) {
 			l.checkClosureAllocs(fn)
 		}
+		mutArmed := l.tier3 && !uopMutAllowed[fn.Name.Name]
 		if fn.Body != nil {
 			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if mutArmed {
+					l.checkUopMut(n, fn.Name.Name)
+				}
 				if inHandler {
 					if call, ok := n.(*ast.CallExpr); ok {
 						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
@@ -224,6 +243,52 @@ func (l *linter) byValueMutex(t ast.Expr) (string, bool) {
 		return sel.Sel.Name, true
 	}
 	return "", false
+}
+
+// checkUopMut flags in-place mutation of an indexed uop-slice element
+// (`ops[i] = u`, `ops[i].cost = c`, `sb.ops[i].insns++`) outside the
+// sanctioned rewrite helpers (the uopmut rule). Cached superblock uop
+// slices are shared by every later execution of the block — mutation must
+// go through mergePair/rewriteTo during the peephole, or build a new
+// slice.
+func (l *linter) checkUopMut(n ast.Node, fnName string) {
+	switch st := n.(type) {
+	case *ast.AssignStmt:
+		if st.Tok == token.DEFINE {
+			return
+		}
+		for _, lhs := range st.Lhs {
+			if uopSliceIndex(lhs) {
+				l.report(lhs.Pos(), "uopmut",
+					"%s mutates a uop slice element in place; cached superblocks share the slice — use mergePair/rewriteTo or build a new slice", fnName)
+			}
+		}
+	case *ast.IncDecStmt:
+		if uopSliceIndex(st.X) {
+			l.report(st.X.Pos(), "uopmut",
+				"%s mutates a uop slice element in place; cached superblocks share the slice — use mergePair/rewriteTo or build a new slice", fnName)
+		}
+	}
+}
+
+// uopSliceIndex reports whether e is an index into a uop-slice-named
+// expression, optionally through a field selector: ops[i], ops[i].cost,
+// sb.ops[i].kind.
+func uopSliceIndex(e ast.Expr) bool {
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		e = sel.X
+	}
+	idx, ok := e.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	switch base := idx.X.(type) {
+	case *ast.Ident:
+		return uopSliceNames[base.Name]
+	case *ast.SelectorExpr:
+		return uopSliceNames[base.Sel.Name]
+	}
+	return false
 }
 
 // checkClosureAllocs flags per-execution allocations inside the closures a

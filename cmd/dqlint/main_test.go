@@ -168,6 +168,41 @@ type point struct{ x int }
 	}
 }
 
+func TestUopMutRule(t *testing.T) {
+	src := `package tcg
+type uop struct{ cost, insns int }
+type superblock struct{ ops []uop }
+func scribble(ops []uop, i int) {
+	ops[i].cost = 7       // flagged: indexed field write
+	ops[i] = uop{}        // flagged: whole-element write
+	ops[i].insns++        // flagged: inc/dec
+}
+func scribbleSB(sb *superblock) { sb.ops[0].cost += 1 } // flagged: through selector
+func segmentize(ops []uop) { ops[0].cost = 1 }          // sanctioned helper
+func peepPass(ops []uop) { ops[0] = uop{} }             // sanctioned helper
+func readOnly(ops []uop) int { return ops[0].cost }     // reads are fine
+func fresh(ops []uop) []uop {
+	out := make([]uop, len(ops))
+	copy(out, ops)
+	out[0].cost = 1 // building a new slice named out: not a uop-slice name
+	return out
+}
+`
+	got := lint(t, "internal/tcg/x.go", src)
+	if len(got) != 4 {
+		t.Errorf("uopmut findings: %v", got)
+	}
+	for _, r := range got {
+		if r != "uopmut" {
+			t.Errorf("wrong rule: %v", got)
+		}
+	}
+	// Outside the translation engine the rule is off.
+	if got := lint(t, "internal/core/x.go", src); len(got) != 0 {
+		t.Errorf("non-tcg package flagged: %v", got)
+	}
+}
+
 // TestRepoIsClean runs every rule over the real tree: the linter gates CI,
 // so the tree it gates must pass it.
 func TestRepoIsClean(t *testing.T) {

@@ -73,6 +73,13 @@ type Config struct {
 	// NoPeephole disables the mined peephole rewrite rules at superblock
 	// lowering (ablation).
 	NoPeephole bool
+	// Verify enables translate-time translation validation: every lowered
+	// and peephole-rewritten superblock is symbolically proved equivalent
+	// to the per-instruction reference semantics (demoted with a diagnostic
+	// on failure), and every tier-3 closure compilation is structurally
+	// checked against its tier-2 uop sequence (rejected on failure). Adds
+	// translation-time cost only; the execution hot path is unchanged.
+	Verify bool
 	// Tier3Threshold overrides the tier-2 entry count at which a superblock
 	// is closure-compiled (default tcg.DefaultTier3Threshold).
 	Tier3Threshold uint32

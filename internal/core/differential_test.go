@@ -151,6 +151,11 @@ type tierState struct {
 	mem        []byte
 	tier3Insns uint64
 	peeps      uint64
+
+	verifiedSB  uint64
+	verifyDemos uint64
+	verifiedT3  uint64
+	t3CheckFail uint64
 }
 
 // runTier executes im under cfg and captures the final architectural state
@@ -173,6 +178,10 @@ func runTier(t *testing.T, im *image.Image, cfg Config) tierState {
 	for _, n := range res.Nodes {
 		st.tier3Insns += n.Engine.Tier3Insns
 		st.peeps += n.Engine.PeepApplied
+		st.verifiedSB += n.Engine.VerifiedSuperblocks
+		st.verifyDemos += n.Engine.VerifyDemotions
+		st.verifiedT3 += n.Engine.VerifiedTier3
+		st.t3CheckFail += n.Engine.Tier3CheckFailures
 	}
 	for _, seg := range im.Segments {
 		if !seg.Writable {
@@ -224,6 +233,46 @@ func TestDifferentialTiers(t *testing.T) {
 							p, name, i, got.mem[i], want.mem[i], src)
 					}
 				}
+			}
+		}
+	}
+}
+
+// TestDifferentialTiersVerified re-runs the tier ladder with translate-time
+// translation validation on: every superblock the translator produces must
+// be symbolically proved against the per-instruction reference semantics
+// and every tier-3 compilation must pass the structural checker — with zero
+// demotions, on real multi-threaded guest programs, while the architectural
+// state still matches the interpreter-free baseline.
+func TestDifferentialTiersVerified(t *testing.T) {
+	r := rand.New(rand.NewSource(1717))
+	const programs = 2
+	for p := 0; p < programs; p++ {
+		src := genProgram(r)
+		im := build(t, src)
+
+		base := runTier(t, im, tierConfigs()["superblock"])
+		for name, cfg := range tierConfigs() {
+			if name == "interp" {
+				continue // nothing to verify: no superblocks are built
+			}
+			cfg.Verify = true
+			got := runTier(t, im, cfg)
+			if got.verifyDemos != 0 {
+				t.Errorf("program %d tier %s: %d verify demotions on a sound translator", p, name, got.verifyDemos)
+			}
+			if got.t3CheckFail != 0 {
+				t.Errorf("program %d tier %s: %d tier-3 structural check failures", p, name, got.t3CheckFail)
+			}
+			if name != "chained" && got.verifiedSB == 0 {
+				t.Errorf("program %d tier %s: no superblocks verified", p, name)
+			}
+			if (name == "tier3" || name == "tier3+peep") && got.verifiedT3 == 0 {
+				t.Errorf("program %d tier %s: no tier-3 compilations verified", p, name)
+			}
+			if got.console != base.console || got.exitCode != base.exitCode ||
+				got.x != base.x || got.f != base.f || got.pc != base.pc || !bytes.Equal(got.mem, base.mem) {
+				t.Fatalf("program %d tier %s diverged under -verify\nsource:\n%s", p, name, src)
 			}
 		}
 	}

@@ -79,6 +79,7 @@ func newNode(id int, cl *Cluster) *node {
 	engine.NoPeephole = cl.cfg.NoPeephole
 	engine.Tier3Threshold = cl.cfg.Tier3Threshold
 	engine.NoJumpCache = cl.cfg.NoJumpCache
+	engine.Verify = cl.cfg.Verify
 	engine.StopAtomic = !cl.cfg.NoAtomicPreempt
 	n := &node{
 		id:        id,

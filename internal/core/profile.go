@@ -212,16 +212,26 @@ func (p *clusterProf) snapshot(c *Cluster, r *Result) *metrics.Snapshot {
 	// Tier-3 / peephole translation counters (summed across nodes).
 	var t3ns int64
 	var t3insns, t3demote, peep uint64
+	var vSB, vDemote, vT3, vT3Fail uint64
 	for _, ns := range r.Nodes {
 		t3ns += ns.Engine.Tier3TranslateNs
 		t3insns += ns.Engine.Tier3Insns
 		t3demote += ns.Engine.Tier3Demotions
 		peep += ns.Engine.PeepApplied
+		vSB += ns.Engine.VerifiedSuperblocks
+		vDemote += ns.Engine.VerifyDemotions
+		vT3 += ns.Engine.VerifiedTier3
+		vT3Fail += ns.Engine.Tier3CheckFailures
 	}
 	reg.Counter("translate.tier3_ns").Add(uint64(t3ns) - reg.Counter("translate.tier3_ns").Value())
 	reg.Counter("exec.tier3_insns").Add(t3insns - reg.Counter("exec.tier3_insns").Value())
 	reg.Counter("tier3.demotions").Add(t3demote - reg.Counter("tier3.demotions").Value())
 	reg.Counter("peep.rules_applied").Add(peep - reg.Counter("peep.rules_applied").Value())
+	// Translation-validation counters (all zero unless Config.Verify).
+	reg.Counter("verify.superblocks").Add(vSB - reg.Counter("verify.superblocks").Value())
+	reg.Counter("verify.demotions").Add(vDemote - reg.Counter("verify.demotions").Value())
+	reg.Counter("verify.tier3").Add(vT3 - reg.Counter("verify.tier3").Value())
+	reg.Counter("verify.tier3_failures").Add(vT3Fail - reg.Counter("verify.tier3_failures").Value())
 
 	// Hot micro-op sequences (the raw material cmd/dqemu-peep mines): one
 	// counter per execution-weighted n-gram, keys already uopseq.-prefixed.

@@ -25,6 +25,7 @@ type SingleNode struct {
 	NoJumpCache  bool `json:"no_jump_cache"`
 	NoTier3      bool `json:"no_tier3"`
 	NoPeephole   bool `json:"no_peephole"`
+	Verify       bool `json:"verify,omitempty"`
 
 	Rows []SingleNodeRow `json:"rows"`
 }
@@ -37,6 +38,9 @@ type TierConfig struct {
 	NoJumpCache  bool
 	NoTier3      bool
 	NoPeephole   bool
+	// Verify turns on translate-time translation validation (symbolic
+	// superblock proofs + tier-3 structural checks); see core.Config.Verify.
+	Verify bool
 }
 
 // SingleNodeRow is one benchmark's measurement.
@@ -61,6 +65,12 @@ type SingleNodeRow struct {
 	Tier3Insns       uint64 `json:"tier3_insns"`
 	Tier3Demotions   uint64 `json:"tier3_demotions"`
 	PeepApplied      uint64 `json:"peep_applied"`
+
+	// Translation-validation counters (zero unless Verify).
+	VerifiedSuperblocks uint64 `json:"verified_superblocks,omitempty"`
+	VerifyDemotions     uint64 `json:"verify_demotions,omitempty"`
+	VerifiedTier3       uint64 `json:"verified_tier3,omitempty"`
+	Tier3CheckFailures  uint64 `json:"tier3_check_failures,omitempty"`
 
 	// Metrics is the run's full observability snapshot (fault-latency
 	// histograms, page heat top-N, lock contention, per-thread breakdown).
@@ -125,7 +135,7 @@ func singleNodeSuite() []singleNodeBench {
 func RunSingleNode(o Options, tc TierConfig) (*SingleNode, error) {
 	o.normalize()
 	out := &SingleNode{NoSuperblock: tc.NoSuperblock, NoJumpCache: tc.NoJumpCache,
-		NoTier3: tc.NoTier3, NoPeephole: tc.NoPeephole}
+		NoTier3: tc.NoTier3, NoPeephole: tc.NoPeephole, Verify: tc.Verify}
 	for _, b := range singleNodeSuite() {
 		if o.Bench != "" && b.name != o.Bench {
 			continue
@@ -139,6 +149,7 @@ func RunSingleNode(o Options, tc TierConfig) (*SingleNode, error) {
 		cfg.NoJumpCache = tc.NoJumpCache
 		cfg.NoTier3 = tc.NoTier3
 		cfg.NoPeephole = tc.NoPeephole
+		cfg.Verify = tc.Verify
 		cfg.Metrics = true
 		var tr *trace.Tracer
 		if o.ChromeTrace != "" && len(out.Rows) == 0 {
@@ -172,6 +183,10 @@ func RunSingleNode(o Options, tc TierConfig) (*SingleNode, error) {
 			row.Tier3Insns += n.Engine.Tier3Insns
 			row.Tier3Demotions += n.Engine.Tier3Demotions
 			row.PeepApplied += n.Engine.PeepApplied
+			row.VerifiedSuperblocks += n.Engine.VerifiedSuperblocks
+			row.VerifyDemotions += n.Engine.VerifyDemotions
+			row.VerifiedTier3 += n.Engine.VerifiedTier3
+			row.Tier3CheckFailures += n.Engine.Tier3CheckFailures
 		}
 		for _, t := range res.Threads {
 			row.ExecNs += t.ExecNs
@@ -184,14 +199,23 @@ func RunSingleNode(o Options, tc TierConfig) (*SingleNode, error) {
 		out.Rows = append(out.Rows, row)
 		o.logf("singlenode: %s: %.1fM insns in %.2fs host (%.1fM insns/s)",
 			b.name, float64(row.GuestInsns)/1e6, float64(hostNs)/1e9, row.InsnsPerSec/1e6)
+		if tc.Verify {
+			o.logf("singlenode: %s: verify: %d superblocks proved (%d demoted), %d tier-3 checked (%d rejected)",
+				b.name, row.VerifiedSuperblocks, row.VerifyDemotions,
+				row.VerifiedTier3, row.Tier3CheckFailures)
+		}
 	}
 	return out, nil
 }
 
 // Print renders the suite as a table.
 func (s *SingleNode) Print(w io.Writer) {
-	fmt.Fprintf(w, "Single-node translator throughput (superblocks=%v, jump cache=%v, tier3=%v, peephole=%v)\n",
-		!s.NoSuperblock, !s.NoJumpCache, !s.NoTier3, !s.NoPeephole)
+	note := ""
+	if s.Verify {
+		note = ", verify=on"
+	}
+	fmt.Fprintf(w, "Single-node translator throughput (superblocks=%v, jump cache=%v, tier3=%v, peephole=%v%s)\n",
+		!s.NoSuperblock, !s.NoJumpCache, !s.NoTier3, !s.NoPeephole, note)
 	fmt.Fprintf(w, "%-14s %-12s %-12s %-14s %-12s %-8s %-8s %-8s\n",
 		"bench", "insns(M)", "host(s)", "insns/s(M)", "superblocks", "tier3", "t3insnsM", "peep")
 	for _, r := range s.Rows {
@@ -226,6 +250,27 @@ func writeChromeTrace(path string, tr *trace.Tracer) error {
 // committed together as one BENCH_*.json (the `configs` schema).
 type SingleNodeMatrix struct {
 	Configs []*SingleNode `json:"configs"`
+}
+
+// VerifyFails counts translation-validation failures across the suite:
+// superblock verify demotions plus rejected tier-3 compilations. On a
+// sound translator this is zero; nonzero means a lowering/peephole/tier-3
+// soundness bug (or an over-strict checker) and should fail the run.
+func (s *SingleNode) VerifyFails() uint64 {
+	var n uint64
+	for _, r := range s.Rows {
+		n += r.VerifyDemotions + r.Tier3CheckFailures
+	}
+	return n
+}
+
+// VerifyFails sums translation-validation failures over every configuration.
+func (m *SingleNodeMatrix) VerifyFails() uint64 {
+	var n uint64
+	for _, sn := range m.Configs {
+		n += sn.VerifyFails()
+	}
+	return n
 }
 
 // RunSingleNodeMatrix runs the suite once per tier configuration.

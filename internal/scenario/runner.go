@@ -23,6 +23,10 @@ type Options struct {
 	// Tracer, if non-nil, is attached to every run; the determinism test
 	// uses it to pin the full event schedule, not just the result row.
 	Tracer *trace.Tracer
+	// Verify forces translate-time translation validation on for every
+	// spec, regardless of its knobs; each run then carries the implicit
+	// verify_clean gate (zero demotions, zero tier-3 rejections).
+	Verify bool
 }
 
 func (o *Options) logf(format string, args ...interface{}) {
@@ -55,6 +59,12 @@ type Row struct {
 	FutexWaits  uint64 `json:"futex_waits"`
 	Migrations  uint64 `json:"migrations"`
 	Races       uint64 `json:"races"`
+
+	// Translation-validation counters (zero unless verify is on).
+	VerifiedSuperblocks uint64 `json:"verified_superblocks,omitempty"`
+	VerifyDemotions     uint64 `json:"verify_demotions,omitempty"`
+	VerifiedTier3       uint64 `json:"verified_tier3,omitempty"`
+	Tier3CheckFailures  uint64 `json:"tier3_check_failures,omitempty"`
 
 	Wire   core.WireStats    `json:"wire"`
 	Faults netsim.FaultStats `json:"faults"`
@@ -120,6 +130,9 @@ func Run(s *Spec, o Options) (*Row, error) {
 	}
 	cfg := s.config()
 	cfg.Tracer = o.Tracer
+	if o.Verify {
+		cfg.Verify = true
+	}
 	res, err := core.Run(im, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
@@ -141,6 +154,10 @@ func Run(s *Spec, o Options) (*Row, error) {
 	}
 	for _, n := range res.Nodes {
 		row.GuestInsns += n.Engine.ExecInsns
+		row.VerifiedSuperblocks += n.Engine.VerifiedSuperblocks
+		row.VerifyDemotions += n.Engine.VerifyDemotions
+		row.VerifiedTier3 += n.Engine.VerifiedTier3
+		row.Tier3CheckFailures += n.Engine.Tier3CheckFailures
 	}
 	if res.TimeNs > 0 {
 		row.InsnsPerSec = float64(row.GuestInsns) / (float64(res.TimeNs) / 1e9)
@@ -155,7 +172,7 @@ func Run(s *Spec, o Options) (*Row, error) {
 	if res.San != nil {
 		row.Races = uint64(len(res.San.Races))
 	}
-	row.Gates = evalGates(s, o.Scale, row)
+	row.Gates = evalGates(s, o.Scale, row, s.Knobs.Verify || o.Verify)
 	status := "ok"
 	if n := row.Fails(); n > 0 {
 		status = fmt.Sprintf("%d GATE(S) FAILED", n)
@@ -166,8 +183,10 @@ func Run(s *Spec, o Options) (*Row, error) {
 	return row, nil
 }
 
-// evalGates judges the row against the spec's gates.
-func evalGates(s *Spec, scale Scale, row *Row) []GateResult {
+// evalGates judges the row against the spec's gates. verified marks runs
+// with translation validation on, which adds the implicit verify_clean
+// gate.
+func evalGates(s *Spec, scale Scale, row *Row, verified bool) []GateResult {
 	g := s.Gates
 	var out []GateResult
 	add := func(name string, pass bool, format string, args ...interface{}) {
@@ -198,6 +217,11 @@ func evalGates(s *Spec, scale Scale, row *Row) []GateResult {
 	}
 	if s.Knobs.Sanitizer {
 		add("max_races", row.Races <= g.MaxRaces, "got %d want <= %d", row.Races, g.MaxRaces)
+	}
+	if verified {
+		add("verify_clean", row.VerifyDemotions == 0 && row.Tier3CheckFailures == 0,
+			"superblocks proved=%d demoted=%d, tier3 checked=%d rejected=%d",
+			row.VerifiedSuperblocks, row.VerifyDemotions, row.VerifiedTier3, row.Tier3CheckFailures)
 	}
 	return out
 }

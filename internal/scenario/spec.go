@@ -92,6 +92,10 @@ type Knobs struct {
 	NoTier3        bool   `json:"no_tier3,omitempty"`
 	NoPeephole     bool   `json:"no_peephole,omitempty"`
 	Tier3Threshold uint32 `json:"tier3_threshold,omitempty"`
+	// Verify turns on translate-time translation validation (symbolic
+	// superblock proofs, tier-3 structural checks); a run with verify on
+	// gets an implicit verify_clean gate requiring zero failures.
+	Verify bool `json:"verify,omitempty"`
 
 	NoDelta    bool `json:"no_delta,omitempty"`
 	NoCoalesce bool `json:"no_coalesce,omitempty"`
@@ -256,6 +260,7 @@ func (s *Spec) config() core.Config {
 	cfg.NoTier3 = k.NoTier3
 	cfg.NoPeephole = k.NoPeephole
 	cfg.Tier3Threshold = k.Tier3Threshold
+	cfg.Verify = k.Verify
 	cfg.NoDelta = k.NoDelta
 	cfg.NoCoalesce = k.NoCoalesce
 	cfg.RebalanceNs = k.RebalanceNs

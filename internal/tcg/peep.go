@@ -3,18 +3,20 @@
 // In the learned-translation-rules model, candidate rewrites are not
 // hand-picked: cmd/dqemu-peep mines recurring micro-op sequences from
 // -profile runs (the uopseq.* counters emitted by UopSeqProfile), matches
-// them against the rule schemas below, proves every candidate sound by
-// randomized differential state replay (ProveRule), and writes the
-// surviving set to the checked-in rules file. The engine applies the
-// enabled rules in peepPass, between trace lowering and segmentation, so
-// both tier-2 dispatch and tier-3 closure compilation see the shrunken
-// stream.
+// them against the rule schemas below, proves every candidate sound for
+// all register inputs with the symbolic engine (ProveRuleSymbolic, with
+// the uop-encoded immediates swept over a boundary battery) and
+// cross-checks it by randomized differential state replay (ProveRule),
+// and writes the surviving set to the checked-in rules file under a
+// mandatory schema-version directive. The engine applies the enabled
+// rules in peepPass, between trace lowering and segmentation, so both
+// tier-2 dispatch and tier-3 closure compilation see the shrunken stream.
 //
 // Soundness boundary: every schema rewrites pure ALU uops only. ALU uops
 // cannot fault, exit the trace, or be observed mid-sequence (no exit can
 // separate two adjacent straight-line uops), so "same final register
-// state on every input" — which ProveRule checks exhaustively at random —
-// is the whole correctness story. Virtual-time cost and retired-
+// state on every input" — which ProveRuleSymbolic proves and ProveRule
+// samples — is the whole correctness story. Virtual-time cost and retired-
 // instruction counts are carried over unchanged (selfCost/selfInsns sum),
 // so the simulation's timing is identical with rules on or off; only host
 // work shrinks.
@@ -67,8 +69,9 @@ func kindName(k uopKind) string {
 }
 
 // peepSchema is one rewrite shape. Pair schemas merge two adjacent uops
-// into one; unary schemas rewrite a single uop in place. Gen functions
-// produce random matching instances for the soundness proof.
+// into one; unary schemas rewrite a single uop in place; tri schemas
+// rewrite a three-uop window into a shorter replacement sequence. Gen
+// functions produce random matching instances for the soundness proof.
 type peepSchema struct {
 	name string
 	seq  string // uopseq key that triggers mining this schema
@@ -76,9 +79,11 @@ type peepSchema struct {
 
 	pair  func(a, b *uop) (uop, bool)
 	unary func(u *uop) (uop, bool)
+	tri   func(a, b, c *uop) ([]uop, bool)
 
 	genPair  func(r *rand.Rand) (uop, uop)
 	genUnary func(r *rand.Rand) uop
+	genTri   func(r *rand.Rand) (uop, uop, uop)
 }
 
 // mergePair folds two adjacent uops into one, preserving the aggregate
@@ -296,6 +301,52 @@ var allPeepSchemas = []peepSchema{
 			return uop{kind: uAndi, rd: randReg(r), rs1: uint8(r.Intn(32)), imm: 0, selfInsns: 1, selfCost: 1, exit: -1, exit2: -1}
 		},
 	},
+	{
+		name: "addi-tri", seq: "addi-addi-addi",
+		doc: "addi r1,s,I ; addi r2,t,J ; addi r1,r1,K  ->  addi r2,t,J ; addi r1,s,I+K (fold across an independent addi)",
+		tri: func(a, b, c *uop) ([]uop, bool) {
+			if a.kind != uAddi || b.kind != uAddi || c.kind != uAddi {
+				return nil, false
+			}
+			// c folds into a; b is independent of a's destination in both
+			// directions (does not read it, does not clobber it, and does
+			// not produce a's source), so moving it ahead of the fold is a
+			// pure commute.
+			if c.rd != a.rd || c.rs1 != a.rd || a.rd == 0 || b.rd == 0 ||
+				b.rd == a.rd || b.rs1 == a.rd || b.rd == a.rs1 || b.rd == c.rd {
+				return nil, false
+			}
+			if int(a.selfInsns)+int(c.selfInsns) > 255 {
+				return nil, false
+			}
+			m := *c
+			m.rs1 = a.rs1
+			m.imm = a.imm + c.imm
+			m.pc = a.pc
+			m.selfCost = a.selfCost + c.selfCost
+			m.selfInsns = a.selfInsns + c.selfInsns
+			return []uop{*b, m}, true
+		},
+		genTri: func(r *rand.Rand) (uop, uop, uop) {
+			r1 := randReg(r)
+			r2 := randReg(r)
+			for r2 == r1 {
+				r2 = randReg(r)
+			}
+			s := uint8(r.Intn(32))
+			for s == r2 {
+				s = uint8(r.Intn(32))
+			}
+			t := uint8(r.Intn(32))
+			for t == r1 {
+				t = uint8(r.Intn(32))
+			}
+			a := uop{kind: uAddi, rd: r1, rs1: s, imm: int64(r.Uint64()), selfInsns: 1, selfCost: 1, exit: -1, exit2: -1}
+			b := uop{kind: uAddi, rd: r2, rs1: t, imm: int64(r.Uint64()), selfInsns: 1, selfCost: 1, exit: -1, exit2: -1}
+			c := uop{kind: uAddi, rd: r1, rs1: r1, imm: int64(r.Uint64()), selfInsns: 1, selfCost: 1, exit: -1, exit2: -1}
+			return a, b, c
+		},
+	},
 }
 
 // peepSchemas resolves the enabled schema set once per engine.
@@ -343,6 +394,15 @@ func (e *Engine) peepPass(ops []uop) []uop {
 					if m, ok := s.pair(&out[len(out)-1], &u); ok {
 						out = out[:len(out)-1]
 						u = m
+						e.Stats.PeepApplied++
+						applied = true
+					}
+				}
+				if s.tri != nil && len(out) > 1 {
+					if repl, ok := s.tri(&out[len(out)-2], &out[len(out)-1], &u); ok && len(repl) > 0 {
+						out = out[:len(out)-2]
+						out = append(out, repl[:len(repl)-1]...)
+						u = repl[len(repl)-1]
 						e.Stats.PeepApplied++
 						applied = true
 					}
@@ -461,27 +521,12 @@ func ProveRule(name string, trials int, seed int64) error {
 	}
 	r := rand.New(rand.NewSource(seed))
 	for t := 0; t < trials; t++ {
-		var lhs []uop
-		var rhs uop
-		switch {
-		case s.pair != nil:
-			a, b := s.genPair(r)
-			m, ok := s.pair(&a, &b)
-			if !ok {
-				return fmt.Errorf("tcg: rule %s: generated instance did not match (trial %d)", name, t)
-			}
-			lhs = []uop{a, b}
-			rhs = m
-		default:
-			u := s.genUnary(r)
-			m, ok := s.unary(&u)
-			if !ok {
-				return fmt.Errorf("tcg: rule %s: generated instance did not match (trial %d)", name, t)
-			}
-			lhs = []uop{u}
-			rhs = m
+		lhs := genInstance(s, r)
+		rhs, ok := applySchema(s, lhs)
+		if !ok {
+			return fmt.Errorf("tcg: rule %s: generated instance did not match (trial %d)", name, t)
 		}
-		if int(rhs.selfInsns) != lenInsns(lhs) || rhs.selfCost != lenCost(lhs) {
+		if lenInsns(rhs) != lenInsns(lhs) || lenCost(rhs) != lenCost(lhs) {
 			return fmt.Errorf("tcg: rule %s: cost/insn accounting not preserved (trial %d)", name, t)
 		}
 		var x0 [32]uint64
@@ -494,8 +539,10 @@ func ProveRule(name string, trials int, seed int64) error {
 				return fmt.Errorf("tcg: rule %s: %v", name, err)
 			}
 		}
-		if err := evalUop(&rhs, &xb); err != nil {
-			return fmt.Errorf("tcg: rule %s: %v", name, err)
+		for i := range rhs {
+			if err := evalUop(&rhs[i], &xb); err != nil {
+				return fmt.Errorf("tcg: rule %s: %v", name, err)
+			}
 		}
 		if xa != xb {
 			return fmt.Errorf("tcg: rule %s REFUTED on trial %d: lhs %v rhs %v", name, t, xa, xb)
@@ -523,29 +570,54 @@ func lenCost(ops []uop) int32 {
 	return n
 }
 
-// ParsePeepRules parses a rules file: one `rule <name> [weight=N]` per
-// line, '#' comments. Unknown rule names are an error so a stale checked-in
-// file fails loudly.
+// PeepRulesSchema is the rules-file format version. Bumped whenever the
+// schema catalog's semantics change in a way that invalidates previously
+// mined files; a file carrying a different version is rejected outright.
+const PeepRulesSchema = 2
+
+// ParsePeepRules parses a rules file: a mandatory `schema <N>` directive,
+// then one `rule <name> [weight=N]` per line, '#' comments. Unknown rule
+// names, a missing directive, or a version mismatch are errors so a stale
+// or truncated checked-in file fails loudly instead of silently disabling
+// the peephole.
 func ParsePeepRules(text string) (map[string]bool, error) {
 	known := map[string]bool{}
 	for i := range allPeepSchemas {
 		known[allPeepSchemas[i].name] = true
 	}
 	rules := map[string]bool{}
+	sawSchema := false
 	for ln, line := range strings.Split(text, "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
 		fields := strings.Fields(line)
+		if fields[0] == "schema" && len(fields) == 2 {
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("peep.rules:%d: bad schema version %q", ln+1, fields[1])
+			}
+			if v != PeepRulesSchema {
+				return nil, fmt.Errorf("peep.rules:%d: schema version %d, engine expects %d — re-mine with cmd/dqemu-peep", ln+1, v, PeepRulesSchema)
+			}
+			sawSchema = true
+			continue
+		}
 		if fields[0] != "rule" || len(fields) < 2 {
 			return nil, fmt.Errorf("peep.rules:%d: expected `rule <name> [weight=N]`, got %q", ln+1, line)
+		}
+		if !sawSchema {
+			return nil, fmt.Errorf("peep.rules:%d: rule before `schema %d` directive", ln+1, PeepRulesSchema)
 		}
 		name := fields[1]
 		if !known[name] {
 			return nil, fmt.Errorf("peep.rules:%d: unknown rule %q", ln+1, name)
 		}
 		rules[name] = true
+	}
+	if !sawSchema {
+		return nil, fmt.Errorf("peep.rules: missing `schema %d` directive (empty or pre-versioned catalog)", PeepRulesSchema)
 	}
 	return rules, nil
 }

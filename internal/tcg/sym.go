@@ -1,0 +1,661 @@
+// Symbolic translation validation over the micro-op stream.
+//
+// This file is the bridge between the uop IR and the bit-vector engine in
+// internal/tcg/symeq. Registers are expression DAGs; memory and FP results
+// are uninterpreted symbols minted in lockstep, so the k-th matching
+// effect on both sides of an equivalence query reads the same symbol. Two
+// uop sequences are equivalent when their effects (memory accesses,
+// atomics, guards, exits — everything that can fault, trap or leave the
+// trace) line up one-to-one with provably equal operands, AND the full
+// symbolic register state is provably equal at every effect boundary. The
+// state comparison at each boundary is what makes the check sound in the
+// presence of faults: a load can fault and expose every register, so no
+// rewrite may defer or reorder a write across one.
+//
+// The translator's rewrites (ADDI folding, cmp+branch fusion, the mined
+// peephole rules) all act inside straight-line ALU runs, which have no
+// boundaries — exactly the shapes this checker discharges by constant
+// folding and normalization alone.
+package tcg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dqemu/internal/isa"
+	"dqemu/internal/tcg/symeq"
+)
+
+// symState is a symbolic machine state: one expression per register.
+type symState struct {
+	bld *symeq.Builder
+	x   [32]*symeq.Expr
+	f   [32]*symeq.Expr
+}
+
+// newSymPair returns two states over the same initial symbolic registers
+// (x0 pinned to the architectural zero) so divergence is attributable to
+// the uop sequences alone.
+func newSymPair(bld *symeq.Builder) (a, b symState) {
+	a.bld, b.bld = bld, bld
+	a.x[0] = bld.Const(0)
+	for i := 1; i < 32; i++ {
+		a.x[i] = bld.Var(fmt.Sprintf("x%d", i))
+	}
+	for i := 0; i < 32; i++ {
+		a.f[i] = bld.Var(fmt.Sprintf("f%d", i))
+	}
+	b.x, b.f = a.x, a.f
+	return a, b
+}
+
+// symPure applies u to the state when u is pure — no fault, no exit, no
+// externally visible action — mirroring execSuperRun's ALU and FP cases
+// operator for operator. Returns false when u is an effect the lockstep
+// matcher must handle.
+func (st *symState) symPure(u *uop) bool {
+	b := st.bld
+	x := &st.x
+	f := &st.f
+	bin := func(op symeq.Op) *symeq.Expr { return b.Bin(op, x[u.rs1], x[u.rs2]) }
+	imm := func(op symeq.Op) *symeq.Expr { return b.Bin(op, x[u.rs1], b.Const(uint64(u.imm))) }
+	fun2 := func(tag string) *symeq.Expr { return b.Fun(tag, 64, f[u.rs1], f[u.rs2]) }
+	fun1 := func(tag string) *symeq.Expr { return b.Fun(tag, 64, f[u.rs1]) }
+
+	switch u.kind {
+	case uNop:
+	case uAdd:
+		x[u.rd] = bin(symeq.Add)
+	case uSub:
+		x[u.rd] = bin(symeq.Sub)
+	case uMul:
+		x[u.rd] = bin(symeq.Mul)
+	case uDiv:
+		x[u.rd] = bin(symeq.Div)
+	case uDivU:
+		x[u.rd] = bin(symeq.DivU)
+	case uRem:
+		x[u.rd] = bin(symeq.Rem)
+	case uRemU:
+		x[u.rd] = bin(symeq.RemU)
+	case uAnd:
+		x[u.rd] = bin(symeq.And)
+	case uOr:
+		x[u.rd] = bin(symeq.Or)
+	case uXor:
+		x[u.rd] = bin(symeq.Xor)
+	case uSll:
+		x[u.rd] = bin(symeq.Shl) // symeq shifts mask the amount mod 64
+	case uSrl:
+		x[u.rd] = bin(symeq.Shr)
+	case uSra:
+		x[u.rd] = bin(symeq.Sar)
+	case uSlt:
+		x[u.rd] = bin(symeq.LtS)
+	case uSltu:
+		x[u.rd] = bin(symeq.LtU)
+	case uAddi:
+		x[u.rd] = imm(symeq.Add)
+	case uAndi:
+		x[u.rd] = imm(symeq.And)
+	case uOri:
+		x[u.rd] = imm(symeq.Or)
+	case uXori:
+		x[u.rd] = imm(symeq.Xor)
+	case uSlli:
+		x[u.rd] = imm(symeq.Shl)
+	case uSrli:
+		x[u.rd] = imm(symeq.Shr)
+	case uSrai:
+		x[u.rd] = imm(symeq.Sar)
+	case uSlti:
+		x[u.rd] = imm(symeq.LtS)
+	case uLi:
+		x[u.rd] = b.Const(u.val)
+	case uLink:
+		if u.rd != 0 {
+			x[u.rd] = b.Const(u.val)
+		}
+
+	case uFAdd:
+		f[u.rd] = fun2("fadd")
+	case uFSub:
+		f[u.rd] = fun2("fsub")
+	case uFMul:
+		f[u.rd] = fun2("fmul")
+	case uFDiv:
+		f[u.rd] = fun2("fdiv")
+	case uFMin:
+		f[u.rd] = fun2("fmin")
+	case uFMax:
+		f[u.rd] = fun2("fmax")
+	case uFSqrt:
+		f[u.rd] = fun1("fsqrt")
+	case uFNeg:
+		f[u.rd] = fun1("fneg")
+	case uFAbs:
+		f[u.rd] = fun1("fabs")
+	case uFExp:
+		f[u.rd] = fun1("fexp")
+	case uFLn:
+		f[u.rd] = fun1("fln")
+	case uFMovImm:
+		f[u.rd] = b.Const(u.val)
+	case uFMv:
+		f[u.rd] = f[u.rs1]
+	case uFMvXD:
+		x[u.rd] = f[u.rs1]
+	case uFMvDX:
+		f[u.rd] = x[u.rs1]
+	case uFCvtDL:
+		f[u.rd] = b.Fun("fcvtdl", 64, x[u.rs1])
+	case uFCvtLD:
+		x[u.rd] = b.Fun("fcvtld", 64, f[u.rs1])
+	case uFEq:
+		x[u.rd] = b.Fun("feq", 1, f[u.rs1], f[u.rs2])
+	case uFLt:
+		x[u.rd] = b.Fun("flt", 1, f[u.rs1], f[u.rs2])
+	case uFLe:
+		x[u.rd] = b.Fun("fle", 1, f[u.rs1], f[u.rs2])
+
+	default:
+		return false
+	}
+	return true
+}
+
+// addrExpr is a memory uop's effective address x[rs1] + imm.
+func (st *symState) addrExpr(u *uop) *symeq.Expr {
+	return st.bld.Bin(symeq.Add, st.x[u.rs1], st.bld.Const(uint64(u.imm)))
+}
+
+// takeExpr is takeBranch as a 0/1 expression.
+func takeExpr(b *symeq.Builder, op isa.Op, x, y *symeq.Expr) *symeq.Expr {
+	switch op {
+	case isa.OpBEQ:
+		return b.Bin(symeq.Eq, x, y)
+	case isa.OpBNE:
+		return b.Not(b.Bin(symeq.Eq, x, y))
+	case isa.OpBLT:
+		return b.Bin(symeq.LtS, x, y)
+	case isa.OpBGE:
+		return b.Not(b.Bin(symeq.LtS, x, y))
+	case isa.OpBLTU:
+		return b.Bin(symeq.LtU, x, y)
+	default: // OpBGEU
+		return b.Not(b.Bin(symeq.LtU, x, y))
+	}
+}
+
+// branchTake evaluates a guard/branch-exit uop's "taken" condition,
+// applying the fused compare's register write as a side effect (the
+// executor writes the compare result before deciding the branch).
+func (st *symState) branchTake(u *uop) *symeq.Expr {
+	b := st.bld
+	switch u.kind {
+	case uFusedCmpGuard, uFusedCmpExit:
+		op := symeq.LtS
+		if u.cmpU {
+			op = symeq.LtU
+		}
+		c := b.Bin(op, st.x[u.rs1], st.x[u.rs2])
+		st.x[u.rd] = c
+		return takeExpr(b, u.bop, c, b.Const(0))
+	default:
+		return takeExpr(b, u.bop, st.x[u.rs1], st.x[u.rs2])
+	}
+}
+
+// effClass collapses fused and unfused control uops into one comparable
+// effect class; every other effect kind is its own class.
+func effClass(k uopKind) uopKind {
+	switch k {
+	case uFusedCmpGuard:
+		return uGuard
+	case uFusedCmpExit:
+		return uBranchExit
+	}
+	return k
+}
+
+// symEquivSeq proves ref and got equivalent for every input, or explains
+// the first divergence. ref is the per-instruction reference lowering;
+// got is the fused+peepholed stream actually installed.
+func symEquivSeq(ref, got []uop) error {
+	bld := symeq.NewBuilder()
+	a, b := newSymPair(bld)
+
+	prove := func(x, y *symeq.Expr, what string) error {
+		if v, _ := bld.Equal(x, y); v != symeq.Proven {
+			return fmt.Errorf("%s not provably equal (%v)", what, v)
+		}
+		return nil
+	}
+	stateEq := func(where string) error {
+		for i := 0; i < 32; i++ {
+			if v, env := bld.Equal(a.x[i], b.x[i]); v != symeq.Proven {
+				return fmt.Errorf("x%d differs at %s (%v%s)", i, where, v, cexNote(env))
+			}
+		}
+		for i := 0; i < 32; i++ {
+			if v, env := bld.Equal(a.f[i], b.f[i]); v != symeq.Proven {
+				return fmt.Errorf("f%d differs at %s (%v%s)", i, where, v, cexNote(env))
+			}
+		}
+		return nil
+	}
+
+	ia, ib, k := 0, 0, 0
+	for {
+		for ia < len(ref) && a.symPure(&ref[ia]) {
+			ia++
+		}
+		for ib < len(got) && b.symPure(&got[ib]) {
+			ib++
+		}
+		if ia == len(ref) && ib == len(got) {
+			return stateEq("sequence end")
+		}
+		if ia == len(ref) || ib == len(got) {
+			return fmt.Errorf("effect count mismatch: reference has %s, rewritten stream ended",
+				sideDesc(ref, ia, got, ib))
+		}
+		ru, gu := &ref[ia], &got[ib]
+		if effClass(ru.kind) != effClass(gu.kind) {
+			return fmt.Errorf("effect %d: reference %s vs rewritten %s at pc %#x",
+				k, kindName(ru.kind), kindName(gu.kind), ru.pc)
+		}
+		site := fmt.Sprintf("effect %d (%s at pc %#x)", k, kindName(gu.kind), gu.pc)
+		if ru.pc != gu.pc {
+			return fmt.Errorf("%s: pc differs from reference %#x", site, ru.pc)
+		}
+
+		switch effClass(ru.kind) {
+		case uSanRead, uSanWrite:
+			// Sanitizer probes: same access shape; they observe only the
+			// computed address, never the register file.
+			if ru.kind != gu.kind || ru.size != gu.size {
+				return fmt.Errorf("%s: sanitizer probe shape differs", site)
+			}
+			if err := prove(a.addrExpr(ru), b.addrExpr(gu), site+" address"); err != nil {
+				return err
+			}
+		case uFence:
+			// No operands, no state observation.
+		case uLoad:
+			if err := stateEq(site); err != nil {
+				return err
+			}
+			if ru.size != gu.size || ru.sh != gu.sh || ru.rd != gu.rd {
+				return fmt.Errorf("%s: load shape differs from reference", site)
+			}
+			if err := prove(a.addrExpr(ru), b.addrExpr(gu), site+" address"); err != nil {
+				return err
+			}
+			raw := bld.VarW(fmt.Sprintf("ld%d", k), uint8(8*ru.size))
+			a.applyLoad(ru, raw)
+			b.applyLoad(gu, raw)
+		case uFLoad:
+			if err := stateEq(site); err != nil {
+				return err
+			}
+			if err := prove(a.addrExpr(ru), b.addrExpr(gu), site+" address"); err != nil {
+				return err
+			}
+			raw := bld.VarW(fmt.Sprintf("fld%d", k), 64)
+			a.f[ru.rd] = raw
+			b.f[gu.rd] = raw
+			if ru.rd != gu.rd {
+				return fmt.Errorf("%s: fload destination differs", site)
+			}
+		case uStore:
+			if err := stateEq(site); err != nil {
+				return err
+			}
+			if ru.size != gu.size {
+				return fmt.Errorf("%s: store width differs", site)
+			}
+			if err := prove(a.addrExpr(ru), b.addrExpr(gu), site+" address"); err != nil {
+				return err
+			}
+			if err := prove(a.x[ru.rs2], b.x[gu.rs2], site+" value"); err != nil {
+				return err
+			}
+		case uFStore:
+			if err := stateEq(site); err != nil {
+				return err
+			}
+			if err := prove(a.addrExpr(ru), b.addrExpr(gu), site+" address"); err != nil {
+				return err
+			}
+			if err := prove(a.f[ru.rs2], b.f[gu.rs2], site+" value"); err != nil {
+				return err
+			}
+
+		case uGuard:
+			takeA := a.branchTake(ru)
+			takeB := b.branchTake(gu)
+			if ru.expectTaken != gu.expectTaken || ru.npc != gu.npc {
+				return fmt.Errorf("%s: guard polarity or off-trace target differs", site)
+			}
+			if err := prove(takeA, takeB, site+" condition"); err != nil {
+				return err
+			}
+			if err := stateEq(site); err != nil {
+				return err
+			}
+		case uBranchExit:
+			takeA := a.branchTake(ru)
+			takeB := b.branchTake(gu)
+			if ru.npc != gu.npc || ru.npc2 != gu.npc2 {
+				return fmt.Errorf("%s: branch targets differ", site)
+			}
+			if err := prove(takeA, takeB, site+" condition"); err != nil {
+				return err
+			}
+			if err := stateEq(site); err != nil {
+				return err
+			}
+		case uJalExit:
+			a.linkWrite(ru)
+			b.linkWrite(gu)
+			if ru.npc != gu.npc {
+				return fmt.Errorf("%s: jump target differs", site)
+			}
+			if err := stateEq(site); err != nil {
+				return err
+			}
+		case uJalrExit:
+			tA := bld.Bin(symeq.And, a.addrExpr(ru), bld.Const(^uint64(3)))
+			tB := bld.Bin(symeq.And, b.addrExpr(gu), bld.Const(^uint64(3)))
+			a.linkWrite(ru)
+			b.linkWrite(gu)
+			if err := prove(tA, tB, site+" target"); err != nil {
+				return err
+			}
+			if err := stateEq(site); err != nil {
+				return err
+			}
+		case uLoopBack:
+			// The back edge restarts the trace: state equality here plus
+			// equality of every effect inside the iteration proves all
+			// iterations equal by induction.
+			if err := stateEq(site); err != nil {
+				return err
+			}
+		case uExit:
+			if ru.npc != gu.npc {
+				return fmt.Errorf("%s: exit target differs", site)
+			}
+			if err := stateEq(site); err != nil {
+				return err
+			}
+
+		case uLL:
+			if err := stateEq(site); err != nil {
+				return err
+			}
+			if err := prove(a.x[ru.rs1], b.x[gu.rs1], site+" address"); err != nil {
+				return err
+			}
+			raw := bld.VarW(fmt.Sprintf("ll%d", k), 64)
+			a.wrSym(ru.rd, raw)
+			b.wrSym(gu.rd, raw)
+		case uSC:
+			if err := stateEq(site); err != nil {
+				return err
+			}
+			if err := prove(a.x[ru.rs1], b.x[gu.rs1], site+" address"); err != nil {
+				return err
+			}
+			if err := prove(a.x[ru.rs2], b.x[gu.rs2], site+" value"); err != nil {
+				return err
+			}
+			res := bld.VarW(fmt.Sprintf("sc%d", k), 1)
+			a.wrSym(ru.rd, res)
+			b.wrSym(gu.rd, res)
+		case uCAS, uAmoAdd, uAmoSwap:
+			if ru.kind != gu.kind {
+				return fmt.Errorf("%s: atomic kind differs", site)
+			}
+			if err := stateEq(site); err != nil {
+				return err
+			}
+			if err := prove(a.x[ru.rs1], b.x[gu.rs1], site+" address"); err != nil {
+				return err
+			}
+			if err := prove(a.x[ru.rs2], b.x[gu.rs2], site+" operand"); err != nil {
+				return err
+			}
+			if ru.kind == uCAS {
+				if err := prove(a.x[ru.rd], b.x[gu.rd], site+" compare value"); err != nil {
+					return err
+				}
+			}
+			old := bld.VarW(fmt.Sprintf("amo%d", k), 64)
+			a.wrSym(ru.rd, old)
+			b.wrSym(gu.rd, old)
+
+		case uSvcExit, uHaltExit, uEbreakExit:
+			if ru.kind != gu.kind {
+				return fmt.Errorf("%s: trap kind differs", site)
+			}
+			if err := stateEq(site); err != nil {
+				return err
+			}
+		case uHint:
+			if ru.imm != gu.imm {
+				return fmt.Errorf("%s: hint group differs", site)
+			}
+			if err := stateEq(site); err != nil {
+				return err
+			}
+
+		default:
+			return fmt.Errorf("%s: unverifiable uop kind", site)
+		}
+		ia++
+		ib++
+		k++
+	}
+}
+
+// applyLoad writes a load result derived from the shared raw symbol,
+// applying the uop's own sign-extension shift.
+func (st *symState) applyLoad(u *uop, raw *symeq.Expr) {
+	v := raw
+	if u.sh != 0 {
+		sh := st.bld.Const(uint64(u.sh))
+		v = st.bld.Bin(symeq.Sar, st.bld.Bin(symeq.Shl, raw, sh), sh)
+	}
+	st.wrSym(u.rd, v)
+}
+
+// wrSym mirrors wr(): x0 stays the architectural zero.
+func (st *symState) wrSym(rd uint8, v *symeq.Expr) {
+	if rd != 0 {
+		st.x[rd] = v
+	}
+}
+
+// linkWrite applies the link-register write of a jal/jalr exit.
+func (st *symState) linkWrite(u *uop) {
+	if u.rd != 0 {
+		st.x[u.rd] = st.bld.Const(u.val)
+	}
+}
+
+func cexNote(env symeq.Env) string {
+	if env == nil {
+		return ""
+	}
+	return ", counterexample found"
+}
+
+func sideDesc(ref []uop, ia int, got []uop, ib int) string {
+	if ia < len(ref) {
+		return fmt.Sprintf("%s at pc %#x", kindName(ref[ia].kind), ref[ia].pc)
+	}
+	return fmt.Sprintf("extra %s at pc %#x", kindName(got[ib].kind), got[ib].pc)
+}
+
+// symImmBattery is the boundary battery substituted into rule immediates
+// during symbolic proving: register inputs are universally quantified by
+// the symbolic state, immediates (baked into the uop encoding) are swept
+// across the values where carry, sign and shift behavior changes.
+var symImmBattery = []uint64{
+	0, 1, ^uint64(0), 2, ^uint64(1), 63, 64,
+	uint64(1) << 63, uint64(1)<<63 - 1,
+	0x5555555555555555, 0xaaaaaaaaaaaaaaaa,
+	0x7fffffffffffffff, 0x8000000000000001,
+}
+
+// ProveRuleSymbolic proves the named peephole schema sound for all
+// register inputs: every generated instance (and every immediate-battery
+// variant of it that still matches the schema) is checked by full
+// symbolic equivalence of the original and rewritten uop sequences. This
+// subsumes ProveRule's randomized replay on the register side — registers
+// are universally quantified expression variables, not samples. A rule
+// whose instance the engine cannot discharge is rejected, not sampled.
+func ProveRuleSymbolic(name string, seed int64) error {
+	for i := range allPeepSchemas {
+		if allPeepSchemas[i].name == name {
+			return proveSchemaSymbolic(&allPeepSchemas[i], seed)
+		}
+	}
+	return fmt.Errorf("tcg: unknown peephole rule %q", name)
+}
+
+func proveSchemaSymbolic(s *peepSchema, seed int64) error {
+	r := rand.New(rand.NewSource(seed))
+	const shapeTrials = 24 // register-shape instances from the generator
+	proved := 0
+	for t := 0; t < shapeTrials; t++ {
+		lhs := genInstance(s, r)
+		for _, variant := range immVariants(lhs) {
+			rhs, ok := applySchema(s, variant)
+			if !ok {
+				continue
+			}
+			if err := proveInstanceSymbolic(variant, rhs); err != nil {
+				return fmt.Errorf("tcg: rule %s REJECTED by symbolic prover (trial %d): %w\n  lhs: %s\n  rhs: %s",
+					s.name, t, err, fmtSeq(variant), fmtSeq(rhs))
+			}
+			proved++
+		}
+	}
+	if proved == 0 {
+		return fmt.Errorf("tcg: rule %s: generator produced no matching instances", s.name)
+	}
+	return nil
+}
+
+// genInstance draws one matching lhs sequence from the schema's generator.
+func genInstance(s *peepSchema, r *rand.Rand) []uop {
+	switch {
+	case s.tri != nil:
+		a, b, c := s.genTri(r)
+		return []uop{a, b, c}
+	case s.pair != nil:
+		a, b := s.genPair(r)
+		return []uop{a, b}
+	default:
+		return []uop{s.genUnary(r)}
+	}
+}
+
+// immVariants returns lhs plus copies with each uop's immediate (and uLi
+// value) swept across the boundary battery. Variants that no longer match
+// the schema are filtered by the caller via applySchema.
+func immVariants(lhs []uop) [][]uop {
+	out := [][]uop{lhs}
+	for i := range lhs {
+		for _, v := range symImmBattery {
+			cp := append([]uop(nil), lhs...)
+			if cp[i].kind == uLi {
+				cp[i].val = v
+			} else {
+				cp[i].imm = int64(v)
+			}
+			out = append(out, cp)
+		}
+	}
+	return out
+}
+
+// applySchema runs the schema's matcher on lhs, returning the replacement
+// sequence.
+func applySchema(s *peepSchema, lhs []uop) ([]uop, bool) {
+	switch {
+	case s.tri != nil && len(lhs) == 3:
+		return s.tri(&lhs[0], &lhs[1], &lhs[2])
+	case s.pair != nil && len(lhs) == 2:
+		m, ok := s.pair(&lhs[0], &lhs[1])
+		if !ok {
+			return nil, false
+		}
+		return []uop{m}, true
+	case s.unary != nil && len(lhs) == 1:
+		m, ok := s.unary(&lhs[0])
+		if !ok {
+			return nil, false
+		}
+		return []uop{m}, true
+	}
+	return nil, false
+}
+
+// proveInstanceSymbolic proves one concrete lhs/rhs instance equivalent
+// for all register inputs, and that the rewrite preserves virtual-time
+// accounting and the x0 invariant.
+func proveInstanceSymbolic(lhs, rhs []uop) error {
+	if lenInsns(lhs) != lenInsns(rhs) || lenCost(lhs) != lenCost(rhs) {
+		return fmt.Errorf("cost/insn accounting not preserved")
+	}
+	bld := symeq.NewBuilder()
+	a, b := newSymPair(bld)
+	for i := range lhs {
+		if !a.symPure(&lhs[i]) {
+			return fmt.Errorf("lhs uop %s is not pure ALU", kindName(lhs[i].kind))
+		}
+	}
+	for i := range rhs {
+		if !b.symPure(&rhs[i]) {
+			return fmt.Errorf("rhs uop %s is not pure ALU", kindName(rhs[i].kind))
+		}
+	}
+	for i := 0; i < 32; i++ {
+		if v, env := bld.Equal(a.x[i], b.x[i]); v != symeq.Proven {
+			return fmt.Errorf("x%d: %v%s", i, v, cexDetail(bld, a.x[i], b.x[i], env))
+		}
+	}
+	for i := 0; i < 32; i++ {
+		if v, _ := bld.Equal(a.f[i], b.f[i]); v != symeq.Proven {
+			return fmt.Errorf("f%d not provably equal", i)
+		}
+	}
+	if v, _ := bld.Equal(b.x[0], bld.Const(0)); v != symeq.Proven {
+		return fmt.Errorf("x0 invariant violated")
+	}
+	return nil
+}
+
+func cexDetail(bld *symeq.Builder, x, y *symeq.Expr, env symeq.Env) string {
+	if env == nil {
+		return ""
+	}
+	return fmt.Sprintf(" (counterexample: lhs=%#x rhs=%#x)", symeq.Eval(x, env), symeq.Eval(y, env))
+}
+
+func fmtSeq(ops []uop) string {
+	s := ""
+	for i := range ops {
+		if i > 0 {
+			s += " ; "
+		}
+		u := &ops[i]
+		s += fmt.Sprintf("%s rd=x%d rs1=x%d rs2=x%d imm=%d val=%#x",
+			kindName(u.kind), u.rd, u.rs1, u.rs2, u.imm, u.val)
+	}
+	return s
+}

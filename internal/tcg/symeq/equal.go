@@ -1,0 +1,175 @@
+package symeq
+
+// Verdict is the outcome of an equivalence query.
+type Verdict int
+
+const (
+	// Proven: the two expressions are equal for every assignment. Either
+	// both normalize to the same interned node, or every free variable was
+	// narrow enough for exhaustive enumeration to cover the full input
+	// space.
+	Proven Verdict = iota
+	// Refuted: a differing assignment exists. A counterexample Env is
+	// returned when the search found a concrete one; a domain refutation
+	// (disjoint intervals, contradicting known bits) can stand alone.
+	Refuted
+	// Unknown: neither proved nor refuted within this engine's power. A
+	// sound client treats Unknown as failure.
+	Unknown
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Proven:
+		return "proven"
+	case Refuted:
+		return "refuted"
+	}
+	return "unknown"
+}
+
+// batterySpecials are the boundary values every variable is tried at
+// before pseudo-random sampling: identities, sign boundaries, alternating
+// patterns, and the shift-amount edges.
+var batterySpecials = [...]uint64{
+	0, 1, ^uint64(0), 2, 3, 63, 64, 255,
+	uint64(1) << 63, uint64(1)<<63 - 1, uint64(1)<<63 + 1,
+	0x5555555555555555, 0xaaaaaaaaaaaaaaaa,
+	0x8000000000000001, 0x00000000ffffffff, 0xffffffff00000000,
+}
+
+// batteryTrials is the number of concrete assignments Equal samples when
+// hunting a counterexample (after the specials).
+const batteryTrials = 96
+
+// exhaustiveBudget caps the assignment space enumerated by the narrow-
+// operand fallback: the product of 2^width over all free variables.
+const exhaustiveBudget = 1 << 14
+
+// Equal decides whether x and y agree for every variable assignment.
+// The pipeline: interned-pointer equality proves; known-bits and interval
+// disagreement refute; if every free variable is narrow, exhaustive
+// enumeration settles the query outright; otherwise a deterministic
+// concrete battery hunts a counterexample and the query stays Unknown when
+// none shows up.
+func (b *Builder) Equal(x, y *Expr) (Verdict, Env) {
+	if x == y {
+		return Proven, nil
+	}
+
+	domainRefuted := false
+	if (x.ko&y.kz)|(x.kz&y.ko) != 0 {
+		domainRefuted = true // a bit known one on one side, zero on the other
+	}
+	if x.hi < y.lo || y.hi < x.lo {
+		domainRefuted = true
+	}
+
+	vars := freeVars(x, y)
+
+	// Bounded exhaustive fallback: with all variables narrow the full input
+	// space fits in the budget and enumeration is a real proof.
+	if space, ok := assignmentSpace(vars); ok && space <= exhaustiveBudget {
+		env := make(Env, len(vars))
+		for i := uint64(0); i < space; i++ {
+			idx := i
+			for _, v := range vars {
+				w := v.Width
+				env[v.Val] = idx & mask(w)
+				idx >>= w
+			}
+			if Eval(x, env) != Eval(y, env) {
+				return Refuted, cloneEnv(env)
+			}
+		}
+		if domainRefuted {
+			// The domains claimed a refutation enumeration disproved: the
+			// domains are conservative, so this cannot happen; trust the
+			// enumeration.
+			return Proven, nil
+		}
+		return Proven, nil
+	}
+
+	// Concrete battery: specials first, then seeded pseudo-random fill.
+	env := make(Env, len(vars))
+	for t := 0; t < len(batterySpecials)+batteryTrials; t++ {
+		for vi, v := range vars {
+			var val uint64
+			if t < len(batterySpecials) {
+				// Rotate the specials across variables so pairs see mixed
+				// boundary combinations, not just the diagonal.
+				val = batterySpecials[(t+vi)%len(batterySpecials)]
+			} else {
+				val = splitmix(uint64(t)*0x9e3779b9 + v.Val*0x85ebca6b + 0xc2b2ae35)
+			}
+			env[v.Val] = val & mask(v.Width)
+		}
+		if Eval(x, env) != Eval(y, env) {
+			return Refuted, cloneEnv(env)
+		}
+	}
+
+	if domainRefuted {
+		// The domains prove inputs exist where the sides differ even though
+		// the battery missed the witness.
+		return Refuted, nil
+	}
+	return Unknown, nil
+}
+
+// freeVars collects the variables reachable from either root, in mint
+// order (deterministic).
+func freeVars(roots ...*Expr) []*Expr {
+	seen := make(map[*Expr]bool)
+	var vars []*Expr
+	var walk func(e *Expr)
+	walk = func(e *Expr) {
+		if e == nil || seen[e] {
+			return
+		}
+		seen[e] = true
+		if e.Op == Var {
+			vars = append(vars, e)
+			return
+		}
+		walk(e.X)
+		walk(e.Y)
+		for _, a := range e.Args {
+			walk(a)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	// Insertion order already follows DAG walk order; sort by mint index so
+	// the enumeration packing is stable regardless of expression shape.
+	for i := 1; i < len(vars); i++ {
+		for j := i; j > 0 && vars[j-1].Val > vars[j].Val; j-- {
+			vars[j-1], vars[j] = vars[j], vars[j-1]
+		}
+	}
+	return vars
+}
+
+// assignmentSpace returns the total number of assignments over vars, and
+// whether that number fits the exhaustive budget's arithmetic (total bit
+// width under 63).
+func assignmentSpace(vars []*Expr) (uint64, bool) {
+	total := 0
+	for _, v := range vars {
+		total += int(v.Width)
+		if total > 62 {
+			return 0, false
+		}
+	}
+	return uint64(1) << total, true
+}
+
+func cloneEnv(env Env) Env {
+	out := make(Env, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}

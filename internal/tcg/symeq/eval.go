@@ -1,0 +1,55 @@
+package symeq
+
+// Env assigns concrete values to variables, keyed by Expr.Val (the
+// variable's mint index). Missing variables read as zero.
+type Env map[uint64]uint64
+
+// Eval computes e under env. Uninterpreted functions evaluate to a
+// deterministic mix of their tag and argument values, so equal
+// applications agree across both sides of an equivalence query — the same
+// congruence the symbolic engine assumes.
+func Eval(e *Expr, env Env) uint64 {
+	memo := make(map[*Expr]uint64)
+	return eval(e, env, memo)
+}
+
+func eval(e *Expr, env Env, memo map[*Expr]uint64) uint64 {
+	if v, ok := memo[e]; ok {
+		return v
+	}
+	var v uint64
+	switch e.Op {
+	case Const:
+		v = e.Val
+	case Var:
+		v = env[e.Val] & mask(e.Width)
+	case Fun:
+		h := splitmix(hashString(e.Name))
+		for _, a := range e.Args {
+			h = splitmix(h ^ eval(a, env, memo))
+		}
+		v = h & mask(e.Width)
+	default:
+		v = evalOp(e.Op, eval(e.X, env, memo), eval(e.Y, env, memo))
+	}
+	memo[e] = v
+	return v
+}
+
+// splitmix is the SplitMix64 finalizer: a cheap, seedable, deterministic
+// mixer for battery value generation and uninterpreted-function results.
+func splitmix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func hashString(s string) uint64 {
+	var h uint64 = 1469598103934665603 // FNV offset
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

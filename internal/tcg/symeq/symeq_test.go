@@ -1,0 +1,226 @@
+package symeq
+
+import "testing"
+
+const minI64 = uint64(1) << 63
+
+func neg(v int64) uint64 { return uint64(-v) }
+
+func TestConstantFolding(t *testing.T) {
+	b := NewBuilder()
+	cases := []struct {
+		op   Op
+		x, y uint64
+		want uint64
+	}{
+		{Add, 3, 4, 7},
+		{Add, ^uint64(0), 1, 0},
+		{Sub, 3, 4, ^uint64(0)},
+		{Mul, 1 << 32, 1 << 32, 0},
+		{Div, 7, 0, ^uint64(0)},
+		{Div, minI64, ^uint64(0), minI64},
+		{Div, neg(7), 2, neg(3)},
+		{DivU, 7, 0, ^uint64(0)},
+		{Rem, 7, 0, 7},
+		{Rem, minI64, ^uint64(0), 0},
+		{RemU, 7, 0, 7},
+		{Shl, 1, 65, 2}, // amount mod 64
+		{Shr, 1 << 8, 72, 1},
+		{Sar, neg(8), 2, neg(2)},
+		{Eq, 5, 5, 1},
+		{LtS, ^uint64(0), 0, 1}, // -1 < 0 signed
+		{LtU, ^uint64(0), 0, 0},
+	}
+	for _, c := range cases {
+		got := b.Bin(c.op, b.Const(c.x), b.Const(c.y))
+		v, ok := got.IsConst()
+		if !ok || v != c.want {
+			t.Errorf("%v(%#x, %#x) = %v, want const %#x", c.op, c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestNormalizationUnifies(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x")
+	y := b.Var("y")
+
+	// (x + 3) + 4 interns identically to x + 7.
+	if b.Bin(Add, b.Bin(Add, x, b.Const(3)), b.Const(4)) != b.Bin(Add, x, b.Const(7)) {
+		t.Error("addi chain did not reassociate")
+	}
+	// x + 0 is x; (x + 0) + 0 too (the mv-bounce shape).
+	if b.Bin(Add, b.Bin(Add, x, b.Const(0)), b.Const(0)) != x {
+		t.Error("add-zero chain did not collapse")
+	}
+	// Commutativity.
+	if b.Bin(Add, x, y) != b.Bin(Add, y, x) {
+		t.Error("add is not canonicalized commutatively")
+	}
+	// Self-operations.
+	if v, _ := b.Bin(Xor, x, x).IsConst(); v != 0 {
+		t.Error("x^x != 0")
+	}
+	if v, _ := b.Bin(Sub, x, x).IsConst(); v != 0 {
+		t.Error("x-x != 0")
+	}
+	if b.Bin(And, x, x) != x || b.Bin(Or, x, x) != x {
+		t.Error("x&x / x|x did not collapse")
+	}
+	if v, _ := b.Bin(And, x, b.Const(0)).IsConst(); v != 0 {
+		t.Error("x&0 != 0")
+	}
+	// Sub by const folds into the Add chain.
+	if b.Bin(Sub, b.Bin(Add, x, b.Const(10)), b.Const(4)) != b.Bin(Add, x, b.Const(6)) {
+		t.Error("sub-const did not fold into add chain")
+	}
+	// Shift amount normalization: x << 65 == x << 1.
+	if b.Bin(Shl, x, b.Const(65)) != b.Bin(Shl, x, b.Const(1)) {
+		t.Error("shift amount not normalized mod 64")
+	}
+}
+
+func TestKnownBitsAndIntervals(t *testing.T) {
+	b := NewBuilder()
+	n := b.VarW("n", 8) // [0, 255]
+
+	masked := b.Bin(And, b.Var("x"), b.Const(0xff))
+	kz, _ := masked.KnownBits()
+	if kz&^uint64(0xff) != ^uint64(0xff) {
+		t.Errorf("x&0xff high bits not known zero: kz=%#x", kz)
+	}
+
+	sum := b.Bin(Add, n, b.Const(1))
+	if lo, hi := sum.Interval(); lo != 1 || hi != 256 {
+		t.Errorf("interval of n8+1 = [%d,%d], want [1,256]", lo, hi)
+	}
+
+	shifted := b.Bin(Shl, n, b.Const(8))
+	if _, ko := shifted.KnownBits(); ko != 0 {
+		t.Errorf("n<<8 known ones = %#x, want 0", ko)
+	}
+	kz, _ = shifted.KnownBits()
+	if kz&0xff != 0xff {
+		t.Errorf("n<<8 low byte not known zero: kz=%#x", kz)
+	}
+
+	cmp := b.Bin(LtU, n, b.Const(300))
+	if v, ok := cmp.IsConst(); !ok || v != 1 {
+		t.Errorf("n8 < 300 should fold to 1 via intervals, got %v", cmp)
+	}
+}
+
+func TestEqualVerdicts(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x")
+	y := b.Var("y")
+
+	// Proven by normalization.
+	if v, _ := b.Equal(b.Bin(Add, b.Bin(Add, x, b.Const(1)), b.Const(2)), b.Bin(Add, x, b.Const(3))); v != Proven {
+		t.Errorf("reassociated adds: %v", v)
+	}
+
+	// Refuted with a concrete counterexample.
+	v, env := b.Equal(b.Bin(Add, x, b.Const(1)), b.Bin(Add, x, b.Const(2)))
+	if v != Refuted {
+		t.Fatalf("x+1 vs x+2: %v", v)
+	}
+	if env != nil {
+		l := Eval(b.Bin(Add, x, b.Const(1)), env)
+		r := Eval(b.Bin(Add, x, b.Const(2)), env)
+		if l == r {
+			t.Error("counterexample does not distinguish the sides")
+		}
+	}
+
+	// Refuted via the battery on a structural difference.
+	if v, env := b.Equal(b.Bin(Add, x, y), b.Bin(Sub, x, y)); v != Refuted || env == nil {
+		t.Errorf("x+y vs x-y: %v env=%v", v, env)
+	}
+
+	// True-but-unprovable shape: x*2 vs x+x do not normalize together and
+	// 64-bit x defeats enumeration; the battery finds no counterexample.
+	if v, _ := b.Equal(b.Bin(Mul, x, b.Const(2)), b.Bin(Add, x, x)); v == Refuted {
+		t.Errorf("x*2 vs x+x must not be refuted")
+	}
+}
+
+func TestExhaustiveNarrow(t *testing.T) {
+	b := NewBuilder()
+	s := b.VarW("s", 6) // a shift amount
+	one := b.Const(1)
+
+	// (1 << s) >> s == 1 for every 6-bit s: provable only by enumeration.
+	lhs := b.Bin(Shr, b.Bin(Shl, one, s), s)
+	if v, _ := b.Equal(lhs, one); v != Proven {
+		t.Errorf("(1<<s)>>s == 1 over 6-bit s: %v", v)
+	}
+
+	// s + 64 == s is false and enumeration finds the witness... for 6-bit
+	// vars the high bits matter: s|64 != s for all s, refuted exhaustively.
+	v, env := b.Equal(b.Bin(Or, s, b.Const(64)), s)
+	if v != Refuted || env == nil {
+		t.Errorf("s|64 vs s: %v env=%v", v, env)
+	}
+
+	// Two narrow vars: a+b == b+a proven by normalization before
+	// enumeration is even consulted; a-b == b-a refuted.
+	a := b.VarW("a", 4)
+	c := b.VarW("c", 4)
+	if v, _ := b.Equal(b.Bin(Add, a, c), b.Bin(Add, c, a)); v != Proven {
+		t.Error("narrow a+c vs c+a")
+	}
+	if v, _ := b.Equal(b.Bin(Sub, a, c), b.Bin(Sub, c, a)); v != Refuted {
+		t.Error("narrow a-c vs c-a not refuted")
+	}
+}
+
+func TestUninterpretedCongruence(t *testing.T) {
+	b := NewBuilder()
+	x := b.Var("x")
+	y := b.Var("y")
+
+	// Same tag, same args: identical node.
+	if b.Fun("fadd", 64, x, y) != b.Fun("fadd", 64, x, y) {
+		t.Error("congruent applications did not intern together")
+	}
+	// Different args: distinct, and Eval distinguishes deterministically.
+	f1 := b.Fun("fadd", 64, x, y)
+	f2 := b.Fun("fadd", 64, y, x)
+	if f1 == f2 {
+		t.Error("fadd(x,y) and fadd(y,x) must stay distinct (FP is not commutative here)")
+	}
+	env := Env{x.Val: 1, y.Val: 2}
+	if Eval(f1, env) == Eval(f2, env) {
+		t.Error("uninterpreted eval collided on distinct applications")
+	}
+	if Eval(f1, env) != Eval(f1, env) {
+		t.Error("uninterpreted eval is not deterministic")
+	}
+}
+
+// TestEvalAgreesWithFold cross-checks the folding semantics against Eval on
+// every binary op over a boundary battery: the two concrete paths through
+// the engine must agree bit for bit.
+func TestEvalAgreesWithFold(t *testing.T) {
+	ops := []Op{Add, Sub, Mul, Div, DivU, Rem, RemU, And, Or, Xor, Shl, Shr, Sar, Eq, LtS, LtU}
+	vals := batterySpecials[:]
+	for _, op := range ops {
+		for _, a := range vals {
+			for _, c := range vals {
+				b := NewBuilder()
+				folded := b.Bin(op, b.Const(a), b.Const(c))
+				fv, ok := folded.IsConst()
+				if !ok {
+					t.Fatalf("%v of consts did not fold", op)
+				}
+				x := b.Var("x")
+				y := b.Var("y")
+				ev := Eval(b.Bin(op, x, y), Env{x.Val: a, y.Val: c})
+				if fv != ev {
+					t.Errorf("%v(%#x,%#x): fold %#x, eval %#x", op, a, c, fv, ev)
+				}
+			}
+		}
+	}
+}

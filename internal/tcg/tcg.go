@@ -102,6 +102,12 @@ type Stats struct {
 	Tier3TranslateNs int64  // virtual time charged for closure compilation
 	Tier3Demotions   uint64 // mid-trace generation-guard trips back to tier-2
 	PeepApplied      uint64 // mined peephole rules applied at trace lowering
+
+	// Translation-validation counters (Engine.Verify).
+	VerifiedSuperblocks uint64 // superblocks proved equivalent to the reference lowering
+	VerifyDemotions     uint64 // superblocks demoted to the reference lowering on proof failure
+	VerifiedTier3       uint64 // tier-3 compilations whose structure checked out
+	Tier3CheckFailures  uint64 // tier-3 compilations rejected by the structural checker
 }
 
 // MaxBlockInsns bounds translation block length.
@@ -165,6 +171,18 @@ type Engine struct {
 	NoJumpCache  bool
 	NoTier3      bool
 	NoPeephole   bool
+
+	// Verify enables translate-time translation validation: every freshly
+	// built superblock is symbolically proved equivalent to the
+	// per-instruction reference lowering (internal/tcg/sym.go), and every
+	// tier-3 closure compilation is structurally checked against its tier-2
+	// uop sequence. A superblock that fails the proof is demoted to the
+	// reference lowering with a diagnostic (OnVerifyFail); a failing tier-3
+	// compilation is rejected and the superblock stays on tier-2.
+	Verify bool
+	// OnVerifyFail, if set, observes each verification failure: where is
+	// "superblock" or "tier3", entry the guest PC heading the trace.
+	OnVerifyFail func(where string, entry uint64, err error)
 
 	// HotThreshold overrides DefaultHotThreshold when nonzero (tests);
 	// Tier3Threshold likewise overrides DefaultTier3Threshold.

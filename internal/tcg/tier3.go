@@ -232,25 +232,37 @@ func (e *Engine) execTier3(cpu *CPU, t3 *tier3, spent *int64, budgetNs int64) (*
 	}
 }
 
-// compileTier3 compiles sb into a chunk array, charging translation time
-// like buildTrace. Each cost segment becomes one chunk: a fusion plan over
-// the straight-line mids (addi absorption, mem pairing) followed by one
-// leaf closure per plan unit plus the compiled tail. Returns nil when the
-// superblock contains a shape the closure compiler does not handle
-// (execution then stays on tier-2 permanently).
-func (e *Engine) compileTier3(sb *superblock, spent *int64) *tier3 {
-	ops := sb.ops
-	if len(ops) == 0 || !segBoundary(ops[len(ops)-1].kind) {
-		return nil
-	}
-	t3 := &tier3{entry: sb.entry, gen: sb.gen}
+// t3seg is the fusion plan for one cost segment: ops[first:last] are the
+// straight-line mids, ops[last] the terminating boundary uop.
+type t3seg struct {
+	first, last int
+	units       []t3unit
+	groups      []int // group start indices into units (mem-run fusion)
+}
 
-	// Segment start indices.
-	var starts []int
+// t3plan is the complete compilation plan for a superblock: segment
+// boundaries, the back-edge fold, and each segment's fusion units and
+// memory-run groups. compileTier3 consumes it mechanically, which makes
+// the plan the single structure the tier-3 checker (tier3check.go) has to
+// validate against the tier-2 uop sequence.
+type t3plan struct {
+	starts   []int // segment start indices, one per segBoundary
+	fuseLoop bool  // trailing bare uLoopBack folded into the predecessor
+	segs     []t3seg
+}
+
+// planTier3 derives the compilation plan from a segmentized uop array.
+// Returns ok=false when the shape is not compilable (empty trace or no
+// trailing segment boundary).
+func planTier3(ops []uop) (t3plan, bool) {
+	if len(ops) == 0 || !segBoundary(ops[len(ops)-1].kind) {
+		return t3plan{}, false
+	}
+	var p t3plan
 	segStart := 0
 	for i := range ops {
 		if segBoundary(ops[i].kind) {
-			starts = append(starts, segStart)
+			p.starts = append(p.starts, segStart)
 			segStart = i + 1
 		}
 	}
@@ -259,14 +271,102 @@ func (e *Engine) compileTier3(sb *superblock, spent *int64) *tier3 {
 	// predecessor's fall-through: charge + t3Loop in one closure (the
 	// trampoline revalidates the generation immediately after, so the
 	// page-boundary guard is redundant there).
-	nseg := len(starts)
-	fuseLoop := false
+	nseg := len(p.starts)
 	if nseg >= 2 {
-		lastFirst := starts[nseg-1]
+		lastFirst := p.starts[nseg-1]
 		if lastFirst == len(ops)-1 && ops[lastFirst].kind == uLoopBack {
-			fuseLoop = true
+			p.fuseLoop = true
+			nseg--
 		}
 	}
+
+	p.segs = make([]t3seg, nseg)
+	for s := 0; s < nseg; s++ {
+		first := p.starts[s]
+		last := len(ops) - 1
+		if s+1 < len(p.starts) {
+			last = p.starts[s+1] - 1
+		}
+		seg := t3seg{first: first, last: last}
+		// Fusion plan for the straight-line mids: a greedy forward scan
+		// folds address-bump addis into their neighbouring memory ops (pre:
+		// addi right before the access, may feed the address; post: addi
+		// right after it) and pairs leftover adjacent addis. One unit = one
+		// compiled closure, so an addi-load-addi triple retires in a single
+		// call — these are the hottest sequences the uopseq profile mines.
+		for j := first; j < last; {
+			k := ops[j].kind
+			if k == uAddi && j+1 < last && memFusable(ops[j+1].kind) {
+				un := t3unit{op: j + 1, pre: j, post: -1, pair: -1}
+				j += 2
+				if j < last && ops[j].kind == uAddi {
+					un.post = j
+					j++
+				}
+				seg.units = append(seg.units, un)
+				continue
+			}
+			if memFusable(k) {
+				un := t3unit{op: j, pre: -1, post: -1, pair: -1}
+				j++
+				if j < last && ops[j].kind == uAddi {
+					un.post = j
+					j++
+				}
+				seg.units = append(seg.units, un)
+				continue
+			}
+			if k == uAddi && j+1 < last && ops[j+1].kind == uAddi {
+				seg.units = append(seg.units, t3unit{op: j, pre: -1, post: -1, pair: j + 1})
+				j += 2
+				continue
+			}
+			if k == uAddi && j+1 < last && addiMidable(ops[j+1].kind) {
+				seg.units = append(seg.units, t3unit{op: j + 1, pre: j, post: -1, pair: -1})
+				j += 2
+				continue
+			}
+			seg.units = append(seg.units, t3unit{op: j, pre: -1, post: -1, pair: -1})
+			j++
+		}
+		// Second-level fusion: runs of up to t3MemRun adjacent 8-byte
+		// loads/stores (integer or double FP, each keeping its own addi
+		// fusions and site TLB line) collapse into one closure — the
+		// load-load / store-addi-load / fload-fload runs the uopseq profile
+		// surfaces. Wider runs amortize the per-closure call overhead that
+		// dominates mem-heavy inner loops.
+		seg.groups = make([]int, 0, len(seg.units))
+		for k := 0; k < len(seg.units); {
+			g := 1
+			if pair8able(ops, seg.units[k]) {
+				for g < t3MemRun && k+g < len(seg.units) && pair8able(ops, seg.units[k+g]) {
+					g++
+				}
+			}
+			seg.groups = append(seg.groups, k)
+			k += g
+		}
+		p.segs[s] = seg
+	}
+	return p, true
+}
+
+// compileTier3 compiles sb into a chunk array, charging translation time
+// like buildTrace. Each cost segment becomes one chunk: a fusion plan over
+// the straight-line mids (addi absorption, mem pairing) followed by one
+// leaf closure per plan unit plus the compiled tail. Returns nil when the
+// superblock contains a shape the closure compiler does not handle
+// (execution then stays on tier-2 permanently).
+func (e *Engine) compileTier3(sb *superblock, spent *int64) *tier3 {
+	ops := sb.ops
+	plan, ok := planTier3(ops)
+	if !ok {
+		return nil
+	}
+	t3 := &tier3{entry: sb.entry, gen: sb.gen}
+	starts := plan.starts
+	nseg := len(plan.segs)
+	fuseLoop := plan.fuseLoop
 
 	// The last compiled segment ends in a true exit, so its fall-through
 	// is never taken; give it a defensive stop.
@@ -284,17 +384,13 @@ func (e *Engine) compileTier3(sb *superblock, spent *int64) *tier3 {
 			c.executed += insns
 			return t3Loop
 		}
-		nseg--
 	}
 
 	// segChunks[s] is segment s's chunks in forward order.
 	segChunks := make([][]t3chunk, nseg)
 	for s := nseg - 1; s >= 0; s-- {
-		first := starts[s]
-		last := len(ops) - 1
-		if s+1 < len(starts) {
-			last = starts[s+1] - 1
-		}
+		first := plan.segs[s].first
+		last := plan.segs[s].last
 		var next t3op = t3adv
 		if s == nseg-1 {
 			next = tailNext
@@ -303,65 +399,8 @@ func (e *Engine) compileTier3(sb *superblock, spent *int64) *tier3 {
 		if tail == nil {
 			return nil
 		}
-		// Fusion plan for the straight-line mids: a greedy forward scan
-		// folds address-bump addis into their neighbouring memory ops (pre:
-		// addi right before the access, may feed the address; post: addi
-		// right after it) and pairs leftover adjacent addis. One unit = one
-		// compiled closure, so an addi-load-addi triple retires in a single
-		// call — these are the hottest sequences the uopseq profile mines.
-		var units []t3unit
-		for j := first; j < last; {
-			k := ops[j].kind
-			if k == uAddi && j+1 < last && memFusable(ops[j+1].kind) {
-				un := t3unit{op: j + 1, pre: j, post: -1, pair: -1}
-				j += 2
-				if j < last && ops[j].kind == uAddi {
-					un.post = j
-					j++
-				}
-				units = append(units, un)
-				continue
-			}
-			if memFusable(k) {
-				un := t3unit{op: j, pre: -1, post: -1, pair: -1}
-				j++
-				if j < last && ops[j].kind == uAddi {
-					un.post = j
-					j++
-				}
-				units = append(units, un)
-				continue
-			}
-			if k == uAddi && j+1 < last && ops[j+1].kind == uAddi {
-				units = append(units, t3unit{op: j, pre: -1, post: -1, pair: j + 1})
-				j += 2
-				continue
-			}
-			if k == uAddi && j+1 < last && addiMidable(ops[j+1].kind) {
-				units = append(units, t3unit{op: j + 1, pre: j, post: -1, pair: -1})
-				j += 2
-				continue
-			}
-			units = append(units, t3unit{op: j, pre: -1, post: -1, pair: -1})
-			j++
-		}
-		// Second-level fusion: runs of up to t3MemRun adjacent 8-byte
-		// loads/stores (integer or double FP, each keeping its own addi
-		// fusions and site TLB line) collapse into one closure — the
-		// load-load / store-addi-load / fload-fload runs the uopseq profile
-		// surfaces. Wider runs amortize the per-closure call overhead that
-		// dominates mem-heavy inner loops.
-		groups := make([]int, 0, len(units)) // group start indices
-		for k := 0; k < len(units); {
-			g := 1
-			if pair8able(ops, units[k]) {
-				for g < t3MemRun && k+g < len(units) && pair8able(ops, units[k+g]) {
-					g++
-				}
-			}
-			groups = append(groups, k)
-			k += g
-		}
+		units := plan.segs[s].units
+		groups := plan.segs[s].groups
 		var rev []t3op // cut chunk heads, segment-end first
 		fn := tail
 		n := 1
@@ -427,6 +466,20 @@ func (e *Engine) compileTier3(sb *superblock, spent *int64) *tier3 {
 	e.Stats.TranslateNs += t
 	e.Stats.Tier3TranslateNs += t
 	e.Stats.Tier3Superblocks++
+
+	if e.Verify {
+		if err := e.checkTier3(sb, t3); err != nil {
+			// Reject the compilation: the caller records the sticky t3fail
+			// and the superblock stays on tier-2, which is verified
+			// separately by symEquivSeq.
+			e.Stats.Tier3CheckFailures++
+			if e.OnVerifyFail != nil {
+				e.OnVerifyFail("tier3", sb.entry, err)
+			}
+			return nil
+		}
+		e.Stats.VerifiedTier3++
+	}
 	return t3
 }
 

@@ -106,6 +106,16 @@ func (e *Engine) buildTrace(head *block, spent *int64) *superblock {
 	sb := &superblock{entry: head.startPC, gen: e.gen}
 	visited := map[uint64]bool{head.startPC: true}
 
+	// Translation validation (Engine.Verify): ref accumulates the
+	// per-instruction reference lowering — each guest instruction lowered
+	// into its own scratch slice, which defeats the cross-instruction ADDI
+	// fold and the cmp+branch fusion below, so ref carries interpreter-
+	// faithful per-instruction semantics. Terminator uops are mirrored
+	// verbatim (same exit-slot indices), making ref a drop-in demotion
+	// target when the optimized stream fails its equivalence proof.
+	verify := e.Verify
+	var ref, scratch []uop
+
 	newExit := func() int16 {
 		sb.exits = append(sb.exits, exitSlot{})
 		return int16(len(sb.exits) - 1)
@@ -133,6 +143,9 @@ func (e *Engine) buildTrace(head *block, spent *int64) *superblock {
 	// destination against x0. Fusion is unsafe when that destination is x0:
 	// the architectural branch then reads the constant 0, not the compare.
 	emit := func(u uop) {
+		if verify {
+			ref = append(ref, u)
+		}
 		if len(sb.ops) > 0 && (u.kind == uGuard || u.kind == uBranchExit) &&
 			u.rs2 == 0 && (u.bop == isa.OpBEQ || u.bop == isa.OpBNE) {
 			p := &sb.ops[len(sb.ops)-1]
@@ -157,6 +170,15 @@ func (e *Engine) buildTrace(head *block, spent *int64) *superblock {
 		sb.ops = append(sb.ops, u)
 	}
 
+	// app appends a terminator/link uop, mirroring it into the reference
+	// stream under -verify.
+	app := func(u uop) {
+		sb.ops = append(sb.ops, u)
+		if verify {
+			ref = append(ref, u)
+		}
+	}
+
 	b := head
 	blocks := 0
 loop:
@@ -172,6 +194,10 @@ loop:
 				break
 			}
 			sb.ops = e.lowerInsn(sb.ops, &b.ops[i], b.pcs[i])
+			if verify {
+				scratch = e.lowerInsn(scratch[:0], &b.ops[i], b.pcs[i])
+				ref = append(ref, scratch...)
+			}
 			sb.ninsns++
 		}
 		if term < 0 {
@@ -189,7 +215,7 @@ loop:
 				b = nb
 				continue
 			}
-			sb.ops = append(sb.ops, uop{kind: uExit, npc: fallPC, exit: newExit(), exit2: -1})
+			app(uop{kind: uExit, npc: fallPC, exit: newExit(), exit2: -1})
 			break
 		}
 
@@ -207,12 +233,12 @@ loop:
 				link.kind = uNop
 			}
 			if target == sb.entry {
-				sb.ops = append(sb.ops, link)
-				sb.ops = append(sb.ops, uop{kind: uLoopBack, pc: pc, exit: -1, exit2: -1})
+				app(link)
+				app(uop{kind: uLoopBack, pc: pc, exit: -1, exit2: -1})
 				break loop
 			}
 			if nb, ok := canFollow(target, blocks); ok {
-				sb.ops = append(sb.ops, link)
+				app(link)
 				visited[target] = true
 				b = nb
 				continue
@@ -220,11 +246,11 @@ loop:
 			link.kind = uJalExit
 			link.npc = target
 			link.exit = newExit()
-			sb.ops = append(sb.ops, link)
+			app(link)
 			break loop
 
 		case ins.Op == isa.OpJALR:
-			sb.ops = append(sb.ops, uop{kind: uJalrExit, rd: ins.Rd, rs1: ins.Rs1,
+			app(uop{kind: uJalrExit, rd: ins.Rd, rs1: ins.Rs1,
 				imm: ins.Imm, val: pc + 4, pc: pc, selfInsns: 1, selfCost: cost,
 				exit: -1, exit2: -1})
 			break loop
@@ -241,7 +267,7 @@ loop:
 					emit(uop{kind: uGuard, rs1: ins.Rs1, rs2: ins.Rs2, bop: ins.Op,
 						expectTaken: followTaken, pc: pc, npc: offPC,
 						selfInsns: 1, selfCost: cost, exit: newExit(), exit2: -1})
-					sb.ops = append(sb.ops, uop{kind: uLoopBack, pc: pc, exit: -1, exit2: -1})
+					app(uop{kind: uLoopBack, pc: pc, exit: -1, exit2: -1})
 					break loop
 				}
 				if nb, ok := canFollow(onPC, blocks); ok {
@@ -259,15 +285,15 @@ loop:
 			break loop
 
 		case ins.Op == isa.OpSVC:
-			sb.ops = append(sb.ops, uop{kind: uSvcExit, pc: pc,
+			app(uop{kind: uSvcExit, pc: pc,
 				selfInsns: 1, selfCost: cost, exit: -1, exit2: -1})
 			break loop
 		case ins.Op == isa.OpHALT:
-			sb.ops = append(sb.ops, uop{kind: uHaltExit, pc: pc,
+			app(uop{kind: uHaltExit, pc: pc,
 				selfInsns: 1, selfCost: cost, exit: -1, exit2: -1})
 			break loop
 		default: // EBREAK and anything unexpected
-			sb.ops = append(sb.ops, uop{kind: uEbreakExit, pc: pc,
+			app(uop{kind: uEbreakExit, pc: pc,
 				selfInsns: 1, selfCost: cost, exit: -1, exit2: -1})
 			break loop
 		}
@@ -275,6 +301,22 @@ loop:
 
 	sb.ops = e.peepPass(sb.ops)
 	segmentize(sb.ops)
+
+	if verify {
+		if err := symEquivSeq(ref, sb.ops); err != nil {
+			// Demote with a diagnostic: install the per-instruction
+			// reference lowering, which is correct by construction and
+			// reuses the same exit slots.
+			e.Stats.VerifyDemotions++
+			if e.OnVerifyFail != nil {
+				e.OnVerifyFail("superblock", sb.entry, err)
+			}
+			segmentize(ref)
+			sb.ops = ref
+		} else {
+			e.Stats.VerifiedSuperblocks++
+		}
+	}
 
 	t := int64(sb.ninsns) * e.Cost.TranslateNs
 	*spent += t
