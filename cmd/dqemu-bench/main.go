@@ -10,6 +10,7 @@
 //	dqemu-bench -exp chaos -broken noretry    # prove the suite catches a broken transport
 //	dqemu-bench -exp scenario -spec scenarios # run every checked-in scenario spec
 //	dqemu-bench -exp scenario -spec scenarios -smoke -json out.json
+//	dqemu-bench -exp adaptive -full -json BENCH_pr9.json  # feedback-scheduler gate
 package main
 
 import (
@@ -26,11 +27,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig5, fig6, table1, fig7, fig8, singlenode, sanitizer, wire, chaos, scenario, or all")
+	exp := flag.String("exp", "all", "experiment to run: fig5, fig6, table1, fig7, fig8, singlenode, sanitizer, wire, chaos, scenario, adaptive, or all")
 	full := flag.Bool("full", false, "use inputs close to the paper's sizes (slow)")
 	slaves := flag.Int("slaves", 6, "maximum number of slave nodes to sweep")
 	quiet := flag.Bool("q", false, "suppress per-run progress")
-	jsonOut := flag.String("json", "", "write singlenode/sanitizer/wire results as JSON to this file")
+	jsonOut := flag.String("json", "", "write singlenode/sanitizer/wire/adaptive results as JSON to this file")
 	noSuper := flag.Bool("nosuperblock", false, "disable hot-trace superblocks (ablation)")
 	noJC := flag.Bool("nojumpcache", false, "disable the indirect-branch target cache (ablation)")
 	noT3 := flag.Bool("notier3", false, "disable closure compilation of hot superblocks (ablation)")
@@ -196,6 +197,32 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[sanitizer took %.1fs host time]\n\n", time.Since(start).Seconds())
 		if sr.Fails() > 0 {
+			os.Exit(1)
+		}
+	}
+
+	if want("adaptive") {
+		start := time.Now()
+		ar, err := experiments.RunAdaptive(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dqemu-bench: adaptive: %v\n", err)
+			os.Exit(1)
+		}
+		ar.Print(os.Stdout)
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dqemu-bench: %v\n", err)
+				os.Exit(1)
+			}
+			if err := ar.WriteJSON(f); err != nil {
+				fmt.Fprintf(os.Stderr, "dqemu-bench: %v\n", err)
+				os.Exit(1)
+			}
+			f.Close()
+		}
+		fmt.Fprintf(os.Stderr, "[adaptive took %.1fs host time]\n\n", time.Since(start).Seconds())
+		if ar.Fails() > 0 {
 			os.Exit(1)
 		}
 	}

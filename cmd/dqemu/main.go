@@ -31,6 +31,8 @@ func main() {
 	verify := flag.Bool("verify", false, "prove every superblock translation symbolically and check every tier-3 compilation structurally; failures demote and are counted in -stats")
 	traceFlag := flag.Bool("trace", false, "stream cluster events (messages, faults, syscalls) to stderr")
 	rebalance := flag.Int64("rebalance", 0, "rebalance period in virtual ns (0 = no dynamic migration)")
+	adaptive := flag.Bool("adaptive", false, "enable the metrics-driven feedback scheduler (locality migration, proactive splits, AIMD forwarding, tier-3 retuning)")
+	maxSlaves := flag.Int("max-slaves", 0, "physical slaves provisioned for elastic scaling (> -slaves leaves standbys the adaptive loop can activate)")
 	profile := flag.String("profile", "", "enable the metrics registry and write the JSON snapshot to this file (- for stderr)")
 	chromeTrace := flag.String("chrome-trace", "", "record typed spans and write a Chrome trace_event timeline (Perfetto-loadable) to this file")
 	var files fileFlags
@@ -56,6 +58,8 @@ func main() {
 	cfg.HintSched = *hints
 	cfg.Stdout = os.Stdout
 	cfg.RebalanceNs = *rebalance
+	cfg.Adaptive = *adaptive
+	cfg.MaxSlaves = *maxSlaves
 	cfg.Verify = *verify
 	if *traceFlag {
 		cfg.Tracer = trace.New(0, os.Stderr)
@@ -165,6 +169,11 @@ func printStats(res *dqemu.Result) {
 	if vSB+vDemote+vT3+vT3Fail > 0 {
 		fmt.Fprintf(os.Stderr, "verify:         superblocks proved=%d demoted=%d tier3 checked=%d rejected=%d\n",
 			vSB, vDemote, vT3, vT3Fail)
+	}
+	if res.Sched.Ticks > 0 {
+		fmt.Fprintf(os.Stderr, "adaptive:       ticks=%d migrations=%d proactive-splits=%d tier3-retunes=%d fwd-retunes=%d nodes+%d/-%d\n",
+			res.Sched.Ticks, res.Sched.Migrations, res.Sched.ProactiveSplits,
+			res.Sched.Tier3Retunes, res.Sched.FwdRetunes, res.Sched.NodesAdded, res.Sched.NodesDrained)
 	}
 }
 

@@ -20,6 +20,7 @@ func FuzzLint(f *testing.F) {
 	f.Add("package tcg\nfunc compileOp() func() {\n\treturn func() { _ = &struct{ x int }{1}; _ = func() {} }\n}\n")
 	f.Add("package tcg\ntype uop struct{ cost int }\nfunc scribble(ops []uop) { ops[0].cost = 7; ops[0] = uop{} }\n")
 	f.Add("package x\nimport clock \"time\"\nvar _ = clock.Now\n")
+	f.Add("package core\nimport \"dqemu/internal/metrics\"\nfunc decide(r *metrics.Registry) bool { return r.Counter(\"x\").Value() > 1 }\n")
 	f.Add("package x\nfunc compile() {}\n")
 	f.Add("package x")
 	f.Fuzz(func(t *testing.T, src string) {

@@ -18,9 +18,21 @@ var deterministicDirs = []string{
 	"internal/abi", "internal/asm", "internal/core", "internal/dsm",
 	"internal/grt", "internal/guestos", "internal/image", "internal/isa",
 	"internal/mem", "internal/minicc", "internal/netsim", "internal/proto",
-	"internal/sanitizer", "internal/sim", "internal/tcg", "internal/trace",
-	"internal/workloads",
+	"internal/sanitizer", "internal/sched", "internal/sim", "internal/tcg",
+	"internal/trace", "internal/workloads",
 }
+
+// metricsPolicyDirs are the packages allowed to read metrics counters: the
+// metrics package itself and the feedback scheduler, which is the designated
+// consumer of the sensor stream. Reads anywhere else are ad-hoc control
+// loops — scattered `if reg.Counter(x).Value() > n` logic that bypasses the
+// policy's hysteresis and determinism discipline (the metricsread rule).
+var metricsPolicyDirs = []string{"internal/metrics", "internal/sched"}
+
+// metricsReadAllowed are the enclosing functions exempt from metricsread:
+// snapshot (internal/core/profile.go) reads counters only to compute
+// end-of-run deltas for the exported report, after every decision is made.
+var metricsReadAllowed = map[string]bool{"snapshot": true}
 
 // protocolDirs hold message handlers that must degrade gracefully.
 var protocolDirs = []string{"internal/core", "internal/live", "internal/netsim"}
@@ -114,14 +126,18 @@ func lintSource(path string, src []byte) ([]finding, error) {
 			l.syncName = name
 		case "fmt":
 			l.fmtName = name
+		case "dqemu/internal/metrics":
+			l.metricsWatch = !inDirs(path, metricsPolicyDirs)
 		}
 	}
 	for _, decl := range file.Decls {
 		fn, ok := decl.(*ast.FuncDecl)
 		if !ok {
+			l.metricsArmed = l.metricsWatch
 			ast.Inspect(decl, l.inspectExpr)
 			continue
 		}
+		l.metricsArmed = l.metricsWatch && !metricsReadAllowed[fn.Name.Name]
 		l.checkSignature(fn)
 		inHandler := l.protocol && isHandlerName(fn.Name.Name)
 		inRecorder := l.deterministic && isRecorderName(fn.Name.Name)
@@ -168,6 +184,10 @@ type linter struct {
 	// Local import names of the packages the rules watch; "-" when the file
 	// does not import them (never a valid identifier, so lookups just miss).
 	timeName, randName, syncName, fmtName string
+	// metricsWatch is set when the file imports dqemu/internal/metrics from
+	// outside the policy dirs; metricsArmed additionally excludes the
+	// current enclosing function when it is allowlisted.
+	metricsWatch, metricsArmed bool
 
 	findings []finding
 }
@@ -178,7 +198,8 @@ func (l *linter) report(pos token.Pos, rule, format string, args ...interface{})
 	})
 }
 
-// inspectExpr applies the expression-level rules (wallclock, globalrand).
+// inspectExpr applies the expression-level rules (wallclock, globalrand,
+// metricsread).
 func (l *linter) inspectExpr(n ast.Node) bool {
 	call, ok := n.(*ast.CallExpr)
 	if !ok {
@@ -187,6 +208,10 @@ func (l *linter) inspectExpr(n ast.Node) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return true
+	}
+	if l.metricsArmed && sel.Sel.Name == "Value" && len(call.Args) == 0 {
+		l.report(call.Pos(), "metricsread",
+			"metrics counter read outside policy code; feedback decisions belong in internal/sched (or the snapshot exporter)")
 	}
 	pkg, ok := sel.X.(*ast.Ident)
 	if !ok {

@@ -15,6 +15,7 @@ import (
 	"dqemu/internal/netsim"
 	"dqemu/internal/proto"
 	"dqemu/internal/sanitizer"
+	"dqemu/internal/sched"
 	"dqemu/internal/sim"
 	"dqemu/internal/tcg"
 )
@@ -85,6 +86,9 @@ type Result struct {
 	// page heat, lock contention, per-thread breakdowns) when
 	// Config.Metrics is on; nil otherwise.
 	Metrics *metrics.Snapshot
+	// Sched counts feedback-scheduler decisions (Config.Adaptive); zero
+	// when the adaptive loop is off.
+	Sched sched.Stats
 }
 
 // NewCluster loads the image into a fresh cluster. Text and read-only data
@@ -92,14 +96,17 @@ type Result struct {
 // directory owns every page (§4.2).
 func NewCluster(im *image.Image, cfg Config) (*Cluster, error) {
 	cfg.normalize()
-	if cfg.Nodes() > 64 {
+	if cfg.PhysNodes() > 64 {
 		return nil, fmt.Errorf("core: at most 63 slaves supported")
 	}
 	c := &Cluster{cfg: cfg, k: sim.NewKernel(), im: im, lostNodes: map[int32]bool{}}
 	if cfg.Metrics {
 		c.prof = newClusterProf()
 	}
-	c.net = netsim.New(c.k, cfg.Net, cfg.Nodes())
+	// The transport is sized once, over the physical node set: elastic
+	// standby slaves exist from the start (registered, image installed) and
+	// merely take no threads until the feedback scheduler activates them.
+	c.net = netsim.New(c.k, cfg.Net, cfg.PhysNodes())
 	if cfg.Tracer != nil {
 		c.net.Trace = func(now int64, m *proto.Msg) {
 			cfg.Tracer.Record(now, trace.EvMsg, int(m.From), m.TID,
@@ -112,19 +119,19 @@ func NewCluster(im *image.Image, cfg Config) (*Cluster, error) {
 		c.rel.OnGiveUp = c.nodeLost
 	}
 
-	for id := 0; id < cfg.Nodes(); id++ {
+	for id := 0; id < cfg.PhysNodes(); id++ {
 		n := newNode(id, c)
 		c.nodes = append(c.nodes, n)
 	}
 	c.master = newMaster(c.nodes[0])
 	c.register(0, c.master.handle)
-	for id := 1; id < cfg.Nodes(); id++ {
+	for id := 1; id < cfg.PhysNodes(); id++ {
 		c.register(id, c.nodes[id].handle)
 	}
 
 	// Load segments: RO everywhere, RW on the master only.
 	var all dsm.NodeSet
-	for id := 0; id < cfg.Nodes(); id++ {
+	for id := 0; id < cfg.PhysNodes(); id++ {
 		all = all.Add(id)
 	}
 	for id, n := range c.nodes {
@@ -163,8 +170,19 @@ func NewCluster(im *image.Image, cfg Config) (*Cluster, error) {
 	c.master.placement[guestos.MainTID] = 0
 	c.master.node.addThread(cpu)
 
-	if cfg.RebalanceNs > 0 {
+	// The legacy load-only rebalancer only runs when it can actually move
+	// something: with a single placement node (or the adaptive scheduler in
+	// charge) the fixed-period timer would fire forever, scan, and do
+	// nothing — pure simulation overhead on every run.
+	if cfg.RebalanceNs > 0 && !cfg.Adaptive && cfg.placementSpread() >= 2 {
 		c.k.Post(cfg.RebalanceNs, c.master.rebalance)
+	}
+	if cfg.Adaptive {
+		c.master.pol = sched.New(sched.Params{
+			PeriodNs: cfg.AdaptPeriodNs,
+			Elastic:  cfg.MaxSlaves > cfg.Slaves,
+		}, c.prof.reg, c.master)
+		c.k.Post(cfg.AdaptPeriodNs, c.master.adaptTick)
 	}
 	return c, nil
 }
@@ -211,7 +229,7 @@ func (c *Cluster) finish(code int64) {
 	}
 	c.exitCode = code
 	c.done = true
-	for id := 1; id < c.cfg.Nodes(); id++ {
+	for id := 1; id < c.cfg.PhysNodes(); id++ {
 		c.send(&proto.Msg{Kind: proto.KShutdown, From: 0, To: int32(id)})
 	}
 	c.k.Stop()
@@ -251,6 +269,10 @@ func (c *Cluster) result() *Result {
 	if c.rel != nil {
 		r.Rel = c.rel.Stats
 	}
+	if c.master.fwd != nil {
+		r.Dir.ForwardHits = c.master.fwd.Hits
+		r.Dir.ForwardWasted = c.master.fwd.Wasted
+	}
 	var tids []int64
 	byTID := map[int64]*thread{}
 	for _, n := range c.nodes {
@@ -277,8 +299,36 @@ func (c *Cluster) result() *Result {
 		}
 		r.San = sanitizer.Summarize(sans)
 	}
+	if c.master.pol != nil {
+		r.Sched = c.master.pol.Stats()
+	}
 	r.Metrics = c.prof.snapshot(c, r)
 	return r
+}
+
+// ActiveNodes returns the placement-eligible node ids, sorted ascending:
+// the master when it takes workers, plus every active, non-draining slave.
+func (c *Cluster) ActiveNodes() []int { return c.master.activeNodes() }
+
+// ScheduleAddNode posts an AddNode actuation at now+delayNs of virtual
+// time, for embedders and tests driving elasticity by hand. The returned
+// id is only available through the trace/metrics; use ActiveNodes after
+// the run to observe the set.
+func (c *Cluster) ScheduleAddNode(delayNs int64) {
+	c.k.Post(delayNs, func() {
+		if !c.done {
+			c.master.AddNode()
+		}
+	})
+}
+
+// ScheduleDrainNode posts a DrainNode actuation at now+delayNs.
+func (c *Cluster) ScheduleDrainNode(delayNs int64, id int) {
+	c.k.Post(delayNs, func() {
+		if !c.done {
+			c.master.DrainNode(id)
+		}
+	})
 }
 
 // threadDump summarizes thread states for deadlock diagnostics.

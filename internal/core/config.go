@@ -16,6 +16,7 @@ import (
 	"io"
 
 	"dqemu/internal/netsim"
+	"dqemu/internal/sched"
 	"dqemu/internal/tcg"
 	"dqemu/internal/trace"
 )
@@ -132,6 +133,26 @@ type Config struct {
 	// least-loaded node when the imbalance is at least two threads.
 	RebalanceNs int64
 
+	// Adaptive enables the feedback scheduler (internal/sched): every
+	// AdaptPeriodNs the master reads the metrics registry and adjusts thread
+	// placement (locality-driven migration with hysteresis), proactively
+	// splits false-sharing pages, retunes the tier-3 promotion threshold
+	// from superblock re-entry rates, caps the forwarder's window growth
+	// from delta efficiency, and (when MaxSlaves > Slaves) grows or shrinks
+	// the active node set under load. Implies Metrics. The NoAdaptive
+	// ablation is simply Adaptive=false: the legacy load-only rebalancer
+	// (RebalanceNs) and fixed thresholds remain in charge.
+	Adaptive bool
+	// AdaptPeriodNs is the feedback scheduler's control period (default
+	// sched.DefaultPeriodNs, 250 µs of virtual time).
+	AdaptPeriodNs int64
+	// MaxSlaves is the number of physical slave nodes provisioned. Slaves of
+	// them start active; the rest are standby nodes the feedback scheduler
+	// can activate (AddNode) and drain (DrainNode) at runtime. Values below
+	// Slaves are raised to Slaves, so the default (0) provisions exactly the
+	// static cluster.
+	MaxSlaves int
+
 	// Tracer, if set, records protocol messages, faults, syscalls and
 	// scheduling events for debugging (see internal/trace). With a tracer
 	// attached the cluster also records typed begin/end spans (exec quanta,
@@ -160,8 +181,27 @@ func DefaultConfig() Config {
 	}
 }
 
-// Nodes returns the cluster size including the master.
+// Nodes returns the initially active cluster size including the master.
+// The guest-visible node count (SysNumNodes) and the legacy message loops
+// use this; elastic standby nodes are invisible until activated.
 func (c *Config) Nodes() int { return c.Slaves + 1 }
+
+// PhysNodes returns the provisioned cluster size including the master and
+// any elastic standby slaves. Message transports, shutdown broadcasts and
+// remap broadcasts must cover physical nodes: a standby slave that misses a
+// remap while inactive would wedge on retired pages after activation.
+func (c *Config) PhysNodes() int { return c.MaxSlaves + 1 }
+
+// placementSpread is the number of nodes worker threads can initially land
+// on: the slaves, plus the master when it takes workers (always, when there
+// are no slaves).
+func (c *Config) placementSpread() int {
+	spread := c.Slaves
+	if c.PlaceOnMaster || c.Slaves == 0 {
+		spread++
+	}
+	return spread
+}
 
 // normalize fills defaulted fields.
 func (c *Config) normalize() {
@@ -185,5 +225,16 @@ func (c *Config) normalize() {
 	}
 	if c.CoalesceWindowNs <= 0 {
 		c.CoalesceWindowNs = 12_000
+	}
+	if c.MaxSlaves < c.Slaves {
+		c.MaxSlaves = c.Slaves
+	}
+	if c.Adaptive {
+		// The feedback scheduler steers by the metrics registry; without it
+		// there are no sensors to read.
+		c.Metrics = true
+		if c.AdaptPeriodNs <= 0 {
+			c.AdaptPeriodNs = sched.DefaultPeriodNs
+		}
 	}
 }

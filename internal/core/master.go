@@ -8,6 +8,7 @@ import (
 	"dqemu/internal/dsm"
 	"dqemu/internal/mem"
 	"dqemu/internal/proto"
+	"dqemu/internal/sched"
 	"dqemu/internal/tcg"
 	"dqemu/internal/trace"
 )
@@ -42,6 +43,20 @@ type master struct {
 	migrating  map[int64]int
 	migrations uint64
 
+	// fwd is the forwarder handed to the directory, retained so the
+	// feedback scheduler can retune its window cap; nil without Forwarding.
+	fwd *dsm.Forwarder
+
+	// pol is the feedback scheduler (Config.Adaptive); nil otherwise.
+	pol *sched.Policy
+
+	// Elastic node state: activeSlave[id] marks slave id placement-eligible;
+	// draining marks slaves mid-drain (threads moving off, pages recalling).
+	// Standby slaves (MaxSlaves > Slaves) exist physically from boot but are
+	// inactive until AddNode.
+	activeSlave []bool
+	draining    map[int]bool
+
 	// createSan holds the creator's vector clock for the duration of a
 	// SysThreadCreate delegation: Global calls StartThread synchronously, so
 	// the stash bridges the two without widening the guestos.Host interface.
@@ -56,17 +71,22 @@ func newMaster(n *node) *master {
 		groupNode:  map[int64]int{},
 		placement:  map[int64]int{},
 		migrating:  map[int64]int{},
+		draining:   map[int]bool{},
 	}
 	cfg := n.cl.cfg
-	var fwd *dsm.Forwarder
+	m.activeSlave = make([]bool, cfg.PhysNodes())
+	for id := 1; id <= cfg.Slaves; id++ {
+		m.activeSlave[id] = true
+	}
 	if cfg.Forwarding {
-		fwd = dsm.NewForwarder(cfg.ForwardTrigger, cfg.ForwardWindow)
+		m.fwd = dsm.NewForwarder(cfg.ForwardTrigger, cfg.ForwardWindow)
+		m.fwd.Adaptive = cfg.Adaptive
 	}
 	var split *dsm.Splitter
 	if cfg.Splitting {
 		split = dsm.NewSplitter(cfg.PageSize, cfg.SplitFactor, cfg.SplitThreshold)
 	}
-	m.dir = dsm.New(m, fwd, split)
+	m.dir = dsm.New(m, m.fwd, split)
 	m.wire = newMasterWire(m)
 	return m
 }
@@ -96,6 +116,11 @@ func (m *master) handle(msg *proto.Msg) {
 	switch msg.Kind {
 	case proto.KPageReq:
 		m.cl.prof.reqArrived(int(msg.From), msg.Page, msg.Write, m.cl.k.Now())
+		if m.pol != nil {
+			// The locality sensor: which node homes the pages this thread
+			// keeps faulting on. Read before OnRequest mutates ownership.
+			m.pol.NoteFault(msg.TID, int(msg.From), m.dir.OwnerOf(msg.Page))
+		}
 		full := msg.Flags&proto.FlagFullResend != 0
 		if m.wire != nil {
 			if full {
@@ -169,6 +194,13 @@ func (m *master) onMigrateCtx(msg *proto.Msg) {
 	if !ok {
 		m.cl.fail(fmt.Errorf("master: unexpected migration context for tid %d", msg.TID))
 		return
+	}
+	if target != 0 && !m.activeSlave[target] {
+		// The target was drained (or never activated) while the context was
+		// in flight: re-place the thread among the current candidates.
+		retarget := m.rotate()
+		m.node.trace(trace.EvSched, msg.TID, "migration retargeted %d -> %d (node drained)", target, retarget)
+		target = retarget
 	}
 	delete(m.migrating, msg.TID)
 	m.placement[msg.TID] = target
@@ -263,6 +295,169 @@ func (m *master) rebalance() {
 	m.migrating[tid] = minNode
 	m.cl.send(&proto.Msg{Kind: proto.KMigrate, From: 0, To: int32(maxNode), TID: tid, Num: int64(minNode)})
 	m.cl.prof.migStarted(tid, m.cl.k.Now())
+}
+
+// ---- sched.Actuator implementation (the feedback scheduler's levers) ----
+
+// adaptTick assembles the per-period cluster snapshot, runs the policy, and
+// re-arms. Everything it reads is kernel-serialized state, so the decisions
+// are a pure function of the run so far — identically-seeded runs adapt
+// identically.
+func (m *master) adaptTick() {
+	if m.cl.done {
+		return
+	}
+	defer m.cl.k.Post(m.cl.cfg.AdaptPeriodNs, m.adaptTick)
+	in := sched.Inputs{
+		NowNs:        m.cl.k.Now(),
+		ActiveNodes:  m.activeNodes(),
+		CoresPerNode: m.cl.cfg.Cores,
+	}
+	for id := 1; id < len(m.activeSlave); id++ {
+		if !m.activeSlave[id] && !m.draining[id] {
+			in.StandbySlaves++
+		}
+	}
+	in.ThreadNodes = make(map[int64]int, len(m.placement))
+	for tid, node := range m.placement {
+		if target, inFlight := m.migrating[tid]; inFlight {
+			node = target
+		}
+		in.ThreadNodes[tid] = node
+	}
+	for _, n := range m.cl.nodes {
+		in.SuperblockEntries += n.engine.Stats.SuperblockEntries
+		in.Superblocks += n.engine.Stats.Superblocks
+	}
+	if ws := &m.cl.wireStats; ws.RawBytes > 0 {
+		in.DeltaRatio = 1 - float64(ws.BodyBytes)/float64(ws.RawBytes)
+	}
+	m.pol.Tick(in)
+}
+
+// MigrateThread ships tid to node `to`; no-op when the thread is gone,
+// already there, or already in flight.
+func (m *master) MigrateThread(tid int64, to int) {
+	cur, ok := m.placement[tid]
+	if !ok || cur == to {
+		return
+	}
+	if _, inFlight := m.migrating[tid]; inFlight {
+		return
+	}
+	m.migrating[tid] = to
+	m.cl.send(&proto.Msg{Kind: proto.KMigrate, From: 0, To: int32(cur), TID: tid, Num: int64(to)})
+	m.cl.prof.migStarted(tid, m.cl.k.Now())
+}
+
+// ForceSplit begins a SplitHome transaction ahead of the reactive splitter.
+func (m *master) ForceSplit(page uint64) bool {
+	return m.dir.ForceSplit(page)
+}
+
+// SetTier3Threshold retunes every node's promotion count; superblocks
+// already past the old threshold keep their closures.
+func (m *master) SetTier3Threshold(v uint32) {
+	for _, n := range m.cl.nodes {
+		n.engine.Tier3Threshold = v
+	}
+}
+
+// SetForwardCap bounds the forwarder's window growth multiplier.
+func (m *master) SetForwardCap(mult int) {
+	if m.fwd != nil {
+		m.fwd.SetWindowCap(mult)
+	}
+}
+
+// AddNode activates the lowest-id standby slave. The node has existed since
+// boot (registered handler, RO image installed), so activation is purely a
+// placement-policy event; threads arrive via migration or future placement.
+func (m *master) AddNode() int {
+	for id := 1; id < len(m.activeSlave); id++ {
+		if m.activeSlave[id] || m.draining[id] {
+			continue
+		}
+		m.activeSlave[id] = true
+		m.node.trace(trace.EvSched, -1, "node %d activated", id)
+		return id
+	}
+	return -1
+}
+
+// DrainNode starts gracefully removing slave id from the active set: new
+// placement skips it immediately, its threads are told to migrate off, and
+// once they have left, drainPoll recalls its page states home through the
+// normal coherence protocol.
+func (m *master) DrainNode(id int) bool {
+	if id <= 0 || id >= len(m.activeSlave) || !m.activeSlave[id] || m.draining[id] {
+		return false
+	}
+	m.activeSlave[id] = false
+	m.draining[id] = true
+	if tr := m.cl.cfg.Tracer; tr != nil {
+		tr.Begin(m.cl.k.Now(), trace.EvSched, id, -1, "drain")
+	}
+	m.node.trace(trace.EvSched, -1, "node %d draining", id)
+	var tids []int64
+	for tid, node := range m.placement {
+		if node != id || tid == 1 {
+			continue
+		}
+		if _, inFlight := m.migrating[tid]; inFlight {
+			continue
+		}
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, tid := range tids {
+		m.MigrateThread(tid, m.rotate())
+	}
+	m.cl.k.Post(m.drainPollNs(), func() { m.drainPoll(id) })
+	return true
+}
+
+// drainPollNs is how often a drain re-checks progress: one control period,
+// or the quantum when the adaptive loop is off (embedder-driven drains).
+func (m *master) drainPollNs() int64 {
+	if p := m.cl.cfg.AdaptPeriodNs; p > 0 {
+		return p
+	}
+	return m.cl.cfg.QuantumNs
+}
+
+// drainPoll advances a drain: first wait for every thread to leave (their
+// contexts may still be in flight, and a blocked thread only ships once its
+// futex or fault resolves), then recall page states until the directory no
+// longer involves the node.
+func (m *master) drainPoll(id int) {
+	if m.cl.done || !m.draining[id] {
+		return
+	}
+	for tid, node := range m.placement {
+		// placement stays at the source until KMigrateCtx lands, and a thread
+		// still on the node can keep faulting pages onto it — so any thread
+		// placed here (shipping or not) or heading here defers the recall.
+		target, inFlight := m.migrating[tid]
+		if node == id || (inFlight && target == id) {
+			m.cl.k.Post(m.drainPollNs(), func() { m.drainPoll(id) })
+			return
+		}
+	}
+	if left := m.dir.RecallNode(id); left > 0 {
+		m.cl.k.Post(m.drainPollNs(), func() { m.drainPoll(id) })
+		return
+	}
+	delete(m.draining, id)
+	if tr := m.cl.cfg.Tracer; tr != nil {
+		tr.End(m.cl.k.Now(), trace.EvSched, id, -1, "drain")
+	}
+	m.node.trace(trace.EvSched, -1, "node %d drained", id)
+}
+
+// Tracef records a policy decision in the cluster trace.
+func (m *master) Tracef(format string, args ...interface{}) {
+	m.node.trace(trace.EvSched, -1, format, args...)
 }
 
 // onSyscallReq runs a delegated syscall on the manager thread for msg.From.
@@ -430,7 +625,9 @@ func (m *master) BroadcastRemap(orig uint64, shadows []uint64) {
 		m.wire.broadcastRemap(orig, shadows)
 		return
 	}
-	for id := 1; id < m.cl.cfg.Nodes(); id++ {
+	// Physical nodes, not active ones: a standby slave that missed a remap
+	// would wedge on the retired page after a later activation.
+	for id := 1; id < m.cl.cfg.PhysNodes(); id++ {
 		m.cl.send(&proto.Msg{
 			Kind: proto.KRemap, From: 0, To: int32(id),
 			Page: orig, Shadows: shadows,
@@ -579,11 +776,11 @@ func (m *master) StartThread(tid int64, fn, arg, stackTop uint64, hint int64) {
 // together when hint scheduling is on, otherwise round-robin (§5.3).
 func (m *master) placeThread(hint int64) int {
 	cfg := m.cl.cfg
-	if cfg.Slaves == 0 {
+	if cfg.Slaves == 0 && cfg.MaxSlaves == 0 {
 		return 0
 	}
 	if cfg.HintSched && hint != 0 {
-		if nodeID, ok := m.groupNode[hint]; ok {
+		if nodeID, ok := m.groupNode[hint]; ok && m.placeable(nodeID) {
 			return nodeID
 		}
 		nodeID := m.rotate()
@@ -593,15 +790,39 @@ func (m *master) placeThread(hint int64) int {
 	return m.rotate()
 }
 
-func (m *master) rotate() int {
-	cfg := m.cl.cfg
-	candidates := cfg.Slaves
-	first := 1
-	if cfg.PlaceOnMaster {
-		candidates++
-		first = 0
+// placeable reports whether new threads may land on node id.
+func (m *master) placeable(id int) bool {
+	if id == 0 {
+		return m.cl.cfg.PlaceOnMaster
 	}
-	nodeID := first + m.nextRR%candidates
+	return m.activeSlave[id]
+}
+
+// activeNodes returns the placement candidates sorted ascending: the master
+// when it takes workers, plus every active (non-draining) slave. With a
+// static cluster this is exactly the legacy [first, first+candidates) range.
+func (m *master) activeNodes() []int {
+	var out []int
+	if m.cl.cfg.PlaceOnMaster {
+		out = append(out, 0)
+	}
+	for id := 1; id < len(m.activeSlave); id++ {
+		if m.activeSlave[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// rotate round-robins over the active candidates. The candidate list is
+// sorted, so with a static cluster the sequence is byte-identical to the
+// legacy first+nextRR%candidates arithmetic.
+func (m *master) rotate() int {
+	cands := m.activeNodes()
+	if len(cands) == 0 {
+		return 0
+	}
+	nodeID := cands[m.nextRR%len(cands)]
 	m.nextRR++
 	return nodeID
 }

@@ -469,7 +469,8 @@ func (w *masterWire) broadcastRemap(orig uint64, shadows []uint64) {
 	if w.delta {
 		ver = w.homeVerOf(orig)
 	}
-	for id := 1; id < w.m.cl.cfg.Nodes(); id++ {
+	// Remaps cover physical nodes: standby slaves must learn splits too.
+	for id := 1; id < w.m.cl.cfg.PhysNodes(); id++ {
 		to := int32(id)
 		if b := w.pendInv[to]; b != nil {
 			b.remaps = append(b.remaps, proto.RemapEntry{Orig: orig, Ver: ver, Shadows: shadows})
@@ -485,7 +486,7 @@ func (w *masterWire) broadcastRemap(orig uint64, shadows []uint64) {
 	if !w.delta {
 		return
 	}
-	for id := 1; id < w.m.cl.cfg.Nodes(); id++ {
+	for id := 1; id < w.m.cl.cfg.PhysNodes(); id++ {
 		np := nodePage{int32(id), orig}
 		if ver != 0 && w.remote[np] == ver {
 			for _, sh := range shadows {

@@ -83,6 +83,12 @@ type Stats struct {
 	Queued      uint64
 	Suppressed  uint64 // demand reads answered by an in-flight push
 	FullResends uint64 // full-content re-grants after a delta mismatch
+
+	// ForwardHits/ForwardWasted mirror the forwarder's AIMD sensors at the
+	// end of a run (copied in by the embedder; the directory itself never
+	// reads them).
+	ForwardHits   uint64
+	ForwardWasted uint64
 }
 
 type entry struct {
@@ -135,6 +141,35 @@ func (d *Directory) SeedReplicated(page uint64, all NodeSet) {
 func (d *Directory) State(page uint64) (owner int, sharers NodeSet, busy bool) {
 	e := d.entryOf(page)
 	return e.owner, e.sharers, e.busy
+}
+
+// OwnerOf reports which node's copy of page is current without creating a
+// directory entry: NoOwner for the home copy of an unowned page, Master for
+// an untouched page. This is the feedback scheduler's locality sensor — a
+// thread repeatedly faulting on pages another node owns belongs there.
+func (d *Directory) OwnerOf(page uint64) int {
+	if e := d.pages[page]; e != nil {
+		return e.owner
+	}
+	return Master
+}
+
+// ForceSplit begins a SplitHome transaction for page ahead of the reactive
+// splitter's fault-count threshold (the feedback scheduler fires it off the
+// heat map's false-sharing flag, before the fault storm). Returns false —
+// and does nothing — when the directory has no splitter, the page sits in
+// the shadow region, was already split, or a transaction is in flight (the
+// caller retries on its next control period).
+func (d *Directory) ForceSplit(page uint64) bool {
+	if d.split == nil || !d.split.CanSplit(page) {
+		return false
+	}
+	e := d.entryOf(page)
+	if e.retired || e.busy {
+		return false
+	}
+	d.beginSplit(page, e)
+	return true
 }
 
 // OnRequest handles a fault-driven page request.
@@ -282,6 +317,11 @@ func (d *Directory) grantRead(e *entry, r Request) {
 	d.env.SendContent(r.Node, r.Page, mem.PermRead)
 	if d.fwd != nil && r.Node != Master && r.TID >= 0 {
 		for _, p := range d.fwd.Record(r.TID, r.Page) {
+			if d.split != nil && !d.split.Allocated(p) {
+				// The predicted page number is an unallocated shadow slot: a
+				// push would poison the entry a future split will inherit.
+				continue
+			}
 			pe := d.entryOf(p)
 			if pe.busy || pe.retired || pe.owner > 0 || pe.sharers.Has(r.Node) {
 				continue

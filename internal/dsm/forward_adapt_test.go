@@ -1,0 +1,173 @@
+package dsm
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestForwarderRecordZeroAlloc pins the hot fault path at zero allocations
+// per Record call once a stream's scratch buffer has warmed up: the
+// prediction slice is reused, not reallocated.
+func TestForwarderRecordZeroAlloc(t *testing.T) {
+	for _, adaptive := range []bool{false, true} {
+		f := NewForwarder(4, 8)
+		f.Adaptive = adaptive
+		page := uint64(100)
+		// Warm up: arm the stream and let the window double to its cap so
+		// the scratch buffer reaches its steady-state capacity.
+		for i := 0; i < 16; i++ {
+			f.Record(7, page)
+			page++
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			f.Record(7, page)
+			page++
+		})
+		if allocs != 0 {
+			t.Errorf("adaptive=%v: %v allocs per armed Record, want 0", adaptive, allocs)
+		}
+	}
+}
+
+// TestForwarderStaticUnchanged: with Adaptive off, per-stream trigger and
+// window never deviate from the configured values — the legacy doubling
+// behavior is byte-identical (the main sequence is pinned by forward_test.go;
+// this checks the adaptive state stays untouched).
+func TestForwarderStaticUnchanged(t *testing.T) {
+	f := NewForwarder(4, 8)
+	page := uint64(100)
+	for i := 0; i < 12; i++ {
+		f.Record(7, page)
+		page++
+	}
+	f.Record(7, 5000) // stream reset with pushes stranded
+	st := f.streams[7]
+	if st.trigger != 0 || st.window != 0 {
+		t.Fatalf("static forwarder mutated per-stream tuning: trigger=%d window=%d",
+			st.trigger, st.window)
+	}
+	if f.Wasted == 0 {
+		t.Fatalf("Wasted sensor not maintained in static mode")
+	}
+}
+
+// TestForwarderAIMDShrinksOnWaste: a stream that breaks with pushes in
+// flight halves its window and raises its trigger, so the next (random)
+// phase speculates less.
+func TestForwarderAIMDShrinksOnWaste(t *testing.T) {
+	f := NewForwarder(4, 8)
+	f.Adaptive = true
+	page := uint64(100)
+	for i := 0; i < 6; i++ { // arm and push a window
+		f.Record(7, page)
+		page++
+	}
+	st := f.streams[7]
+	if st.pushedTo == 0 {
+		t.Fatalf("stream never armed")
+	}
+	grown := st.baseWindow(f) // hits inside the first window already grew it
+	f.Record(7, 9000)         // jump: stranded pushes
+	if st.window != grown/2 {
+		t.Fatalf("window = %d after waste, want %d (halved)", st.window, grown/2)
+	}
+	if st.trigger != 5 {
+		t.Fatalf("trigger = %d after waste, want 5 (4+1)", st.trigger)
+	}
+	if f.Wasted == 0 {
+		t.Fatalf("waste not counted")
+	}
+
+	// A second break shrinks whatever the hits grew back, floored at 2.
+	for i := 0; i < 10; i++ {
+		f.Record(7, 9001+uint64(i))
+	}
+	before := st.baseWindow(f)
+	f.Record(7, 20000)
+	if st.window >= before || st.window < 2 {
+		t.Fatalf("window = %d after second waste, want in [2, %d)", st.window, before)
+	}
+}
+
+// TestForwarderAIMDGrowsOnHits: continuation hits grow the window
+// additively and anneal the trigger down after a sustained run.
+func TestForwarderAIMDGrowsOnHits(t *testing.T) {
+	f := NewForwarder(4, 8)
+	f.Adaptive = true
+	page := uint64(100)
+	for i := 0; i < 4; i++ { // arm the stream
+		f.Record(7, page)
+		page++
+	}
+	st := f.streams[7]
+	for i := 0; i < 40; i++ {
+		f.Record(7, page)
+		if st.pushedTo > 0 {
+			page = st.pushedTo + 1 // always fault just past the pushed window
+		} else {
+			page++
+		}
+	}
+	if f.Hits == 0 {
+		t.Fatalf("no hits recorded")
+	}
+	if st.window <= 8 {
+		t.Fatalf("window = %d after sustained hits, want > 8", st.window)
+	}
+	if st.window > f.windowCap() {
+		t.Fatalf("window = %d grew past the cap %d", st.window, f.windowCap())
+	}
+	if st.trigger == 0 || st.trigger >= 4 {
+		t.Fatalf("trigger = %d after sustained hits, want annealed below 4", st.trigger)
+	}
+}
+
+// TestForwarderWindowCap: the feedback scheduler's cap bounds doubling.
+func TestForwarderWindowCap(t *testing.T) {
+	f := NewForwarder(4, 8)
+	f.SetWindowCap(2) // 16 pages max
+	page := uint64(100)
+	for i := 0; i < 30; i++ {
+		f.Record(7, page)
+		page++
+	}
+	if st := f.streams[7]; st.curWindow > 16 {
+		t.Fatalf("curWindow = %d with cap 2x8, want <= 16", st.curWindow)
+	}
+	// Cap raised: doubling resumes up to the new bound.
+	f.SetWindowCap(8)
+	for i := 0; i < 30; i++ {
+		f.Record(7, page)
+		page++
+	}
+	if st := f.streams[7]; st.curWindow != 64 {
+		t.Fatalf("curWindow = %d with cap 8x8, want 64", st.curWindow)
+	}
+}
+
+// TestForwarderRecallAndRearm: after an adaptive shrink, a long sequential
+// run still re-arms and forwards (the tuning never wedges a stream off).
+func TestForwarderRecallAndRearm(t *testing.T) {
+	f := NewForwarder(4, 8)
+	f.Adaptive = true
+	page := uint64(100)
+	for i := 0; i < 6; i++ {
+		f.Record(7, page)
+		page++
+	}
+	f.Record(7, 9000) // waste: trigger rises to 5
+	var got []uint64
+	for i := 0; i < 20 && got == nil; i++ {
+		got = f.Record(7, 9001+uint64(i))
+	}
+	if got == nil {
+		t.Fatalf("stream never re-armed after an adaptive shrink")
+	}
+	want := make([]uint64, 0, 2)
+	for p := got[0]; p <= got[len(got)-1]; p++ {
+		want = append(want, p)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("re-armed push %v is not contiguous", got)
+	}
+}

@@ -47,11 +47,33 @@ func NewSplitter(pageSize, factor, threshold int) *Splitter {
 	}
 }
 
+// CanSplit reports whether page may be split at all: shadow pages (the
+// product of an earlier split) never split again.
+func (s *Splitter) CanSplit(page uint64) bool {
+	pageAddr := page * uint64(s.pageSize)
+	return pageAddr < image.ShadowBase || pageAddr >= image.ShadowLimit
+}
+
+// Allocated reports whether page is backed by guest-visible memory: any
+// page outside the shadow region, or a shadow page an earlier split has
+// handed out. Shadow page numbers at or beyond the allocation cursor are
+// FUTURE pages — granting or pushing one would create a directory entry
+// (with sharers holding a zero copy) that a later split inherits as its
+// fresh shadow, silently breaking coherence. The forwarder's sequential
+// prediction is the one path that manufactures such references: a read
+// stream over one split's shadows runs straight into the next unallocated
+// page number.
+func (s *Splitter) Allocated(page uint64) bool {
+	pageAddr := page * uint64(s.pageSize)
+	if pageAddr < image.ShadowBase || pageAddr >= image.ShadowLimit {
+		return true
+	}
+	return page < s.nextShadow
+}
+
 // Record notes a write request and reports whether the page should split.
 func (s *Splitter) Record(r Request) bool {
-	// Shadow pages never split again.
-	pageAddr := r.Page * uint64(s.pageSize)
-	if pageAddr >= image.ShadowBase && pageAddr < image.ShadowLimit {
+	if !s.CanSplit(r.Page) {
 		return false
 	}
 	h := s.hist[r.Page]

@@ -103,6 +103,17 @@ type Knobs struct {
 	RebalanceNs int64 `json:"rebalance_ns,omitempty"`
 	Metrics     bool  `json:"metrics,omitempty"`
 	Sanitizer   bool  `json:"sanitizer,omitempty"`
+
+	// Adaptive turns on the feedback scheduler (internal/sched): locality
+	// migration, proactive splits, AIMD forwarding, and tier-3 retuning,
+	// driven off the metrics registry (implies metrics). AdaptPeriodNs
+	// overrides the control period; 0 selects the default (250 µs).
+	Adaptive      bool  `json:"adaptive,omitempty"`
+	AdaptPeriodNs int64 `json:"adapt_period_ns,omitempty"`
+	// MaxSlaves provisions elastic standby slaves beyond Cluster.Slaves
+	// that the adaptive policy may activate at runtime; 0 means no
+	// headroom.
+	MaxSlaves int `json:"max_slaves,omitempty"`
 }
 
 // Gates are the acceptance checks evaluated on the finished run. Every
@@ -202,6 +213,12 @@ func (s *Spec) Validate() error {
 	if s.Knobs.RebalanceNs < 0 {
 		return fmt.Errorf("scenario: negative rebalance interval")
 	}
+	if s.Knobs.AdaptPeriodNs < 0 {
+		return fmt.Errorf("scenario: negative adaptive control period")
+	}
+	if s.Knobs.MaxSlaves < 0 || s.Knobs.MaxSlaves > 63 {
+		return fmt.Errorf("scenario: %d max_slaves outside [0, 63]", s.Knobs.MaxSlaves)
+	}
 	if s.Gates.MaxTimeNs < 0 || s.Gates.MinInsnsPerVSec < 0 {
 		return fmt.Errorf("scenario: negative gate bound")
 	}
@@ -266,6 +283,9 @@ func (s *Spec) config() core.Config {
 	cfg.RebalanceNs = k.RebalanceNs
 	cfg.Metrics = k.Metrics
 	cfg.Sanitizer = k.Sanitizer
+	cfg.Adaptive = k.Adaptive
+	cfg.AdaptPeriodNs = k.AdaptPeriodNs
+	cfg.MaxSlaves = k.MaxSlaves
 	if s.Faults != nil {
 		plan := *s.Faults // the cluster must not alias the spec
 		cfg.Faults = &plan

@@ -138,6 +138,15 @@ var registry = map[string]workloadDef{
 				int(a["items"]), int(a["keyspace"]), int(a["qcap"]))
 		},
 	},
+	"phases": {
+		args: []argDef{
+			{"threads", 8, 2, 64, false},
+			{"iters", 8, 1, 1 << 16, true},
+		},
+		build: func(a map[string]int64) (*image.Image, error) {
+			return workloads.Phases(int(a["threads"]), int(a["iters"]))
+		},
+	},
 	"streamcluster": {
 		args: []argDef{
 			{"threads", 8, 1, 63, false},

@@ -89,8 +89,9 @@ type Stats struct {
 	Syscalls        uint64
 
 	// Tiered-translation counters.
-	Superblocks     uint64 // hot traces built
-	SuperblockInsns uint64 // guest instructions retired inside superblocks
+	Superblocks       uint64 // hot traces built
+	SuperblockInsns   uint64 // guest instructions retired inside superblocks
+	SuperblockEntries uint64 // superblock dispatches (re-entries; feeds tier-3 retuning)
 	FusedUops       uint64 // peephole fusions applied during trace lowering
 	JumpCacheHits   uint64
 	JumpCacheMisses uint64
@@ -457,6 +458,7 @@ func (e *Engine) Exec(cpu *CPU, budgetNs int64) Result {
 		var res Result
 		var stop bool
 		if sb := blk.sb; sb != nil && !e.NoSuperblock && sb.gen == e.gen {
+			e.Stats.SuperblockEntries++
 			if t3 := sb.t3; t3 != nil && !e.NoTier3 {
 				next, res, stop = e.execTier3(cpu, t3, &spent, budgetNs)
 			} else {

@@ -1,0 +1,119 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dqemu/internal/image"
+)
+
+// Phases is the feedback scheduler's showcase workload: a phase-shifting
+// kernel whose threads work in PAIRS that share a multi-page buffer
+// intensely. Round-robin placement splits every pair across nodes (thread
+// 2p and 2p+1 land on different slaves whenever the slave count is even),
+// so the static cluster pays a ~410 µs remote fault for a large fraction of
+// accesses; the adaptive scheduler sees each thread's faults charged to its
+// partner's node and co-locates the pairs, after which the buffer traffic
+// is node-local.
+//
+// The three phases stress three different control loops:
+//
+//  1. Stencil sweeps: each member sequentially reads the whole pair buffer
+//     and bumps one word on its designated pages (even pages for member 0,
+//     odd for member 1) — sequential streams the forwarder speculates on,
+//     plus the cross-member write traffic that generates the locality
+//     signal.
+//  2. Pointer chase: random hops through the pair buffer with occasional
+//     atomic perturbations — sequentiality collapses, so the adaptive
+//     forwarder should shrink its per-stream windows instead of pushing
+//     pages nobody reads.
+//  3. Barrier storm: every thread bumps its own slot on ONE shared counter
+//     page and meets a global barrier, rounds times — classic false
+//     sharing the heat map flags and the proactive splitter defuses.
+//
+// Console output is schedule independent: cross-thread state combines only
+// through commutative __amoadd writes with per-thread deterministic operand
+// multisets, and the printed checksums are computed by main after all
+// joins. Read-side sums (which DO depend on interleaving) go to an unprinted
+// sink so the sweeps cannot be dead-code-eliminated.
+func Phases(threads, iters int) (*image.Image, error) {
+	if threads < 2 || threads > 64 || threads%2 != 0 {
+		return nil, fmt.Errorf("workloads: phases needs an even thread count in [2,64], got %d", threads)
+	}
+	if iters < 1 {
+		return nil, fmt.Errorf("workloads: phases needs at least one iteration")
+	}
+	src := fmt.Sprintf(`
+long THREADS = %d;
+long ITERS   = %d;
+long PAGES   = 4;      // pages per pair buffer
+long WPP     = 512;    // longs per page
+
+long *bufs;            // PAIRS * PAGES pages, page aligned
+long *ctr;             // one shared counter page (the false-sharing bait)
+long bar[3];
+long sink;             // schedule-dependent read sums land here, unprinted
+
+long worker(long idx) {
+	long pair = idx / 2;
+	long par = idx & 1;
+	long *buf = bufs + pair * PAGES * WPP;
+	long words = PAGES * WPP;
+	long s = 0;
+
+	// Phase 1: stencil sweeps. The partner's writes keep invalidating my
+	// copy of its pages, so every sweep re-faults them — and every one of
+	// those faults names the partner's node as the page owner.
+	for (long it = 0; it < ITERS; it++) {
+		for (long i = 0; i < words; i++) s += buf[i];
+		for (long p = par; p < PAGES; p += 2) __amoadd(&buf[p * WPP + idx], 1);
+	}
+
+	// Phase 2: pointer chase. Random hops inside the pair buffer; the
+	// perturbation positions are a deterministic per-thread sequence, so
+	// the final buffer contents stay schedule independent.
+	long state = 90001 + idx * 7643;
+	long pos = 0;
+	for (long it = 0; it < ITERS * 64; it++) {
+		pos = (pos * 1103515245 + rand_next(&state)) %% words;
+		if (pos < 0) pos = -pos;
+		s += buf[pos];
+		if ((it & 7) == 0) __amoadd(&buf[pos], 1);
+	}
+
+	// Phase 3: barrier storm on one shared counter page. Slots are spread
+	// across the page so a 4-way split actually separates the writers.
+	long slot = 512 / THREADS;
+	if (slot < 1) slot = 1;
+	for (long r = 0; r < ITERS; r++) {
+		__amoadd(&ctr[idx * slot], 1);
+		barrier_wait(bar);
+	}
+
+	__amoadd(&sink, s);
+	return 0;
+}
+
+long main() {
+	long pairs = THREADS / 2;
+	bufs = (long*)((((long)malloc(pairs * PAGES * WPP * 8 + 4096)) + 4095) & ~4095);
+	ctr  = (long*)((((long)malloc(8192)) + 4095) & ~4095);
+	barrier_init(bar, THREADS);
+	long tids[64];
+	for (long i = 0; i < THREADS; i++) tids[i] = thread_create((long)worker, i);
+	for (long i = 0; i < THREADS; i++) thread_join(tids[i]);
+	long bh = 0;
+	for (long i = 0; i < pairs * PAGES * WPP; i++) bh = (bh * 31 + bufs[i]) & 0xffffffffffff;
+	long slot = 512 / THREADS;
+	if (slot < 1) slot = 1;
+	long ch = 0;
+	for (long i = 0; i < THREADS; i++) ch = (ch * 31 + ctr[i * slot]) & 0xffffffffffff;
+	print_str("buf=");
+	print_long(bh);
+	print_char('\n');
+	print_str("ctr=");
+	print_long(ch);
+	print_char('\n');
+	return 0;
+}`, threads, iters)
+	return build("phases.mc", src)
+}

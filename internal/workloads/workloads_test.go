@@ -237,6 +237,46 @@ func TestFluidanimateConverges(t *testing.T) {
 	}
 }
 
+func TestPhasesAdaptiveBeatsStatic(t *testing.T) {
+	im, err := Phases(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cfgWith(2)
+	static := run(t, im, cfg)
+	cfgA := cfg
+	cfgA.Adaptive = true
+	adaptive := run(t, im, cfgA)
+	if static.Console != adaptive.Console {
+		t.Errorf("adaptive changed results: %q vs %q", static.Console, adaptive.Console)
+	}
+	if adaptive.Sched.Migrations == 0 {
+		t.Error("adaptive scheduler never migrated a thread")
+	}
+	if adaptive.TimeNs >= static.TimeNs {
+		t.Errorf("adaptive (%d ns) not faster than static (%d ns)", adaptive.TimeNs, static.TimeNs)
+	}
+}
+
+func TestPhasesAdaptiveDeterministic(t *testing.T) {
+	cfg := cfgWith(2)
+	cfg.Adaptive = true
+	var consoles [2]string
+	var times [2]int64
+	for i := 0; i < 2; i++ {
+		im, err := Phases(8, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := run(t, im, cfg)
+		consoles[i], times[i] = res.Console, res.TimeNs
+	}
+	if consoles[0] != consoles[1] || times[0] != times[1] {
+		t.Errorf("adaptive runs diverged: %q@%d vs %q@%d",
+			consoles[0], times[0], consoles[1], times[1])
+	}
+}
+
 func TestWorkloadParameterValidation(t *testing.T) {
 	if _, err := Pi(1000, 1, 1); err == nil {
 		t.Error("pi accepted 1000 threads")
@@ -252,5 +292,8 @@ func TestWorkloadParameterValidation(t *testing.T) {
 	}
 	if _, err := Fluidanimate(7, 64, 1, 2); err == nil {
 		t.Error("fluidanimate accepted non-divisible grid")
+	}
+	if _, err := Phases(7, 4); err == nil {
+		t.Error("phases accepted an odd thread count")
 	}
 }
