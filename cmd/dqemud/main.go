@@ -1,0 +1,130 @@
+// Command dqemud is the DQEMU control-plane daemon: emulation as a
+// service. It exposes the REST/JSON job API of internal/server, schedules
+// concurrent guest jobs across a worker pool with per-tenant quotas, and
+// drains gracefully on SIGTERM/SIGINT.
+//
+//	dqemud -listen 127.0.0.1:8787 -workers 8 \
+//	    -max-concurrent 2 -max-insns 50000000 \
+//	    -quota alice=4:32:0 -quota bob=1:4:1000000
+//
+// Jobs run on the deterministic simulation backend by default; a request
+// may select the live backend, which spawns a real-socket TCP cluster for
+// that job. Submit with cmd/dqemu-submit or plain curl:
+//
+//	curl -XPOST -H 'X-DQEMU-Tenant: alice' -d '{"source":"long main(){return 0;}"}' \
+//	    http://127.0.0.1:8787/v1/jobs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"dqemu/internal/server"
+)
+
+// quotaFlags parses repeatable -quota tenant=concurrent:queued:insns flags.
+type quotaFlags map[string]server.Quota
+
+func (q quotaFlags) String() string { return fmt.Sprint(map[string]server.Quota(q)) }
+
+func (q quotaFlags) Set(v string) error {
+	name, spec, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want tenant=concurrent:queued:insns, got %q", v)
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("want tenant=concurrent:queued:insns, got %q", v)
+	}
+	concurrent, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return fmt.Errorf("bad concurrent limit in %q: %v", v, err)
+	}
+	queued, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return fmt.Errorf("bad queue limit in %q: %v", v, err)
+	}
+	insns, err := strconv.ParseUint(parts[2], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad instruction budget in %q: %v", v, err)
+	}
+	q[name] = server.Quota{MaxConcurrent: concurrent, MaxQueued: queued, MaxInsns: insns}
+	return nil
+}
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8787", "address to serve the job API on")
+	workers := flag.Int("workers", 4, "job worker pool size")
+	queue := flag.Int("queue", 64, "global admission queue depth")
+	maxConcurrent := flag.Int("max-concurrent", 2, "default per-tenant concurrent-job quota")
+	maxQueued := flag.Int("max-queued", 16, "default per-tenant queued-job quota")
+	maxInsns := flag.Uint64("max-insns", 0, "default per-tenant total guest-instruction budget (0 = unlimited)")
+	maxSlaves := flag.Int("max-slaves", 16, "largest cluster a job may request")
+	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "default per-job host time limit")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits before canceling jobs")
+	quiet := flag.Bool("quiet", false, "suppress per-job log lines")
+	quotas := quotaFlags{}
+	flag.Var(quotas, "quota", "per-tenant quota as tenant=concurrent:queued:insns (repeatable; 0 = default/unlimited)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "dqemud: ", log.LstdFlags)
+	logf := logger.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	srv := server.New(server.Options{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		DefaultQuota: server.Quota{
+			MaxConcurrent: *maxConcurrent,
+			MaxQueued:     *maxQueued,
+			MaxInsns:      *maxInsns,
+		},
+		Quotas:         quotas,
+		DefaultTimeout: *jobTimeout,
+		MaxSlaves:      *maxSlaves,
+		Logf:           logf,
+	})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	logger.Printf("serving job API on http://%s/v1 (workers=%d queue=%d)", ln.Addr(), *workers, *queue)
+
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		logger.Printf("%v: draining (grace %v)", sig, *drainTimeout)
+	case err := <-httpDone:
+		logger.Fatalf("http server: %v", err)
+	}
+
+	// Drain: stop admitting (submissions get 503 while the queue runs dry),
+	// finish everything already admitted, then stop serving reads too.
+	drained := make(chan struct{})
+	go func() { srv.Drain(*drainTimeout); close(drained) }()
+	select {
+	case <-drained:
+	case sig := <-sigc:
+		logger.Printf("%v during drain: exiting hard", sig)
+		os.Exit(1)
+	}
+	httpSrv.Close()
+	logger.Printf("drained cleanly")
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -58,6 +59,10 @@ type Cluster struct {
 	err      error
 	console  bytes.Buffer
 }
+
+// ErrCanceled is returned (wrapped) by Cluster.Run when Config.Cancel
+// closes before the guest exits.
+var ErrCanceled = errors.New("run canceled")
 
 // Result reports a finished run.
 type Result struct {
@@ -237,7 +242,23 @@ func (c *Cluster) finish(code int64) {
 
 // Run executes the guest to completion and returns the result.
 func (c *Cluster) Run() (*Result, error) {
+	// Poll the host-side cancel channel every cancelCheckEvery events: each
+	// event can carry a full execution quantum, so the interval must be
+	// small for cancellation to land promptly; a non-blocking channel poll
+	// is still negligible against quantum execution.
+	const cancelCheckEvery = 64
+	steps := 0
 	for !c.done {
+		if c.cfg.Cancel != nil {
+			if steps++; steps >= cancelCheckEvery {
+				steps = 0
+				select {
+				case <-c.cfg.Cancel:
+					return nil, fmt.Errorf("core: run at t=%dns: %w", c.k.Now(), ErrCanceled)
+				default:
+				}
+			}
+		}
 		if !c.k.Step() {
 			if c.done {
 				break

@@ -153,6 +153,14 @@ type Config struct {
 	// static cluster.
 	MaxSlaves int
 
+	// Cancel, when non-nil, aborts the run when closed: Cluster.Run returns
+	// an error wrapping ErrCanceled at the next event boundary. The channel
+	// is polled between simulation events, never inside them, so it cannot
+	// perturb the deterministic schedule of a run that completes — the
+	// control-plane daemon uses it to cancel and time out jobs from host
+	// time without touching the virtual clock.
+	Cancel <-chan struct{}
+
 	// Tracer, if set, records protocol messages, faults, syscalls and
 	// scheduling events for debugging (see internal/trace). With a tracer
 	// attached the cluster also records typed begin/end spans (exec quanta,

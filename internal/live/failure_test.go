@@ -1,0 +1,256 @@
+package live
+
+import (
+	"errors"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"dqemu/internal/proto"
+)
+
+// TestMasterAcceptTimeout: a slave that never connects must fail the master
+// with a structured BootError within cfg.Timeout — not hang Accept forever.
+func TestMasterAcceptTimeout(t *testing.T) {
+	im := build(t, `long main() { return 0; }`)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunMaster(ln, im, Config{Slaves: 1, Timeout: 300 * time.Millisecond})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("RunMaster succeeded with no slave")
+		}
+		var boot *BootError
+		if !errors.As(err, &boot) {
+			t.Fatalf("want BootError, got %T: %v", err, err)
+		}
+		if boot.Phase != "accept" || boot.Slave != 1 || !boot.Timeout() {
+			t.Errorf("BootError = phase=%q slave=%d timeout=%v (%v)", boot.Phase, boot.Slave, boot.Timeout(), err)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Errorf("took %v, should fail near the 300ms deadline", elapsed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunMaster still hung 10s after a 300ms deadline")
+	}
+}
+
+// TestMasterHandshakeFailureCleansUp: when a later slave dies mid-handshake,
+// the master must close the already-accepted peer connections (which also
+// ends their reader goroutines) before returning.
+func TestMasterHandshakeFailureCleansUp(t *testing.T) {
+	im := build(t, `long main() { return 0; }`)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr := ln.Addr().String()
+
+	before := runtime.NumGoroutine()
+
+	// Slave 1 handshakes correctly, then just sits there.
+	good, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	goodReady := make(chan error, 1)
+	go func() {
+		init, err := proto.ReadMsg(good)
+		if err != nil {
+			goodReady <- err
+			return
+		}
+		if init.Kind != proto.KInit {
+			goodReady <- errors.New("expected KInit")
+			return
+		}
+		goodReady <- proto.WriteMsg(good, &proto.Msg{Kind: proto.KInitAck, From: int32(init.Num)})
+	}()
+
+	// Slave 2 connects and slams the door before acking.
+	masterDone := make(chan error, 1)
+	go func() {
+		_, err := RunMaster(ln, im, Config{Slaves: 2, Timeout: 5 * time.Second})
+		masterDone <- err
+	}()
+	if err := <-goodReady; err != nil {
+		t.Fatal(err)
+	}
+	bad, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Close()
+
+	var bootErr error
+	select {
+	case bootErr = <-masterDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("master did not notice the dead slave")
+	}
+	if bootErr == nil {
+		t.Fatal("RunMaster succeeded despite a slave dying mid-handshake")
+	}
+	var boot *BootError
+	if !errors.As(bootErr, &boot) {
+		t.Fatalf("want BootError, got %T: %v", bootErr, bootErr)
+	}
+	if boot.Slave != 2 {
+		t.Errorf("failing slave = %d, want 2", boot.Slave)
+	}
+
+	// The healthy peer's connection must have been closed by the cleanup:
+	// a read on it unblocks with an error instead of hanging.
+	good.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := proto.ReadMsg(good); err == nil {
+		t.Error("accepted peer connection still open after failed boot")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Error("accepted peer connection leaked: read timed out instead of seeing close")
+	}
+
+	// Reader goroutines must be gone too. Allow slack for unrelated runtime
+	// goroutines; a leak per failed boot would show up as monotonic growth.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines: before boot %d, after failed boot %d", before, runtime.NumGoroutine())
+}
+
+// TestSenderBackpressure: a full outgoing queue must block (bounded by the
+// deadline) and then deliver — never silently drop a frame.
+func TestSenderBackpressure(t *testing.T) {
+	client, srv := net.Pipe()
+	defer srv.Close()
+	s := newSenderSize(client, time.Now().Add(30*time.Second), 1)
+
+	// net.Pipe has no buffering: the writer goroutine blocks inside
+	// WriteMsg on the first frame, the second fills the 1-slot queue, so
+	// the third send must take the blocking path.
+	msg := func(n int64) *proto.Msg { return &proto.Msg{Kind: proto.KRetry, Num: n} }
+	if err := s.send(msg(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the writer goroutine to pull frame 1 and wedge in WriteMsg.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(s.out) != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.send(msg(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	sent := make(chan error, 1)
+	go func() { sent <- s.send(msg(3)) }()
+	select {
+	case err := <-sent:
+		t.Fatalf("send returned %v with a full queue and no reader", err)
+	case <-time.After(100 * time.Millisecond):
+		// Blocked, as it must be.
+	}
+
+	// Start draining; every frame must arrive, in order.
+	got := make(chan int64, 3)
+	go func() {
+		for i := 0; i < 3; i++ {
+			m, err := proto.ReadMsg(srv)
+			if err != nil {
+				close(got)
+				return
+			}
+			got <- m.Num
+		}
+	}()
+	if err := <-sent; err != nil {
+		t.Fatalf("blocked send failed after reader appeared: %v", err)
+	}
+	for want := int64(1); want <= 3; want++ {
+		select {
+		case num, ok := <-got:
+			if !ok || num != want {
+				t.Fatalf("frame %d: got %d (ok=%v)", want, num, ok)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("frame %d never delivered", want)
+		}
+	}
+	s.close()
+}
+
+// TestSenderBackpressureDeadline: when the peer never drains, a blocked
+// send must fail with a BackpressureError at the node deadline instead of
+// blocking forever (or dropping silently).
+func TestSenderBackpressureDeadline(t *testing.T) {
+	client, srv := net.Pipe()
+	defer srv.Close()
+	defer client.Close()
+	s := newSenderSize(client, time.Now().Add(200*time.Millisecond), 1)
+
+	msg := func(n int64) *proto.Msg { return &proto.Msg{Kind: proto.KRetry, Num: n} }
+	s.send(msg(1)) // writer wedges in WriteMsg
+	deadline := time.Now().Add(2 * time.Second)
+	for len(s.out) != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.send(msg(2)) // fills the queue
+
+	start := time.Now()
+	err := s.send(msg(3))
+	if err == nil {
+		t.Fatal("send succeeded against a wedged peer")
+	}
+	var bp *BackpressureError
+	if !errors.As(err, &bp) {
+		t.Fatalf("want BackpressureError, got %T: %v", err, err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("deadline send took %v, want ~200ms", elapsed)
+	}
+}
+
+// TestLiveCancel: closing Config.Cancel aborts a running cluster with
+// ErrCanceled.
+func TestLiveCancel(t *testing.T) {
+	im := build(t, `
+long main() {
+	for (long i = 0; i < 1000000000; i++) { sleep_ns(1000000); }
+	return 0;
+}`)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	cancel := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunMaster(ln, im, Config{Slaves: 0, Timeout: 30 * time.Second, Cancel: cancel})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(cancel)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("want ErrCanceled, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancel did not stop the master")
+	}
+}

@@ -14,7 +14,9 @@
 package live
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"dqemu/internal/abi"
@@ -44,6 +46,10 @@ const (
 	syscallRTOMax  = 2 * time.Second
 	syscallGiveUp  = 30 * time.Second
 )
+
+// ErrCanceled is the failure a node reports when its Config.Cancel channel
+// closes mid-run.
+var ErrCanceled = errors.New("live: run canceled")
 
 // SyscallTimeoutError reports a delegated syscall the master never answered
 // within the give-up horizon despite retransmissions.
@@ -109,8 +115,15 @@ type nodeCore struct {
 	inbox  chan *proto.Msg
 	wake   chan int64    // tids whose sleep expired
 	resend chan scResend // delegated-syscall retransmit ticks
+	cancel <-chan struct{}
 
 	send func(*proto.Msg) error
+
+	// rng jitters the delegated-syscall retransmission backoff so slaves
+	// whose requests timed out together don't retransmit in lockstep and
+	// storm the master. Owned by the loop goroutine; live mode is wall-clock
+	// scheduled, so a per-node seed costs no determinism that exists.
+	rng *rand.Rand
 
 	// retransmits counts delegated-syscall frames re-sent after a timeout;
 	// staleReplies counts duplicate or superseded replies dropped.
@@ -157,6 +170,7 @@ func newNodeCore(id, nodes, cores int, im *image.Image) *nodeCore {
 		inbox:     make(chan *proto.Msg, 1024),
 		wake:      make(chan int64, 64),
 		resend:    make(chan scResend, 64),
+		rng:       rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(id)<<32)),
 		start:     time.Now(),
 	}
 	return n
@@ -189,6 +203,12 @@ func (n *nodeCore) loop(handle func(*proto.Msg)) {
 			n.fail(fmt.Errorf("live: node %d exceeded its deadline", n.id))
 			return
 		}
+		select {
+		case <-n.cancel: // nil channel when no canceler is attached
+			n.fail(fmt.Errorf("live: node %d: %w", n.id, ErrCanceled))
+			return
+		default:
+		}
 		if len(n.runq) == 0 {
 			// Nothing runnable: block until an event arrives.
 			select {
@@ -198,6 +218,9 @@ func (n *nodeCore) loop(handle func(*proto.Msg)) {
 				n.timerFired(tid)
 			case r := <-n.resend:
 				n.resendFired(r)
+			case <-n.cancel:
+				n.fail(fmt.Errorf("live: node %d: %w", n.id, ErrCanceled))
+				return
 			case <-time.After(time.Second):
 				// Liveness tick; loop re-checks done.
 			}
@@ -408,6 +431,10 @@ func (n *nodeCore) resendFired(r scResend) {
 	if next > syscallRTOMax {
 		next = syscallRTOMax
 	}
+	// Jitter the doubled RTO into [next/2, next]: slaves whose requests all
+	// timed out on the same stall would otherwise retransmit in phase every
+	// round and storm the recovering master.
+	next = next/2 + time.Duration(n.rng.Int63n(int64(next/2)+1))
 	n.armResend(scResend{tid: r.tid, seq: r.seq, rto: next})
 }
 

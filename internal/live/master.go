@@ -2,6 +2,7 @@ package live
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -28,8 +29,14 @@ type Config struct {
 	Splitting  bool
 	HintSched  bool
 
-	// Timeout aborts a wedged run (default 2 minutes).
+	// Timeout aborts a wedged run (default 2 minutes). It also bounds the
+	// boot: a slave that never connects fails RunMaster with a BootError
+	// within Timeout instead of hanging Accept forever.
 	Timeout time.Duration
+	// Cancel, when non-nil, aborts the run when closed (the master fails
+	// with ErrCanceled and tears the cluster down). The control-plane
+	// daemon uses this for job cancellation.
+	Cancel <-chan struct{}
 	// Stdout receives guest console output as it appears (may be nil).
 	Stdout io.Writer
 	// Files pre-populates the guest VFS.
@@ -41,6 +48,11 @@ type Result struct {
 	ExitCode int64
 	Console  string
 	Wall     time.Duration
+	// MasterInsns is the guest instruction count retired on the master node.
+	// Slaves execute their shares in their own processes and do not report
+	// back, so this undercounts cluster-wide work; it exists so the control
+	// plane can bill live jobs something better than zero.
+	MasterInsns uint64
 }
 
 // master is node 0 of a live cluster.
@@ -63,21 +75,32 @@ type master struct {
 	deadline time.Time
 }
 
-// sender serializes writes to one connection without ever blocking the
-// node loop.
+// sender serializes writes to one connection. The outgoing queue absorbs
+// bursts without blocking the node loop; when it fills, send applies bounded
+// blocking backpressure (up to the node deadline) rather than dropping the
+// frame — the protocol assumes a reliable channel, so a silently lost frame
+// is corruption, not congestion control.
 type sender struct {
-	conn    net.Conn
-	out     chan *proto.Msg
-	err     chan error
-	drained chan struct{}
+	conn     net.Conn
+	out      chan *proto.Msg
+	err      chan error
+	drained  chan struct{}
+	deadline time.Time // zero = none; bounds blocking sends and close
 }
 
-func newSender(conn net.Conn) *sender {
+func newSender(conn net.Conn, deadline time.Time) *sender {
+	return newSenderSize(conn, deadline, 4096)
+}
+
+// newSenderSize exists so tests can exercise queue-overflow backpressure
+// without manufacturing 4096 in-flight frames.
+func newSenderSize(conn net.Conn, deadline time.Time, queue int) *sender {
 	s := &sender{
-		conn:    conn,
-		out:     make(chan *proto.Msg, 4096),
-		err:     make(chan error, 1),
-		drained: make(chan struct{}),
+		conn:     conn,
+		out:      make(chan *proto.Msg, queue),
+		err:      make(chan error, 1),
+		drained:  make(chan struct{}),
+		deadline: deadline,
 	}
 	go func() {
 		defer close(s.drained)
@@ -104,6 +127,29 @@ func (s *sender) close() {
 	s.conn.Close()
 }
 
+// abort closes the connection without draining the queue, for boot-failure
+// cleanup: the peer is being discarded, so flushing frames to it is wasted
+// work, and closing the conn also unblocks its reader goroutine.
+func (s *sender) abort() {
+	s.conn.Close()
+	close(s.out)
+	<-s.drained
+}
+
+// BackpressureError reports a frame that could not be enqueued before the
+// run deadline: the peer stopped draining its connection for longer than the
+// run is allowed to take.
+type BackpressureError struct {
+	Peer    string
+	Waited  time.Duration
+	Pending int
+}
+
+func (e *BackpressureError) Error() string {
+	return fmt.Sprintf("live: peer %s stopped draining (%d frames pending, blocked %v)",
+		e.Peer, e.Pending, e.Waited.Round(time.Millisecond))
+}
+
 func (s *sender) send(m *proto.Msg) error {
 	select {
 	case err := <-s.err:
@@ -114,8 +160,34 @@ func (s *sender) send(m *proto.Msg) error {
 	case s.out <- m:
 		return nil
 	default:
-		return fmt.Errorf("live: outgoing queue to %s overflowed", s.conn.RemoteAddr())
 	}
+	// Queue full: block — bounded by the node deadline — instead of
+	// dropping. TCP delivers every frame or errors; so must we.
+	wait := time.Hour
+	if !s.deadline.IsZero() {
+		wait = time.Until(s.deadline)
+	}
+	if wait <= 0 {
+		return &BackpressureError{Peer: peerName(s.conn), Waited: 0, Pending: len(s.out)}
+	}
+	start := time.Now()
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case s.out <- m:
+		return nil
+	case err := <-s.err:
+		return err
+	case <-timer.C:
+		return &BackpressureError{Peer: peerName(s.conn), Waited: time.Since(start), Pending: len(s.out)}
+	}
+}
+
+func peerName(conn net.Conn) string {
+	if addr := conn.RemoteAddr(); addr != nil {
+		return addr.String()
+	}
+	return "?"
 }
 
 // RunMaster accepts cfg.Slaves connections on ln, boots the cluster with
@@ -137,6 +209,7 @@ func RunMaster(ln net.Listener, im *image.Image, cfg Config) (*Result, error) {
 	}
 	m.deadline = time.Now().Add(cfg.Timeout)
 	m.nodeCore.deadline = m.deadline
+	m.nodeCore.cancel = cfg.Cancel
 
 	var fwd *dsm.Forwarder
 	if cfg.Forwarding {
@@ -164,27 +237,17 @@ func RunMaster(ln net.Listener, im *image.Image, cfg Config) (*Result, error) {
 		}
 	}
 
-	// Accept and handshake the slaves.
-	imgBytes := im.Encode()
-	for i := 0; i < cfg.Slaves; i++ {
-		conn, err := ln.Accept()
-		if err != nil {
-			return nil, fmt.Errorf("live: accept slave %d: %w", i+1, err)
+	// Accept and handshake the slaves. The whole boot must finish inside
+	// cfg.Timeout: a slave that never connects (or wedges mid-handshake)
+	// fails the run with a structured BootError instead of hanging Accept
+	// forever. Any early return tears down everything already accepted —
+	// closing each peer connection also unblocks its reader goroutine, so a
+	// failed boot leaks neither sockets nor goroutines.
+	if err := m.bootSlaves(ln, im); err != nil {
+		for _, p := range m.peers {
+			p.abort()
 		}
-		init := &proto.Msg{
-			Kind: proto.KInit, From: 0, To: int32(i + 1),
-			Num: int64(i + 1), Args: [6]uint64{uint64(cfg.Slaves + 1), uint64(cfg.Cores)},
-			Data: imgBytes,
-		}
-		if err := proto.WriteMsg(conn, init); err != nil {
-			return nil, fmt.Errorf("live: handshake with slave %d: %w", i+1, err)
-		}
-		ack, err := proto.ReadMsg(conn)
-		if err != nil || ack.Kind != proto.KInitAck {
-			return nil, fmt.Errorf("live: slave %d did not ack (msg %v, err %v)", i+1, ack, err)
-		}
-		m.peers = append(m.peers, newSender(conn))
-		go m.reader(conn, i+1)
+		return nil, err
 	}
 
 	// The master routes its own protocol traffic inline (synchronously with
@@ -219,7 +282,83 @@ func RunMaster(ln net.Listener, im *image.Image, cfg Config) (*Result, error) {
 	if m.err != nil {
 		return nil, m.err
 	}
-	return &Result{ExitCode: m.exitCode, Console: m.console.String(), Wall: wall}, nil
+	return &Result{
+		ExitCode:    m.exitCode,
+		Console:     m.console.String(),
+		Wall:        wall,
+		MasterInsns: m.engine.Stats.ExecInsns,
+	}, nil
+}
+
+// BootError reports a cluster boot that failed while accepting or
+// handshaking slave connections.
+type BootError struct {
+	Slave int    // 1-based id of the slave being booted
+	Phase string // "accept" | "init" | "ack"
+	Err   error
+}
+
+func (e *BootError) Error() string {
+	return fmt.Sprintf("live: boot: slave %d: %s: %v", e.Slave, e.Phase, e.Err)
+}
+
+func (e *BootError) Unwrap() error { return e.Err }
+
+// Timeout reports whether the boot failed because cfg.Timeout expired.
+func (e *BootError) Timeout() bool {
+	var ne net.Error
+	return errors.As(e.Err, &ne) && ne.Timeout()
+}
+
+// deadlineListener is the subset of net.Listener that supports accept
+// deadlines (all stdlib stream listeners do).
+type deadlineListener interface {
+	SetDeadline(time.Time) error
+}
+
+// bootSlaves accepts and handshakes cfg.Slaves connections, honoring the
+// run deadline throughout. On success m.peers holds one sender per slave
+// and a reader goroutine is draining each connection; on error the caller
+// owns cleanup of whatever was already appended to m.peers.
+func (m *master) bootSlaves(ln net.Listener, im *image.Image) error {
+	if dl, ok := ln.(deadlineListener); ok {
+		dl.SetDeadline(m.deadline)
+		defer dl.SetDeadline(time.Time{})
+	}
+	imgBytes := im.Encode()
+	for i := 0; i < m.cfg.Slaves; i++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return &BootError{Slave: i + 1, Phase: "accept", Err: err}
+		}
+		// The handshake itself is covered by the run deadline too; a slave
+		// that connects and then stalls must not wedge the boot.
+		conn.SetDeadline(m.deadline)
+		init := &proto.Msg{
+			Kind: proto.KInit, From: 0, To: int32(i + 1),
+			Num: int64(i + 1), Args: [6]uint64{uint64(m.cfg.Slaves + 1), uint64(m.cfg.Cores)},
+			Data: imgBytes,
+		}
+		if err := proto.WriteMsg(conn, init); err != nil {
+			conn.Close()
+			return &BootError{Slave: i + 1, Phase: "init", Err: err}
+		}
+		ack, err := proto.ReadMsg(conn)
+		if err != nil {
+			conn.Close()
+			return &BootError{Slave: i + 1, Phase: "ack", Err: err}
+		}
+		if ack.Kind != proto.KInitAck {
+			conn.Close()
+			return &BootError{Slave: i + 1, Phase: "ack", Err: fmt.Errorf("expected init ack, got %v", ack.Kind)}
+		}
+		// Steady state: senders/readers run without I/O deadlines (the node
+		// loop enforces the run deadline itself).
+		conn.SetDeadline(time.Time{})
+		m.peers = append(m.peers, newSender(conn, m.deadline))
+		go m.reader(conn, i+1)
+	}
+	return nil
 }
 
 func (m *master) reader(conn net.Conn, from int) {

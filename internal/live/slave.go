@@ -3,6 +3,7 @@ package live
 import (
 	"fmt"
 	"net"
+	"time"
 
 	"dqemu/internal/image"
 	"dqemu/internal/proto"
@@ -36,7 +37,7 @@ func RunSlave(addr string) error {
 	}
 
 	n := newNodeCore(id, nodes, cores, im)
-	out := newSender(conn)
+	out := newSender(conn, time.Time{})
 	n.send = out.send
 
 	go func() {
